@@ -1,0 +1,120 @@
+"""Table II — ILP-MR scaling: LEARNCONS vs the lazy one-path baseline.
+
+The paper's table (r* = 1e-11, n = 5 types) reports, for |V| = 20..50:
+
+* with LEARNCONS (Algorithm 2): a constant 3 iterations and moderate
+  analysis time (34 s -> 181 s);
+* with the lazy strategy (one extra path per iteration): iteration counts
+  growing 4 -> 14 and analysis time exploding (72 s -> 39 563 s).
+
+The headline claim is the *relative* blow-up of the lazy baseline — more
+iterations, and far more time spent inside exact reliability analysis.
+This benchmark reproduces both arms. Default sizes keep the suite fast;
+``REPRO_BENCH_FULL=1`` unlocks the full sweep (see conftest).
+"""
+
+import pytest
+
+from conftest import LAZY_SIZES, SCALING_GAP, TABLE_SIZES, emit
+from repro.eps import build_eps_template, eps_spec
+from repro.report import format_scientific
+from repro.synthesis import synthesize_ilp_mr
+
+R_STAR = 1e-11
+
+
+def run_one(num_nodes: int, strategy: str):
+    gens = num_nodes // 5
+    spec = eps_spec(
+        build_eps_template(num_generators=gens), reliability_target=R_STAR
+    )
+    return synthesize_ilp_mr(
+        spec, strategy=strategy, backend="scipy", mip_rel_gap=SCALING_GAP
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_learncons_scaling(benchmark):
+    def sweep():
+        return [(n, run_one(n, "learncons")) for n in TABLE_SIZES]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n, res in results:
+        assert res.feasible
+        assert res.reliability <= R_STAR
+        # Paper: LEARNCONS converges in a constant ~3 iterations.
+        assert res.num_iterations <= 6
+        rows.append(
+            (
+                f"{n} ({n // 5})",
+                res.num_iterations,
+                f"{res.analysis_time:.2f}",
+                f"{res.solver_time:.1f}",
+                f"{res.cost:.6g}",
+                format_scientific(res.reliability),
+            )
+        )
+    emit(
+        benchmark,
+        "Table II (top): ILP-MR with LEARNCONS. Paper iterations: 3/3/3/3",
+        ["|V| (gens)", "#iter", "analysis (s)", "solver (s)", "cost", "r"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_lazy_baseline_scaling(benchmark):
+    def sweep():
+        return [(n, run_one(n, "lazy")) for n in LAZY_SIZES]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n, res in results:
+        assert res.feasible
+        assert res.reliability <= R_STAR
+        rows.append(
+            (
+                f"{n} ({n // 5})",
+                res.num_iterations,
+                f"{res.analysis_time:.2f}",
+                f"{res.solver_time:.1f}",
+                f"{res.cost:.6g}",
+                format_scientific(res.reliability),
+            )
+        )
+    emit(
+        benchmark,
+        "Table II (bottom): ILP-MR lazy baseline. Paper iterations: 4/7/10/14",
+        ["|V| (gens)", "#iter", "analysis (s)", "solver (s)", "cost", "r"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_learncons_beats_lazy(benchmark):
+    """The Table II claim at a common size: LEARNCONS needs strictly fewer
+    iterations than the lazy strategy and spends less time in analysis +
+    solving overall."""
+
+    size = LAZY_SIZES[-1]
+
+    def both():
+        return run_one(size, "learncons"), run_one(size, "lazy")
+
+    fast, slow = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert fast.feasible and slow.feasible
+    assert fast.num_iterations < slow.num_iterations
+    emit(
+        benchmark,
+        f"Table II claim at |V| = {size}: LEARNCONS vs lazy",
+        ["strategy", "#iter", "analysis (s)", "solver (s)"],
+        [
+            ("learncons", fast.num_iterations, f"{fast.analysis_time:.2f}",
+             f"{fast.solver_time:.1f}"),
+            ("lazy", slow.num_iterations, f"{slow.analysis_time:.2f}",
+             f"{slow.solver_time:.1f}"),
+        ],
+    )

@@ -1,0 +1,74 @@
+"""Table III — ILP-AR scaling: constraint counts, setup and solver time.
+
+The paper's table (r* = 1e-11, n = 5) reports, for |V| = 20..50 nodes:
+5 290 / 24 514 / 74 258 / 176 794 constraints, setup times 27 s -> 18 902 s
+and solver times 11 s -> 5 059 s — i.e. superlinear growth in both, with
+~70% of total time spent generating constraints. The counts stay far below
+the O(|V|^3 n) asymptotic bound thanks to the EPS sparsity.
+
+This benchmark regenerates the row structure: constraints, auxiliary
+variables, setup time, solve time per template size — and checks the
+superlinear-growth and polynomial-bound claims.
+"""
+
+import pytest
+
+from conftest import SCALING_GAP, TABLE_SIZES, emit
+from repro.eps import build_eps_template, eps_spec
+from repro.report import format_scientific
+from repro.synthesis import synthesize_ilp_ar
+
+R_STAR = 1e-11
+
+
+def run_one(num_nodes: int):
+    gens = num_nodes // 5
+    spec = eps_spec(
+        build_eps_template(num_generators=gens), reliability_target=R_STAR
+    )
+    return synthesize_ilp_ar(
+        spec, backend="scipy", mip_rel_gap=SCALING_GAP
+    )
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_ilp_ar_scaling(benchmark):
+    def sweep():
+        return [(n, run_one(n)) for n in TABLE_SIZES]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for n, res in results:
+        assert res.feasible, f"|V|={n}: {res.status}"
+        # The algebra-level requirement holds by construction...
+        assert res.approx_reliability <= R_STAR * (1 + 1e-9)
+        # ...and the constraint count respects the polynomial bound.
+        num_types = 5
+        assert res.model_stats["constraints"] <= n**3 * num_types
+        rows.append(
+            (
+                f"{n} ({n // 5})",
+                res.model_stats["constraints"],
+                res.model_stats["variables"],
+                f"{res.setup_time:.2f}",
+                f"{res.solver_time:.2f}",
+                format_scientific(res.approx_reliability),
+                format_scientific(res.reliability),
+            )
+        )
+
+    # Superlinear growth of the constraint count across the sweep.
+    counts = [r.model_stats["constraints"] for _, r in results]
+    sizes = [n for n, _ in results]
+    if len(counts) >= 2:
+        growth = (counts[-1] / counts[0])
+        assert growth > (sizes[-1] / sizes[0]), "constraint growth must be superlinear"
+
+    emit(
+        benchmark,
+        "Table III: ILP-AR scaling. Paper: 5290/24514/74258/176794 constraints, setup 27->18902 s, solve 11->5059 s",
+        ["|V| (gens)", "#constraints", "#variables", "setup (s)", "solve (s)",
+         "r~", "r (exact)"],
+        rows,
+    )

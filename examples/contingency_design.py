@@ -1,0 +1,81 @@
+"""N-1 contingency-aware EPS synthesis.
+
+The paper's §V power-flow requirement asks that generation cover demand
+"in each operating condition". This example takes the classical reading —
+the N-1 criterion: after losing any single generator, the remaining
+instantiated generation must still cover every essential load — and shows
+what it costs:
+
+1. synthesize with the standard requirement pack (total supply >= demand);
+2. synthesize again with `NMinusOneAdequacy` added;
+3. compare generator fleets, costs, and the exact reliability of both.
+
+Run:  python examples/contingency_design.py
+"""
+
+from repro.eps import build_eps_template, eps_requirements
+from repro.report import format_table
+from repro.synthesis import NMinusOneAdequacy, SynthesisSpec, synthesize_ilp_mr
+
+# A loose reliability target keeps the baseline fleet minimal, so the N-1
+# criterion is what forces the second generator (at a tight target like
+# 2e-10 the reliability requirement alone already demands a redundant
+# fleet and N-1 comes for free — try it).
+TARGET = 2e-3
+
+
+def fleet(arch):
+    """Used generators with their ratings."""
+    t = arch.template
+    return sorted(
+        (t.name_of(i), t.spec(i).capacity)
+        for i in arch.used_nodes()
+        if t.spec(i).capacity > 0
+    )
+
+
+def main() -> None:
+    template = build_eps_template(num_generators=4, include_apu=True)
+    base_requirements = eps_requirements(template)
+
+    rows = []
+    results = {}
+    for label, extra in (("baseline", []), ("N-1", [NMinusOneAdequacy()])):
+        spec = SynthesisSpec(
+            template=template,
+            requirements=base_requirements + extra,
+            reliability_target=TARGET,
+        )
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        results[label] = res
+        gens = fleet(res.architecture) if res.feasible else []
+        total = sum(g for _, g in gens)
+        largest = max((g for _, g in gens), default=0.0)
+        rows.append(
+            (
+                label,
+                res.status,
+                f"{res.cost:.6g}",
+                f"{res.reliability:.2e}" if res.reliability is not None else "-",
+                ", ".join(f"{n}({g:g}kW)" for n, g in gens),
+                f"{total - largest:g} kW",
+            )
+        )
+
+    print(f"EPS synthesis with r* = {TARGET:.0e}, demand = 70 kW total:\n")
+    print(format_table(
+        ["variant", "status", "cost", "r (exact)", "generator fleet",
+         "post-N-1 capacity"],
+        rows,
+    ))
+    base, n1 = results["baseline"], results["N-1"]
+    if base.feasible and n1.feasible:
+        print(
+            f"\nThe N-1 criterion costs {n1.cost - base.cost:+.6g} over the "
+            f"baseline and guarantees any single generator loss still leaves "
+            f"enough capacity for all essential loads."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Importance-guided component upgrades on a synthesized EPS architecture.
+
+Workflow a reliability engineer would run after synthesis:
+
+1. synthesize a highly reliable EPS architecture with ILP-MR — its final
+   fine-tuning iteration leaves *asymmetric* redundancy (one type gets an
+   extra path), which is exactly when importance analysis earns its keep;
+2. rank its components by Birnbaum importance (the exact sensitivity
+   dr/dp_i, computed on the BDD) to find the failure-probability levers;
+3. "upgrade" the top-ranked component (halve its failure probability) and
+   quantify the improvement against upgrading a low-ranked one.
+
+Demonstrates the analysis half of the toolbox on its own — no re-synthesis
+needed to answer what-if questions.
+
+Run:  python examples/importance_upgrade.py
+"""
+
+from repro.eps import eps_spec, paper_template
+from repro.reliability import (
+    ReliabilityProblem,
+    failure_probability,
+    problem_from_architecture,
+    ranked_importance,
+)
+from repro.report import format_table
+from repro.synthesis import synthesize_ilp_mr
+
+SINK = "LL1"
+
+
+def upgraded(problem: ReliabilityProblem, component: str, factor: float) -> float:
+    """Failure probability after scaling one component's p by ``factor``."""
+    graph = problem.graph.copy()
+    graph.nodes[component]["p"] *= factor
+    return failure_probability(ReliabilityProblem(graph, problem.sources, problem.sink))
+
+
+def main() -> None:
+    spec = eps_spec(paper_template(), reliability_target=2e-10)
+    result = synthesize_ilp_mr(spec, backend="scipy")
+    if not result.feasible:
+        raise SystemExit("synthesis failed")
+    arch = result.architecture
+    problem = problem_from_architecture(arch, SINK)
+    base_r = failure_probability(problem)
+    print(f"Synthesized architecture: cost {result.cost:.6g}, "
+          f"r({SINK}) = {base_r:.3e}\n")
+
+    ranked = ranked_importance(problem, "birnbaum")
+    rows = [
+        (m.component, f"{m.failure_prob:.1e}", f"{m.birnbaum:.3e}",
+         f"{m.criticality:.3e}", f"{m.improvement_potential:.3e}",
+         f"{m.fussell_vesely:.3e}")
+        for m in ranked
+    ]
+    print("Component importance (exact, BDD-based):")
+    print(format_table(
+        ["component", "p", "Birnbaum", "criticality", "improvement", "Fussell-Vesely"],
+        rows,
+    ))
+
+    top = ranked[0].component
+    bottom = ranked[-1].component
+    r_top = upgraded(problem, top, 0.5)
+    r_bottom = upgraded(problem, bottom, 0.5)
+    print(f"\nHalving p of the top-ranked component {top}: "
+          f"r drops {base_r:.3e} -> {r_top:.3e} "
+          f"({(1 - r_top / base_r) * 100:.1f}% better)")
+    print(f"Halving p of the bottom-ranked component {bottom}: "
+          f"r drops {base_r:.3e} -> {r_bottom:.3e} "
+          f"({(1 - r_bottom / base_r) * 100:.1f}% better)")
+    print("\nThe ranking tells the designer where redundancy or higher-grade "
+          "parts pay off.")
+
+
+if __name__ == "__main__":
+    main()

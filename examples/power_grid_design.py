@@ -1,0 +1,49 @@
+"""Generalization to a terrestrial power grid (§VI of the paper).
+
+Synthesizes a plant -> substation -> feeder -> customer distribution
+architecture with ILP-MR and compares it against ILP-AR on the same
+template. Demonstrates that nothing in the framework is aircraft-specific:
+the same requirement objects and both algorithms drive a different library
+and a different topology.
+
+Run:  python examples/power_grid_design.py
+"""
+
+from repro.domains import build_power_grid_template, power_grid_spec
+from repro.reliability import approximate_failure, sink_failure_probabilities
+from repro.synthesis import synthesize_ilp_ar, synthesize_ilp_mr
+
+TARGET = 1e-8
+
+
+def main() -> None:
+    template = build_power_grid_template(
+        num_plants=3, num_substations=3, num_feeders=4, num_customers=3
+    )
+    print(f"Template: {template}")
+    spec = power_grid_spec(template, reliability_target=TARGET)
+
+    print(f"\n=== ILP-MR, r* = {TARGET:.0e} ===")
+    mr = synthesize_ilp_mr(spec, backend="scipy")
+    print(mr.summary())
+    if mr.feasible:
+        print(mr.architecture.describe())
+
+    print(f"\n=== ILP-AR, r* = {TARGET:.0e} ===")
+    ar = synthesize_ilp_ar(spec, backend="scipy")
+    print(ar.summary())
+    if ar.feasible:
+        print(ar.architecture.describe())
+
+    if mr.feasible and ar.feasible:
+        print("\n=== Comparison ===")
+        print(f"  ILP-MR cost {mr.cost:.6g} vs ILP-AR cost {ar.cost:.6g}")
+        for name, res in (("ILP-MR", mr), ("ILP-AR", ar)):
+            worst = max(sink_failure_probabilities(res.architecture).values())
+            print(f"  {name}: worst-case exact r = {worst:.3e}")
+        approx = approximate_failure(ar.architecture, "C1")
+        print(f"  ILP-AR redundancy at C1: {dict(sorted(approx.redundancy.items()))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Tour of the reliability analysis toolbox on the paper's Example 1.
+
+Builds the Fig. 1b architecture (two disjoint generator-bus-DC-bus chains
+feeding one load), then:
+
+* computes the exact failure probability with all four exact engines and
+  confirms they match the closed form printed in the paper;
+* estimates the same quantity by Monte-Carlo and shows the CI;
+* evaluates the approximate algebra r~ = p_L + 2p_D^2 + 2p_B^2 + 2p_G^2 and
+  the Theorem 2 bound;
+* lists minimal path sets and minimal cut sets.
+
+Run:  python examples/reliability_analysis_tour.py
+"""
+
+import networkx as nx
+
+from repro.arch import functional_link
+from repro.reliability import (
+    ReliabilityProblem,
+    approximate_failure_from_link,
+    failure_probability,
+    failure_probability_mc,
+    minimal_cut_sets,
+    minimal_path_sets,
+)
+
+P = 2e-4  # Table I failure probability
+
+
+def build_example1() -> ReliabilityProblem:
+    g = nx.DiGraph()
+    for name, ctype in [
+        ("G1", "gen"), ("G2", "gen"), ("B1", "bus"), ("B2", "bus"),
+        ("D1", "dc_bus"), ("D2", "dc_bus"), ("L", "load"),
+    ]:
+        g.add_node(name, p=P, ctype=ctype)
+    for chain in (("G1", "B1", "D1", "L"), ("G2", "B2", "D2", "L")):
+        for a, b in zip(chain, chain[1:]):
+            g.add_edge(a, b)
+    return ReliabilityProblem(g, ("G1", "G2"), "L")
+
+
+def main() -> None:
+    problem = build_example1()
+
+    # Closed form from the paper's Example 1.
+    inner = P + (1 - P) * (P + (1 - P) * P)
+    closed_form = P + (1 - P) * inner**2
+    print(f"Paper's closed form: r_L = {closed_form:.12e}\n")
+
+    print("Exact engines:")
+    for method in ("bdd", "factoring", "sdp", "ie"):
+        value = failure_probability(problem, method=method)
+        print(f"  {method:10s} -> {value:.12e}  "
+              f"(delta = {abs(value - closed_form):.2e})")
+
+    mc = failure_probability_mc(problem, samples=2_000_000, seed=2015)
+    lo, hi = mc.interval()
+    print(f"\nMonte-Carlo ({mc.samples} samples): {mc.estimate:.3e} "
+          f"in [{lo:.3e}, {hi:.3e}]")
+
+    link = functional_link(problem.graph, list(problem.sources), "L")
+    approx = approximate_failure_from_link(
+        link, {"gen": P, "bus": P, "dc_bus": P, "load": P}
+    )
+    print(f"\nApproximate algebra (eq. 7): r~ = {approx.r_tilde:.6e}")
+    print(f"  = p_L + 2p_D^2 + 2p_B^2 + 2p_G^2 = {P + 6 * P * P:.6e}")
+    print(f"  redundancy degrees h: {dict(sorted(approx.redundancy.items()))}")
+    print(f"  Theorem 2 bound m*f/M_f = {approx.bound_ratio:.3f}; "
+          f"observed ratio r~/r = {approx.r_tilde / closed_form:.3f}")
+
+    print("\nMinimal path sets:")
+    for ps in minimal_path_sets(problem):
+        print(f"  {sorted(ps)}")
+    print("Minimal cut sets:")
+    for cs in minimal_cut_sets(problem):
+        print(f"  {sorted(cs)}")
+
+
+if __name__ == "__main__":
+    main()

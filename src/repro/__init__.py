@@ -1,0 +1,61 @@
+"""ARCHEX reproduction: optimized selection of reliable and cost-effective
+cyber-physical system architectures (Bajaj, Nuzzo, Masin,
+Sangiovanni-Vincentelli — DATE 2015).
+
+Public API tour
+---------------
+* :mod:`repro.ilp` — ILP modeling + exact MILP solvers (YALMIP/CPLEX role);
+* :mod:`repro.arch` — component libraries, templates, configurations,
+  functional links, walk indicator matrices;
+* :mod:`repro.reliability` — exact K-terminal engines (BDD / factoring /
+  SDP / inclusion-exclusion), Monte-Carlo, and the approximate algebra of
+  §IV-A with the Theorem 2 bound;
+* :mod:`repro.synthesis` — ILP-MR (Algorithm 1 + LEARNCONS) and ILP-AR
+  (Algorithm 3, eqs. 9-11);
+* :mod:`repro.eps` — the aircraft electric power system case study (§V);
+* :mod:`repro.domains` — power-grid and communication-network templates
+  (the generalizations sketched in §VI).
+"""
+
+from .arch import (
+    Architecture,
+    ArchitectureTemplate,
+    ComponentSpec,
+    FunctionalLink,
+    Library,
+    Role,
+)
+from .reliability import (
+    ReliabilityProblem,
+    approximate_failure,
+    failure_probability,
+    sink_failure_probabilities,
+    worst_case_failure,
+)
+from .synthesis import (
+    SynthesisResult,
+    SynthesisSpec,
+    synthesize_ilp_ar,
+    synthesize_ilp_mr,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Architecture",
+    "ArchitectureTemplate",
+    "ComponentSpec",
+    "FunctionalLink",
+    "Library",
+    "ReliabilityProblem",
+    "Role",
+    "SynthesisResult",
+    "SynthesisSpec",
+    "__version__",
+    "approximate_failure",
+    "failure_probability",
+    "sink_failure_probabilities",
+    "synthesize_ilp_ar",
+    "synthesize_ilp_mr",
+    "worst_case_failure",
+]

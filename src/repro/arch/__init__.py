@@ -1,0 +1,61 @@
+"""Architecture graph substrate: libraries, templates, configurations, paths.
+
+Implements §II of the paper: components with attributes (w, c, p), templates
+with reconfigurable edge sets, graph partitions / component types, functional
+links, and the walk indicator matrices of Lemma 1.
+"""
+
+from .architecture import Architecture
+from .library import ComponentSpec, Library, Role
+from .metrics import ArchitectureMetrics, architecture_metrics
+from .paths import FunctionalLink, enumerate_paths, functional_link, reduce_path
+from .serialization import (
+    architecture_from_dict,
+    architecture_to_dict,
+    library_from_dict,
+    library_to_dict,
+    load_json,
+    save_json,
+    template_from_dict,
+    template_to_dict,
+)
+from .template import ArchitectureTemplate, Edge
+from .transform import (
+    add_redundant_instance,
+    merge_serial_instances,
+    refine_architecture,
+)
+from .validate import TemplateValidationError, assert_valid, validate_template
+from .walks import ReachabilityEncoder, logical_power, walk_indicator
+
+__all__ = [
+    "Architecture",
+    "ArchitectureMetrics",
+    "ArchitectureTemplate",
+    "ComponentSpec",
+    "Edge",
+    "FunctionalLink",
+    "Library",
+    "ReachabilityEncoder",
+    "Role",
+    "TemplateValidationError",
+    "assert_valid",
+    "architecture_from_dict",
+    "architecture_to_dict",
+    "add_redundant_instance",
+    "architecture_metrics",
+    "enumerate_paths",
+    "library_from_dict",
+    "library_to_dict",
+    "load_json",
+    "merge_serial_instances",
+    "refine_architecture",
+    "functional_link",
+    "logical_power",
+    "reduce_path",
+    "save_json",
+    "template_from_dict",
+    "template_to_dict",
+    "walk_indicator",
+    "validate_template",
+]

@@ -1,0 +1,190 @@
+"""Concrete architectures: a template plus a chosen edge configuration.
+
+An :class:`Architecture` is what the ILP solver returns (the adjacency
+matrix ``e*`` of Algorithms 1 and 3): a subset of the template's allowed
+edges. Nodes with no incident edge are considered pruned away
+(``delta_i = 0`` in eq. 1) and do not contribute cost.
+
+Same-type edges are the paper's shorthand for redundant siblings (§V):
+"if v_i and v_j, with v_i ~ v_j, are connected by an edge, then any direct
+predecessor of v_i is also a direct predecessor of v_j and vice versa".
+:meth:`Architecture.expanded_graph` resolves that shorthand into a plain
+digraph suitable for reliability analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .library import Role
+from .template import ArchitectureTemplate, Edge
+
+__all__ = ["Architecture"]
+
+
+class Architecture:
+    """A configuration of a template (an assignment over the edge set)."""
+
+    def __init__(self, template: ArchitectureTemplate, edges: Iterable[Edge]) -> None:
+        self.template = template
+        self.edges: FrozenSet[Edge] = frozenset(edges)
+        for (i, j) in self.edges:
+            if not template.is_allowed(i, j):
+                raise ValueError(
+                    f"edge {template.name_of(i)}->{template.name_of(j)} "
+                    "is not an allowed edge of the template"
+                )
+        self._expanded: Optional[nx.DiGraph] = None
+
+    # -- node usage (delta of eq. 1) -------------------------------------------
+
+    def used_nodes(self) -> List[int]:
+        """Indices with at least one incident edge (``delta_i = 1``)."""
+        used: Set[int] = set()
+        for (i, j) in self.edges:
+            used.add(i)
+            used.add(j)
+        return sorted(used)
+
+    def is_used(self, i: int) -> bool:
+        return any(i in edge for edge in self.edges)
+
+    # -- cost (eq. 1) ----------------------------------------------------------
+
+    def cost(self) -> float:
+        """Objective value per eq. 1: component costs + one switch per pair."""
+        t = self.template
+        component_cost = sum(t.spec(i).cost for i in self.used_nodes())
+        pairs = {(min(i, j), max(i, j)) for (i, j) in self.edges}
+        switch_cost = sum(t.switch_cost(i, j) for (i, j) in pairs)
+        return component_cost + switch_cost
+
+    def num_switches(self) -> int:
+        return len({(min(i, j), max(i, j)) for (i, j) in self.edges})
+
+    # -- graph views ----------------------------------------------------------
+
+    def adjacency(self) -> np.ndarray:
+        """Boolean adjacency matrix ``e*`` over template node indices."""
+        n = self.template.num_nodes
+        m = np.zeros((n, n), dtype=bool)
+        for (i, j) in self.edges:
+            m[i, j] = True
+        return m
+
+    def graph(self) -> nx.DiGraph:
+        """Raw digraph over node names (same-type shorthand NOT expanded)."""
+        g = nx.DiGraph()
+        t = self.template
+        for i in self.used_nodes():
+            spec = t.spec(i)
+            g.add_node(spec.name, ctype=spec.ctype, p=spec.failure_prob, role=spec.role)
+        for (i, j) in self.edges:
+            g.add_edge(t.name_of(i), t.name_of(j))
+        return g
+
+    def expanded_graph(self) -> nx.DiGraph:
+        """Digraph with the same-type sibling shorthand resolved.
+
+        Same-type edges are removed; every undirected same-type connected
+        group shares the union of its members' exterior predecessors. The
+        result is the graph on which failure events (eq. 5) are evaluated.
+        """
+        if self._expanded is not None:
+            return self._expanded
+        t = self.template
+        g = self.graph()
+
+        if t.has_failing_edges:
+            # Unreliable contactors compose ambiguously with the sibling
+            # predecessor-sharing shorthand (which physical contactor does a
+            # shared predecessor edge traverse?). Restrict the combination.
+            if any(
+                t.type_of(i) == t.type_of(j) for (i, j) in self.edges
+            ):
+                raise ValueError(
+                    "templates with failing edges must not use same-type "
+                    "sibling shorthand edges"
+                )
+
+        # Undirected groups of same-type siblings.
+        sibling = nx.Graph()
+        sibling.add_nodes_from(g.nodes)
+        same_type_edges = [
+            (u, v)
+            for (u, v) in g.edges
+            if g.nodes[u]["ctype"] == g.nodes[v]["ctype"]
+        ]
+        sibling.add_edges_from(same_type_edges)
+
+        expanded = nx.DiGraph()
+        expanded.add_nodes_from(g.nodes(data=True))
+        for group in nx.connected_components(sibling):
+            group = set(group)
+            exterior_preds: Set[str] = set()
+            for member in group:
+                for pred in g.predecessors(member):
+                    if pred not in group:
+                        exterior_preds.add(pred)
+            for member in group:
+                for pred in exterior_preds:
+                    expanded.add_edge(pred, member)
+        # Non-sibling successor edges are kept as-is (they are already
+        # covered above from the successor's point of view). Contactor
+        # failure probabilities transfer onto the direct physical edges
+        # (sibling shorthand is excluded above when edges can fail).
+        for (i, j) in self.edges:
+            q = t.edge_failure_prob(i, j)
+            a, b = t.name_of(i), t.name_of(j)
+            if q > 0.0 and expanded.has_edge(a, b):
+                expanded[a][b]["p"] = q
+        self._expanded = expanded
+        return expanded
+
+    # -- structure queries ------------------------------------------------------
+
+    def source_names(self) -> List[str]:
+        t = self.template
+        return [t.name_of(i) for i in t.source_indices() if self.is_used(i)]
+
+    def sink_names(self) -> List[str]:
+        t = self.template
+        return [t.name_of(i) for i in t.sink_indices() if self.is_used(i)]
+
+    def with_edges(self, extra: Iterable[Edge]) -> "Architecture":
+        """A new architecture with additional edges activated."""
+        return Architecture(self.template, set(self.edges) | set(extra))
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        t = self.template
+        lines = [f"Architecture of {t.name!r}: cost={self.cost():.6g}"]
+        by_type: Dict[str, List[str]] = {}
+        for i in self.used_nodes():
+            by_type.setdefault(t.type_of(i), []).append(t.name_of(i))
+        for ctype in t.type_order:
+            if ctype in by_type:
+                lines.append(f"  {ctype}: {', '.join(sorted(by_type[ctype]))}")
+        lines.append(f"  edges ({len(self.edges)}):")
+        for (i, j) in sorted(self.edges):
+            lines.append(f"    {t.name_of(i)} -> {t.name_of(j)}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Architecture)
+            and other.template is self.template
+            and other.edges == self.edges
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.template), self.edges))
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture(|used V|={len(self.used_nodes())}, |E|={len(self.edges)}, "
+            f"cost={self.cost():.6g})"
+        )

@@ -1,0 +1,152 @@
+"""Component libraries (§II of the paper).
+
+A design is assembled out of a *library* of components parameterized by
+terminal variables ``w`` (power ratings / demands), costs ``c`` and failure
+probabilities ``p``, with each component labelled with a *type* defining its
+role (Definition II.2 links types to the graph partition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ComponentSpec", "Library", "Role"]
+
+
+class Role:
+    """Functional role of a component within a functional link."""
+
+    SOURCE = "source"
+    SINK = "sink"
+    INTERMEDIATE = "intermediate"
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One component instance available to the synthesis problem.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name (e.g. ``"LG1"``).
+    ctype:
+        Type label; components of the same type are interchangeable and
+        introduce redundancy (Definition II.2).
+    cost:
+        Instantiation cost ``c_i`` used in the objective (eq. 1).
+    failure_prob:
+        Self-induced failure probability ``p_i`` (§II, event ``P_i``).
+    capacity:
+        Terminal variable ``w`` for power *suppliers* (e.g. generator
+        rating in kW). Zero for non-suppliers.
+    demand:
+        Terminal variable ``w`` for power *consumers* (e.g. load demand in
+        kW). Zero for non-consumers.
+    role:
+        ``Role.SOURCE`` / ``Role.SINK`` / ``Role.INTERMEDIATE`` — the
+        position of the component's type relative to functional links.
+    """
+
+    name: str
+    ctype: str
+    cost: float = 0.0
+    failure_prob: float = 0.0
+    capacity: float = 0.0
+    demand: float = 0.0
+    role: str = Role.INTERMEDIATE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_prob <= 1.0:
+            raise ValueError(
+                f"{self.name}: failure probability {self.failure_prob} not in [0, 1]"
+            )
+        if self.cost < 0:
+            raise ValueError(f"{self.name}: negative cost {self.cost}")
+
+    def with_updates(self, **changes) -> "ComponentSpec":
+        """Return a copy with some attributes replaced."""
+        return replace(self, **changes)
+
+
+class Library:
+    """An ordered collection of component specs plus default switch cost.
+
+    The library also records the *type order*: the sequence of type labels
+    from the source partition ``Pi_1`` to the sink partition ``Pi_n``. The
+    order is what turns a bag of components into a layered template and is
+    used by the walk-length bookkeeping of eq. (6) and the ILP-AR encoding.
+    """
+
+    def __init__(self, switch_cost: float = 0.0) -> None:
+        self._specs: Dict[str, ComponentSpec] = {}
+        self._type_order: List[str] = []
+        self.switch_cost = switch_cost
+
+    # -- population ----------------------------------------------------------
+
+    def add(self, spec: ComponentSpec) -> ComponentSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate component name {spec.name!r}")
+        self._specs[spec.name] = spec
+        if spec.ctype not in self._type_order:
+            self._type_order.append(spec.ctype)
+        return spec
+
+    def add_all(self, specs: Iterator[ComponentSpec]) -> None:
+        for spec in specs:
+            self.add(spec)
+
+    # -- lookup ----------------------------------------------------------
+
+    def __getitem__(self, name: str) -> ComponentSpec:
+        return self._specs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ComponentSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def type_order(self) -> List[str]:
+        """Type labels in partition order ``Pi_1 .. Pi_n``."""
+        return list(self._type_order)
+
+    def set_type_order(self, order: List[str]) -> None:
+        """Fix the partition order explicitly (sources first, sinks last)."""
+        present = {s.ctype for s in self._specs.values()}
+        missing = present - set(order)
+        if missing:
+            raise ValueError(f"type order is missing types: {sorted(missing)}")
+        self._type_order = list(order)
+
+    def of_type(self, ctype: str) -> List[ComponentSpec]:
+        return [s for s in self._specs.values() if s.ctype == ctype]
+
+    def type_failure_prob(self, ctype: str) -> float:
+        """Failure probability ``p_j`` of a type (max over its instances).
+
+        The paper assumes instances of a type share one failure probability;
+        taking the max keeps the approximate algebra conservative when they
+        do not.
+        """
+        members = self.of_type(ctype)
+        if not members:
+            raise KeyError(f"no components of type {ctype!r}")
+        return max(s.failure_prob for s in members)
+
+    def sources(self) -> List[ComponentSpec]:
+        return [s for s in self._specs.values() if s.role == Role.SOURCE]
+
+    def sinks(self) -> List[ComponentSpec]:
+        return [s for s in self._specs.values() if s.role == Role.SINK]
+
+    def total_demand(self) -> float:
+        return sum(s.demand for s in self._specs.values())
+
+    def __repr__(self) -> str:
+        return f"Library({len(self)} components, types={self._type_order})"

@@ -1,0 +1,135 @@
+"""Architecture metrics: the numbers a design review asks for.
+
+Aggregates the structural quantities scattered across the analysis modules
+into one report per architecture: per-sink redundancy profiles (the
+``h_ij`` of §IV-A), path statistics, component utilization against the
+template, cost breakdown by component type, and switch counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .architecture import Architecture
+from .paths import functional_link
+
+__all__ = ["ArchitectureMetrics", "architecture_metrics"]
+
+
+@dataclass
+class SinkMetrics:
+    """Structural view of one functional link."""
+
+    sink: str
+    num_paths: int
+    shortest_path_nodes: int
+    longest_path_nodes: int
+    redundancy: Dict[str, int]
+
+
+@dataclass
+class ArchitectureMetrics:
+    """Full structural report of an architecture."""
+
+    num_components: int
+    num_available: int
+    num_switches: int
+    total_cost: float
+    component_cost: float
+    switch_cost: float
+    cost_by_type: Dict[str, float]
+    components_by_type: Dict[str, int]
+    available_by_type: Dict[str, int]
+    sinks: List[SinkMetrics] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the template's components instantiated."""
+        return self.num_components / self.num_available if self.num_available else 0.0
+
+    def min_redundancy(self) -> Optional[int]:
+        """The weakest h_ij across all sinks and types (None when no sink
+        is connected)."""
+        values = [
+            h for sink in self.sinks for h in sink.redundancy.values()
+        ]
+        return min(values) if values else None
+
+    def summary(self) -> str:
+        lines = [
+            f"components: {self.num_components}/{self.num_available} "
+            f"({self.utilization:.0%} of template), switches: {self.num_switches}",
+            f"cost: {self.total_cost:.6g} "
+            f"(components {self.component_cost:.6g} + switches {self.switch_cost:.6g})",
+        ]
+        for ctype in sorted(self.cost_by_type):
+            lines.append(
+                f"  {ctype}: {self.components_by_type.get(ctype, 0)}"
+                f"/{self.available_by_type.get(ctype, 0)} used, "
+                f"cost {self.cost_by_type[ctype]:.6g}"
+            )
+        for sink in self.sinks:
+            lines.append(
+                f"  {sink.sink}: {sink.num_paths} paths "
+                f"(len {sink.shortest_path_nodes}-{sink.longest_path_nodes}), "
+                f"h = {dict(sorted(sink.redundancy.items()))}"
+            )
+        return "\n".join(lines)
+
+
+def architecture_metrics(arch: Architecture) -> ArchitectureMetrics:
+    """Compute the full metrics report for an architecture."""
+    t = arch.template
+    used = arch.used_nodes()
+    component_cost = sum(t.spec(i).cost for i in used)
+    switch_cost = arch.cost() - component_cost
+
+    cost_by_type: Dict[str, float] = {}
+    components_by_type: Dict[str, int] = {}
+    for i in used:
+        spec = t.spec(i)
+        cost_by_type[spec.ctype] = cost_by_type.get(spec.ctype, 0.0) + spec.cost
+        components_by_type[spec.ctype] = components_by_type.get(spec.ctype, 0) + 1
+    available_by_type = {
+        ctype: len(t.nodes_of_type(ctype)) for ctype in t.type_order
+    }
+
+    graph = arch.expanded_graph()
+    sources = [s for s in arch.source_names() if s in graph]
+    sinks: List[SinkMetrics] = []
+    # Report every template sink — an unconnected essential load (0 paths)
+    # is exactly what a review must see.
+    for name in (t.name_of(i) for i in t.sink_indices()):
+        if name not in graph:
+            sinks.append(SinkMetrics(name, 0, 0, 0, {}))
+            continue
+        link = functional_link(graph, sources, name)
+        if link.paths:
+            lengths = [len(p) for p in link.paths]
+            sinks.append(
+                SinkMetrics(
+                    sink=name,
+                    num_paths=link.num_paths,
+                    shortest_path_nodes=min(lengths),
+                    longest_path_nodes=max(lengths),
+                    redundancy=link.redundancy_profile(),
+                )
+            )
+        else:
+            sinks.append(
+                SinkMetrics(name, 0, 0, 0, {})
+            )
+
+    return ArchitectureMetrics(
+        num_components=len(used),
+        num_available=t.num_nodes,
+        num_switches=arch.num_switches(),
+        total_cost=arch.cost(),
+        component_cost=component_cost,
+        switch_cost=switch_cost,
+        cost_by_type=cost_by_type,
+        components_by_type=components_by_type,
+        available_by_type=available_by_type,
+        sinks=sinks,
+    )

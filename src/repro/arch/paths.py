@@ -1,0 +1,148 @@
+"""Path enumeration and functional links (§II of the paper).
+
+A *functional link* ``F_i`` is the set of simple paths from any source to a
+sink ``v_i`` used to perform an essential function. The approximate
+reliability algebra (§IV-A) works on *reduced* paths, where runs of adjacent
+same-type nodes collapse to a single node of that type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["FunctionalLink", "enumerate_paths", "reduce_path", "functional_link"]
+
+
+def enumerate_paths(
+    graph: nx.DiGraph,
+    sources: Sequence[str],
+    sink: str,
+    cutoff: Optional[int] = None,
+) -> List[Tuple[str, ...]]:
+    """All simple paths from any source to the sink, deterministically ordered.
+
+    ``cutoff`` bounds the path length (number of nodes) when enumeration on
+    dense graphs must be truncated; None enumerates everything.
+    """
+    if sink not in graph:
+        return []
+    paths: List[Tuple[str, ...]] = []
+    for source in sorted(sources):
+        if source not in graph:
+            continue
+        if source == sink:
+            paths.append((source,))
+            continue
+        for path in nx.all_simple_paths(graph, source, sink, cutoff=cutoff):
+            paths.append(tuple(path))
+    paths.sort(key=lambda p: (len(p), p))
+    return paths
+
+
+def reduce_path(path: Sequence[str], type_of: Dict[str, str]) -> Tuple[str, ...]:
+    """Collapse adjacent same-type nodes, keeping the first of each run.
+
+    This implements the paper's reduced path ``mu^`` — multiple instances of
+    the same type are allowed in a path only when adjacent, and count as a
+    single node of that type for redundancy purposes.
+    """
+    reduced: List[str] = []
+    for node in path:
+        if reduced and type_of[reduced[-1]] == type_of[node]:
+            continue
+        reduced.append(node)
+    return tuple(reduced)
+
+
+@dataclass
+class FunctionalLink:
+    """The set of source->sink paths implementing one essential function.
+
+    Attributes
+    ----------
+    sink:
+        The sink node name ``v_i``.
+    paths:
+        All simple paths (tuples of node names), sorted.
+    reduced_paths:
+        The corresponding reduced paths, de-duplicated and sorted.
+    type_of:
+        Node name -> type label, for every node appearing in a path.
+    """
+
+    sink: str
+    paths: List[Tuple[str, ...]]
+    reduced_paths: List[Tuple[str, ...]]
+    type_of: Dict[str, str]
+
+    @property
+    def num_paths(self) -> int:
+        """``f = |F|`` of Theorem 2 (count of simple paths)."""
+        return len(self.paths)
+
+    def is_connected(self) -> bool:
+        return bool(self.paths)
+
+    def nodes(self) -> Set[str]:
+        return {node for path in self.paths for node in path}
+
+    def types_on_paths(self) -> Set[str]:
+        return {self.type_of[n] for n in self.nodes()}
+
+    def jointly_implementing_types(self) -> List[str]:
+        """Types ``j`` with ``Pi_j |- F``: every path includes a node of type j.
+
+        These are the type-level cut sets whose simultaneous failure
+        disconnects the sink; the approximate algebra (eq. 7) sums over
+        exactly this set ``I_i``.
+        """
+        if not self.paths:
+            return []
+        common: Optional[Set[str]] = None
+        for path in self.paths:
+            types = {self.type_of[n] for n in path}
+            common = types if common is None else common & types
+        return sorted(common or set())
+
+    def degree_of_redundancy(self, ctype: str) -> int:
+        """``h_ij``: distinct type-``ctype`` components used on reduced paths."""
+        members = {
+            node
+            for path in self.reduced_paths
+            for node in path
+            if self.type_of[node] == ctype
+        }
+        return len(members)
+
+    def redundancy_profile(self) -> Dict[str, int]:
+        """``h_ij`` for every jointly implementing type ``j`` in ``I_i``."""
+        return {
+            ctype: self.degree_of_redundancy(ctype)
+            for ctype in self.jointly_implementing_types()
+        }
+
+
+def functional_link(
+    graph: nx.DiGraph,
+    sources: Sequence[str],
+    sink: str,
+    cutoff: Optional[int] = None,
+) -> FunctionalLink:
+    """Build the functional link of ``sink`` on an (expanded) digraph.
+
+    The graph is expected to carry a ``ctype`` attribute per node (as
+    produced by :meth:`repro.arch.Architecture.expanded_graph`).
+    """
+    paths = enumerate_paths(graph, sources, sink, cutoff=cutoff)
+    type_of = {n: graph.nodes[n].get("ctype", n) for n in graph.nodes}
+    reduced = sorted({reduce_path(p, type_of) for p in paths}, key=lambda p: (len(p), p))
+    involved = {n for p in paths for n in p}
+    return FunctionalLink(
+        sink=sink,
+        paths=paths,
+        reduced_paths=reduced,
+        type_of={n: type_of[n] for n in involved | {sink}},
+    )

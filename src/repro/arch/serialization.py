@@ -1,0 +1,167 @@
+"""JSON serialization of libraries, templates and architectures.
+
+A synthesis tool needs durable artifacts: libraries come from supplier
+data, templates are design inputs under version control, and synthesized
+architectures must be savable for review. The format is plain JSON with a
+``kind``/``version`` header; round-trips are exact (including allowed-edge
+switch costs, contactor failure probabilities, partition order and
+declared interchangeability orbits).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .architecture import Architecture
+from .library import ComponentSpec, Library
+from .template import ArchitectureTemplate
+
+__all__ = [
+    "library_to_dict",
+    "library_from_dict",
+    "template_to_dict",
+    "template_from_dict",
+    "architecture_to_dict",
+    "architecture_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_VERSION = 1
+
+
+def library_to_dict(library: Library) -> Dict[str, Any]:
+    return {
+        "kind": "library",
+        "version": _VERSION,
+        "switch_cost": library.switch_cost,
+        "type_order": library.type_order,
+        "components": [
+            {
+                "name": s.name,
+                "ctype": s.ctype,
+                "cost": s.cost,
+                "failure_prob": s.failure_prob,
+                "capacity": s.capacity,
+                "demand": s.demand,
+                "role": s.role,
+            }
+            for s in library
+        ],
+    }
+
+
+def library_from_dict(data: Dict[str, Any]) -> Library:
+    _check_kind(data, "library")
+    library = Library(switch_cost=float(data.get("switch_cost", 0.0)))
+    for item in data["components"]:
+        library.add(ComponentSpec(**item))
+    if data.get("type_order"):
+        library.set_type_order(list(data["type_order"]))
+    return library
+
+
+def template_to_dict(template: ArchitectureTemplate) -> Dict[str, Any]:
+    t = template
+    return {
+        "kind": "template",
+        "version": _VERSION,
+        "name": t.name,
+        "library": library_to_dict(t.library),
+        "nodes": [t.name_of(i) for i in range(t.num_nodes)],
+        "edges": [
+            {
+                "src": t.name_of(i),
+                "dst": t.name_of(j),
+                "switch_cost": t.switch_cost(i, j),
+                "failure_prob": t.edge_failure_prob(i, j),
+            }
+            for (i, j) in t.allowed_edges
+        ],
+        "interchangeable_groups": [list(g) for g in t.interchangeable_groups],
+    }
+
+
+def template_from_dict(data: Dict[str, Any]) -> ArchitectureTemplate:
+    _check_kind(data, "template")
+    library = library_from_dict(data["library"])
+    template = ArchitectureTemplate(
+        library, list(data["nodes"]), name=data.get("name", "template")
+    )
+    for edge in data["edges"]:
+        template.allow_edge(
+            edge["src"],
+            edge["dst"],
+            switch_cost=edge.get("switch_cost"),
+            failure_prob=float(edge.get("failure_prob", 0.0)),
+        )
+    for group in data.get("interchangeable_groups", []):
+        template.declare_interchangeable(list(group))
+    return template
+
+
+def architecture_to_dict(arch: Architecture) -> Dict[str, Any]:
+    t = arch.template
+    return {
+        "kind": "architecture",
+        "version": _VERSION,
+        "template": template_to_dict(t),
+        "edges": sorted(
+            [t.name_of(i), t.name_of(j)] for (i, j) in arch.edges
+        ),
+        "cost": arch.cost(),
+    }
+
+
+def architecture_from_dict(data: Dict[str, Any]) -> Architecture:
+    _check_kind(data, "architecture")
+    template = template_from_dict(data["template"])
+    edges = [
+        (template.index_of(src), template.index_of(dst))
+        for src, dst in data["edges"]
+    ]
+    return Architecture(template, edges)
+
+
+_SERIALIZERS = {
+    Library: library_to_dict,
+    ArchitectureTemplate: template_to_dict,
+    Architecture: architecture_to_dict,
+}
+
+_DESERIALIZERS = {
+    "library": library_from_dict,
+    "template": template_from_dict,
+    "architecture": architecture_from_dict,
+}
+
+
+def save_json(obj: Union[Library, ArchitectureTemplate, Architecture], path) -> None:
+    """Write a library/template/architecture to a JSON file."""
+    for klass, serializer in _SERIALIZERS.items():
+        if isinstance(obj, klass):
+            Path(path).write_text(json.dumps(serializer(obj), indent=2))
+            return
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def load_json(path) -> Union[Library, ArchitectureTemplate, Architecture]:
+    """Read back any object written by :func:`save_json`."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ValueError(f"unknown or missing kind {kind!r} in {path}")
+    return _DESERIALIZERS[kind](data)
+
+
+def _check_kind(data: Dict[str, Any], expected: str) -> None:
+    kind = data.get("kind")
+    if kind != expected:
+        raise ValueError(f"expected kind {expected!r}, got {kind!r}")
+    version = int(data.get("version", 0))
+    if version > _VERSION:
+        raise ValueError(
+            f"{expected} was written by a newer format version ({version})"
+        )

@@ -1,0 +1,203 @@
+"""Architecture templates (Definition II.1 and Fig. 1a of the paper).
+
+A template fixes the node set (component instances drawn from a library)
+while the interconnection structure remains variable: every *allowed* edge
+is a Boolean decision ``e_ij``; an assignment over the edge set is a
+*configuration*. The synthesis encoders create one 0-1 variable per allowed
+edge and prune unused nodes away via the ``delta_i`` linking of eq. (1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .library import ComponentSpec, Library, Role
+
+__all__ = ["ArchitectureTemplate", "Edge"]
+
+Edge = Tuple[int, int]
+
+
+class ArchitectureTemplate:
+    """A reconfigurable architecture: fixed nodes, Boolean edge set.
+
+    Parameters
+    ----------
+    library:
+        Component library the nodes are drawn from (provides the partition
+        order and the default switch cost).
+    nodes:
+        Component instance names from the library, in a fixed order; node
+        ``i`` of the template is ``library[nodes[i]]``.
+    """
+
+    def __init__(self, library: Library, nodes: Sequence[str], name: str = "template") -> None:
+        self.name = name
+        self.library = library
+        self.nodes: List[ComponentSpec] = [library[n] for n in nodes]
+        self._index: Dict[str, int] = {spec.name: i for i, spec in enumerate(self.nodes)}
+        if len(self._index) != len(self.nodes):
+            raise ValueError("template nodes must be distinct")
+        self._allowed: Dict[Edge, float] = {}  # edge -> switch cost
+        self._edge_fail: Dict[Edge, float] = {}  # edge -> contactor failure prob
+        #: Groups of node names that are fully interchangeable (identical
+        #: attributes AND identical allowed-edge neighborhoods up to
+        #: renaming). Declared by template builders; synthesis may add
+        #: symmetry-breaking constraints over them.
+        self.interchangeable_groups: List[List[str]] = []
+
+    # -- basic shape ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def spec(self, i: int) -> ComponentSpec:
+        return self.nodes[i]
+
+    def name_of(self, i: int) -> str:
+        return self.nodes[i].name
+
+    def type_of(self, i: int) -> str:
+        return self.nodes[i].ctype
+
+    # -- partition (Definition II.2) -------------------------------------------
+
+    @property
+    def type_order(self) -> List[str]:
+        """Partition order ``Pi_1 .. Pi_n`` restricted to types present."""
+        present = {spec.ctype for spec in self.nodes}
+        return [t for t in self.library.type_order if t in present]
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_order)
+
+    def partition(self) -> Dict[str, List[int]]:
+        """Map each type label to the sorted node indices of that type."""
+        groups: Dict[str, List[int]] = {t: [] for t in self.type_order}
+        for i, spec in enumerate(self.nodes):
+            groups[spec.ctype].append(i)
+        return groups
+
+    def nodes_of_type(self, ctype: str) -> List[int]:
+        return [i for i, spec in enumerate(self.nodes) if spec.ctype == ctype]
+
+    def type_layer(self, ctype: str) -> int:
+        """1-based position of a type in the partition order (``i`` of eq. 6)."""
+        return self.type_order.index(ctype) + 1
+
+    def source_indices(self) -> List[int]:
+        return [i for i, spec in enumerate(self.nodes) if spec.role == Role.SOURCE]
+
+    def sink_indices(self) -> List[int]:
+        return [i for i, spec in enumerate(self.nodes) if spec.role == Role.SINK]
+
+    # -- allowed edges ----------------------------------------------------------
+
+    def allow_edge(
+        self,
+        src: str,
+        dst: str,
+        switch_cost: Optional[float] = None,
+        failure_prob: float = 0.0,
+    ) -> Edge:
+        """Mark the directed edge ``src -> dst`` as reconfigurable.
+
+        ``switch_cost`` defaults to the library's contactor cost; the cost is
+        charged once per *undirected* pair (eq. 1 uses ``e_ij OR e_ji``).
+        ``failure_prob`` models an unreliable contactor (§II allows edges to
+        carry failure probabilities; the EPS case study keeps them perfect).
+        """
+        i, j = self._index[src], self._index[dst]
+        if i == j:
+            raise ValueError(f"self-loop on {src!r} is not allowed (e_ii = 0)")
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ValueError(f"edge {src}->{dst}: failure_prob {failure_prob}")
+        cost = self.library.switch_cost if switch_cost is None else switch_cost
+        self._allowed[(i, j)] = cost
+        if failure_prob > 0.0:
+            self._edge_fail[(i, j)] = failure_prob
+        return (i, j)
+
+    def edge_failure_prob(self, i: int, j: int) -> float:
+        """Failure probability of the contactor on edge ``(i, j)``."""
+        return self._edge_fail.get((i, j), 0.0)
+
+    @property
+    def has_failing_edges(self) -> bool:
+        return bool(self._edge_fail)
+
+    def allow_bidirectional(self, a: str, b: str, switch_cost: Optional[float] = None) -> None:
+        self.allow_edge(a, b, switch_cost)
+        self.allow_edge(b, a, switch_cost)
+
+    def allow_many(self, sources: Iterable[str], dests: Iterable[str]) -> None:
+        dests = list(dests)
+        for s in sources:
+            for d in dests:
+                if s != d:
+                    self.allow_edge(s, d)
+
+    @property
+    def allowed_edges(self) -> List[Edge]:
+        return sorted(self._allowed)
+
+    def is_allowed(self, i: int, j: int) -> bool:
+        return (i, j) in self._allowed
+
+    def switch_cost(self, i: int, j: int) -> float:
+        """Cost of the switch on the undirected pair {i, j}."""
+        if (i, j) in self._allowed:
+            return self._allowed[(i, j)]
+        return self._allowed[(j, i)]
+
+    def undirected_pairs(self) -> List[Tuple[int, int]]:
+        """Distinct unordered allowed pairs, each charged one switch cost."""
+        pairs = {(min(i, j), max(i, j)) for (i, j) in self._allowed}
+        return sorted(pairs)
+
+    def predecessors_allowed(self, j: int) -> List[int]:
+        return sorted(i for (i, jj) in self._allowed if jj == j)
+
+    def successors_allowed(self, i: int) -> List[int]:
+        return sorted(j for (ii, j) in self._allowed if ii == i)
+
+    def declare_interchangeable(self, names: Sequence[str]) -> None:
+        """Declare a set of nodes as mutually interchangeable.
+
+        Callers are responsible for the claim being true: every member must
+        have the same component attributes and the template's allowed-edge
+        relation must be invariant under permuting the members. Synthesis
+        uses the declaration for symmetry breaking only — a wrong
+        declaration can cut off all optimal configurations.
+        """
+        for name in names:
+            if name not in self._index:
+                raise KeyError(f"unknown node {name!r}")
+        if len(names) >= 2:
+            self.interchangeable_groups.append(list(names))
+
+    # -- misc ----------------------------------------------------------
+
+    def adjacency_allowed(self) -> np.ndarray:
+        """Boolean matrix of allowed edges (the template's maximal config)."""
+        m = np.zeros((self.num_nodes, self.num_nodes), dtype=bool)
+        for (i, j) in self._allowed:
+            m[i, j] = True
+        return m
+
+    def full_configuration(self) -> FrozenSet[Edge]:
+        """The configuration that activates every allowed edge."""
+        return frozenset(self._allowed)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchitectureTemplate({self.name!r}, |V|={self.num_nodes}, "
+            f"|allowed E|={len(self._allowed)}, types={self.type_order})"
+        )

@@ -1,0 +1,171 @@
+"""Template transformations — the paper's second selection step (§IV-B).
+
+ILP-AR assumes "the reference template only includes reduced paths. This
+is not a restrictive assumption, since multiple instances of adjacent
+nodes of the same type can be added by refining T in a second step of the
+selection process." This module implements that refinement:
+
+* :func:`add_redundant_instance` — clone a component into a same-type
+  sibling (tied with the shorthand edge, inheriting the original's allowed
+  neighborhood);
+* :func:`refine_architecture` — apply the same cloning to a *synthesized*
+  architecture, duplicating a selected node and its active edges;
+* :func:`merge_serial_instances` — the inverse direction: collapse a chain
+  of adjacent same-type nodes back into a reduced-path template.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .architecture import Architecture
+from .library import ComponentSpec, Library
+from .template import ArchitectureTemplate
+
+__all__ = [
+    "add_redundant_instance",
+    "refine_architecture",
+    "merge_serial_instances",
+]
+
+
+def _clone_library(library: Library) -> Library:
+    clone = Library(switch_cost=library.switch_cost)
+    for spec in library:
+        clone.add(spec)
+    clone.set_type_order(library.type_order)
+    return clone
+
+
+def add_redundant_instance(
+    template: ArchitectureTemplate,
+    node: str,
+    clone_name: Optional[str] = None,
+    tie: bool = True,
+) -> ArchitectureTemplate:
+    """Return a new template with a same-type clone of ``node``.
+
+    The clone receives the original's component attributes and allowed
+    neighborhood (same predecessors and successors, same switch costs and
+    contactor failure probabilities). With ``tie=True`` a bidirectional
+    same-type shorthand edge between original and clone is allowed, making
+    the pair "two redundant components" in the paper's sense.
+    """
+    t = template
+    original_idx = t.index_of(node)
+    original_spec = t.spec(original_idx)
+    name = clone_name or f"{node}'"
+    if name in [t.name_of(i) for i in range(t.num_nodes)]:
+        raise ValueError(f"clone name {name!r} already exists in the template")
+
+    library = _clone_library(t.library)
+    library.add(original_spec.with_updates(name=name))
+
+    nodes = [t.name_of(i) for i in range(t.num_nodes)] + [name]
+    refined = ArchitectureTemplate(library, nodes, name=f"{t.name}+{name}")
+    for (i, j) in t.allowed_edges:
+        refined.allow_edge(
+            t.name_of(i),
+            t.name_of(j),
+            switch_cost=t.switch_cost(i, j),
+            failure_prob=t.edge_failure_prob(i, j),
+        )
+    for i in t.predecessors_allowed(original_idx):
+        refined.allow_edge(
+            t.name_of(i), name,
+            switch_cost=t.switch_cost(i, original_idx),
+            failure_prob=t.edge_failure_prob(i, original_idx),
+        )
+    for j in t.successors_allowed(original_idx):
+        refined.allow_edge(
+            name, t.name_of(j),
+            switch_cost=t.switch_cost(original_idx, j),
+            failure_prob=t.edge_failure_prob(original_idx, j),
+        )
+    if tie and not t.has_failing_edges:
+        refined.allow_bidirectional(node, name)
+
+    for group in t.interchangeable_groups:
+        extended = list(group) + ([name] if node in group else [])
+        refined.declare_interchangeable(extended)
+    if not any(node in g for g in t.interchangeable_groups):
+        refined.declare_interchangeable([node, name])
+    return refined
+
+
+def refine_architecture(
+    arch: Architecture, node: str, clone_name: Optional[str] = None
+) -> Architecture:
+    """Duplicate ``node`` inside a synthesized architecture.
+
+    The refined architecture lives on the refined template; the clone
+    mirrors every active edge of the original (and the tie edge when the
+    template allows it), so the result has strictly more redundancy.
+    """
+    t = arch.template
+    refined_template = add_redundant_instance(t, node, clone_name)
+    name = clone_name or f"{node}'"
+    original_idx = t.index_of(node)
+
+    edges: List[Tuple[int, int]] = []
+    for (i, j) in arch.edges:
+        edges.append(
+            (refined_template.index_of(t.name_of(i)),
+             refined_template.index_of(t.name_of(j)))
+        )
+    clone_idx = refined_template.index_of(name)
+    for (i, j) in arch.edges:
+        if i == original_idx:
+            edges.append((clone_idx, refined_template.index_of(t.name_of(j))))
+        if j == original_idx:
+            edges.append((refined_template.index_of(t.name_of(i)), clone_idx))
+    return Architecture(refined_template, set(edges))
+
+
+def merge_serial_instances(
+    template: ArchitectureTemplate,
+) -> ArchitectureTemplate:
+    """Collapse adjacent same-type node pairs into reduced-path form.
+
+    For every allowed edge between two same-type nodes ``a -> b`` where the
+    pair's exterior neighborhoods coincide, ``b`` is removed and the pair's
+    edges merge onto ``a``. Applied iteratively until no such pair remains.
+    Useful for importing legacy templates that model redundancy with
+    explicit serial instances instead of the shorthand.
+    """
+    t = template
+    while True:
+        merge_pair: Optional[Tuple[int, int]] = None
+        for (i, j) in t.allowed_edges:
+            if t.type_of(i) != t.type_of(j) or i == j:
+                continue
+            preds_i = {p for p in t.predecessors_allowed(i) if p != j}
+            preds_j = {p for p in t.predecessors_allowed(j) if p != i}
+            succs_i = {s for s in t.successors_allowed(i) if s != j}
+            succs_j = {s for s in t.successors_allowed(j) if s != i}
+            if preds_i >= preds_j and succs_i >= succs_j:
+                merge_pair = (i, j)
+                break
+        if merge_pair is None:
+            return t
+        keep, drop = merge_pair
+        keep_name = t.name_of(keep)
+        drop_name = t.name_of(drop)
+
+        library = _clone_library(t.library)
+        nodes = [t.name_of(k) for k in range(t.num_nodes) if k != drop]
+        merged = ArchitectureTemplate(library, nodes, name=t.name)
+        for (i, j) in t.allowed_edges:
+            a, b = t.name_of(i), t.name_of(j)
+            if drop_name in (a, b):
+                continue
+            merged.allow_edge(
+                a, b,
+                switch_cost=t.switch_cost(i, j),
+                failure_prob=t.edge_failure_prob(i, j),
+            )
+        for group in t.interchangeable_groups:
+            remaining = [n for n in group if n != drop_name]
+            if len(remaining) >= 2:
+                merged.declare_interchangeable(remaining)
+        t = merged

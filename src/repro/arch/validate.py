@@ -1,0 +1,126 @@
+"""Template sanity validation.
+
+Synthesis failures on malformed templates surface as cryptic ILP
+infeasibility; validating up front turns them into actionable messages.
+Checks performed:
+
+* every sink is reachable from at least one source in the fully
+  configured template;
+* partition consistency: sources sit in the first partition class, sinks
+  in the last (Definition II.2 orders ``Pi_1`` = sources, ``Pi_n`` = sinks);
+* no allowed edge points *into* a source or *out of* a sink across layers
+  in the wrong direction (cycles through the source/sink layers);
+* cost/probability attribute sanity (non-negative, p in [0, 1] — also
+  enforced at construction, re-checked here for library mutations);
+* supply can cover demand when every supplier is instantiated.
+
+``validate_template`` returns a list of human-readable findings (empty =
+clean); ``assert_valid`` raises on the first problem.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+
+from .library import Role
+from .template import ArchitectureTemplate
+
+__all__ = ["validate_template", "assert_valid", "TemplateValidationError"]
+
+
+class TemplateValidationError(ValueError):
+    """Raised by :func:`assert_valid` when a template is malformed."""
+
+
+def validate_template(template: ArchitectureTemplate) -> List[str]:
+    """Run all checks; return a list of findings (empty when clean)."""
+    findings: List[str] = []
+    t = template
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(t.num_nodes))
+    graph.add_edges_from(t.allowed_edges)
+    sources = t.source_indices()
+    sinks = t.sink_indices()
+
+    if not sources:
+        findings.append("template has no source components")
+    if not sinks:
+        findings.append("template has no sink components")
+
+    for sink in sinks:
+        if not any(
+            s == sink or nx.has_path(graph, s, sink) for s in sources
+        ):
+            findings.append(
+                f"sink {t.name_of(sink)!r} is unreachable from every source "
+                "even with all edges active"
+            )
+
+    order = t.type_order
+    if order:
+        first, last = order[0], order[-1]
+        for i in sources:
+            if t.type_of(i) != first:
+                findings.append(
+                    f"source {t.name_of(i)!r} has type {t.type_of(i)!r}, but the "
+                    f"partition order starts with {first!r} (Definition II.2 "
+                    "expects sources in Pi_1)"
+                )
+        for i in sinks:
+            if t.type_of(i) != last:
+                findings.append(
+                    f"sink {t.name_of(i)!r} has type {t.type_of(i)!r}, but the "
+                    f"partition order ends with {last!r} (Pi_n)"
+                )
+
+    for (i, j) in t.allowed_edges:
+        if j in sources and t.type_of(i) != t.type_of(j):
+            findings.append(
+                f"allowed edge {t.name_of(i)} -> {t.name_of(j)} points into a "
+                "source from another layer"
+            )
+        if i in sinks and t.type_of(i) != t.type_of(j):
+            findings.append(
+                f"allowed edge {t.name_of(i)} -> {t.name_of(j)} leaves a sink "
+                "toward another layer"
+            )
+
+    for i in range(t.num_nodes):
+        spec = t.spec(i)
+        if spec.cost < 0:
+            findings.append(f"{spec.name!r}: negative cost {spec.cost}")
+        if not 0.0 <= spec.failure_prob <= 1.0:
+            findings.append(
+                f"{spec.name!r}: failure probability {spec.failure_prob} "
+                "outside [0, 1]"
+            )
+
+    total_supply = sum(
+        t.spec(i).capacity for i in range(t.num_nodes) if t.spec(i).capacity > 0
+    )
+    total_demand = sum(t.spec(i).demand for i in range(t.num_nodes))
+    if total_demand > total_supply:
+        findings.append(
+            f"total demand {total_demand:g} exceeds the template's maximum "
+            f"supply {total_supply:g}: every power-adequacy constraint will "
+            "be infeasible"
+        )
+
+    for group in t.interchangeable_groups:
+        kinds = {t.spec(t.index_of(n)).ctype for n in group}
+        if len(kinds) > 1:
+            findings.append(
+                f"interchangeable group {group} mixes component types {sorted(kinds)}"
+            )
+
+    return findings
+
+
+def assert_valid(template: ArchitectureTemplate) -> None:
+    """Raise :class:`TemplateValidationError` on the first finding."""
+    findings = validate_template(template)
+    if findings:
+        raise TemplateValidationError("; ".join(findings))

@@ -1,0 +1,259 @@
+"""Walk indicator matrices (Lemma 1) — concrete and symbolic.
+
+Lemma 1 of the paper defines ``eta_n = OR_{k=1..n} e^k`` (logical matrix
+powers of the adjacency matrix): ``eta_n[i, j] = 1`` iff a directed walk of
+length at most ``n`` runs from ``v_i`` to ``v_j``.
+
+Two implementations live here:
+
+* :func:`walk_indicator` — concrete boolean-matrix computation on a fixed
+  architecture, used by LEARNCONS to count existing connections (the
+  ``eta*`` of eq. 6);
+* :class:`ReachabilityEncoder` — symbolic version over ILP edge variables,
+  used to state eq. 6 (learned path constraints) and eq. 11 (ILP-AR
+  redundancy counting). Rather than materializing the full O(|V|^2 n)
+  matrix of auxiliary variables, the encoder builds only the columns that
+  constraints actually reference: "reaches sink v within L steps" and
+  "reachable from some source within L steps", which exploits the sparsity
+  the paper notes reduced its constraint counts in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ilp import LinExpr, Model, Var, and_, lin_sum, or_
+from .template import ArchitectureTemplate
+
+__all__ = ["logical_power", "walk_indicator", "ReachabilityEncoder"]
+
+
+def logical_power(adjacency: np.ndarray, k: int) -> np.ndarray:
+    """k-th logical power ``e^k`` of a boolean adjacency matrix."""
+    if k < 1:
+        raise ValueError("logical power requires k >= 1")
+    result = adjacency.astype(bool)
+    for _ in range(k - 1):
+        result = (result.astype(np.uint8) @ adjacency.astype(np.uint8)) > 0
+    return result
+
+
+def walk_indicator(adjacency: np.ndarray, max_len: int) -> np.ndarray:
+    """``eta_n`` per Lemma 1: walks of length <= ``max_len`` exist.
+
+    Computed incrementally as ``reach[k] = reach[k-1] OR reach[k-1] . e``
+    so the cost is ``max_len`` boolean matrix products.
+    """
+    if max_len < 1:
+        raise ValueError("walk indicator requires max_len >= 1")
+    e = adjacency.astype(bool)
+    reach = e.copy()
+    for _ in range(max_len - 1):
+        reach = reach | ((reach.astype(np.uint8) @ e.astype(np.uint8)) > 0)
+    return reach
+
+
+class ReachabilityEncoder:
+    """Symbolic walk-indicator columns over a model's edge variables.
+
+    Parameters
+    ----------
+    model:
+        The ILP model to add auxiliary variables/constraints to.
+    template:
+        The architecture template providing the allowed-edge sparsity.
+    edge_vars:
+        Map from allowed edge ``(i, j)`` to its binary decision variable.
+
+    The encoder memoizes: asking twice for the same column reuses the same
+    auxiliary variables, so ILP-MR iterations can keep extending one model.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        template: ArchitectureTemplate,
+        edge_vars: Dict[Tuple[int, int], Var],
+        cross_type_only: bool = True,
+    ) -> None:
+        self.model = model
+        self.template = template
+        self.edge_vars = edge_vars
+        #: When True (default), walks may only use edges between *different*
+        #: component types. Same-type sibling edges are the paper's shorthand
+        #: for predecessor sharing — they do not create a new physical path
+        #: to the sink, so counting them as walk hops would overstate
+        #: redundancy (and stall LEARNCONS / unsound ILP-AR counts).
+        self.cross_type_only = cross_type_only
+        # Adjacency is derived from the edge-var dict (not the template) so
+        # callers may pass a *filtered* dict — e.g. the truncated-state
+        # encoder removes edges incident to a failure scenario.
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        for (i, j) in sorted(edge_vars):
+            if cross_type_only and template.type_of(i) == template.type_of(j):
+                continue
+            self._succ.setdefault(i, []).append(j)
+            self._pred.setdefault(j, []).append(i)
+        # (target, L) -> {node index -> Var or None}; None means "cannot reach".
+        self._to_cache: Dict[Tuple[int, int], Dict[int, Optional[Var]]] = {}
+        # L -> {node index -> Var or None} for "reachable from any source".
+        self._from_src_cache: Dict[int, Dict[int, Optional[Var]]] = {}
+        self._gen = 0
+
+    def _successors(self, w: int) -> List[int]:
+        return self._succ.get(w, [])
+
+    def _predecessors(self, w: int) -> List[int]:
+        return self._pred.get(w, [])
+
+    # -- reach-to columns ----------------------------------------------------
+
+    def reach_to(self, target: int, max_len: int) -> Dict[int, Optional[Var]]:
+        """Variables ``eta_L[w, target]`` for every node ``w != target``.
+
+        Recurrence over path-length budget L:
+        ``R^1[w] = e[w, target]`` and
+        ``R^L[w] = R^{L-1}[w] OR ( OR_m e[w, m] AND R^{L-1}[m] )``.
+        Entries are ``None`` where no walk within the budget can exist in
+        the template at all (sparsity pruning).
+        """
+        key = (target, max_len)
+        if key in self._to_cache:
+            return self._to_cache[key]
+        self._gen += 1
+        gen = self._gen
+        layer: Dict[int, Optional[Var]] = {}
+        for w in range(self.template.num_nodes):
+            if w == target:
+                continue
+            if target not in self._successors(w):
+                layer[w] = None
+                continue
+            layer[w] = self.edge_vars.get((w, target))
+        for length in range(2, max_len + 1):
+            new_layer: Dict[int, Optional[Var]] = {}
+            for w in range(self.template.num_nodes):
+                if w == target:
+                    continue
+                args: List[Var] = []
+                prev = layer.get(w)
+                if prev is not None:
+                    args.append(prev)
+                for m in self._successors(w):
+                    if m == target:
+                        continue  # already covered by the direct-edge term
+                    via = layer.get(m)
+                    if via is None:
+                        continue
+                    step = and_(
+                        self.model,
+                        [self.edge_vars[(w, m)], via],
+                        name=f"rt{gen}_{target}_{length}_{w}_via_{m}",
+                    )
+                    args.append(step)
+                if not args:
+                    new_layer[w] = None
+                elif len(args) == 1 and args[0] is prev:
+                    new_layer[w] = prev
+                else:
+                    new_layer[w] = or_(
+                        self.model, args, name=f"rt{gen}_{target}_{length}_{w}"
+                    )
+            layer = new_layer
+        self._to_cache[key] = layer
+        return layer
+
+    # -- reach-from-source columns ----------------------------------------------
+
+    def reach_from_sources(self, max_len: int) -> Dict[int, Optional[Var]]:
+        """Variables ``OR_s eta_L[s, w]`` for every non-source node ``w``.
+
+        Source nodes themselves map to ``None`` here but are trivially
+        reachable; callers treat sources as constant-true.
+        """
+        if max_len in self._from_src_cache:
+            return self._from_src_cache[max_len]
+        self._gen += 1
+        gen = self._gen
+        sources = set(self.template.source_indices())
+        layer: Dict[int, Optional[Var]] = {}
+        for w in range(self.template.num_nodes):
+            if w in sources:
+                continue
+            direct = [
+                self.edge_vars[(s, w)]
+                for s in self._predecessors(w)
+                if s in sources
+            ]
+            if not direct:
+                layer[w] = None
+            elif len(direct) == 1:
+                layer[w] = direct[0]
+            else:
+                layer[w] = or_(self.model, direct, name=f"rf{gen}_1_{w}")
+        for length in range(2, max_len + 1):
+            new_layer: Dict[int, Optional[Var]] = {}
+            for w in range(self.template.num_nodes):
+                if w in sources:
+                    continue
+                args: List[Var] = []
+                prev = layer.get(w)
+                if prev is not None:
+                    args.append(prev)
+                for m in self._predecessors(w):
+                    if m in sources:
+                        continue  # covered by the direct term at length 1
+                    via = layer.get(m)
+                    if via is None:
+                        continue
+                    step = and_(
+                        self.model,
+                        [self.edge_vars[(m, w)], via],
+                        name=f"rf{gen}_{length}_{w}_via_{m}",
+                    )
+                    args.append(step)
+                if not args:
+                    new_layer[w] = None
+                elif len(args) == 1 and args[0] is prev:
+                    new_layer[w] = prev
+                else:
+                    new_layer[w] = or_(self.model, args, name=f"rf{gen}_{length}_{w}")
+            layer = new_layer
+        self._from_src_cache[max_len] = layer
+        return layer
+
+    def _next_on(self) -> int:
+        self._gen += 1
+        return self._gen
+
+    # -- combined ------------------------------------------------------------
+
+    def on_source_sink_walk(self, node: int, sink: int, max_len: int) -> Optional[LinExpr]:
+        """Binary expression: ``node`` reaches ``sink`` AND a source reaches ``node``.
+
+        This is the inner conjunct of eq. 11. Returns None when impossible,
+        a constant-1 expression for trivial cases (the sink itself when it
+        is source-reachable, a source that reaches the sink).
+        """
+        from ..ilp import as_expr
+
+        sources = set(self.template.source_indices())
+        to_sink = self.reach_to(sink, max_len)
+        from_src = self.reach_from_sources(max_len)
+
+        if node == sink:
+            reach = from_src.get(node)
+            return None if reach is None else as_expr(reach)
+        reaches_sink = to_sink.get(node)
+        if reaches_sink is None:
+            return None
+        if node in sources:
+            return as_expr(reaches_sink)
+        sourced = from_src.get(node)
+        if sourced is None:
+            return None
+        z = and_(self.model, [reaches_sink, sourced], name=f"on_{node}_{sink}_{max_len}_{self._next_on()}")
+        return as_expr(z)

@@ -1,0 +1,224 @@
+"""``archex`` command-line interface.
+
+Mirrors the paper's ARCHEX prototype workflow from a terminal:
+
+``archex synthesize --domain eps --algorithm mr --target 2e-10``
+    Run ILP-MR or ILP-AR on a built-in domain template and print the
+    resulting single-line diagram, cost, and reliability report.
+``archex analyze --domain eps --target 2e-10``
+    Synthesize, then report per-sink exact and approximate reliability.
+``archex scaling --sizes 20,30 --target 1e-11``
+    A Table II style scaling sweep.
+``archex tradeoff --levels 2e-3,2e-6,2e-10``
+    Sweep the requirement, print the Pareto front (Fig. 3 generalized).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .domains import build_comm_network_template, build_power_grid_template
+from .domains.comm_network import comm_network_requirements
+from .domains.power_grid import power_grid_requirements
+from .arch import save_json
+from .eps import build_eps_template, eps_requirements, paper_template, render_single_line
+from .reliability import approximate_failure, sink_failure_probabilities
+from .report import format_scientific, format_table
+from .synthesis import (
+    SynthesisSpec,
+    explore_tradeoff,
+    pareto_front,
+    synthesize_ilp_ar,
+    synthesize_ilp_mr,
+    synthesize_ilp_tse,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _spec_for_domain(domain: str, target: Optional[float], size: int) -> SynthesisSpec:
+    if domain == "eps":
+        template = paper_template() if size == 0 else build_eps_template(size)
+        requirements = eps_requirements(template)
+    elif domain == "power-grid":
+        template = build_power_grid_template()
+        requirements = power_grid_requirements(template)
+    elif domain == "comm-net":
+        template = build_comm_network_template()
+        requirements = comm_network_requirements(template)
+    else:
+        raise SystemExit(f"unknown domain {domain!r}")
+    return SynthesisSpec(
+        template=template, requirements=requirements, reliability_target=target
+    )
+
+
+def _run_synthesis(spec: SynthesisSpec, algorithm: str, backend: str, gap: Optional[float]):
+    if algorithm == "mr":
+        return synthesize_ilp_mr(spec, backend=backend, mip_rel_gap=gap)
+    if algorithm == "mr-lazy":
+        return synthesize_ilp_mr(spec, strategy="lazy", backend=backend, mip_rel_gap=gap)
+    if algorithm == "ar":
+        return synthesize_ilp_ar(spec, backend=backend, mip_rel_gap=gap)
+    if algorithm == "tse":
+        return synthesize_ilp_tse(spec, backend=backend, mip_rel_gap=gap)
+    raise SystemExit(f"unknown algorithm {algorithm!r}")
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    spec = _spec_for_domain(args.domain, args.target, args.size)
+    result = _run_synthesis(spec, args.algorithm, args.backend, args.gap)
+    print(result.summary())
+    if result.architecture is not None:
+        print()
+        if args.domain == "eps":
+            print(render_single_line(result.architecture))
+        else:
+            print(result.architecture.describe())
+        if args.save_arch:
+            save_json(result.architecture, args.save_arch)
+            print(f"\nsaved architecture to {args.save_arch}")
+    return 0 if result.feasible else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    spec = _spec_for_domain(args.domain, args.target, args.size)
+    result = _run_synthesis(spec, args.algorithm, args.backend, args.gap)
+    if not result.feasible:
+        print(f"synthesis {result.status}")
+        return 1
+    arch = result.architecture
+    rows = []
+    for sink in spec.sinks():
+        exact = sink_failure_probabilities(arch, [sink])[sink]
+        approx = approximate_failure(arch, sink)
+        rows.append(
+            (
+                sink,
+                format_scientific(exact),
+                format_scientific(approx.r_tilde),
+                format_scientific(approx.bound_ratio),
+                dict(sorted(approx.redundancy.items())),
+            )
+        )
+    print(format_table(["sink", "r (exact)", "r~ (eq.7)", "Thm2 bound", "h_ij"], rows))
+    print(f"\ntotal cost: {result.cost:.6g}")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    rows = []
+    for size_nodes in args.sizes:
+        gens = size_nodes // 5
+        template = build_eps_template(num_generators=gens)
+        spec = SynthesisSpec(
+            template=template,
+            requirements=eps_requirements(template),
+            reliability_target=args.target,
+        )
+        start = time.perf_counter()
+        result = _run_synthesis(spec, args.algorithm, args.backend, args.gap)
+        wall = time.perf_counter() - start
+        rows.append(
+            (
+                f"{size_nodes} ({gens})",
+                result.status,
+                result.num_iterations or 1,
+                f"{result.cost:.6g}",
+                format_scientific(result.reliability),
+                f"{result.analysis_time:.1f}",
+                f"{result.solver_time:.1f}",
+                f"{wall:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["|V| (gens)", "status", "#iter", "cost", "r", "analysis (s)",
+             "solver (s)", "wall (s)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    spec = _spec_for_domain(args.domain, None, args.size)
+    algorithm = "ar" if args.algorithm in ("ar", "tse") else "mr"
+    points = explore_tradeoff(
+        spec, args.levels, algorithm=algorithm, backend=args.backend,
+        mip_rel_gap=args.gap,
+    )
+    rows = [
+        (
+            format_scientific(p.r_star),
+            "ok" if p.feasible else p.result.status,
+            f"{p.cost:.6g}" if p.feasible else "-",
+            format_scientific(p.reliability) if p.feasible else "-",
+        )
+        for p in points
+    ]
+    print(format_table(["r*", "status", "cost", "r (exact)"], rows))
+    front = pareto_front(points)
+    print("\nPareto front:")
+    print(format_table(
+        ["cost", "r (exact)"],
+        [(f"{p.cost:.6g}", format_scientific(p.reliability)) for p in front],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="archex",
+        description="Reliable cost-optimal CPS architecture synthesis "
+        "(DATE 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--domain", default="eps",
+                       choices=["eps", "power-grid", "comm-net"])
+        p.add_argument("--algorithm", default="mr", choices=["mr", "mr-lazy", "ar", "tse"])
+        p.add_argument("--target", type=float, default=2e-10,
+                       help="reliability requirement r* (failure probability)")
+        p.add_argument("--backend", default="auto", choices=["auto", "bnb", "scipy"])
+        p.add_argument("--gap", type=float, default=None,
+                       help="relative MIP gap (speeds up large instances)")
+        p.add_argument("--size", type=int, default=0,
+                       help="EPS generator count (0 = the paper's template)")
+        p.add_argument("--save-arch", default=None, metavar="FILE",
+                       help="save the synthesized architecture as JSON")
+
+    p_syn = sub.add_parser("synthesize", help="synthesize an optimal architecture")
+    common(p_syn)
+    p_syn.set_defaults(func=cmd_synthesize)
+
+    p_an = sub.add_parser("analyze", help="synthesize and report reliability detail")
+    common(p_an)
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_sc = sub.add_parser("scaling", help="Table II style scaling sweep")
+    common(p_sc)
+    p_sc.add_argument("--sizes", type=lambda s: [int(x) for x in s.split(",")],
+                      default=[20, 30])
+    p_sc.set_defaults(func=cmd_scaling)
+
+    p_to = sub.add_parser("tradeoff", help="requirement sweep + Pareto front")
+    common(p_to)
+    p_to.add_argument("--levels", type=lambda s: [float(x) for x in s.split(",")],
+                      default=[2e-3, 2e-6, 2e-10])
+    p_to.set_defaults(func=cmd_tradeoff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Additional CPS domains demonstrating the §VI generalization: power grids
+and communication networks, built on the same template/synthesis machinery
+as the aircraft EPS case study."""
+
+from .comm_network import (
+    COMM_TYPES,
+    build_comm_network_template,
+    comm_network_requirements,
+    comm_network_spec,
+)
+from .power_grid import (
+    POWER_GRID_TYPES,
+    build_power_grid_template,
+    power_grid_requirements,
+    power_grid_spec,
+)
+
+__all__ = [
+    "COMM_TYPES",
+    "POWER_GRID_TYPES",
+    "build_comm_network_template",
+    "build_power_grid_template",
+    "comm_network_requirements",
+    "comm_network_spec",
+    "power_grid_requirements",
+    "power_grid_spec",
+]

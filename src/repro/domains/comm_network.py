@@ -1,0 +1,99 @@
+"""Communication-network templates (§VI future-work domain).
+
+Data centers (sources) connect to gateway hosts (sinks) through two router
+tiers — core and edge. The essential function is packet delivery from any
+data center to each gateway; reliability is the probability that no
+all-working route exists, i.e. the same functional-link failure event as
+the EPS loads, with routers in place of buses/rectifiers.
+
+Edges here can fail too (links are less reliable than routers), exercising
+the edge-failure splice of
+:func:`repro.reliability.graph_with_edge_failures`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arch import ArchitectureTemplate, ComponentSpec, Library, Role
+from ..synthesis import (
+    ConnectionBound,
+    IfFeedsThenFed,
+    Requirement,
+    RequireIncomingEdge,
+    SymmetryBreaking,
+    SynthesisSpec,
+)
+
+__all__ = ["build_comm_network_template", "comm_network_spec", "COMM_TYPES"]
+
+COMM_TYPES = ["datacenter", "core_router", "edge_router", "gateway"]
+
+_DC_FAIL = 1e-5
+_CORE_FAIL = 2e-4
+_EDGE_FAIL = 5e-4
+
+
+def build_comm_network_template(
+    num_datacenters: int = 2,
+    num_core: int = 3,
+    num_edge: int = 4,
+    num_gateways: int = 2,
+    switch_cost: float = 100.0,
+    name: Optional[str] = None,
+) -> ArchitectureTemplate:
+    """Datacenter -> core router -> edge router -> gateway template."""
+    lib = Library(switch_cost=switch_cost)
+    dcs = [f"DC{i + 1}" for i in range(num_datacenters)]
+    cores = [f"CR{i + 1}" for i in range(num_core)]
+    edges = [f"ER{i + 1}" for i in range(num_edge)]
+    gws = [f"GW{i + 1}" for i in range(num_gateways)]
+
+    for d in dcs:
+        lib.add(ComponentSpec(d, "datacenter", cost=5000.0, capacity=100.0,
+                              failure_prob=_DC_FAIL, role=Role.SOURCE))
+    for c in cores:
+        lib.add(ComponentSpec(c, "core_router", cost=1200.0,
+                              failure_prob=_CORE_FAIL))
+    for e in edges:
+        lib.add(ComponentSpec(e, "edge_router", cost=400.0,
+                              failure_prob=_EDGE_FAIL))
+    for g in gws:
+        lib.add(ComponentSpec(g, "gateway", demand=10.0, role=Role.SINK))
+    lib.set_type_order(COMM_TYPES)
+
+    t = ArchitectureTemplate(lib, dcs + cores + edges + gws, name=name or "comm-net")
+    t.allow_many(dcs, cores)
+    t.allow_many(cores, edges)
+    t.allow_many(edges, gws)
+    t.declare_interchangeable(cores)
+    t.declare_interchangeable(edges)
+    return t
+
+
+def comm_network_requirements(template: ArchitectureTemplate) -> List[Requirement]:
+    dcs = [template.name_of(i) for i in template.nodes_of_type("datacenter")]
+    cores = [template.name_of(i) for i in template.nodes_of_type("core_router")]
+    edges = [template.name_of(i) for i in template.nodes_of_type("edge_router")]
+    gws = [template.name_of(i) for i in template.nodes_of_type("gateway")]
+    return [
+        RequireIncomingEdge(nodes=gws, k=1),
+        IfFeedsThenFed(via=edges, downstream=gws, upstream=cores),
+        IfFeedsThenFed(via=cores, downstream=edges, upstream=dcs),
+        # Capacity discipline: an edge router terminates at most 2 gateways.
+        ConnectionBound(sources=edges, dests=gws, k=2, sense="<=", per="source"),
+        SymmetryBreaking(),
+    ]
+
+
+def comm_network_spec(
+    template: Optional[ArchitectureTemplate] = None,
+    reliability_target: Optional[float] = None,
+) -> SynthesisSpec:
+    """Ready-to-run synthesis spec for a communication network template."""
+    template = template or build_comm_network_template()
+    return SynthesisSpec(
+        template=template,
+        requirements=comm_network_requirements(template),
+        reliability_target=reliability_target,
+    )

@@ -1,0 +1,108 @@
+"""Terrestrial power-distribution templates (§VI future-work domain).
+
+A substation-feeder-customer structure analogous to the aircraft EPS but
+with three layers: generation plants feed substations over transmission
+links; substations feed critical customer sites over distribution feeders.
+Redundancy comes from multiple plants, substation bus ties and dual
+feeders — the same functional-link reliability question as §V, so both
+ILP-MR and ILP-AR apply unchanged.
+"""
+
+from __future__ import annotations
+
+from itertools import cycle
+from typing import List, Optional
+
+from ..arch import ArchitectureTemplate, ComponentSpec, Library, Role
+from ..synthesis import (
+    GlobalPowerAdequacy,
+    IfFeedsThenFed,
+    Requirement,
+    RequireIncomingEdge,
+    SymmetryBreaking,
+    SynthesisSpec,
+)
+
+__all__ = ["build_power_grid_template", "power_grid_spec", "POWER_GRID_TYPES"]
+
+POWER_GRID_TYPES = ["plant", "substation", "feeder", "customer"]
+
+#: Default attributes: plants fail more often than protected substations.
+_PLANT_FAIL = 5e-4
+_SUBSTATION_FAIL = 1e-4
+_FEEDER_FAIL = 3e-4
+_PLANT_RATINGS = [120.0, 90.0, 150.0]
+_CUSTOMER_DEMANDS = [40.0, 25.0, 60.0]
+
+
+def build_power_grid_template(
+    num_plants: int = 3,
+    num_substations: int = 3,
+    num_feeders: int = 4,
+    num_customers: int = 3,
+    switch_cost: float = 500.0,
+    name: Optional[str] = None,
+) -> ArchitectureTemplate:
+    """A fully cross-connected plant -> substation -> feeder -> customer
+    template with substation bus ties."""
+    lib = Library(switch_cost=switch_cost)
+    ratings = cycle(_PLANT_RATINGS)
+    demands = cycle(_CUSTOMER_DEMANDS)
+
+    plants = [f"P{i + 1}" for i in range(num_plants)]
+    subs = [f"S{i + 1}" for i in range(num_substations)]
+    feeders = [f"F{i + 1}" for i in range(num_feeders)]
+    customers = [f"C{i + 1}" for i in range(num_customers)]
+
+    for p in plants:
+        rating = next(ratings)
+        lib.add(ComponentSpec(p, "plant", cost=rating * 2, capacity=rating,
+                              failure_prob=_PLANT_FAIL, role=Role.SOURCE))
+    for s in subs:
+        lib.add(ComponentSpec(s, "substation", cost=3000.0,
+                              failure_prob=_SUBSTATION_FAIL))
+    for f in feeders:
+        lib.add(ComponentSpec(f, "feeder", cost=800.0, failure_prob=_FEEDER_FAIL))
+    for c in customers:
+        lib.add(ComponentSpec(c, "customer", demand=next(demands), role=Role.SINK))
+    lib.set_type_order(POWER_GRID_TYPES)
+
+    t = ArchitectureTemplate(
+        lib, plants + subs + feeders + customers, name=name or "power-grid"
+    )
+    t.allow_many(plants, subs)
+    t.allow_many(subs, feeders)
+    t.allow_many(feeders, customers)
+    for i, a in enumerate(subs):
+        for b in subs[i + 1 :]:
+            t.allow_bidirectional(a, b)
+    t.declare_interchangeable(subs)
+    t.declare_interchangeable(feeders)
+    return t
+
+
+def power_grid_requirements(template: ArchitectureTemplate) -> List[Requirement]:
+    plants = [template.name_of(i) for i in template.nodes_of_type("plant")]
+    subs = [template.name_of(i) for i in template.nodes_of_type("substation")]
+    feeders = [template.name_of(i) for i in template.nodes_of_type("feeder")]
+    customers = [template.name_of(i) for i in template.nodes_of_type("customer")]
+    return [
+        RequireIncomingEdge(nodes=customers, k=1),
+        IfFeedsThenFed(via=feeders, downstream=customers, upstream=subs),
+        IfFeedsThenFed(via=subs, downstream=feeders + subs, upstream=plants),
+        GlobalPowerAdequacy(),
+        SymmetryBreaking(),
+    ]
+
+
+def power_grid_spec(
+    template: Optional[ArchitectureTemplate] = None,
+    reliability_target: Optional[float] = None,
+) -> SynthesisSpec:
+    """Ready-to-run synthesis spec for a power grid template."""
+    template = template or build_power_grid_template()
+    return SynthesisSpec(
+        template=template,
+        requirements=power_grid_requirements(template),
+        reliability_target=reliability_target,
+    )

@@ -1,0 +1,36 @@
+"""Aircraft electric power system case study (§V of the paper).
+
+Table I catalog, scalable single-line-diagram templates, the standard
+connectivity/power-flow requirement pack, and ASCII diagram rendering.
+"""
+
+from .catalog import (
+    BUS_COST,
+    FAILURE_PROB,
+    GENERATOR_RATINGS,
+    LOAD_DEMANDS,
+    RECTIFIER_COST,
+    SWITCH_COST,
+    TYPE_ORDER,
+    base_library_components,
+)
+from .diagram import render_single_line
+from .requirements import eps_requirements, eps_spec
+from .template import EPS_GROUPS, build_eps_template, paper_template
+
+__all__ = [
+    "BUS_COST",
+    "EPS_GROUPS",
+    "FAILURE_PROB",
+    "GENERATOR_RATINGS",
+    "LOAD_DEMANDS",
+    "RECTIFIER_COST",
+    "SWITCH_COST",
+    "TYPE_ORDER",
+    "base_library_components",
+    "build_eps_template",
+    "eps_requirements",
+    "eps_spec",
+    "paper_template",
+    "render_single_line",
+]

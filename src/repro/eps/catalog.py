@@ -1,0 +1,114 @@
+"""Aircraft EPS component catalog — Table I of the paper.
+
+Components and attributes:
+
+========== ======= =====================================
+Generators g (kW)  LG1 70, LG2 50, RG1 80, RG2 30, APU 100
+Loads      l (kW)  LL1 30, LL2 10, RL1 10, RL2 20
+Costs      c       generator g/10, bus 2000, rectifier 2000, contactor 1000
+========== ======= =====================================
+
+Only generators, buses and rectifiers fail, with probability 2e-4 (§V);
+loads are perfect sinks, contactors (switches on edges) are perfect
+actuation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..arch import ComponentSpec, Library, Role
+
+__all__ = [
+    "FAILURE_PROB",
+    "SWITCH_COST",
+    "BUS_COST",
+    "RECTIFIER_COST",
+    "GENERATOR_RATINGS",
+    "LOAD_DEMANDS",
+    "TYPE_ORDER",
+    "generator",
+    "ac_bus",
+    "rectifier",
+    "dc_bus",
+    "load",
+    "base_library_components",
+]
+
+FAILURE_PROB = 2e-4
+SWITCH_COST = 1000.0
+BUS_COST = 2000.0
+RECTIFIER_COST = 2000.0
+
+#: Table I generator ratings (kW); scaled templates cycle through these.
+GENERATOR_RATINGS: Dict[str, float] = {
+    "LG1": 70.0,
+    "LG2": 50.0,
+    "RG1": 80.0,
+    "RG2": 30.0,
+    "APU": 100.0,
+}
+
+#: Table I load demands (kW); scaled templates cycle through these.
+LOAD_DEMANDS: Dict[str, float] = {
+    "LL1": 30.0,
+    "LL2": 10.0,
+    "RL1": 10.0,
+    "RL2": 20.0,
+}
+
+#: Partition order Pi_1 .. Pi_n of the EPS single-line diagram (n = 5).
+TYPE_ORDER: List[str] = ["generator", "ac_bus", "rectifier", "dc_bus", "load"]
+
+
+def generator(name: str, rating_kw: float) -> ComponentSpec:
+    """A generator (or APU): cost is g/10 per Table I."""
+    return ComponentSpec(
+        name=name,
+        ctype="generator",
+        cost=rating_kw / 10.0,
+        failure_prob=FAILURE_PROB,
+        capacity=rating_kw,
+        role=Role.SOURCE,
+    )
+
+
+def ac_bus(name: str) -> ComponentSpec:
+    return ComponentSpec(
+        name=name, ctype="ac_bus", cost=BUS_COST, failure_prob=FAILURE_PROB
+    )
+
+
+def rectifier(name: str) -> ComponentSpec:
+    """A transformer rectifier unit (TRU)."""
+    return ComponentSpec(
+        name=name, ctype="rectifier", cost=RECTIFIER_COST, failure_prob=FAILURE_PROB
+    )
+
+
+def dc_bus(name: str) -> ComponentSpec:
+    return ComponentSpec(
+        name=name, ctype="dc_bus", cost=BUS_COST, failure_prob=FAILURE_PROB
+    )
+
+
+def load(name: str, demand_kw: float) -> ComponentSpec:
+    """An essential load: perfect (p = 0) but its supply path can fail."""
+    return ComponentSpec(
+        name=name,
+        ctype="load",
+        cost=0.0,
+        failure_prob=0.0,
+        demand=demand_kw,
+        role=Role.SINK,
+    )
+
+
+def base_library_components() -> List[ComponentSpec]:
+    """The exact Table I component set (4 generators + APU, 4 loads)."""
+    comps = [generator(n, g) for n, g in GENERATOR_RATINGS.items()]
+    comps += [ac_bus(n) for n in ("LB1", "LB2", "RB1", "RB2")]
+    comps += [rectifier(n) for n in ("LR1", "LR2", "RR1", "RR2")]
+    comps += [dc_bus(n) for n in ("LD1", "LD2", "RD1", "RD2")]
+    comps += [load(n, l) for n, l in LOAD_DEMANDS.items()]
+    return comps

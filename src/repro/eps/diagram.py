@@ -1,0 +1,38 @@
+"""ASCII single-line diagrams for EPS architectures.
+
+Renders the layered structure of Fig. 1c in plain text, with the selected
+edges drawn as adjacency lists per layer — enough to eyeball the redundancy
+growth across Figs. 2 and 3 in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..arch import Architecture
+from .catalog import TYPE_ORDER
+
+__all__ = ["render_single_line"]
+
+
+def render_single_line(arch: Architecture) -> str:
+    """Multi-line single-line-diagram style rendering of an architecture."""
+    t = arch.template
+    used = set(arch.used_nodes())
+    lines: List[str] = [f"EPS architecture  (cost = {arch.cost():.6g})"]
+
+    successors: Dict[str, List[str]] = {}
+    for (i, j) in sorted(arch.edges):
+        successors.setdefault(t.name_of(i), []).append(t.name_of(j))
+
+    for ctype in TYPE_ORDER:
+        members = [i for i in t.nodes_of_type(ctype) if i in used]
+        if not members:
+            continue
+        lines.append(f"{ctype:>10}: " + "  ".join(t.name_of(i) for i in sorted(members)))
+        for i in sorted(members):
+            name = t.name_of(i)
+            outs = successors.get(name, [])
+            if outs:
+                lines.append(f"{'':>12}{name} --=-- {', '.join(sorted(outs))}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Standard EPS requirement pack (§V connectivity and power-flow rules).
+
+The constraints mirror the paper's description:
+
+* every load must be attached to at least one DC bus;
+* any rectifier is directly connected to at most one AC bus ("only one");
+* a DC bus connected to a load or to another DC bus must be fed by at
+  least one rectifier;
+* a rectifier feeding a DC bus must be fed by an AC bus;
+* an AC bus feeding anything must be fed by a generator (or the APU);
+* total instantiated generation covers the total load demand (power flow,
+  eq. 4 in its aggregate operating-condition form).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arch import ArchitectureTemplate
+from ..synthesis import (
+    ConnectionBound,
+    GlobalPowerAdequacy,
+    IfFeedsThenFed,
+    Requirement,
+    RequireIncomingEdge,
+    SymmetryBreaking,
+    SynthesisSpec,
+)
+
+__all__ = ["eps_requirements", "eps_spec"]
+
+
+def _names_of_type(template: ArchitectureTemplate, ctype: str) -> List[str]:
+    return [template.name_of(i) for i in template.nodes_of_type(ctype)]
+
+
+def eps_requirements(template: ArchitectureTemplate) -> List[Requirement]:
+    """The standard §V requirement pack for an EPS template."""
+    gens = _names_of_type(template, "generator")
+    ac = _names_of_type(template, "ac_bus")
+    rect = _names_of_type(template, "rectifier")
+    dc = _names_of_type(template, "dc_bus")
+    loads = _names_of_type(template, "load")
+
+    return [
+        # Each load draws from at least one DC bus.
+        RequireIncomingEdge(nodes=loads, k=1),
+        # "Any rectifier must be directly connected to only one AC bus."
+        ConnectionBound(sources=ac, dests=rect, k=1, sense="<=", per="dest"),
+        # DC bus feeding a load or tied to another DC bus must be fed by a
+        # rectifier.
+        IfFeedsThenFed(via=dc, downstream=loads + dc, upstream=rect),
+        # Rectifier feeding a DC bus must be fed by an AC bus.
+        IfFeedsThenFed(via=rect, downstream=dc, upstream=ac),
+        # AC bus feeding a rectifier or tied to another AC bus must be fed
+        # by a generator (or the APU).
+        IfFeedsThenFed(via=ac, downstream=rect + ac, upstream=gens),
+        # Total generation covers total essential demand.
+        GlobalPowerAdequacy(),
+        # Prune permutations of interchangeable buses/rectifiers (declared
+        # by the template builder; a no-op when no orbits are declared).
+        SymmetryBreaking(),
+    ]
+
+
+def eps_spec(
+    template: ArchitectureTemplate,
+    reliability_target: Optional[float] = None,
+) -> SynthesisSpec:
+    """A ready-to-run synthesis spec for an EPS template."""
+    return SynthesisSpec(
+        template=template,
+        requirements=eps_requirements(template),
+        reliability_target=reliability_target,
+    )

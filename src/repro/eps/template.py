@@ -1,0 +1,166 @@
+"""Scalable aircraft EPS architecture templates (§V, Fig. 1c).
+
+The single-line diagram structure: generators (and optionally an APU) feed
+AC buses; rectifier units convert to DC; DC buses feed the loads. Sibling
+ties between buses of the same type use the paper's same-type-edge
+shorthand for redundant components.
+
+``build_eps_template(num_generators=2s)`` produces the |V| = 10s templates
+of Tables II/III (20/30/40/50 nodes for 4/6/8/10 generators);
+``paper_template()`` is the Table I instance with the APU included.
+"""
+
+from __future__ import annotations
+
+from itertools import cycle
+from typing import List, Optional, Tuple
+
+from ..arch import ArchitectureTemplate, Library
+from . import catalog
+
+__all__ = ["build_eps_template", "paper_template", "EPS_GROUPS"]
+
+#: (type label, name prefix) per layer, source to sink.
+EPS_GROUPS: List[Tuple[str, str]] = [
+    ("generator", "G"),
+    ("ac_bus", "B"),
+    ("rectifier", "R"),
+    ("dc_bus", "D"),
+    ("load", "L"),
+]
+
+
+def _side_names(prefix: str, side: str, count: int) -> List[str]:
+    return [f"{side}{prefix}{i + 1}" for i in range(count)]
+
+
+def build_eps_template(
+    num_generators: int = 4,
+    include_apu: bool = False,
+    cross_side: bool = True,
+    sibling_ties: bool = True,
+    window: Optional[int] = None,
+    name: Optional[str] = None,
+) -> ArchitectureTemplate:
+    """Construct an EPS template with ``num_generators`` generators.
+
+    Every layer gets ``num_generators`` members (half per aircraft side), so
+    ``|V| = 5 * num_generators`` (+1 when ``include_apu``); this matches the
+    |V| / generator-count pairs of Tables II and III.
+
+    Parameters
+    ----------
+    cross_side:
+        Allow connections across the left/right split (cross ties). The
+        high-reliability architectures of Figs. 2-3 need them.
+    sibling_ties:
+        Allow the same-type bus-to-bus shorthand edges.
+    window:
+        When set, each component may only connect to the ``window`` nearest
+        members (by index, wrapping around) of the next layer — the sparse
+        single-line-diagram structure the paper's scalability study relies
+        on ("because of the sparsity of the EPS adjacency matrix ... it was
+        possible to reduce the number of generated constraints"). ``None``
+        allows every cross-layer pair.
+    """
+    if num_generators < 2 or num_generators % 2:
+        raise ValueError("num_generators must be an even number >= 2")
+    per_side = num_generators // 2
+
+    library = Library(switch_cost=catalog.SWITCH_COST)
+    ratings = cycle(catalog.GENERATOR_RATINGS[n] for n in ("LG1", "LG2", "RG1", "RG2"))
+    demands = cycle(catalog.LOAD_DEMANDS[n] for n in ("LL1", "LL2", "RL1", "RL2"))
+
+    gens: List[str] = []
+    ac_buses: List[str] = []
+    rectifiers: List[str] = []
+    dc_buses: List[str] = []
+    loads: List[str] = []
+    for side in ("L", "R"):
+        for g in _side_names("G", side, per_side):
+            library.add(catalog.generator(g, next(ratings)))
+            gens.append(g)
+        for b in _side_names("B", side, per_side):
+            library.add(catalog.ac_bus(b))
+            ac_buses.append(b)
+        for r in _side_names("R", side, per_side):
+            library.add(catalog.rectifier(r))
+            rectifiers.append(r)
+        for d in _side_names("D", side, per_side):
+            library.add(catalog.dc_bus(d))
+            dc_buses.append(d)
+        for l in _side_names("L", side, per_side):
+            library.add(catalog.load(l, next(demands)))
+            loads.append(l)
+    if include_apu:
+        library.add(catalog.generator("APU", catalog.GENERATOR_RATINGS["APU"]))
+        gens.append("APU")
+    library.set_type_order(catalog.TYPE_ORDER)
+
+    node_names = gens + ac_buses + rectifiers + dc_buses + loads
+    template = ArchitectureTemplate(
+        library,
+        node_names,
+        name=name or f"eps{5 * num_generators}{'+apu' if include_apu else ''}",
+    )
+
+    def same_side(a: str, b: str) -> bool:
+        return a.startswith("APU") or b.startswith("APU") or a[0] == b[0]
+
+    def in_window(sources: List[str], s: str, dests: List[str], d: str) -> bool:
+        if window is None or s == "APU":
+            return True
+        si, di = sources.index(s), dests.index(d)
+        n = len(dests)
+        span = min(abs(si - di), n - abs(si - di))  # circular distance
+        return span < window
+
+    def connect(sources: List[str], dests: List[str]) -> None:
+        for s in sources:
+            for d in dests:
+                if (cross_side or same_side(s, d)) and in_window(sources, s, dests, d):
+                    template.allow_edge(s, d)
+
+    connect(gens, ac_buses)
+    connect(ac_buses, rectifiers)
+    connect(rectifiers, dc_buses)
+    connect(dc_buses, loads)
+    if sibling_ties:
+        for group in (ac_buses, dc_buses):
+            for i, a in enumerate(group):
+                for j in range(i + 1, len(group)):
+                    b = group[j]
+                    if not (cross_side or same_side(a, b)):
+                        continue
+                    if window is not None:
+                        span = min(j - i, len(group) - (j - i))
+                        if span >= window:
+                            continue
+                    template.allow_bidirectional(a, b)
+
+    if cross_side and window is None:
+        # With full cross-layer connectivity, same-attribute nodes of a
+        # layer are automorphic: declare the orbits so synthesis can break
+        # the (factorially large) permutation symmetry.
+        template.declare_interchangeable(ac_buses)
+        template.declare_interchangeable(rectifiers)
+        template.declare_interchangeable(dc_buses)
+        by_rating: dict = {}
+        for g in gens:
+            by_rating.setdefault(library[g].capacity, []).append(g)
+        for group in by_rating.values():
+            if len(group) >= 2:
+                template.declare_interchangeable(group)
+    return template
+
+
+def paper_template(include_apu: bool = True) -> ArchitectureTemplate:
+    """The Table I / Fig. 1c instance: 4 generators (+APU), 4 of each bus
+    type, 4 rectifiers, 4 loads, full cross-tie capability."""
+    return build_eps_template(
+        num_generators=4,
+        include_apu=include_apu,
+        cross_side=True,
+        sibling_ties=True,
+        name="eps-paper",
+    )

@@ -1,0 +1,62 @@
+"""ILP substrate: modeling API and exact MILP solvers.
+
+This package stands in for the YALMIP + CPLEX stack used by the paper's
+ARCHEX prototype. It provides:
+
+* an algebraic modeling layer (:class:`Model`, :class:`Var`,
+  :class:`LinExpr`, :class:`Constraint`);
+* linearization helpers for the Boolean operations appearing in the paper's
+  constraint formulations (:mod:`repro.ilp.logic`);
+* two exact MILP backends — a from-scratch bounded-variable simplex with
+  branch-and-bound, and scipy's HiGHS.
+"""
+
+from .branch_and_bound import BnBOptions, BnBStats, solve_milp
+from .constraint import Constraint
+from .expr import LinExpr, Var, as_expr, lin_sum
+from .logic import (
+    and_,
+    at_least,
+    at_most,
+    count_indicators,
+    exactly,
+    iff,
+    implies,
+    not_,
+    or_,
+)
+from .model import MatrixForm, Model
+from .presolve import PresolveResult, apply_presolve, presolve
+from .simplex import LPResult, LPStatus, solve_lp
+from .solver import SolveResult, Status, solve
+
+__all__ = [
+    "Model",
+    "MatrixForm",
+    "PresolveResult",
+    "apply_presolve",
+    "presolve",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "as_expr",
+    "lin_sum",
+    "or_",
+    "and_",
+    "not_",
+    "implies",
+    "iff",
+    "at_least",
+    "at_most",
+    "exactly",
+    "count_indicators",
+    "solve",
+    "solve_lp",
+    "solve_milp",
+    "SolveResult",
+    "Status",
+    "LPResult",
+    "LPStatus",
+    "BnBOptions",
+    "BnBStats",
+]

@@ -1,0 +1,61 @@
+"""Linear constraints.
+
+A constraint is stored in the normalized form ``expr (<=|>=|==) 0`` where
+``expr`` is a :class:`repro.ilp.expr.LinExpr`. Normalization at construction
+time keeps the model assembly and the matrix export simple.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .expr import LinExpr, Var
+
+__all__ = ["Constraint", "SENSES"]
+
+SENSES = ("<=", ">=", "==")
+
+
+class Constraint:
+    """A linear constraint ``expr sense 0``.
+
+    Parameters
+    ----------
+    expr:
+        Left-hand side after moving everything to one side.
+    sense:
+        One of ``"<="``, ``">="``, ``"=="``.
+    name:
+        Optional identifier; the model assigns one if omitted.
+    """
+
+    __slots__ = ("expr", "sense", "name", "tag")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = "", tag: str = "") -> None:
+        if sense not in SENSES:
+            raise ValueError(f"invalid constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+        self.tag = tag
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when written as ``terms sense rhs``."""
+        return -self.expr.constant
+
+    def violation(self, assignment: Mapping[Var, float]) -> float:
+        """Amount by which the assignment violates the constraint (0 if satisfied)."""
+        lhs = self.expr.value(assignment)
+        if self.sense == "<=":
+            return max(0.0, lhs)
+        if self.sense == ">=":
+            return max(0.0, -lhs)
+        return abs(lhs)
+
+    def is_satisfied(self, assignment: Mapping[Var, float], tol: float = 1e-7) -> bool:
+        return self.violation(assignment) <= tol
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.expr!r} {self.sense} 0{label})"

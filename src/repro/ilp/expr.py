@@ -1,0 +1,252 @@
+"""Linear expressions over decision variables.
+
+This module provides the small algebraic core of the ILP substrate: decision
+variables (:class:`Var`) and affine linear expressions (:class:`LinExpr`).
+Both support the usual arithmetic operators (``+``, ``-``, ``*`` by a scalar)
+and the comparison operators (``<=``, ``>=``, ``==``) which build
+:class:`repro.ilp.constraint.Constraint` objects.
+
+The design mirrors what the paper obtained from YALMIP: symbolic affine
+expressions over binary edge variables that can be summed, scaled and
+compared to form an integer linear program.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Union
+
+Number = Union[int, float]
+
+__all__ = ["Var", "LinExpr", "lin_sum", "as_expr"]
+
+
+class Var:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.ilp.model.Model.add_var` (or
+    the ``add_binary`` / ``add_integer`` / ``add_continuous`` convenience
+    wrappers); constructing one directly does not register it with a model.
+
+    Attributes
+    ----------
+    name:
+        Unique (per model) human-readable identifier.
+    lb, ub:
+        Lower / upper bound. Binary variables use ``(0, 1)``.
+    is_integer:
+        Whether the variable is integrality-constrained.
+    index:
+        Dense column index assigned by the owning model.
+    """
+
+    __slots__ = ("name", "lb", "ub", "is_integer", "index")
+
+    def __init__(
+        self,
+        name: str,
+        lb: Number = 0.0,
+        ub: Number = math.inf,
+        is_integer: bool = False,
+        index: int = -1,
+    ) -> None:
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.is_integer = bool(is_integer)
+        self.index = index
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the variable is integer-valued with bounds in [0, 1]."""
+        return self.is_integer and self.lb >= 0.0 and self.ub <= 1.0
+
+    # -- arithmetic ------------------------------------------------------
+
+    def _to_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self._to_expr() + other
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self._to_expr() + other
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self._to_expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-self._to_expr()) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        return self._to_expr() * scalar
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self._to_expr() * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self._to_expr() * -1.0
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        return self._to_expr() * (1.0 / scalar)
+
+    # -- comparisons (produce constraints) --------------------------------
+
+    def __le__(self, other: "ExprLike"):
+        return self._to_expr() <= other
+
+    def __ge__(self, other: "ExprLike"):
+        return self._to_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return self._to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "bin" if self.is_binary else ("int" if self.is_integer else "cont")
+        return f"Var({self.name!r}, {kind})"
+
+
+ExprLike = Union[Var, "LinExpr", Number]
+
+
+class LinExpr:
+    """An affine expression ``sum_i coeff_i * var_i + constant``.
+
+    Instances are immutable from the caller's perspective: every operator
+    returns a new expression. Terms with coefficient exactly zero are
+    dropped eagerly so expressions stay sparse.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[Var, float] | None = None, constant: Number = 0.0) -> None:
+        self.terms: Dict[Var, float] = {v: float(c) for v, c in (terms or {}).items() if c != 0.0}
+        self.constant = float(constant)
+
+    # -- construction helpers ---------------------------------------------
+
+    @staticmethod
+    def _coerce(other: ExprLike) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Var):
+            return other._to_expr()
+        if isinstance(other, (int, float)):
+            return LinExpr({}, other)
+        raise TypeError(f"cannot build a linear expression from {other!r}")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        rhs = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coeff in rhs.terms.items():
+            new = terms.get(var, 0.0) + coeff
+            if new == 0.0:
+                terms.pop(var, None)
+            else:
+                terms[var] = new
+        return LinExpr(terms, self.constant + rhs.constant)
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        if scalar == 0.0:
+            return LinExpr({}, 0.0)
+        return LinExpr({v: c * scalar for v, c in self.terms.items()}, self.constant * scalar)
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        return self * (1.0 / scalar)
+
+    # -- comparisons -------------------------------------------------------
+
+    def __le__(self, other: ExprLike):
+        from .constraint import Constraint
+
+        return Constraint(self - self._coerce(other), "<=")
+
+    def __ge__(self, other: ExprLike):
+        from .constraint import Constraint
+
+        return Constraint(self - self._coerce(other), ">=")
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            from .constraint import Constraint
+
+            return Constraint(self - self._coerce(other), "==")
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # -- evaluation / inspection -------------------------------------------
+
+    def value(self, assignment: Mapping[Var, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(coeff * assignment[var] for var, coeff in self.terms.items())
+
+    def variables(self) -> Iterable[Var]:
+        return self.terms.keys()
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*{v.name}" for v, c in sorted(self.terms.items(), key=lambda t: t[0].name)]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def as_expr(value: ExprLike) -> LinExpr:
+    """Coerce a variable or number into a :class:`LinExpr`."""
+    return LinExpr._coerce(value)
+
+
+def lin_sum(items: Iterable[ExprLike]) -> LinExpr:
+    """Sum an iterable of expressions/variables/numbers efficiently.
+
+    Unlike ``sum(...)`` this builds a single accumulator dict instead of a
+    chain of intermediate expressions, which matters for the O(|V|^3 n)
+    constraint generation of ILP-AR.
+    """
+    terms: Dict[Var, float] = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Var):
+            terms[item] = terms.get(item, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            constant += item.constant
+            for var, coeff in item.terms.items():
+                terms[var] = terms.get(var, 0.0) + coeff
+        elif isinstance(item, (int, float)):
+            constant += item
+        else:
+            raise TypeError(f"cannot sum {item!r} into a linear expression")
+    return LinExpr({v: c for v, c in terms.items() if c != 0.0}, constant)

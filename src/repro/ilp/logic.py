@@ -1,0 +1,146 @@
+"""Linearization of Boolean operations over 0-1 variables.
+
+The paper's constraint formulations (eqs. 1, 3, 6, 11) freely mix logical
+conjunction/disjunction with linear arithmetic and note that these "can be
+linearized with standard techniques [Winston]". This module implements those
+standard techniques once, so the synthesis encoders stay readable.
+
+All helpers accept *binary-valued* arguments: either binary :class:`Var`
+instances or affine expressions guaranteed to evaluate in {0, 1} (e.g.
+``1 - x`` for negation). Each helper adds the necessary auxiliary variables
+and constraints to the model and returns the variable (or expression)
+representing the result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .expr import LinExpr, Var, as_expr, lin_sum
+from .model import Model
+
+__all__ = [
+    "or_",
+    "and_",
+    "not_",
+    "implies",
+    "iff",
+    "at_least",
+    "at_most",
+    "exactly",
+    "count_indicators",
+    "BoolArg",
+]
+
+BoolArg = Union[Var, LinExpr]
+
+
+def _check_binaryish(args: Sequence[BoolArg]) -> List[LinExpr]:
+    exprs = []
+    for arg in args:
+        if isinstance(arg, Var):
+            if not arg.is_binary:
+                raise ValueError(f"logic helper applied to non-binary variable {arg.name!r}")
+            exprs.append(as_expr(arg))
+        elif isinstance(arg, LinExpr):
+            exprs.append(arg)
+        else:
+            raise TypeError(f"expected a binary variable or expression, got {arg!r}")
+    return exprs
+
+
+def not_(arg: BoolArg) -> LinExpr:
+    """Logical negation — purely affine, no auxiliary variable needed."""
+    (expr,) = _check_binaryish([arg])
+    return 1 - expr
+
+
+def or_(model: Model, args: Sequence[BoolArg], name: Optional[str] = None) -> Var:
+    """Return a binary variable ``z`` constrained to ``z = OR(args)``.
+
+    Linearization: ``z >= a_i`` for each argument and ``z <= sum(a_i)``.
+    This is exact for binary-valued arguments.
+    """
+    exprs = _check_binaryish(args)
+    if not exprs:
+        raise ValueError("or_ of an empty argument list")
+    z = model.add_binary(name)
+    for i, expr in enumerate(exprs):
+        model.add_constr(z >= expr, tag="logic.or")
+    model.add_constr(z <= lin_sum(exprs), tag="logic.or")
+    return z
+
+
+def and_(model: Model, args: Sequence[BoolArg], name: Optional[str] = None) -> Var:
+    """Return a binary variable ``z`` constrained to ``z = AND(args)``.
+
+    Linearization: ``z <= a_i`` for each argument and
+    ``z >= sum(a_i) - (n - 1)``.
+    """
+    exprs = _check_binaryish(args)
+    if not exprs:
+        raise ValueError("and_ of an empty argument list")
+    z = model.add_binary(name)
+    for expr in exprs:
+        model.add_constr(z <= expr, tag="logic.and")
+    model.add_constr(z >= lin_sum(exprs) - (len(exprs) - 1), tag="logic.and")
+    return z
+
+
+def implies(model: Model, antecedent: BoolArg, consequent: BoolArg) -> None:
+    """Add ``antecedent -> consequent`` for binary-valued operands (``a <= b``)."""
+    a, b = _check_binaryish([antecedent, consequent])
+    model.add_constr(a <= b, tag="logic.implies")
+
+
+def iff(model: Model, left: BoolArg, right: BoolArg) -> None:
+    """Add ``left <-> right`` (equality of binary-valued expressions)."""
+    a, b = _check_binaryish([left, right])
+    model.add_constr(a == b, tag="logic.iff")
+
+
+def at_least(model: Model, args: Sequence[BoolArg], k: int) -> None:
+    """Add ``sum(args) >= k`` (the paper's eq. 2 lower-bound form)."""
+    exprs = _check_binaryish(args)
+    model.add_constr(lin_sum(exprs) >= k, tag="logic.at_least")
+
+
+def at_most(model: Model, args: Sequence[BoolArg], k: int) -> None:
+    """Add ``sum(args) <= k`` (the paper's eq. 2 upper-bound form)."""
+    exprs = _check_binaryish(args)
+    model.add_constr(lin_sum(exprs) <= k, tag="logic.at_most")
+
+
+def exactly(model: Model, args: Sequence[BoolArg], k: int) -> None:
+    """Add ``sum(args) == k``."""
+    exprs = _check_binaryish(args)
+    model.add_constr(lin_sum(exprs) == k, tag="logic.exactly")
+
+
+def count_indicators(
+    model: Model,
+    args: Sequence[BoolArg],
+    name: Optional[str] = None,
+    k_max: Optional[int] = None,
+) -> List[Var]:
+    """Indicator variables for the value of ``sum(args)``.
+
+    Returns binaries ``x[0..k_max]`` with exactly one set, satisfying
+    ``sum(args) == sum_k k * x[k]``. This is the standard linearization of
+    the paper's implication (11): ``x[k] = 1`` iff exactly ``k`` of the
+    arguments are 1. The coupling is exact because the count is an integer
+    in ``[0, k_max]`` and the ``x[k]`` form an SOS1 set.
+    """
+    exprs = _check_binaryish(args)
+    if k_max is None:
+        k_max = len(exprs)
+    if k_max < len(exprs):
+        raise ValueError("k_max must be at least the number of arguments")
+    prefix = name or "cnt"
+    indicators = [model.add_binary(f"{prefix}_{k}") for k in range(k_max + 1)]
+    model.add_constr(lin_sum(indicators) == 1, tag="logic.count")
+    model.add_constr(
+        lin_sum(exprs) == lin_sum(k * x for k, x in enumerate(indicators)),
+        tag="logic.count",
+    )
+    return indicators

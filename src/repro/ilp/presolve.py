@@ -1,0 +1,297 @@
+"""MILP presolve: cheap reductions applied before branch-and-bound.
+
+The eager encodings (ILP-AR, ILP-TSE) emit many structurally trivial rows —
+forced binaries (``x <= 0`` next to ``x``-monotone logic chains), singleton
+rows that are really bounds, and rows made redundant by the variable
+bounds. This module implements the classical safe reductions:
+
+* **singleton rows** become variable bounds and are dropped;
+* **activity-based row analysis**: a row whose min/max activity already
+  implies the constraint is dropped; one that contradicts it proves
+  infeasibility immediately;
+* **bound propagation**: per-row implied bounds tighten variable bounds
+  (with integral rounding for integer variables), iterated to a fixpoint;
+* **fixed-variable substitution**: variables with ``lb == ub`` leave the
+  problem.
+
+All reductions are *safe*: they preserve the set of optimal solutions
+exactly (no dominance/probing reductions that only preserve the optimum
+value). The result maps cleanly back to the original variable space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from .model import MatrixForm
+
+__all__ = ["PresolveResult", "presolve", "apply_presolve"]
+
+_TOL = 1e-9
+_MAX_PASSES = 10
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of presolving a matrix form.
+
+    ``reduced`` is None when presolve proved infeasibility. ``kept_rows``
+    and ``kept_cols`` map reduced indices back to original ones;
+    ``fixed_values`` holds original-index values of eliminated variables.
+    """
+
+    status: str  # "reduced", "infeasible", "solved"
+    reduced: Optional[MatrixForm]
+    kept_rows: List[int] = field(default_factory=list)
+    kept_cols: List[int] = field(default_factory=list)
+    fixed_values: Dict[int, float] = field(default_factory=dict)
+    objective_offset: float = 0.0
+    rows_removed: int = 0
+    bounds_tightened: int = 0
+
+    def restore(self, x_reduced: np.ndarray) -> np.ndarray:
+        """Lift a reduced-space solution back to the original variables."""
+        n = len(self.kept_cols) + len(self.fixed_values)
+        x = np.zeros(n)
+        for idx, value in self.fixed_values.items():
+            x[idx] = value
+        for reduced_idx, original_idx in enumerate(self.kept_cols):
+            x[original_idx] = x_reduced[reduced_idx]
+        return x
+
+
+def _row_activity(
+    coeffs: np.ndarray, cols: np.ndarray, lb: np.ndarray, ub: np.ndarray
+) -> Tuple[float, float]:
+    """(min, max) achievable value of a sparse row under current bounds."""
+    low = 0.0
+    high = 0.0
+    for c, j in zip(coeffs, cols):
+        if c > 0:
+            low += c * lb[j]
+            high += c * ub[j]
+        else:
+            low += c * ub[j]
+            high += c * lb[j]
+    return low, high
+
+
+def presolve(form: MatrixForm) -> PresolveResult:
+    """Run the reduction passes on a matrix form."""
+    a = form.A.tocsr() if sparse.issparse(form.A) else sparse.csr_matrix(form.A)
+    lb = form.lb.copy()
+    ub = form.ub.copy()
+    senses = list(form.senses)
+    b = form.b.copy()
+    n = form.num_vars
+    m = form.num_constrs
+    integrality = form.integrality
+    alive_rows = np.ones(m, dtype=bool)
+    tightened = 0
+
+    def tighten(j: int, new_lb: Optional[float], new_ub: Optional[float]) -> bool:
+        """Apply a bound; returns False on contradiction."""
+        nonlocal tightened
+        if new_lb is not None:
+            if integrality[j]:
+                new_lb = math.ceil(new_lb - _TOL)
+            if new_lb > lb[j] + _TOL:
+                lb[j] = new_lb
+                tightened += 1
+        if new_ub is not None:
+            if integrality[j]:
+                new_ub = math.floor(new_ub + _TOL)
+            if new_ub < ub[j] - _TOL:
+                ub[j] = new_ub
+                tightened += 1
+        return lb[j] <= ub[j] + _TOL
+
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for i in range(m):
+            if not alive_rows[i]:
+                continue
+            start, end = a.indptr[i], a.indptr[i + 1]
+            cols = a.indices[start:end]
+            coeffs = a.data[start:end]
+            nonzero = np.abs(coeffs) > _TOL
+            cols, coeffs = cols[nonzero], coeffs[nonzero]
+            sense, rhs = senses[i], b[i]
+
+            if len(cols) == 0:
+                ok = (
+                    rhs >= -_TOL if sense == "<=" else
+                    rhs <= _TOL if sense == ">=" else abs(rhs) <= _TOL
+                )
+                if not ok:
+                    return PresolveResult("infeasible", None)
+                alive_rows[i] = False
+                changed = True
+                continue
+
+            if len(cols) == 1:
+                # Singleton: convert to a bound and drop the row.
+                j, c = int(cols[0]), float(coeffs[0])
+                value = rhs / c
+                if sense == "==":
+                    ok = tighten(j, value, value)
+                elif (sense == "<=" and c > 0) or (sense == ">=" and c < 0):
+                    ok = tighten(j, None, value)
+                else:
+                    ok = tighten(j, value, None)
+                if not ok:
+                    return PresolveResult("infeasible", None)
+                alive_rows[i] = False
+                changed = True
+                continue
+
+            low, high = _row_activity(coeffs, cols, lb, ub)
+            # Redundancy / infeasibility by activity bounds.
+            if sense == "<=":
+                if high <= rhs + _TOL:
+                    alive_rows[i] = False
+                    changed = True
+                    continue
+                if low > rhs + _TOL:
+                    return PresolveResult("infeasible", None)
+            elif sense == ">=":
+                if low >= rhs - _TOL:
+                    alive_rows[i] = False
+                    changed = True
+                    continue
+                if high < rhs - _TOL:
+                    return PresolveResult("infeasible", None)
+            else:
+                if low > rhs + _TOL or high < rhs - _TOL:
+                    return PresolveResult("infeasible", None)
+                if abs(low - rhs) <= _TOL and abs(high - rhs) <= _TOL:
+                    alive_rows[i] = False
+                    changed = True
+                    continue
+
+            # Bound propagation on each variable of the row.
+            for c, j in zip(coeffs, cols):
+                j = int(j)
+                others_low = low - (c * lb[j] if c > 0 else c * ub[j])
+                others_high = high - (c * ub[j] if c > 0 else c * lb[j])
+                if sense in ("<=", "==") and math.isfinite(others_low):
+                    slack = rhs - others_low
+                    if c > 0:
+                        ok = tighten(j, None, slack / c)
+                    else:
+                        ok = tighten(j, slack / c, None)
+                    if not ok:
+                        return PresolveResult("infeasible", None)
+                if sense in (">=", "==") and math.isfinite(others_high):
+                    need = rhs - others_high
+                    if c > 0:
+                        ok = tighten(j, need / c, None)
+                    else:
+                        ok = tighten(j, None, need / c)
+                    if not ok:
+                        return PresolveResult("infeasible", None)
+        if not changed:
+            break
+
+    # Split fixed vs free variables.
+    fixed: Dict[int, float] = {}
+    kept_cols: List[int] = []
+    for j in range(n):
+        if ub[j] - lb[j] <= _TOL and math.isfinite(lb[j]):
+            fixed[j] = round(lb[j]) if integrality[j] else lb[j]
+        else:
+            kept_cols.append(j)
+
+    # Substitute fixed variables into rows and the objective.
+    offset = float(sum(form.c[j] * v for j, v in fixed.items()))
+    kept_rows = [i for i in range(m) if alive_rows[i]]
+
+    col_map = {orig: new for new, orig in enumerate(kept_cols)}
+    rows_out: List[int] = []
+    cols_out: List[int] = []
+    data_out: List[float] = []
+    b_out: List[float] = []
+    senses_out: List[str] = []
+    for new_i, i in enumerate(kept_rows):
+        start, end = a.indptr[i], a.indptr[i + 1]
+        rhs = b[i]
+        for c, j in zip(a.data[start:end], a.indices[start:end]):
+            j = int(j)
+            if j in fixed:
+                rhs -= c * fixed[j]
+            elif abs(c) > _TOL:
+                rows_out.append(new_i)
+                cols_out.append(col_map[j])
+                data_out.append(float(c))
+        b_out.append(rhs)
+        senses_out.append(senses[i])
+
+    if not kept_cols:
+        # Everything fixed: check remaining rows as constants.
+        for rhs, sense in zip(b_out, senses_out):
+            ok = (
+                rhs >= -_TOL if sense == "<=" else
+                rhs <= _TOL if sense == ">=" else abs(rhs) <= _TOL
+            )
+            if not ok:
+                return PresolveResult("infeasible", None)
+        result = PresolveResult(
+            "solved", None, kept_rows=[], kept_cols=[], fixed_values=fixed,
+            objective_offset=offset, rows_removed=m - len(kept_rows),
+            bounds_tightened=tightened,
+        )
+        return result
+
+    reduced = MatrixForm(
+        c=form.c[kept_cols],
+        obj_constant=form.obj_constant + offset,
+        A=sparse.csr_matrix(
+            (data_out, (rows_out, cols_out)),
+            shape=(len(kept_rows), len(kept_cols)),
+        ),
+        senses=senses_out,
+        b=np.array(b_out),
+        lb=lb[kept_cols],
+        ub=ub[kept_cols],
+        integrality=integrality[kept_cols],
+        variables=[form.variables[j] for j in kept_cols] if form.variables else [],
+    )
+    return PresolveResult(
+        "reduced",
+        reduced,
+        kept_rows=kept_rows,
+        kept_cols=kept_cols,
+        fixed_values=fixed,
+        objective_offset=offset,
+        rows_removed=m - len(kept_rows),
+        bounds_tightened=tightened,
+    )
+
+
+def apply_presolve(form: MatrixForm, solve_fn):
+    """Presolve, solve the reduced problem with ``solve_fn``, lift back.
+
+    ``solve_fn(reduced_form) -> MilpOutcome``-like object with ``status``,
+    ``objective`` and ``x`` attributes. Returns an object of the same shape
+    in the ORIGINAL variable space.
+    """
+    from .branch_and_bound import MilpOutcome
+
+    result = presolve(form)
+    if result.status == "infeasible":
+        return MilpOutcome("infeasible", math.inf, None)
+    if result.status == "solved":
+        x = result.restore(np.zeros(0))
+        objective = float(form.c @ x)
+        return MilpOutcome("optimal", objective, x)
+    outcome = solve_fn(result.reduced)
+    if outcome.x is None:
+        return outcome
+    x = result.restore(np.asarray(outcome.x))
+    objective = float(form.c @ x)
+    return MilpOutcome(outcome.status, objective, x, outcome.stats)

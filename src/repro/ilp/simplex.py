@@ -1,0 +1,370 @@
+"""Bounded-variable primal simplex for linear programs.
+
+This is the from-scratch LP engine that backs the branch-and-bound MILP
+solver in :mod:`repro.ilp.branch_and_bound` (the role CPLEX's LP relaxation
+played in the paper's experiments). It implements the revised primal simplex
+method with explicit variable bounds and a two-phase start:
+
+* all rows are converted to equalities by appending slack/surplus columns;
+* phase 1 minimizes the sum of artificial variables to find a basic
+  feasible solution; phase 2 optimizes the real objective;
+* nonbasic variables rest at a finite bound; the ratio test supports the
+  *bound flip* move required for bounded variables;
+* Dantzig pricing with an automatic switch to Bland's rule to guarantee
+  termination on degenerate instances.
+
+The implementation is dense (numpy) and refactorizes the basis each
+iteration via ``numpy.linalg.solve``; this is O(m^3) per pivot, plenty for
+the few-thousand-constraint instances the reproduction solves, and trivially
+correct — no basis-update drift to chase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LPStatus", "LPResult", "solve_lp"]
+
+_TOL = 1e-9
+_FEAS_TOL = 1e-7
+_BLAND_AFTER = 2000
+_MAX_ITER_FACTOR = 200
+
+
+class LPStatus(Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LPResult:
+    status: LPStatus
+    objective: float
+    x: Optional[np.ndarray]
+    iterations: int
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+# Internal nonbasic status markers.
+_AT_LOWER = 0
+_AT_UPPER = 1
+_BASIC = 2
+
+
+def solve_lp(
+    c: np.ndarray,
+    a: np.ndarray,
+    senses: Sequence[str],
+    b: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    max_iterations: Optional[int] = None,
+) -> LPResult:
+    """Minimize ``c @ x`` subject to ``A x (senses) b`` and ``lb <= x <= ub``.
+
+    Parameters mirror :class:`repro.ilp.model.MatrixForm`. Bounds may be
+    infinite; rows may mix ``<=``, ``>=`` and ``==``.
+    """
+    c = np.asarray(c, dtype=float)
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+    m, n = a.shape if a.size else (len(b), len(c))
+    if m == 0:
+        # Pure bound-constrained minimization.
+        x = _bound_only_solution(c, lb, ub)
+        if x is None:
+            return LPResult(LPStatus.UNBOUNDED, -math.inf, None, 0)
+        return LPResult(LPStatus.OPTIMAL, float(c @ x), x, 0)
+
+    # -- convert to equality form with slack columns ------------------------
+    slack_rows = [i for i, s in enumerate(senses) if s != "=="]
+    n_slack = len(slack_rows)
+    a_eq = np.zeros((m, n + n_slack))
+    a_eq[:, :n] = a
+    lb_full = np.concatenate([lb, np.zeros(n_slack)])
+    ub_full = np.concatenate([ub, np.full(n_slack, math.inf)])
+    for k, row in enumerate(slack_rows):
+        a_eq[row, n + k] = 1.0 if senses[row] == "<=" else -1.0
+    c_full = np.concatenate([c, np.zeros(n_slack)])
+
+    solver = _BoundedSimplex(a_eq, b.copy(), lb_full, ub_full, max_iterations)
+    status, iterations = solver.solve(c_full)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, math.nan, None, iterations)
+    x_full = solver.solution()
+    x = x_full[:n]
+    return LPResult(LPStatus.OPTIMAL, float(c @ x), x, iterations)
+
+
+def _bound_only_solution(
+    c: np.ndarray, lb: np.ndarray, ub: np.ndarray
+) -> Optional[np.ndarray]:
+    x = np.zeros(len(c))
+    for j, coeff in enumerate(c):
+        if coeff > 0:
+            if not math.isfinite(lb[j]):
+                return None
+            x[j] = lb[j]
+        elif coeff < 0:
+            if not math.isfinite(ub[j]):
+                return None
+            x[j] = ub[j]
+        else:
+            x[j] = lb[j] if math.isfinite(lb[j]) else (ub[j] if math.isfinite(ub[j]) else 0.0)
+    return x
+
+
+class _BoundedSimplex:
+    """Two-phase revised simplex over ``A x = b, lb <= x <= ub``."""
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        max_iterations: Optional[int],
+    ) -> None:
+        self.m, self.n = a.shape
+        self.lb = lb
+        self.ub = ub
+        self.max_iterations = max_iterations or max(
+            5000, _MAX_ITER_FACTOR * (self.m + self.n)
+        )
+        # Start every structural variable at a finite bound (0 for free vars).
+        self.xn = np.where(
+            np.isfinite(lb), lb, np.where(np.isfinite(ub), ub, 0.0)
+        )
+        self.status_flags = np.where(
+            np.isfinite(lb), _AT_LOWER, np.where(np.isfinite(ub), _AT_UPPER, _AT_LOWER)
+        ).astype(np.int8)
+
+        residual = b - a @ self.xn
+        # One artificial per row, signed so its value is |residual| >= 0.
+        art_cols = np.zeros((self.m, self.m))
+        for i in range(self.m):
+            art_cols[i, i] = 1.0 if residual[i] >= 0 else -1.0
+        self.a = np.hstack([a, art_cols])
+        self.b = b
+        self.lb = np.concatenate([lb, np.zeros(self.m)])
+        self.ub = np.concatenate([ub, np.full(self.m, math.inf)])
+        self.xn = np.concatenate([self.xn, np.abs(residual)])
+        self.status_flags = np.concatenate(
+            [self.status_flags, np.full(self.m, _BASIC, dtype=np.int8)]
+        )
+        self.basis = list(range(self.n, self.n + self.m))
+        self.n_total = self.n + self.m
+        self.n_structural = self.n
+
+    # -- main driver ---------------------------------------------------------
+
+    def solve(self, c_structural: np.ndarray):
+        iterations = 0
+        # Phase 1: minimize sum of artificials.
+        c1 = np.zeros(self.n_total)
+        c1[self.n_structural :] = 1.0
+        status, it1 = self._optimize(c1)
+        iterations += it1
+        if status is not LPStatus.OPTIMAL and status is not LPStatus.UNBOUNDED:
+            return status, iterations
+        phase1_obj = float(c1 @ self._values())
+        if phase1_obj > _FEAS_TOL * max(1.0, np.abs(self.b).max(initial=1.0)):
+            return LPStatus.INFEASIBLE, iterations
+        # Pin artificials at zero so they never re-enter.
+        self.ub[self.n_structural :] = 0.0
+        self._evict_artificials()
+
+        # Phase 2: real objective on structural columns only.
+        c2 = np.zeros(self.n_total)
+        c2[: self.n_structural] = c_structural
+        status, it2 = self._optimize(c2)
+        iterations += it2
+        return status, iterations
+
+    def solution(self) -> np.ndarray:
+        return self._values()[: self.n_structural]
+
+    # -- internals ---------------------------------------------------------
+
+    def _values(self) -> np.ndarray:
+        values = self.xn.copy()
+        basis_matrix = self.a[:, self.basis]
+        rhs = self.b - self.a @ np.where(self.status_flags == _BASIC, 0.0, self.xn)
+        xb = np.linalg.solve(basis_matrix, rhs)
+        for pos, var in enumerate(self.basis):
+            values[var] = xb[pos]
+        return values
+
+    def _evict_artificials(self) -> None:
+        """Pivot basic artificials (at value ~0) out of the basis when possible."""
+        for pos in range(self.m):
+            var = self.basis[pos]
+            if var < self.n_structural:
+                continue
+            basis_matrix = self.a[:, self.basis]
+            try:
+                binv_row = np.linalg.solve(basis_matrix.T, _unit(self.m, pos))
+            except np.linalg.LinAlgError:
+                continue
+            # Find a structural nonbasic column with a nonzero pivot element.
+            for j in range(self.n_structural):
+                if self.status_flags[j] == _BASIC:
+                    continue
+                pivot = binv_row @ self.a[:, j]
+                if abs(pivot) > 1e-7:
+                    self._pivot(entering=j, leaving_pos=pos, t=0.0, entering_to=None)
+                    break
+
+    def _optimize(self, c: np.ndarray):
+        from scipy.linalg import lu_factor, lu_solve
+
+        iteration = 0
+        while iteration < self.max_iterations:
+            basis_matrix = self.a[:, self.basis]
+            nonbasic_contrib = np.where(self.status_flags == _BASIC, 0.0, self.xn)
+            rhs = self.b - self.a @ nonbasic_contrib
+            try:
+                # One LU factorization serves all three solves this iteration.
+                lu = lu_factor(basis_matrix)
+                xb = lu_solve(lu, rhs)
+                y = lu_solve(lu, c[self.basis], trans=1)
+            except (np.linalg.LinAlgError, ValueError):
+                return LPStatus.INFEASIBLE, iteration
+            reduced = c - y @ self.a
+
+            use_bland = iteration > _BLAND_AFTER
+            entering = self._price(reduced, use_bland)
+            if entering is None:
+                return LPStatus.OPTIMAL, iteration
+
+            if not math.isfinite(self.lb[entering]) and not math.isfinite(
+                self.ub[entering]
+            ):
+                # Free nonbasic variable: move against its reduced cost.
+                direction = -1.0 if reduced[entering] > 0 else 1.0
+            else:
+                direction = 1.0 if self.status_flags[entering] == _AT_LOWER else -1.0
+            col = lu_solve(lu, self.a[:, entering]) * direction
+
+            # Ratio test: basic variables hitting bounds, or the entering
+            # variable flipping to its opposite bound.
+            limit = self.ub[entering] - self.lb[entering]
+            best_t = limit
+            leaving_pos = None
+            leaving_to = None
+            for pos in range(self.m):
+                if col[pos] > _TOL:
+                    bound = self.lb[self.basis[pos]]
+                    if not math.isfinite(bound):
+                        continue
+                    t = max(0.0, (xb[pos] - bound) / col[pos])
+                    to = _AT_LOWER
+                elif col[pos] < -_TOL:
+                    bound = self.ub[self.basis[pos]]
+                    if not math.isfinite(bound):
+                        continue
+                    t = max(0.0, (bound - xb[pos]) / (-col[pos]))
+                    to = _AT_UPPER
+                else:
+                    continue
+                if t < best_t - _TOL:
+                    best_t, leaving_pos, leaving_to = t, pos, to
+                elif abs(t - best_t) <= _TOL and leaving_pos is not None:
+                    # Tie-break: Bland picks the smallest variable index to
+                    # guarantee termination; otherwise keep the first hit.
+                    if use_bland and self.basis[pos] < self.basis[leaving_pos]:
+                        best_t, leaving_pos, leaving_to = t, pos, to
+                elif leaving_pos is None and t <= best_t + _TOL:
+                    best_t, leaving_pos, leaving_to = t, pos, to
+
+            if leaving_pos is None and not math.isfinite(best_t):
+                return LPStatus.UNBOUNDED, iteration
+
+            best_t = max(best_t, 0.0)
+            if leaving_pos is None:
+                # Bound flip: entering variable jumps to its other bound.
+                self.status_flags[entering] = (
+                    _AT_UPPER if self.status_flags[entering] == _AT_LOWER else _AT_LOWER
+                )
+                self.xn[entering] = (
+                    self.ub[entering]
+                    if self.status_flags[entering] == _AT_UPPER
+                    else self.lb[entering]
+                )
+            else:
+                self._pivot(entering, leaving_pos, best_t * direction, leaving_to)
+            iteration += 1
+        return LPStatus.ITERATION_LIMIT, iteration
+
+    def _price(self, reduced: np.ndarray, use_bland: bool) -> Optional[int]:
+        """Pick the entering variable (Dantzig, or Bland when anti-cycling)."""
+        best = None
+        best_score = _TOL
+        for j in range(self.n_total):
+            flag = self.status_flags[j]
+            if flag == _BASIC:
+                continue
+            if self.lb[j] == self.ub[j]:
+                continue  # fixed variable can never improve
+            score = 0.0
+            free = not math.isfinite(self.lb[j]) and not math.isfinite(self.ub[j])
+            if free and abs(reduced[j]) > _TOL:
+                # A free nonbasic variable improves in either direction.
+                score = abs(reduced[j])
+            elif flag == _AT_LOWER and reduced[j] < -_TOL:
+                score = -reduced[j]
+            elif flag == _AT_UPPER and reduced[j] > _TOL:
+                score = reduced[j]
+            if score > _TOL:
+                if use_bland:
+                    return j
+                if score > best_score:
+                    best_score = score
+                    best = j
+        return best
+
+    def _pivot(
+        self,
+        entering: int,
+        leaving_pos: int,
+        t: float,
+        entering_to: Optional[int],
+    ) -> None:
+        """Swap ``entering`` into the basis at row ``leaving_pos``.
+
+        ``t`` is the signed step of the entering variable from its resting
+        bound; ``entering_to`` is the bound status the *leaving* variable
+        lands on (None when evicting a zero-valued artificial in place).
+        """
+        leaving = self.basis[leaving_pos]
+        start = self.xn[entering]
+        self.basis[leaving_pos] = entering
+        self.status_flags[entering] = _BASIC
+        self.xn[entering] = start + t
+        if entering_to is None:
+            # Artificial eviction at degenerate step: leaving var rests at 0.
+            self.status_flags[leaving] = _AT_LOWER
+            self.xn[leaving] = self.lb[leaving] if math.isfinite(self.lb[leaving]) else 0.0
+        else:
+            self.status_flags[leaving] = entering_to
+            self.xn[leaving] = (
+                self.lb[leaving] if entering_to == _AT_LOWER else self.ub[leaving]
+            )
+
+
+def _unit(size: int, index: int) -> np.ndarray:
+    vec = np.zeros(size)
+    vec[index] = 1.0
+    return vec

@@ -1,0 +1,157 @@
+"""Solver front-end: dispatch a model to a MILP backend and wrap the result.
+
+Backends
+--------
+``"bnb"``
+    The from-scratch branch-and-bound of :mod:`repro.ilp.branch_and_bound`
+    over the from-scratch simplex. No third-party optimizer involved.
+``"scipy"``
+    scipy's bundled HiGHS MILP (closest available stand-in for the paper's
+    CPLEX).
+``"auto"``
+    HiGHS when available and the model is large; otherwise branch-and-bound.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .branch_and_bound import BnBOptions, BnBStats, MilpOutcome, solve_milp
+from .expr import LinExpr, Var
+from .model import Model
+from .scipy_backend import scipy_milp_available, solve_with_scipy
+
+__all__ = ["SolveResult", "Status", "solve"]
+
+# Model sizes above which "auto" prefers the HiGHS backend.
+_AUTO_SCIPY_VARS = 60
+_AUTO_SCIPY_CONSTRS = 150
+
+
+class Status:
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    LIMIT = "limit"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a model solve.
+
+    ``objective`` is reported in the model's own sense (flipped back for
+    maximization). ``values`` maps every model variable to its value; integer
+    variables are snapped to exact integers.
+    """
+
+    status: str
+    objective: float
+    values: Dict[Var, float] = field(default_factory=dict)
+    backend: str = ""
+    wall_time: float = 0.0
+    stats: BnBStats = field(default_factory=BnBStats)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == Status.OPTIMAL
+
+    def __getitem__(self, key) -> float:
+        if isinstance(key, Var):
+            return self.values[key]
+        if isinstance(key, LinExpr):
+            return key.value(self.values)
+        raise KeyError(key)
+
+    def value(self, expr) -> float:
+        """Evaluate a variable or expression under this solution."""
+        return self[expr]
+
+
+def solve(
+    model: Model,
+    backend: str = "auto",
+    time_limit: Optional[float] = None,
+    mip_rel_gap: Optional[float] = None,
+    use_presolve: bool = False,
+    options: Optional[BnBOptions] = None,
+) -> SolveResult:
+    """Solve ``model`` and return a :class:`SolveResult`.
+
+    ``use_presolve`` applies the safe reductions of
+    :mod:`repro.ilp.presolve` before dispatching (HiGHS presolves
+    internally anyway; this mainly helps the from-scratch backend).
+    """
+    start = time.perf_counter()
+    form = model.to_matrix_form()
+
+    if form.num_vars == 0:
+        # Degenerate model: every row's lhs is the constant 0.
+        feasible = all(
+            (0.0 <= rhs + 1e-9 if sense == "<=" else
+             0.0 >= rhs - 1e-9 if sense == ">=" else abs(rhs) <= 1e-9)
+            for sense, rhs in zip(form.senses, form.b)
+        )
+        outcome = MilpOutcome(
+            "optimal" if feasible else "infeasible",
+            0.0 if feasible else math.inf,
+            np.zeros(0) if feasible else None,
+        )
+        return _wrap(model, form, outcome, "const", time.perf_counter() - start)
+
+    chosen = backend
+    if backend == "auto":
+        big = form.num_vars > _AUTO_SCIPY_VARS or form.num_constrs > _AUTO_SCIPY_CONSTRS
+        chosen = "scipy" if big and scipy_milp_available() else "bnb"
+
+    if chosen == "scipy":
+        def run(f):
+            return solve_with_scipy(f, time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+    elif chosen == "bnb":
+        opts = options or BnBOptions()
+        if time_limit is not None:
+            opts.time_limit = time_limit
+        if mip_rel_gap is not None:
+            opts.gap = mip_rel_gap
+
+        def run(f):
+            return solve_milp(f, opts)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    if use_presolve:
+        from .presolve import apply_presolve
+
+        outcome = apply_presolve(form, run)
+    else:
+        outcome = run(form)
+
+    wall = time.perf_counter() - start
+    return _wrap(model, form, outcome, chosen, wall)
+
+
+def _wrap(model: Model, form, outcome: MilpOutcome, backend: str, wall: float) -> SolveResult:
+    values: Dict[Var, float] = {}
+    objective = outcome.objective
+    if outcome.x is not None:
+        x = np.asarray(outcome.x, dtype=float)
+        for var in form.variables:
+            val = float(x[var.index])
+            if var.is_integer:
+                val = float(round(val))
+            values[var] = val
+        objective = model.objective.value(values)
+    elif math.isfinite(objective) and model.sense == "max":
+        objective = -objective
+    return SolveResult(
+        status=outcome.status,
+        objective=objective,
+        values=values,
+        backend=backend,
+        wall_time=wall,
+        stats=outcome.stats,
+    )

@@ -1,0 +1,93 @@
+"""Reliability analysis: exact K-terminal engines and the approximate algebra.
+
+Implements the RELANALYSIS routine of Algorithm 1 (four cross-checking exact
+engines plus a Monte-Carlo oracle) and the approximate reliability algebra
+of §IV-A (eq. 7 with the Theorem 2 error bound).
+"""
+
+from .approx import (
+    ApproxReliability,
+    approximate_failure,
+    approximate_failure_from_link,
+    single_path_failure,
+    theorem2_bound,
+)
+from .bdd import BDD
+from .bounds import ReliabilityBounds, rare_event_estimate, reliability_bounds
+from .events import (
+    ReliabilityProblem,
+    graph_with_edge_failures,
+    path_failure_probability,
+    problem_from_architecture,
+)
+from .exact import (
+    bdd_variable_order,
+    cross_check,
+    failure_probability,
+    failure_probability_bdd,
+    sink_failure_probabilities,
+    worst_case_failure,
+)
+from .factoring import failure_probability_factoring
+from .fault_tree import (
+    BasicEvent,
+    FaultTree,
+    Gate,
+    fault_tree_from_architecture,
+    fault_tree_from_problem,
+)
+from .importance import (
+    ComponentImportance,
+    importance_measures,
+    ranked_importance,
+)
+from .inclusion_exclusion import connectivity_probability_ie, failure_probability_ie
+from .mission import MissionReliability, mission_reliability, rate_to_probability
+from .montecarlo import MonteCarloEstimate, failure_probability_mc
+from .pathsets import minimal_cut_sets, minimal_path_sets
+from .polynomial import FailurePolynomial, failure_polynomial
+from .sdp import connectivity_probability_sdp, failure_probability_sdp
+
+__all__ = [
+    "ApproxReliability",
+    "BDD",
+    "BasicEvent",
+    "FaultTree",
+    "Gate",
+    "ComponentImportance",
+    "FailurePolynomial",
+    "MissionReliability",
+    "MonteCarloEstimate",
+    "ReliabilityBounds",
+    "ReliabilityProblem",
+    "approximate_failure",
+    "approximate_failure_from_link",
+    "bdd_variable_order",
+    "connectivity_probability_ie",
+    "connectivity_probability_sdp",
+    "cross_check",
+    "failure_probability",
+    "failure_probability_bdd",
+    "failure_probability_factoring",
+    "failure_probability_ie",
+    "failure_probability_mc",
+    "failure_probability_sdp",
+    "fault_tree_from_architecture",
+    "fault_tree_from_problem",
+    "failure_polynomial",
+    "graph_with_edge_failures",
+    "importance_measures",
+    "minimal_cut_sets",
+    "minimal_path_sets",
+    "mission_reliability",
+    "path_failure_probability",
+    "problem_from_architecture",
+    "ranked_importance",
+    "rare_event_estimate",
+    "reliability_bounds",
+    "rate_to_probability",
+    "single_path_failure",
+    "sink_failure_probabilities",
+    "theorem2_bound",
+    "worst_case_failure",
+]

@@ -1,0 +1,140 @@
+"""Approximate reliability algebra (§IV-A of the paper).
+
+For a functional link ``F_i``, the failure probability is approximated by
+
+    r~_i = sum_{j in I_i} h_ij * p_j ** h_ij                       (eq. 7)
+
+where ``I_i`` is the set of component types that *jointly implement* the
+link (every path crosses the type — a type-level cut set), ``h_ij`` is the
+type's *degree of redundancy* (distinct components of the type used on
+reduced paths), and ``p_j`` the type failure probability.
+
+Theorem 2 bounds the optimism:  ``r~ / r >= m * f / M_f`` with ``m = |I|``,
+``f = |F|`` and ``M_f = prod_paths |mu|``. We interpret ``|mu|`` as the node
+count of the path, which is the reading consistent with Example 1 (see
+EXPERIMENTS.md); the property-based test suite checks the bound on random
+architectures under this interpretation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch.paths import FunctionalLink, functional_link
+from .events import problem_from_architecture
+
+__all__ = [
+    "ApproxReliability",
+    "approximate_failure",
+    "approximate_failure_from_link",
+    "theorem2_bound",
+    "single_path_failure",
+]
+
+
+@dataclass
+class ApproxReliability:
+    """Result of evaluating eq. 7 on one functional link."""
+
+    sink: str
+    r_tilde: float
+    redundancy: Dict[str, int]  # h_ij per jointly implementing type j
+    type_probs: Dict[str, float]  # p_j per type
+    num_paths: int  # f = |F|
+    bound_ratio: float  # m * f / M_f of Theorem 2
+
+    @property
+    def jointly_implementing(self) -> List[str]:
+        return sorted(self.redundancy)
+
+    def term(self, ctype: str) -> float:
+        """Contribution ``h * p^h`` of a single type."""
+        h = self.redundancy[ctype]
+        p = self.type_probs[ctype]
+        return h * p**h
+
+    def guaranteed_upper_bound(self, r_exact: float) -> bool:
+        """Check Theorem 2 against an exactly computed ``r``."""
+        if r_exact == 0.0:
+            return True
+        return self.r_tilde / r_exact >= self.bound_ratio - 1e-12
+
+
+def theorem2_bound(link: FunctionalLink) -> float:
+    """``m * f / M_f`` — the worst-case optimism ratio of eq. 8."""
+    if not link.paths:
+        return 0.0
+    m = len(link.jointly_implementing_types())
+    f = link.num_paths
+    big_m = 1.0
+    for path in link.paths:
+        big_m *= len(path)
+    return m * f / big_m
+
+
+def approximate_failure_from_link(
+    link: FunctionalLink, type_probs: Dict[str, float]
+) -> ApproxReliability:
+    """Evaluate eq. 7 given a functional link and per-type probabilities."""
+    redundancy = link.redundancy_profile()
+    r_tilde = 0.0
+    probs: Dict[str, float] = {}
+    for ctype, h in redundancy.items():
+        p = type_probs.get(ctype, 0.0)
+        probs[ctype] = p
+        r_tilde += h * p**h
+    return ApproxReliability(
+        sink=link.sink,
+        r_tilde=r_tilde,
+        redundancy=redundancy,
+        type_probs=probs,
+        num_paths=link.num_paths,
+        bound_ratio=theorem2_bound(link),
+    )
+
+
+def approximate_failure(arch, sink: str) -> ApproxReliability:
+    """Evaluate eq. 7 on an architecture's functional link to ``sink``.
+
+    The per-type probability ``p_j`` is the maximum failure probability of
+    the type's components appearing on the link (the paper assumes instances
+    of a type share one probability; the max keeps mixed libraries
+    conservative).
+    """
+    problem = problem_from_architecture(arch, sink)
+    link = functional_link(problem.graph, list(problem.sources), sink)
+    type_probs: Dict[str, float] = {}
+    for node in link.nodes():
+        ctype = link.type_of[node]
+        p = float(problem.graph.nodes[node]["p"])
+        type_probs[ctype] = max(type_probs.get(ctype, 0.0), p)
+    if not link.paths:
+        # Disconnected sink: certain failure; the algebra degenerates.
+        return ApproxReliability(
+            sink=sink,
+            r_tilde=1.0,
+            redundancy={},
+            type_probs={},
+            num_paths=0,
+            bound_ratio=0.0,
+        )
+    return approximate_failure_from_link(link, type_probs)
+
+
+def single_path_failure(arch, sink: str) -> float:
+    """``rho``: failure probability of one (shortest) source->sink path.
+
+    LEARNCONS's ESTPATH uses this to estimate the number of additional
+    redundant paths ``k = floor(log(r*/r) / log(rho))`` (§III-A).
+    """
+    problem = problem_from_architecture(arch, sink)
+    link = functional_link(problem.graph, list(problem.sources), sink)
+    if not link.paths:
+        return 1.0
+    shortest = min(link.paths, key=len)
+    up = 1.0
+    for node in shortest:
+        up *= 1.0 - float(problem.graph.nodes[node]["p"])
+    return 1.0 - up

@@ -1,0 +1,139 @@
+"""Failure model and reliability problem definition (§II of the paper).
+
+The paper's failure semantics: every component ``i`` fails independently
+with probability ``p_i`` (event ``P_i``); a failed component cannot be
+recovered and its adjacent links become unusable; the *system failure*
+``R_i`` at sink ``i`` (eq. 5) is the event that no all-working directed path
+connects any source to the sink — including the sink's own failure
+(Example 1 includes ``p_L``).
+
+Edges may also carry failure probabilities (the general library of §II
+permits it); :func:`graph_with_edge_failures` reduces edge failures to node
+failures by splicing a virtual node into each unreliable edge, so all the
+exact engines only ever reason about node failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "ReliabilityProblem",
+    "graph_with_edge_failures",
+    "path_failure_probability",
+    "problem_from_architecture",
+]
+
+
+@dataclass
+class ReliabilityProblem:
+    """K-terminal (here: any-source-to-one-sink) reliability instance.
+
+    Attributes
+    ----------
+    graph:
+        Directed graph; each node must carry a ``p`` attribute — its
+        self-induced failure probability.
+    sources:
+        Nodes in the source partition ``Pi_1``.
+    sink:
+        The sink whose failure event ``R_i`` is quantified.
+    """
+
+    graph: nx.DiGraph
+    sources: Tuple[str, ...]
+    sink: str
+
+    def __post_init__(self) -> None:
+        self.sources = tuple(sorted(self.sources))
+        for node in self.graph.nodes:
+            p = self.graph.nodes[node].get("p")
+            if p is None:
+                raise ValueError(f"node {node!r} is missing failure probability 'p'")
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"node {node!r}: p={p} outside [0, 1]")
+        if self.sink not in self.graph:
+            raise ValueError(f"sink {self.sink!r} not in graph")
+
+    def failure_prob(self, node: str) -> float:
+        return float(self.graph.nodes[node]["p"])
+
+    def relevant_subgraph(self) -> nx.DiGraph:
+        """Restrict to nodes on some source->sink path (ancestors of the sink
+        intersected with descendants of any source). Irrelevant nodes cannot
+        influence the failure event and are dropped before analysis."""
+        if self.sink not in self.graph:
+            return nx.DiGraph()
+        ancestors = nx.ancestors(self.graph, self.sink) | {self.sink}
+        descendants = set()
+        for s in self.sources:
+            if s in self.graph:
+                descendants |= nx.descendants(self.graph, s) | {s}
+        keep = ancestors & descendants
+        return self.graph.subgraph(keep).copy()
+
+    def restricted(self) -> "ReliabilityProblem":
+        sub = self.relevant_subgraph()
+        sources = tuple(s for s in self.sources if s in sub)
+        if self.sink not in sub:
+            # Disconnected instance: keep the bare sink so engines can
+            # report certain failure.
+            sub = nx.DiGraph()
+            sub.add_node(self.sink, **self.graph.nodes[self.sink])
+        return ReliabilityProblem(sub, sources, self.sink)
+
+
+def graph_with_edge_failures(graph: nx.DiGraph) -> nx.DiGraph:
+    """Splice a virtual node into every edge carrying a nonzero ``p``.
+
+    The returned graph has only perfect edges; each unreliable edge
+    ``u -> v`` with probability ``q`` becomes ``u -> u@v -> v`` where the
+    virtual node ``u@v`` fails with probability ``q``.
+    """
+    out = nx.DiGraph()
+    out.add_nodes_from(graph.nodes(data=True))
+    for u, v, data in graph.edges(data=True):
+        q = float(data.get("p", 0.0))
+        if q <= 0.0:
+            out.add_edge(u, v)
+        else:
+            virtual = f"{u}@{v}"
+            if virtual in out:
+                raise ValueError(f"virtual node name collision for edge {u}->{v}")
+            out.add_node(virtual, p=q, ctype="contactor")
+            out.add_edge(u, virtual)
+            out.add_edge(virtual, v)
+    return out
+
+
+def path_failure_probability(graph: nx.DiGraph, path: Sequence[str]) -> float:
+    """``rho``: probability that at least one component on the path fails.
+
+    Used by ESTPATH in LEARNCONS (§III-A): with Table I values a
+    generator-to-load path gives ``rho ~= 8e-4``.
+    """
+    up = 1.0
+    for node in path:
+        up *= 1.0 - float(graph.nodes[node]["p"])
+    return 1.0 - up
+
+
+def problem_from_architecture(arch, sink: str) -> ReliabilityProblem:
+    """Build a reliability problem from an :class:`repro.arch.Architecture`.
+
+    Uses the expanded graph (same-type sibling shorthand resolved) and the
+    architecture's used sources.
+    """
+    graph = arch.expanded_graph()
+    if any(data.get("p", 0.0) > 0.0 for _, _, data in graph.edges(data=True)):
+        graph = graph_with_edge_failures(graph)
+    sources = tuple(s for s in arch.source_names() if s in graph)
+    if sink not in graph:
+        g = nx.DiGraph()
+        spec = arch.template.spec(arch.template.index_of(sink))
+        g.add_node(sink, p=spec.failure_prob, ctype=spec.ctype)
+        return ReliabilityProblem(g, (), sink)
+    return ReliabilityProblem(graph, sources, sink)

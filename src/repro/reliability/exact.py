@@ -1,0 +1,146 @@
+"""Front-end for exact reliability analysis (the paper's RELANALYSIS).
+
+``failure_probability`` computes the probability of the system failure
+event ``R_i`` of eq. 5 — the sink disconnected from every source — with a
+choice of exact engine:
+
+``"bdd"`` (default)
+    Minimal path sets compiled to an ROBDD, failure probability read off the
+    0-terminal (no subtractive cancellation; exact at r ~ 1e-11 and below).
+``"factoring"``
+    Shannon factoring on the graph with relevance reduction.
+``"sdp"``
+    Abraham's sum of disjoint products over minimal path sets.
+``"ie"``
+    Inclusion-exclusion oracle (small instances only).
+
+The paper notes "any other exact reliability analysis method can also be
+used" — all four agree to within floating-point rounding, and the test
+suite enforces that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .bdd import BDD
+from .events import ReliabilityProblem, problem_from_architecture
+from .factoring import failure_probability_factoring
+from .inclusion_exclusion import failure_probability_ie
+from .pathsets import minimal_path_sets
+from .sdp import failure_probability_sdp
+
+__all__ = [
+    "failure_probability",
+    "failure_probability_bdd",
+    "sink_failure_probabilities",
+    "worst_case_failure",
+    "cross_check",
+    "bdd_variable_order",
+]
+
+
+def bdd_variable_order(problem: ReliabilityProblem) -> List[str]:
+    """Variable order for the connectivity BDD.
+
+    Orders components by (shortest hop distance to the sink, name): nodes
+    close to the sink sit near the root. On layered architectures this keeps
+    the BDD within a few nodes per layer crossing.
+    """
+    restricted = problem.restricted()
+    graph = restricted.graph
+    if restricted.sink not in graph:
+        return sorted(graph.nodes)
+    reverse = graph.reverse(copy=False)
+    dist = nx.single_source_shortest_path_length(reverse, restricted.sink)
+    return sorted(graph.nodes, key=lambda n: (dist.get(n, len(graph)), n))
+
+
+def failure_probability_bdd(problem: ReliabilityProblem) -> float:
+    restricted = problem.restricted()
+    paths = minimal_path_sets(restricted)
+    if not paths:
+        return 1.0
+    order = bdd_variable_order(restricted)
+    bdd = BDD(order)
+    root = bdd.from_path_sets(paths)
+    up_prob = {
+        n: 1.0 - restricted.failure_prob(n) for n in restricted.graph.nodes
+    }
+    return bdd.prob_zero(root, up_prob)
+
+
+_ENGINES: Dict[str, Callable[[ReliabilityProblem], float]] = {
+    "bdd": failure_probability_bdd,
+    "factoring": failure_probability_factoring,
+    "sdp": failure_probability_sdp,
+    "ie": failure_probability_ie,
+}
+
+
+def failure_probability(
+    target,
+    sink: Optional[str] = None,
+    method: str = "bdd",
+) -> float:
+    """Failure probability of a sink.
+
+    ``target`` is either a :class:`ReliabilityProblem` or an
+    :class:`repro.arch.Architecture` (in which case ``sink`` is required and
+    the expanded graph is analyzed).
+    """
+    if isinstance(target, ReliabilityProblem):
+        problem = target
+    else:
+        if sink is None:
+            raise ValueError("sink is required when analyzing an architecture")
+        problem = problem_from_architecture(target, sink)
+    try:
+        engine = _ENGINES[method]
+    except KeyError:
+        raise ValueError(f"unknown reliability method {method!r}") from None
+    return engine(problem)
+
+
+def sink_failure_probabilities(
+    arch,
+    sinks: Optional[Iterable[str]] = None,
+    method: str = "bdd",
+) -> Dict[str, float]:
+    """``r_i`` for each sink of interest of an architecture."""
+    names = list(sinks) if sinks is not None else arch.sink_names()
+    return {s: failure_probability(arch, sink=s, method=method) for s in names}
+
+
+def worst_case_failure(
+    arch,
+    sinks: Optional[Iterable[str]] = None,
+    method: str = "bdd",
+) -> Tuple[float, str]:
+    """The worst-case ``r`` over the sinks of interest (Algorithm 1's r)."""
+    probs = sink_failure_probabilities(arch, sinks, method)
+    if not probs:
+        raise ValueError("architecture has no sinks to analyze")
+    sink = max(probs, key=lambda s: (probs[s], s))
+    return probs[sink], sink
+
+
+def cross_check(
+    problem: ReliabilityProblem,
+    methods: Iterable[str] = ("bdd", "factoring", "sdp"),
+    tol: float = 1e-9,
+) -> Dict[str, float]:
+    """Run several exact engines and assert they agree within ``tol``.
+
+    Returns the per-engine values; raises AssertionError on disagreement.
+    """
+    values = {m: _ENGINES[m](problem) for m in methods}
+    items = sorted(values.items())
+    for (name_a, val_a), (name_b, val_b) in zip(items, items[1:]):
+        if abs(val_a - val_b) > tol * max(1.0, abs(val_a)):
+            raise AssertionError(
+                f"exact engines disagree: {name_a}={val_a!r} vs {name_b}={val_b!r}"
+            )
+    return values

@@ -1,0 +1,92 @@
+"""Exact reliability by Shannon factoring on the graph.
+
+The classical factoring (pivotal decomposition) algorithm for K-terminal
+reliability: pick an imperfect component ``v`` on some source->sink path and
+condition —
+
+``r = p_v * r(G with v failed) + (1 - p_v) * r(G with v perfect)``
+
+with two graph simplifications applied at every step: restriction to the
+relevant subgraph (nodes on some source->sink path) and termination when
+either the sink is disconnected (failure certain) or a fully perfect path
+exists (failure impossible through this conditioning branch... except for
+imperfect components elsewhere — handled by the relevance restriction).
+
+Memoized on the canonical (alive nodes, perfect nodes) pair, which lets
+redundant EPS architectures with many isomorphic branches fold together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+import networkx as nx
+
+from .events import ReliabilityProblem
+
+__all__ = ["failure_probability_factoring"]
+
+
+def failure_probability_factoring(problem: ReliabilityProblem) -> float:
+    """``r_i``: probability the sink is cut off from every source (eq. 5)."""
+    restricted = problem.restricted()
+    graph = restricted.graph
+    sources = frozenset(restricted.sources)
+    sink = restricted.sink
+    p_of = {n: float(graph.nodes[n]["p"]) for n in graph.nodes}
+    memo: Dict[Tuple[FrozenSet[str], FrozenSet[str]], float] = {}
+
+    def relevant(alive: FrozenSet[str]) -> FrozenSet[str]:
+        sub = graph.subgraph(alive)
+        if sink not in sub:
+            return frozenset()
+        ancestors = nx.ancestors(sub, sink) | {sink}
+        descendants: Set[str] = set()
+        for s in sources & alive:
+            descendants |= nx.descendants(sub, s)
+            descendants.add(s)
+        return frozenset(ancestors & descendants)
+
+    def perfect_path_exists(alive: FrozenSet[str], perfect: FrozenSet[str]) -> bool:
+        """Is there a source->sink path using only perfect nodes?"""
+        usable = alive & perfect
+        if sink not in usable:
+            return False
+        sub = graph.subgraph(usable)
+        return any(
+            s in usable and nx.has_path(sub, s, sink) for s in sources
+        )
+
+    def solve(alive: FrozenSet[str], perfect: FrozenSet[str]) -> float:
+        alive = relevant(alive)
+        if sink not in alive or not (sources & alive):
+            return 1.0
+        perfect = perfect & alive
+        if perfect_path_exists(alive, perfect):
+            return 0.0
+        key = (alive, perfect)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+
+        # Pivot: the imperfect alive node with the largest failure
+        # probability (a good heuristic: it splits the probability mass).
+        candidates = [n for n in alive if n not in perfect and p_of[n] > 0.0]
+        if not candidates:
+            # Everything relevant is perfect but no perfect path exists:
+            # can only happen when perfection hasn't been propagated; treat
+            # connectivity directly.
+            value = 0.0 if perfect_path_exists(alive, alive) else 1.0
+            memo[key] = value
+            return value
+        pivot = max(candidates, key=lambda n: (p_of[n], n))
+        p = p_of[pivot]
+        failed_branch = solve(alive - {pivot}, perfect)
+        perfect_branch = solve(alive, perfect | {pivot})
+        value = p * failed_branch + (1.0 - p) * perfect_branch
+        memo[key] = value
+        return value
+
+    all_alive = frozenset(graph.nodes)
+    start_perfect = frozenset(n for n in graph.nodes if p_of[n] == 0.0)
+    return solve(all_alive, start_perfect)

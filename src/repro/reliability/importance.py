@@ -1,0 +1,124 @@
+"""Component importance measures for synthesized architectures.
+
+Once ILP-MR/ILP-AR produce an architecture, a designer's next question is
+*which component dominates the residual failure probability* — the lever
+for targeted upgrades (the design-space exploration the paper's ARCHEX
+prototype motivates). This module computes the classical measures on top
+of the exact BDD engine:
+
+* **Birnbaum importance** ``I_B(i) = P(fail | i down) - P(fail | i up)`` —
+  the sensitivity ``d r / d p_i``;
+* **criticality importance** ``I_C(i) = I_B(i) * p_i / r`` — the fraction
+  of system failure probability attributable to ``i`` failing *and* being
+  pivotal;
+* **improvement potential** ``IP(i) = r - P(fail | i up)`` — how much the
+  failure probability drops if ``i`` were made perfect;
+* **Fussell-Vesely** ``I_FV(i) ~= P(some min cut containing i fails) / r``
+  (rare-event approximation over minimal cut sets).
+
+All conditional probabilities are exact BDD evaluations with the
+component's up-probability pinned to 0 or 1 — no resampling, no
+re-enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .bdd import BDD
+from .events import ReliabilityProblem
+from .exact import bdd_variable_order
+from .pathsets import minimal_cut_sets, minimal_path_sets
+
+__all__ = ["ComponentImportance", "importance_measures", "ranked_importance"]
+
+
+@dataclass
+class ComponentImportance:
+    """All measures for one component."""
+
+    component: str
+    failure_prob: float
+    birnbaum: float
+    criticality: float
+    improvement_potential: float
+    fussell_vesely: float
+
+    def __repr__(self) -> str:
+        return (
+            f"ComponentImportance({self.component!r}, I_B={self.birnbaum:.3e}, "
+            f"I_C={self.criticality:.3e}, IP={self.improvement_potential:.3e}, "
+            f"I_FV={self.fussell_vesely:.3e})"
+        )
+
+
+def importance_measures(problem: ReliabilityProblem) -> Dict[str, ComponentImportance]:
+    """Exact importance measures for every imperfect component.
+
+    Components with ``p = 0`` are skipped (their Birnbaum importance may
+    still be nonzero, but they are not upgrade candidates).
+    """
+    restricted = problem.restricted()
+    paths = minimal_path_sets(restricted)
+    graph = restricted.graph
+    relevant = sorted({n for s in paths for n in s}) if paths else []
+
+    if not paths:
+        return {}
+
+    order = bdd_variable_order(restricted)
+    bdd = BDD(order)
+    root = bdd.from_path_sets(paths)
+    up_prob = {n: 1.0 - restricted.failure_prob(n) for n in graph.nodes}
+    r = bdd.prob_zero(root, up_prob)
+
+    cuts = minimal_cut_sets(restricted)
+
+    results: Dict[str, ComponentImportance] = {}
+    for node in relevant:
+        p = restricted.failure_prob(node)
+        if p <= 0.0:
+            continue
+        pinned_down = dict(up_prob)
+        pinned_down[node] = 0.0
+        fail_given_down = bdd.prob_zero(root, pinned_down)
+        pinned_up = dict(up_prob)
+        pinned_up[node] = 1.0
+        fail_given_up = bdd.prob_zero(root, pinned_up)
+
+        birnbaum = fail_given_down - fail_given_up
+        criticality = birnbaum * p / r if r > 0 else 0.0
+        improvement = r - fail_given_up
+
+        # Rare-event FV: sum of cut-set failure probabilities through node.
+        fv_numerator = 0.0
+        for cut in cuts:
+            if node in cut:
+                prob = 1.0
+                for member in cut:
+                    prob *= restricted.failure_prob(member)
+                fv_numerator += prob
+        fussell_vesely = min(fv_numerator / r, 1.0) if r > 0 else 0.0
+
+        results[node] = ComponentImportance(
+            component=node,
+            failure_prob=p,
+            birnbaum=birnbaum,
+            criticality=criticality,
+            improvement_potential=improvement,
+            fussell_vesely=fussell_vesely,
+        )
+    return results
+
+
+def ranked_importance(
+    problem: ReliabilityProblem, measure: str = "birnbaum", top: Optional[int] = None
+) -> List[ComponentImportance]:
+    """Components sorted by a measure, most important first."""
+    valid = {"birnbaum", "criticality", "improvement_potential", "fussell_vesely"}
+    if measure not in valid:
+        raise ValueError(f"unknown measure {measure!r}; pick one of {sorted(valid)}")
+    values = list(importance_measures(problem).values())
+    values.sort(key=lambda ci: (-getattr(ci, measure), ci.component))
+    return values[:top] if top is not None else values

@@ -1,0 +1,137 @@
+"""Mission-time reliability: failure rates, R(t) curves, MTTF.
+
+The paper's conclusions list "impact of system dynamics" as future work;
+the standard first step is moving from fixed per-mission failure
+probabilities to exponential failure *rates*: a component with rate
+``lambda`` (per flight hour) fails within a mission of duration ``t`` with
+probability ``p(t) = 1 - exp(-lambda * t)``.
+
+Because the connectivity structure is fixed, the sink-failure BDD is built
+once and re-evaluated per time point — so full R(t) curves, mission-length
+limits and MTTF integrate in milliseconds even for redundant EPS
+architectures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .bdd import BDD
+from .events import ReliabilityProblem
+from .exact import bdd_variable_order
+from .pathsets import minimal_path_sets
+
+__all__ = [
+    "rate_to_probability",
+    "MissionReliability",
+    "mission_reliability",
+]
+
+
+def rate_to_probability(rate: float, duration: float) -> float:
+    """``p = 1 - exp(-rate * duration)`` for an exponential lifetime."""
+    if rate < 0 or duration < 0:
+        raise ValueError("rate and duration must be non-negative")
+    return -math.expm1(-rate * duration)
+
+
+@dataclass
+class MissionReliability:
+    """Time-parametric failure probability of one sink.
+
+    Built from a digraph whose nodes carry a ``rate`` attribute (failures
+    per unit time; 0 = never fails). The compiled BDD is cached, so
+    :meth:`failure_at` is a single linear pass per query.
+    """
+
+    graph: nx.DiGraph
+    sources: Tuple[str, ...]
+    sink: str
+
+    def __post_init__(self) -> None:
+        for node in self.graph.nodes:
+            if "rate" not in self.graph.nodes[node]:
+                raise ValueError(f"node {node!r} is missing a 'rate' attribute")
+        probe = self.graph.copy()
+        for node in probe.nodes:
+            probe.nodes[node]["p"] = 0.0
+        problem = ReliabilityProblem(probe, self.sources, self.sink).restricted()
+        self._paths = minimal_path_sets(problem)
+        self._order = bdd_variable_order(problem)
+        self._bdd = BDD(self._order)
+        self._root = self._bdd.from_path_sets(self._paths)
+        # restricted() may rebuild nodes; read rates from the original graph.
+        self._rates = {
+            n: float(self.graph.nodes[n]["rate"]) for n in problem.graph.nodes
+        }
+
+    @property
+    def is_connected(self) -> bool:
+        return bool(self._paths)
+
+    def failure_at(self, duration: float) -> float:
+        """P(sink failed by ``duration``)."""
+        if not self._paths:
+            return 1.0
+        up = {
+            n: math.exp(-rate * duration) for n, rate in self._rates.items()
+        }
+        return self._bdd.prob_zero(self._root, up)
+
+    def reliability_curve(
+        self, durations: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """``[(t, r(t)), ...]`` over the requested time grid."""
+        return [(t, self.failure_at(t)) for t in durations]
+
+    def max_mission_duration(
+        self, r_star: float, t_max: float = 1e7, tol: float = 1e-9
+    ) -> float:
+        """Longest duration with ``r(t) <= r*`` (0.0 when even t=0 fails).
+
+        Monotonicity of ``r(t)`` makes this a bisection.
+        """
+        if not self._paths:
+            return 0.0
+        if self.failure_at(0.0) > r_star:
+            return 0.0
+        if self.failure_at(t_max) <= r_star:
+            return t_max
+        lo, hi = 0.0, t_max
+        while hi - lo > tol * max(1.0, hi):
+            mid = 0.5 * (lo + hi)
+            if self.failure_at(mid) <= r_star:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def mttf(self, t_max: Optional[float] = None, points: int = 2000) -> float:
+        """Mean time to (sink) failure: ``integral of (1 - r(t)) dt``.
+
+        Integrates the survival function numerically on a geometric-ish
+        grid; ``t_max`` defaults to ~15 mean lifetimes of the weakest
+        relevant component, beyond which survival is negligible.
+        """
+        if not self._paths:
+            return 0.0
+        positive_rates = [r for r in self._rates.values() if r > 0]
+        if not positive_rates:
+            return math.inf  # nothing ever fails
+        if t_max is None:
+            t_max = 15.0 / min(positive_rates)
+        grid = np.linspace(0.0, t_max, points)
+        survival = np.array([1.0 - self.failure_at(t) for t in grid])
+        return float(np.trapezoid(survival, grid))
+
+
+def mission_reliability(
+    graph: nx.DiGraph, sources: Sequence[str], sink: str
+) -> MissionReliability:
+    """Convenience constructor mirroring :class:`ReliabilityProblem`."""
+    return MissionReliability(graph, tuple(sources), sink)

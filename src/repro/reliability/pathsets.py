@@ -1,0 +1,82 @@
+"""Minimal path sets for K-terminal reliability.
+
+A *path set* is the set of nodes on one simple source->sink path; the sink
+is connected iff at least one path set is fully working. Dropping
+non-minimal sets (supersets of other sets) is sound for coherent systems
+and shrinks every downstream engine's input.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+import networkx as nx
+
+from .events import ReliabilityProblem
+
+__all__ = ["minimal_path_sets", "minimal_cut_sets"]
+
+
+def minimal_path_sets(problem: ReliabilityProblem, cutoff: int | None = None) -> List[FrozenSet[str]]:
+    """Minimal node path sets from any source to the sink, sorted.
+
+    Returns an empty list when the sink is disconnected from every source
+    (certain failure). Sets are sorted by (size, sorted members) so all
+    engines see a deterministic order.
+    """
+    restricted = problem.restricted()
+    graph = restricted.graph
+    sets: set[FrozenSet[str]] = set()
+    for source in restricted.sources:
+        if source == restricted.sink:
+            sets.add(frozenset([source]))
+            continue
+        if source not in graph:
+            continue
+        for path in nx.all_simple_paths(graph, source, restricted.sink, cutoff=cutoff):
+            sets.add(frozenset(path))
+    minimal = [s for s in sets if not any(other < s for other in sets)]
+    minimal.sort(key=lambda s: (len(s), tuple(sorted(s))))
+    return minimal
+
+
+def minimal_cut_sets(problem: ReliabilityProblem, max_size: int | None = None) -> List[FrozenSet[str]]:
+    """Minimal node cut sets: node subsets whose joint failure disconnects
+    the sink from every source.
+
+    Computed by dualizing the minimal path sets (a cut must hit every path
+    set), i.e. enumerating minimal hitting sets. ``max_size`` truncates the
+    search for large systems; with the default None, the enumeration is
+    exact. The sink itself is always a (singleton) cut set when it can fail.
+    """
+    paths = minimal_path_sets(problem)
+    if not paths:
+        return [frozenset()]  # already disconnected: the empty cut suffices
+    universe = sorted({n for s in paths for n in s})
+    limit = max_size if max_size is not None else len(universe)
+
+    cuts: List[FrozenSet[str]] = []
+
+    def extend(partial: Tuple[str, ...], remaining: List[FrozenSet[str]], start: int) -> None:
+        if not remaining:
+            candidate = frozenset(partial)
+            if not any(c <= candidate for c in cuts):
+                cuts.append(candidate)
+            return
+        if len(partial) >= limit:
+            return
+        # Branch on the elements of the first un-hit path set.
+        target = min(remaining, key=lambda s: (len(s), tuple(sorted(s))))
+        for node in sorted(target):
+            if node in partial:
+                continue
+            new_partial = partial + (node,)
+            if any(c <= frozenset(new_partial) for c in cuts):
+                continue
+            new_remaining = [s for s in remaining if node not in s]
+            extend(new_partial, new_remaining, start)
+
+    extend((), list(paths), 0)
+    minimal = [c for c in cuts if not any(other < c for other in cuts)]
+    minimal.sort(key=lambda s: (len(s), tuple(sorted(s))))
+    return minimal

@@ -1,0 +1,114 @@
+"""Symbolic failure polynomials in a common failure probability ``p``.
+
+Example 1 of the paper compares the approximate algebra against the exact
+series expansion ``r_L = p + 9p^2 + O(p^3)``. This module computes such
+expansions *symbolically*: when every component fails with the same
+probability ``p``, the failure probability of a sink is a polynomial in
+``p``, and the BDD evaluation generalizes from numbers to truncated
+polynomial arithmetic — each edge weight ``p`` or ``1 - p`` becomes a
+coefficient array and products/sums truncate at the requested degree.
+
+The leading terms reveal the architecture's *structural* redundancy: the
+lowest nonzero degree is the size of the smallest cut, and its coefficient
+counts the minimal cuts of that size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .bdd import BDD
+from .events import ReliabilityProblem
+from .exact import bdd_variable_order
+from .pathsets import minimal_path_sets
+
+__all__ = ["FailurePolynomial", "failure_polynomial"]
+
+
+class FailurePolynomial:
+    """A polynomial ``sum_k coeffs[k] * p^k`` truncated at a fixed degree."""
+
+    def __init__(self, coeffs: Sequence[float]) -> None:
+        self.coeffs = np.asarray(coeffs, dtype=float)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def __call__(self, p: float) -> float:
+        """Evaluate at ``p`` (truncation error is O(p^{degree+1}))."""
+        return float(np.polynomial.polynomial.polyval(p, self.coeffs))
+
+    def coefficient(self, k: int) -> float:
+        return float(self.coeffs[k]) if k <= self.degree else 0.0
+
+    def leading_term(self) -> tuple:
+        """(degree, coefficient) of the lowest-order nonzero term."""
+        for k, c in enumerate(self.coeffs):
+            if abs(c) > 1e-9:
+                return (k, float(c))
+        return (self.degree + 1, 0.0)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{c:+g}*p^{k}" if k > 1 else ("+p" if c == 1 and k == 1 else f"{c:+g}*p^{k}")
+            for k, c in enumerate(self.coeffs)
+            if abs(c) > 1e-12
+        ]
+        body = " ".join(parts) if parts else "0"
+        return f"FailurePolynomial({body} + O(p^{self.degree + 1}))"
+
+
+def _poly_mul(a: np.ndarray, b: np.ndarray, degree: int) -> np.ndarray:
+    return np.convolve(a, b)[: degree + 1]
+
+
+def failure_polynomial(
+    problem: ReliabilityProblem, max_degree: int = 3
+) -> FailurePolynomial:
+    """Series expansion of the sink failure probability in a uniform ``p``.
+
+    Every *imperfect* component (nonzero ``p`` attribute) is treated as
+    failing with the same symbolic probability ``p``; perfect components
+    stay perfect. Exact up to (and including) ``p^max_degree``.
+    """
+    restricted = problem.restricted()
+    paths = minimal_path_sets(restricted)
+    if not paths:
+        coeffs = np.zeros(max_degree + 1)
+        coeffs[0] = 1.0
+        return FailurePolynomial(coeffs)
+
+    order = bdd_variable_order(restricted)
+    bdd = BDD(order)
+    root = bdd.from_path_sets(paths)
+
+    one = np.zeros(max_degree + 1)
+    one[0] = 1.0
+    zero = np.zeros(max_degree + 1)
+    p_poly = np.zeros(max_degree + 1)
+    if max_degree >= 1:
+        p_poly[1] = 1.0
+    q_poly = one - p_poly  # 1 - p
+
+    imperfect = {n for n in restricted.graph.nodes if restricted.failure_prob(n) > 0.0}
+    memo: Dict[int, np.ndarray] = {0: one.copy(), 1: zero.copy()}
+
+    def walk(node: int) -> np.ndarray:
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        level, low, high = bdd.nodes[node]
+        name = bdd.order[level]
+        if name in imperfect:
+            value = _poly_mul(q_poly, walk(high), max_degree) + _poly_mul(
+                p_poly, walk(low), max_degree
+            )
+        else:
+            value = walk(high)  # perfect component: always up
+        memo[node] = value
+        return value
+
+    return FailurePolynomial(walk(root))

@@ -1,0 +1,114 @@
+"""Operating conditions and condition-dependent adequacy requirements.
+
+§V states the power-flow requirement per *operating condition*: "the total
+power provided by the generators in each operating condition is greater
+than or equal to the total power required by the connected loads".
+:class:`OperatingCondition` names such a condition — some components
+unavailable (failed engine, maintenance), some loads sheddable — and
+:class:`AdequacyUnderConditions` emits one linear adequacy row per
+condition:
+
+    sum_{suppliers not unavailable} cap_i * delta_i  >=  sum demands of
+                                                         non-shed loads
+
+:class:`NMinusOneAdequacy` is the special case enumerating the
+single-supplier-out conditions automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..ilp import lin_sum
+from .spec import Requirement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .encoder import ArchitectureEncoder
+
+__all__ = ["OperatingCondition", "AdequacyUnderConditions", "standard_flight_conditions"]
+
+
+@dataclass(frozen=True)
+class OperatingCondition:
+    """A named operating condition.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("left engine out", "ground ops").
+    unavailable:
+        Component names whose capacity does not count in this condition.
+    shed_loads:
+        Load names whose demand is dropped (non-essential in this
+        condition).
+    """
+
+    name: str
+    unavailable: Sequence[str] = field(default_factory=tuple)
+    shed_loads: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "unavailable", tuple(self.unavailable))
+        object.__setattr__(self, "shed_loads", tuple(self.shed_loads))
+
+
+@dataclass
+class AdequacyUnderConditions(Requirement):
+    """Power adequacy must hold in every listed operating condition."""
+
+    conditions: Sequence[OperatingCondition]
+    margin: float = 0.0
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        for condition in self.conditions:
+            unavailable = set(condition.unavailable)
+            shed = set(condition.shed_loads)
+            for name in unavailable | shed:
+                t.index_of(name)  # raises KeyError on typos
+            supply_terms = [
+                t.spec(i).capacity * enc.delta[i]
+                for i in range(t.num_nodes)
+                if t.spec(i).capacity > 0 and t.name_of(i) not in unavailable
+            ]
+            demand = sum(
+                t.spec(i).demand
+                for i in range(t.num_nodes)
+                if t.spec(i).demand > 0 and t.name_of(i) not in shed
+            )
+            enc.model.add_constr(
+                lin_sum(supply_terms) >= demand + self.margin,
+                tag=f"req.condition.{condition.name}",
+            )
+
+
+def standard_flight_conditions(template) -> List[OperatingCondition]:
+    """A representative aircraft condition set for an EPS template:
+
+    * ``nominal`` — everything available;
+    * one ``<generator>-out`` condition per generator (the N-1 family);
+    * ``emergency`` — only the APU (when present) plus one generator per
+      side available, non-essential loads shed (loads with demand <= 10 kW
+      are treated as sheddable in this canned profile).
+    """
+    gens = [template.name_of(i) for i in template.nodes_of_type("generator")]
+    loads = [template.name_of(i) for i in template.nodes_of_type("load")]
+    sheddable = [
+        n for n in loads
+        if template.spec(template.index_of(n)).demand <= 10.0
+    ]
+    conditions = [OperatingCondition("nominal")]
+    for g in gens:
+        conditions.append(OperatingCondition(f"{g}-out", unavailable=(g,)))
+    non_apu = [g for g in gens if g != "APU"]
+    if len(non_apu) > 2:
+        keep = {non_apu[0], non_apu[-1]}
+        conditions.append(
+            OperatingCondition(
+                "emergency",
+                unavailable=tuple(g for g in non_apu if g not in keep),
+                shed_loads=tuple(sheddable),
+            )
+        )
+    return conditions

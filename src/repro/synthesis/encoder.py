@@ -1,0 +1,134 @@
+"""GENILP: translate a template into an ILP (objective of eq. 1).
+
+The encoder owns the mapping between the template's allowed edges and 0-1
+decision variables, the node-usage indicators ``delta_i`` and the switch
+pair variables ``(e_ij OR e_ji)`` that eq. 1 charges once per contactor.
+ILP-MR keeps extending one encoder's model across iterations, so learned
+constraints accumulate exactly as in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..arch import Architecture, ArchitectureTemplate, ReachabilityEncoder
+from ..ilp import LinExpr, Model, SolveResult, Var, lin_sum
+
+__all__ = ["ArchitectureEncoder"]
+
+
+class ArchitectureEncoder:
+    """Edge/usage variables, eq. 1 objective, and decode-back support."""
+
+    def __init__(self, template: ArchitectureTemplate, model: Optional[Model] = None) -> None:
+        self.template = template
+        self.model = model or Model(f"genilp[{template.name}]")
+        self._fresh = 0
+
+        # Edge decision variables e_ij over allowed edges.
+        self.edge: Dict[Tuple[int, int], Var] = {}
+        for (i, j) in template.allowed_edges:
+            self.edge[(i, j)] = self.model.add_binary(
+                f"e__{template.name_of(i)}__{template.name_of(j)}"
+            )
+
+        # delta_i = OR of incident edges (eq. 1), linearized.
+        self.delta: Dict[int, Var] = {}
+        for i in range(template.num_nodes):
+            incident = [
+                self.edge[(a, b)]
+                for (a, b) in self.edge
+                if a == i or b == i
+            ]
+            delta = self.model.add_binary(f"delta__{template.name_of(i)}")
+            self.delta[i] = delta
+            if incident:
+                for var in incident:
+                    self.model.add_constr(delta >= var, tag="delta")
+                self.model.add_constr(delta <= lin_sum(incident), tag="delta")
+            else:
+                self.model.add_constr(delta <= 0, tag="delta")
+
+        # Switch pair variables: one per unordered allowed pair, equal to
+        # e_ij OR e_ji, charged the contactor cost once.
+        self.pair: Dict[Tuple[int, int], Var] = {}
+        for (i, j) in template.undirected_pairs():
+            members = [
+                self.edge[e] for e in ((i, j), (j, i)) if e in self.edge
+            ]
+            if len(members) == 1:
+                # Only one direction allowed: the pair var IS that edge var.
+                self.pair[(i, j)] = members[0]
+                continue
+            y = self.model.add_binary(
+                f"sw__{template.name_of(i)}__{template.name_of(j)}"
+            )
+            for var in members:
+                self.model.add_constr(y >= var, tag="switch")
+            self.model.add_constr(y <= lin_sum(members), tag="switch")
+            self.pair[(i, j)] = y
+
+        # Objective: component costs + switch costs (eq. 1).
+        component_cost = lin_sum(
+            template.spec(i).cost * self.delta[i] for i in range(template.num_nodes)
+        )
+        switch_cost = lin_sum(
+            template.switch_cost(i, j) * self.pair[(i, j)]
+            for (i, j) in self.pair
+        )
+        self.model.minimize(component_cost + switch_cost)
+
+        self._reach: Optional[ReachabilityEncoder] = None
+
+    # -- variable access --------------------------------------------------------
+
+    def edge_var(self, src: str, dst: str) -> Var:
+        t = self.template
+        return self.edge[(t.index_of(src), t.index_of(dst))]
+
+    def in_edge_vars(self, node: str) -> List[Var]:
+        j = self.template.index_of(node)
+        return [self.edge[(i, j)] for i in self.template.predecessors_allowed(j)]
+
+    def out_edge_vars(self, node: str) -> List[Var]:
+        i = self.template.index_of(node)
+        return [self.edge[(i, j)] for j in self.template.successors_allowed(i)]
+
+    @property
+    def reach(self) -> ReachabilityEncoder:
+        """Lazily created symbolic walk-indicator encoder (Lemma 1)."""
+        if self._reach is None:
+            self._reach = ReachabilityEncoder(self.model, self.template, self.edge)
+        return self._reach
+
+    def fresh(self) -> int:
+        """Monotone counter for unique auxiliary names."""
+        self._fresh += 1
+        return self._fresh
+
+    # -- solve / decode --------------------------------------------------------
+
+    def solve(
+        self,
+        backend: str = "auto",
+        time_limit: Optional[float] = None,
+        mip_rel_gap: Optional[float] = None,
+    ) -> SolveResult:
+        return self.model.solve(
+            backend=backend, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+        )
+
+    def decode(self, result: SolveResult) -> Architecture:
+        """Rebuild the architecture ``e*`` from a solver result."""
+        if not result.values:
+            raise ValueError(f"cannot decode a result with status {result.status!r}")
+        active = [
+            e for e, var in self.edge.items() if result.values[var] > 0.5
+        ]
+        return Architecture(self.template, active)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchitectureEncoder({self.template.name!r}, "
+            f"{self.model.num_vars} vars, {self.model.num_constrs} constrs)"
+        )

@@ -1,0 +1,228 @@
+"""LEARNCONS (Algorithm 2): constraint learning to improve reliability.
+
+Given a candidate architecture whose exact reliability ``r`` misses the
+requirement ``r*``, LEARNCONS:
+
+1. estimates the number of additional redundant paths needed
+   (ESTPATH): ``k = floor(log(r*/r) / log(rho))`` with ``rho`` the failure
+   probability of a single path — conservative because real paths share
+   components;
+2. if ``k >= 1``: for every sink and every component type (walked from the
+   sink's side of the partition toward the sources, as in Algorithm 2),
+   ADDPATH enforces that at least ``k`` *additional* components of the type
+   are connected to the sink via the walk-indicator constraint (eq. 6),
+   capped at the template's availability;
+3. if ``k == 0``: one additional path is enforced from the sink to the type
+   with minimum redundancy in the current architecture (FINDMINREDTYPE) —
+   the fine-tuning move of the paper's third Fig. 2 iteration.
+
+The module also implements the *lazy* baseline strategy evaluated in
+Table II (bottom): always add a single path to the minimum-redundancy type,
+ignoring the ESTPATH inference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch import Architecture, walk_indicator
+from ..ilp import lin_sum
+from ..reliability import single_path_failure
+from .encoder import ArchitectureEncoder
+from .spec import SynthesisSpec
+
+__all__ = ["estimate_paths", "learn_constraints", "LearnConsOutcome"]
+
+
+@dataclass
+class LearnConsOutcome:
+    """What one LEARNCONS invocation did to the model."""
+
+    added_constraints: int
+    estimated_k: int
+    saturated: bool  # True when no further paths can be enforced at all
+
+    @property
+    def feasible(self) -> bool:
+        return self.added_constraints > 0
+
+
+def estimate_paths(r: float, r_star: float, rho: float) -> int:
+    """ESTPATH: redundant paths needed, assuming independent paths.
+
+    ``k = floor(log(r*/r) / log(rho))``; 0 when ``r`` is already within one
+    path-failure factor of the target. Guards degenerate ``rho`` values.
+    """
+    if r <= 0 or r_star >= r:
+        return 0
+    if rho <= 0.0 or rho >= 1.0:
+        # A certain-to-fail (or perfect) path carries no signal about how
+        # much redundancy helps; fall back to the fine-tuning branch.
+        return 0
+    return int(math.floor(math.log(r_star / r) / math.log(rho)))
+
+
+def _connected_counts(
+    arch: Architecture, sink: str, max_len_of: Dict[str, int]
+) -> Dict[str, int]:
+    """Per type: components with a walk to the sink in the current arch.
+
+    This is the ``eta*`` term of eq. 6, evaluated concretely on ``e*``.
+
+    Counting uses cross-type edges only, matching the symbolic walk
+    indicators of :class:`repro.arch.ReachabilityEncoder`: same-type sibling
+    edges are predecessor-sharing shorthand, not physical hops toward the
+    sink, so they must not inflate the redundancy count (otherwise ADDPATH
+    believes the redundancy already exists and the loop stalls).
+    """
+    t = arch.template
+    adjacency = arch.adjacency()
+    for (i, j) in arch.edges:
+        if t.type_of(i) == t.type_of(j):
+            adjacency[i, j] = False
+    sink_idx = t.index_of(sink)
+    counts: Dict[str, int] = {}
+    for ctype in t.type_order:
+        max_len = max_len_of[ctype]
+        eta = walk_indicator(adjacency, max_len)
+        members = t.nodes_of_type(ctype)
+        counts[ctype] = sum(
+            1 for w in members if w != sink_idx and eta[w, sink_idx]
+        )
+        if sink_idx in members:
+            counts[ctype] += 1  # the sink trivially "reaches" itself
+    return counts
+
+
+def _max_walk_lengths(enc: ArchitectureEncoder) -> Dict[str, int]:
+    """Walk budget per type: ``n - i + 1`` as in eq. 6 (one slack hop for
+    the same-type sibling shorthand)."""
+    t = enc.template
+    n = t.num_types
+    return {ctype: max(1, n - t.type_layer(ctype) + 1) for ctype in t.type_order}
+
+
+def _add_path_constraint(
+    enc: ArchitectureEncoder,
+    sink: str,
+    ctype: str,
+    target: int,
+    max_len: int,
+    current: int,
+) -> bool:
+    """ADDPATH: require >= ``target`` type members connected to the sink.
+
+    Emits eq. 6 over the symbolic walk indicators, capped at the number of
+    connections the *template* can host at all. Returns False — without
+    adding anything — when even the capped target does not exceed the
+    ``current`` count: emitting an already-satisfied constraint would make
+    the ILP-MR loop spin forever instead of reporting UNFEASIBLE.
+    """
+    t = enc.template
+    sink_idx = t.index_of(sink)
+    members = [w for w in t.nodes_of_type(ctype)]
+    reach = enc.reach.reach_to(sink_idx, max_len)
+    terms = []
+    for w in members:
+        if w == sink_idx:
+            terms.append(1)  # the sink counts as connected to itself
+            continue
+        var = reach.get(w)
+        if var is not None:
+            terms.append(var)
+    # "Attempts to enforce the maximum available number of paths": cap the
+    # target at what the template's connectivity permits.
+    achievable = len(terms)
+    target = min(target, achievable)
+    if target <= current:
+        return False
+    enc.model.add_constr(lin_sum(terms) >= target, tag=f"learned.{ctype}.{sink}")
+    return True
+
+
+def _find_min_redundancy_type(
+    counts: Dict[str, int],
+    capacities: Dict[str, int],
+    type_order: List[str],
+    skip: Optional[str] = None,
+) -> Optional[str]:
+    """FINDMINREDTYPE: the unsaturated type with fewest connections."""
+    best: Optional[str] = None
+    for ctype in type_order:
+        if ctype == skip:
+            continue
+        if counts[ctype] >= capacities[ctype]:
+            continue  # already maximally redundant
+        if best is None or counts[ctype] < counts[best]:
+            best = ctype
+    return best
+
+
+def learn_constraints(
+    enc: ArchitectureEncoder,
+    spec: SynthesisSpec,
+    arch: Architecture,
+    r: float,
+    r_star: float,
+    strategy: str = "learncons",
+) -> LearnConsOutcome:
+    """Algorithm 2 — augment the model so the next ILP solution is more
+    redundant. ``strategy="lazy"`` selects the Table II baseline instead."""
+    t = enc.template
+    max_len_of = _max_walk_lengths(enc)
+    capacities = {ctype: len(t.nodes_of_type(ctype)) for ctype in t.type_order}
+    sinks = spec.sinks()
+
+    added = 0
+    saturated = True
+    k_estimates: List[int] = []
+
+    for sink in sinks:
+        rho = single_path_failure(arch, sink)
+        k = estimate_paths(r, r_star, rho)
+        if strategy == "lazy":
+            k = 0  # the lazy baseline never infers multiple paths
+        k_estimates.append(k)
+        counts = _connected_counts(arch, sink, max_len_of)
+        sink_type = t.type_of(t.index_of(sink))
+
+        if k >= 1:
+            # Enforce k extra connected components of every implementing
+            # type, from the sink-side types toward the sources (T_{n-1}..T_1).
+            for ctype in reversed(t.type_order[:-1] if t.type_order[-1] == sink_type else t.type_order):
+                current = counts[ctype]
+                if current >= capacities[ctype]:
+                    continue  # nothing more to enforce for this type
+                target = min(current + k, capacities[ctype])
+                if _add_path_constraint(
+                    enc, sink, ctype, target, max_len_of[ctype], current
+                ):
+                    added += 1
+                    saturated = False
+        else:
+            # Try types from least redundant upward until one accepts an
+            # extra path (a type can be unsaturated by |Pi| yet already at
+            # the template's connectivity limit).
+            candidates = sorted(
+                (c for c in t.type_order
+                 if c != sink_type and counts[c] < capacities[c]),
+                key=lambda c: counts[c],
+            )
+            for ctype in candidates:
+                if _add_path_constraint(
+                    enc, sink, ctype, counts[ctype] + 1,
+                    max_len_of[ctype], counts[ctype],
+                ):
+                    added += 1
+                    saturated = False
+                    break
+
+    return LearnConsOutcome(
+        added_constraints=added,
+        estimated_k=max(k_estimates) if k_estimates else 0,
+        saturated=saturated and added == 0,
+    )

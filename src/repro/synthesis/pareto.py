@@ -1,0 +1,163 @@
+"""Cost/reliability design-space exploration.
+
+ARCHEX stands for *architecture exploration*: beyond single-target
+synthesis, a designer wants the whole cost-versus-reliability trade-off
+curve (the paper's Fig. 3 is three points of it). This module sweeps the
+requirement axis, prunes dominated designs, and answers the dual question
+— the most reliable architecture under a cost budget — by bisecting the
+requirement against the synthesized cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .ilp_ar import synthesize_ilp_ar
+from .ilp_mr import synthesize_ilp_mr
+from .result import SynthesisResult
+from .spec import SynthesisSpec
+
+__all__ = ["TradeoffPoint", "explore_tradeoff", "pareto_front", "cheapest_under_target",
+           "most_reliable_under_budget"]
+
+
+@dataclass
+class TradeoffPoint:
+    """One synthesized design on the requirement sweep."""
+
+    r_star: float
+    result: SynthesisResult
+
+    @property
+    def cost(self) -> float:
+        return self.result.cost
+
+    @property
+    def reliability(self) -> Optional[float]:
+        return self.result.reliability
+
+    @property
+    def feasible(self) -> bool:
+        return self.result.feasible
+
+
+def _synthesize(spec: SynthesisSpec, algorithm: str, **options) -> SynthesisResult:
+    if algorithm == "ar":
+        return synthesize_ilp_ar(spec, **options)
+    if algorithm == "mr":
+        return synthesize_ilp_mr(spec, **options)
+    raise ValueError(f"unknown algorithm {algorithm!r} (use 'ar' or 'mr')")
+
+
+def explore_tradeoff(
+    spec: SynthesisSpec,
+    levels: Sequence[float],
+    algorithm: str = "ar",
+    **options,
+) -> List[TradeoffPoint]:
+    """Synthesize once per requirement level (sorted loose -> tight).
+
+    Infeasible levels are kept in the output (with their infeasible
+    results) so callers can see where the template's redundancy runs out.
+    """
+    points: List[TradeoffPoint] = []
+    for r_star in sorted(levels, reverse=True):
+        level_spec = SynthesisSpec(
+            template=spec.template,
+            requirements=list(spec.requirements),
+            reliability_target=r_star,
+            sinks_of_interest=spec.sinks_of_interest,
+        )
+        result = _synthesize(level_spec, algorithm, **options)
+        points.append(TradeoffPoint(r_star=r_star, result=result))
+    return points
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """Non-dominated (cost, exact reliability) designs, cheapest first.
+
+    A point dominates another when it is no more expensive *and* no less
+    reliable (strictly better in at least one). Points without an exact
+    reliability (unverified or infeasible) are excluded.
+    """
+    candidates = [
+        p for p in points if p.feasible and p.reliability is not None
+    ]
+    front: List[TradeoffPoint] = []
+    for p in candidates:
+        dominated = any(
+            (q.cost <= p.cost and q.reliability <= p.reliability)
+            and (q.cost < p.cost or q.reliability < p.reliability)
+            for q in candidates
+            if q is not p
+        )
+        if not dominated:
+            front.append(p)
+    front.sort(key=lambda p: (p.cost, p.reliability))
+    # Collapse duplicates (same cost and reliability).
+    deduped: List[TradeoffPoint] = []
+    for p in front:
+        if deduped and math.isclose(deduped[-1].cost, p.cost) and math.isclose(
+            deduped[-1].reliability, p.reliability, rel_tol=1e-9
+        ):
+            continue
+        deduped.append(p)
+    return deduped
+
+
+def cheapest_under_target(
+    points: Sequence[TradeoffPoint], r_star: float
+) -> Optional[TradeoffPoint]:
+    """Cheapest explored design whose *exact* reliability meets ``r_star``."""
+    eligible = [
+        p for p in points
+        if p.feasible and p.reliability is not None and p.reliability <= r_star
+    ]
+    return min(eligible, key=lambda p: p.cost) if eligible else None
+
+
+def most_reliable_under_budget(
+    spec: SynthesisSpec,
+    budget: float,
+    algorithm: str = "ar",
+    r_bounds: Tuple[float, float] = (1e-14, 1e-1),
+    iterations: int = 20,
+    **options,
+) -> Optional[TradeoffPoint]:
+    """Most reliable design with cost <= ``budget`` (bisection on ``r*``).
+
+    Cost is monotone non-increasing in the requirement ``r*``, so bisecting
+    ``log r*`` finds the tightest affordable requirement. Returns None when
+    even the loosest requirement exceeds the budget.
+    """
+    lo, hi = (math.log10(r_bounds[0]), math.log10(r_bounds[1]))
+
+    def attempt(log_r: float) -> TradeoffPoint:
+        level_spec = SynthesisSpec(
+            template=spec.template,
+            requirements=list(spec.requirements),
+            reliability_target=10.0**log_r,
+            sinks_of_interest=spec.sinks_of_interest,
+        )
+        result = _synthesize(level_spec, algorithm, **options)
+        return TradeoffPoint(r_star=10.0**log_r, result=result)
+
+    best: Optional[TradeoffPoint] = None
+    loosest = attempt(hi)
+    if not loosest.feasible or loosest.cost > budget:
+        return None
+    best = loosest
+
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        point = attempt(mid)
+        if point.feasible and point.cost <= budget:
+            best = point
+            hi = mid  # afford a tighter requirement
+        else:
+            lo = mid
+        if hi - lo < 0.05:
+            break
+    return best

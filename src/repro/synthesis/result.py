@@ -1,0 +1,87 @@
+"""Synthesis results and per-iteration traces.
+
+ILP-MR's value comes from *how* it converges (Fig. 2 of the paper shows the
+architecture at each iteration together with its exact reliability), so the
+result object records a full iteration trace with time breakdowns matching
+the columns of Tables II and III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..arch import Architecture
+
+__all__ = ["IterationRecord", "SynthesisResult"]
+
+
+@dataclass
+class IterationRecord:
+    """One ILP-MR iteration: candidate architecture and its analysis."""
+
+    index: int
+    architecture: Optional[Architecture]
+    cost: float
+    reliability: Optional[float]  # exact worst-case r over sinks of interest
+    worst_sink: Optional[str]
+    solver_time: float
+    analysis_time: float
+    learned_constraints: int = 0
+    estimated_k: Optional[int] = None
+
+    def summary(self) -> str:
+        r = "n/a" if self.reliability is None else f"{self.reliability:.3e}"
+        return (
+            f"iter {self.index}: cost={self.cost:.6g} r={r} "
+            f"(solve {self.solver_time:.2f}s, analysis {self.analysis_time:.2f}s, "
+            f"+{self.learned_constraints} constraints)"
+        )
+
+
+@dataclass
+class SynthesisResult:
+    """Final outcome of ILP-MR / ILP-AR."""
+
+    status: str  # "optimal", "infeasible", "limit"
+    architecture: Optional[Architecture]
+    cost: float
+    reliability: Optional[float]  # exact r of the final architecture
+    approx_reliability: Optional[float] = None  # r~ when ILP-AR produced it
+    iterations: List[IterationRecord] = field(default_factory=list)
+    solver_time: float = 0.0
+    analysis_time: float = 0.0
+    setup_time: float = 0.0
+    model_stats: Dict[str, int] = field(default_factory=dict)
+    algorithm: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "optimal"
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_time(self) -> float:
+        return self.setup_time + self.solver_time + self.analysis_time
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.algorithm or 'synthesis'}: {self.status}"
+            f" cost={self.cost:.6g}"
+            + ("" if self.reliability is None else f" r={self.reliability:.3e}")
+            + (
+                ""
+                if self.approx_reliability is None
+                else f" r~={self.approx_reliability:.3e}"
+            )
+        ]
+        lines.append(
+            f"  times: setup {self.setup_time:.2f}s, solver {self.solver_time:.2f}s, "
+            f"analysis {self.analysis_time:.2f}s"
+        )
+        for record in self.iterations:
+            lines.append("  " + record.summary())
+        return "\n".join(lines)

@@ -1,0 +1,363 @@
+"""Synthesis problem specification and declarative interconnection requirements.
+
+A :class:`SynthesisSpec` bundles everything Algorithms 1 and 3 take as
+input: the template, the interconnection requirements (eqs. 2-4), the
+reliability requirement ``r*`` and the sinks it applies to.
+
+Requirement objects are declarative; each knows how to emit its linear
+constraints into an :class:`repro.synthesis.encoder.ArchitectureEncoder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..arch import ArchitectureTemplate
+from ..ilp import lin_sum, or_
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .encoder import ArchitectureEncoder
+
+__all__ = [
+    "SynthesisSpec",
+    "Requirement",
+    "ConnectionBound",
+    "IfConnectedThenConnected",
+    "IfFeedsThenFed",
+    "NodeBalance",
+    "NMinusOneAdequacy",
+    "SymmetryBreaking",
+    "GlobalPowerAdequacy",
+    "RequireIncomingEdge",
+    "RequireEdge",
+    "ForbidEdge",
+]
+
+
+class Requirement:
+    """Base class for declarative interconnection requirements."""
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class ConnectionBound(Requirement):
+    """Eq. 2: bound the number of connections from ``sources`` to ``dests``.
+
+    ``per`` selects the quantifier:
+
+    * ``"source"`` — one constraint per source node over its edges into
+      ``dests`` (the paper's "for all j in L");
+    * ``"dest"`` — one constraint per destination node over its incoming
+      edges from ``sources``;
+    * ``"total"`` — a single constraint over all pairs.
+
+    ``sense`` is ``">="``, ``"<="`` or ``"=="``; ``k`` the bound.
+    """
+
+    sources: Sequence[str]
+    dests: Sequence[str]
+    k: int = 1
+    sense: str = ">="
+    per: str = "dest"
+    only_if_used: bool = False  # bound applies only when the quantified node is used
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        src_idx = [t.index_of(s) for s in self.sources]
+        dst_idx = [t.index_of(d) for d in self.dests]
+        groups: List[tuple] = []
+        if self.per == "source":
+            groups = [([(s, d) for d in dst_idx], s) for s in src_idx]
+        elif self.per == "dest":
+            groups = [([(s, d) for s in src_idx], d) for d in dst_idx]
+        elif self.per == "total":
+            groups = [([(s, d) for s in src_idx for d in dst_idx], None)]
+        else:
+            raise ValueError(f"unknown quantifier {self.per!r}")
+
+        for pairs, quantified in groups:
+            vars_ = [enc.edge.get(p) for p in pairs]
+            vars_ = [v for v in vars_ if v is not None]
+            total = lin_sum(vars_)
+            if self.only_if_used and quantified is not None:
+                delta = enc.delta[quantified]
+                if self.sense == ">=":
+                    constr = total >= self.k * delta
+                elif self.sense == "<=":
+                    # Upper bounds already hold trivially for unused nodes.
+                    constr = total <= self.k
+                else:
+                    raise ValueError("only_if_used supports >= and <= only")
+            else:
+                if not vars_ and self.sense in (">=", "==") and self.k > 0:
+                    raise ValueError(
+                        "requirement demands connections but the template "
+                        f"allows none ({self.sources!r} -> {self.dests!r})"
+                    )
+                if self.sense == ">=":
+                    constr = total >= self.k
+                elif self.sense == "<=":
+                    constr = total <= self.k
+                elif self.sense == "==":
+                    constr = total == self.k
+                else:
+                    raise ValueError(f"unknown sense {self.sense!r}")
+            enc.model.add_constr(constr, tag="req.connection")
+
+
+@dataclass
+class IfConnectedThenConnected(Requirement):
+    """Eq. 3: if any ``upstream -> via`` edge exists, ``via`` must connect
+    onward to at least one node of ``downstream``."""
+
+    upstream: Sequence[str]
+    via: Sequence[str]
+    downstream: Sequence[str]
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        up_idx = [t.index_of(u) for u in self.upstream]
+        down_idx = [t.index_of(d) for d in self.downstream]
+        for via_name in self.via:
+            d = t.index_of(via_name)
+            incoming = [enc.edge[(u, d)] for u in up_idx if (u, d) in enc.edge]
+            outgoing = [enc.edge[(d, b)] for b in down_idx if (d, b) in enc.edge]
+            if not incoming:
+                continue
+            if not outgoing:
+                # Incoming implies outgoing, but none is possible: forbid all.
+                for var in incoming:
+                    enc.model.add_constr(var <= 0, tag="req.implied")
+                continue
+            lhs = or_(enc.model, incoming, name=f"in_{via_name}_{enc.fresh()}")
+            rhs = or_(enc.model, outgoing, name=f"out_{via_name}_{enc.fresh()}")
+            enc.model.add_constr(lhs <= rhs, tag="req.implied")
+
+
+@dataclass
+class IfFeedsThenFed(Requirement):
+    """Eq. 3 in the downstream direction: if ``via`` has an outgoing edge to
+    any ``downstream`` node, it must have an incoming edge from at least one
+    ``upstream`` node (e.g. a DC bus feeding a load must be fed by a
+    rectifier — §V)."""
+
+    via: Sequence[str]
+    downstream: Sequence[str]
+    upstream: Sequence[str]
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        down_idx = [t.index_of(d) for d in self.downstream]
+        up_idx = [t.index_of(u) for u in self.upstream]
+        for via_name in self.via:
+            d = t.index_of(via_name)
+            outgoing = [enc.edge[(d, b)] for b in down_idx if (d, b) in enc.edge]
+            incoming = [enc.edge[(u, d)] for u in up_idx if (u, d) in enc.edge]
+            if not outgoing:
+                continue
+            if not incoming:
+                for var in outgoing:
+                    enc.model.add_constr(var <= 0, tag="req.implied")
+                continue
+            lhs = or_(enc.model, outgoing, name=f"feeds_{via_name}_{enc.fresh()}")
+            rhs = or_(enc.model, incoming, name=f"fed_{via_name}_{enc.fresh()}")
+            enc.model.add_constr(lhs <= rhs, tag="req.implied")
+
+
+@dataclass
+class NodeBalance(Requirement):
+    """Eq. 4: at node ``d``, supplied power covers demanded power:
+    ``sum_b w_b e_bd >= sum_l w_l e_dl`` with ``w`` = predecessor capacity
+    and successor demand (terminal variables of the library)."""
+
+    node: str
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        d = t.index_of(self.node)
+        lhs_terms = []
+        for b in t.predecessors_allowed(d):
+            weight = t.spec(b).capacity
+            if weight and (b, d) in enc.edge:
+                lhs_terms.append(weight * enc.edge[(b, d)])
+        rhs_terms = []
+        for l in t.successors_allowed(d):
+            weight = t.spec(l).demand
+            if weight and (d, l) in enc.edge:
+                rhs_terms.append(weight * enc.edge[(d, l)])
+        if rhs_terms:
+            enc.model.add_constr(
+                lin_sum(lhs_terms) >= lin_sum(rhs_terms), tag="req.balance"
+            )
+
+
+@dataclass
+class GlobalPowerAdequacy(Requirement):
+    """§V power flow: total instantiated generation covers total load demand.
+
+    The paper states the requirement as "the total power provided by the
+    generators in each operating condition is greater than or equal to the
+    total power required by the connected loads"; with all loads essential
+    the demand side is the library total.
+    """
+
+    margin: float = 0.0
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        supply = lin_sum(
+            t.spec(i).capacity * enc.delta[i]
+            for i in range(t.num_nodes)
+            if t.spec(i).capacity > 0
+        )
+        demand = sum(t.spec(i).demand for i in range(t.num_nodes))
+        enc.model.add_constr(supply >= demand + self.margin, tag="req.power")
+
+
+@dataclass
+class RequireIncomingEdge(Requirement):
+    """Every listed node must have at least ``k`` incoming edges (e.g. all
+    loads must be attached to a bus)."""
+
+    nodes: Sequence[str]
+    k: int = 1
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        for name in self.nodes:
+            j = t.index_of(name)
+            incoming = [enc.edge[(i, j)] for i in t.predecessors_allowed(j)]
+            if len(incoming) < self.k:
+                raise ValueError(
+                    f"node {name!r} needs {self.k} incoming edges but the "
+                    f"template allows only {len(incoming)}"
+                )
+            enc.model.add_constr(lin_sum(incoming) >= self.k, tag="req.incoming")
+
+
+@dataclass
+class RequireEdge(Requirement):
+    """Force one specific edge to be active."""
+
+    src: str
+    dst: str
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        var = enc.edge[(t.index_of(self.src), t.index_of(self.dst))]
+        enc.model.add_constr(var >= 1, tag="req.edge")
+
+
+@dataclass
+class ForbidEdge(Requirement):
+    """Force one specific edge to stay inactive."""
+
+    src: str
+    dst: str
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        var = enc.edge.get((t.index_of(self.src), t.index_of(self.dst)))
+        if var is not None:
+            enc.model.add_constr(var <= 0, tag="req.edge")
+
+
+@dataclass
+class NMinusOneAdequacy(Requirement):
+    """N-1 contingency power flow: after losing any single supplier, the
+    remaining instantiated generation still covers the total demand.
+
+    This is the "in each operating condition" reading of the paper's §V
+    power-flow requirement taken one step further — the classical N-1
+    criterion of power-system design. Linear per supplier ``g``:
+    ``sum_i cap_i * delta_i - cap_g * delta_g >= demand``.
+    """
+
+    margin: float = 0.0
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        suppliers = [i for i in range(t.num_nodes) if t.spec(i).capacity > 0]
+        demand = sum(t.spec(i).demand for i in range(t.num_nodes))
+        total = lin_sum(
+            t.spec(i).capacity * enc.delta[i] for i in suppliers
+        )
+        for g in suppliers:
+            enc.model.add_constr(
+                total - t.spec(g).capacity * enc.delta[g] >= demand + self.margin,
+                tag="req.n_minus_1",
+            )
+
+
+@dataclass
+class SymmetryBreaking(Requirement):
+    """Order interchangeable siblings to prune symmetric branches.
+
+    For each group declared via
+    :meth:`repro.arch.ArchitectureTemplate.declare_interchangeable`, adds
+    ``delta_a >= delta_b`` and ``indeg(a) >= indeg(b)`` for consecutive
+    members. Any feasible configuration can be permuted (the group is an
+    automorphism orbit) so that members are sorted by (in-degree, usage),
+    hence the constraints preserve at least one optimal solution while
+    removing the factorially many permuted copies that otherwise stall
+    branch-and-bound on the learned-path models.
+    """
+
+    def apply(self, enc: "ArchitectureEncoder") -> None:
+        t = enc.template
+        for group in t.interchangeable_groups:
+            indices = [t.index_of(n) for n in group]
+            for a, b in zip(indices, indices[1:]):
+                enc.model.add_constr(
+                    enc.delta[a] >= enc.delta[b], tag="symmetry"
+                )
+                in_a = lin_sum(
+                    enc.edge[(i, a)] for i in t.predecessors_allowed(a)
+                )
+                in_b = lin_sum(
+                    enc.edge[(i, b)] for i in t.predecessors_allowed(b)
+                )
+                # Predecessor sets of an orbit differ only by a<->b swaps;
+                # total in-degree is permutation-invariant, so ordering it
+                # is sound.
+                enc.model.add_constr(in_a >= in_b, tag="symmetry")
+
+
+@dataclass
+class SynthesisSpec:
+    """Input to Algorithms 1 and 3.
+
+    Attributes
+    ----------
+    template:
+        The reconfigurable architecture.
+    requirements:
+        Interconnection requirements (eqs. 2-4 instances).
+    reliability_target:
+        ``r*`` — required upper bound on each sink's failure probability.
+        ``None`` disables the reliability loop (pure eq. 1 optimization).
+    sinks_of_interest:
+        Sink names the requirement applies to; defaults to all sinks.
+    """
+
+    template: ArchitectureTemplate
+    requirements: List[Requirement] = field(default_factory=list)
+    reliability_target: Optional[float] = None
+    sinks_of_interest: Optional[List[str]] = None
+
+    def sinks(self) -> List[str]:
+        if self.sinks_of_interest is not None:
+            return list(self.sinks_of_interest)
+        return [self.template.name_of(i) for i in self.template.sink_indices()]
+
+    def build_encoder(self) -> "ArchitectureEncoder":
+        """GENILP: objective (eq. 1) + interconnection constraints."""
+        from .encoder import ArchitectureEncoder
+
+        enc = ArchitectureEncoder(self.template)
+        for requirement in self.requirements:
+            requirement.apply(enc)
+        return enc

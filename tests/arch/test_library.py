@@ -1,0 +1,94 @@
+"""Unit tests for component libraries."""
+
+import pytest
+
+from repro.arch import ComponentSpec, Library, Role
+
+
+def spec(name, ctype="t", **kw):
+    return ComponentSpec(name=name, ctype=ctype, **kw)
+
+
+class TestComponentSpec:
+    def test_defaults(self):
+        s = spec("a")
+        assert s.cost == 0.0
+        assert s.failure_prob == 0.0
+        assert s.role == Role.INTERMEDIATE
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            spec("a", failure_prob=1.5)
+
+    def test_negative_cost(self):
+        with pytest.raises(ValueError):
+            spec("a", cost=-1)
+
+    def test_with_updates(self):
+        s = spec("a", cost=5.0)
+        s2 = s.with_updates(cost=7.0)
+        assert s2.cost == 7.0 and s.cost == 5.0
+        assert s2.name == "a"
+
+    def test_frozen(self):
+        s = spec("a")
+        with pytest.raises(Exception):
+            s.cost = 3.0
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library()
+        s = lib.add(spec("g1", "gen", capacity=70, role=Role.SOURCE))
+        assert lib["g1"] is s
+        assert "g1" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = Library()
+        lib.add(spec("a"))
+        with pytest.raises(ValueError):
+            lib.add(spec("a"))
+
+    def test_type_order_tracks_insertion(self):
+        lib = Library()
+        lib.add(spec("g", "gen"))
+        lib.add(spec("b", "bus"))
+        lib.add(spec("g2", "gen"))
+        assert lib.type_order == ["gen", "bus"]
+
+    def test_set_type_order_validates(self):
+        lib = Library()
+        lib.add(spec("g", "gen"))
+        lib.add(spec("b", "bus"))
+        with pytest.raises(ValueError):
+            lib.set_type_order(["gen"])  # missing 'bus'
+        lib.set_type_order(["bus", "gen"])
+        assert lib.type_order == ["bus", "gen"]
+
+    def test_of_type(self):
+        lib = Library()
+        lib.add(spec("a", "x"))
+        lib.add(spec("b", "y"))
+        lib.add(spec("c", "x"))
+        assert {s.name for s in lib.of_type("x")} == {"a", "c"}
+
+    def test_type_failure_prob_is_max(self):
+        lib = Library()
+        lib.add(spec("a", "x", failure_prob=1e-4))
+        lib.add(spec("b", "x", failure_prob=3e-4))
+        assert lib.type_failure_prob("x") == 3e-4
+
+    def test_type_failure_prob_unknown_type(self):
+        lib = Library()
+        with pytest.raises(KeyError):
+            lib.type_failure_prob("nope")
+
+    def test_sources_sinks_and_demand(self):
+        lib = Library()
+        lib.add(spec("g", "gen", role=Role.SOURCE, capacity=50))
+        lib.add(spec("l1", "load", role=Role.SINK, demand=20))
+        lib.add(spec("l2", "load", role=Role.SINK, demand=10))
+        assert [s.name for s in lib.sources()] == ["g"]
+        assert {s.name for s in lib.sinks()} == {"l1", "l2"}
+        assert lib.total_demand() == 30

@@ -1,0 +1,88 @@
+"""Tests for architecture metrics, plus the encoder/cost consistency
+property (ILP objective == eq. 1 on the decoded architecture, for any
+feasible configuration)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Architecture
+from repro.arch.metrics import architecture_metrics
+from repro.eps import build_eps_template
+from repro.synthesis import ArchitectureEncoder
+
+
+@pytest.fixture(scope="module")
+def eps_arch():
+    t = build_eps_template(num_generators=2)
+    e = lambda a, b: (t.index_of(a), t.index_of(b))
+    # RL1 left unconnected on purpose: metrics must still report it.
+    return Architecture(t, [
+        e("LG1", "LB1"), e("LB1", "LR1"), e("LR1", "LD1"),
+        e("LD1", "LL1"),
+    ])
+
+
+class TestMetrics:
+    def test_counts(self, eps_arch):
+        m = architecture_metrics(eps_arch)
+        assert m.num_components == 5
+        assert m.num_available == 10
+        assert m.num_switches == 4
+        assert m.utilization == pytest.approx(0.5)
+
+    def test_cost_breakdown_sums(self, eps_arch):
+        m = architecture_metrics(eps_arch)
+        assert m.component_cost + m.switch_cost == pytest.approx(m.total_cost)
+        assert sum(m.cost_by_type.values()) == pytest.approx(m.component_cost)
+
+    def test_type_tallies(self, eps_arch):
+        m = architecture_metrics(eps_arch)
+        assert m.components_by_type["load"] == 1
+        assert m.available_by_type["generator"] == 2
+
+    def test_sink_metrics(self, eps_arch):
+        m = architecture_metrics(eps_arch)
+        by_name = {s.sink: s for s in m.sinks}
+        assert by_name["LL1"].num_paths == 1
+        assert by_name["LL1"].redundancy["generator"] == 1
+        assert by_name["RL1"].num_paths == 0  # unconnected sink
+
+    def test_min_redundancy(self, eps_arch):
+        m = architecture_metrics(eps_arch)
+        assert m.min_redundancy() == 1
+
+    def test_summary_renders(self, eps_arch):
+        text = architecture_metrics(eps_arch).summary()
+        assert "components:" in text and "LL1" in text
+
+    def test_empty_architecture(self):
+        t = build_eps_template(num_generators=2)
+        m = architecture_metrics(Architecture(t, []))
+        assert m.num_components == 0
+        assert m.total_cost == 0.0
+        assert m.min_redundancy() is None
+
+
+@st.composite
+def random_configuration(draw):
+    t = build_eps_template(num_generators=2)
+    edges = [e for e in t.allowed_edges if draw(st.booleans())]
+    return t, edges
+
+
+@given(random_configuration())
+@settings(max_examples=30, deadline=None)
+def test_encoder_objective_matches_eq1_cost(case):
+    """Pin any configuration in the ILP: the objective must equal the
+    architecture's eq. 1 cost exactly."""
+    t, edges = case
+    enc = ArchitectureEncoder(t)
+    chosen = set(edges)
+    for e, var in enc.edge.items():
+        enc.model.add_constr(var == (1 if e in chosen else 0))
+    res = enc.solve(backend="scipy")
+    assert res.is_optimal
+    arch = enc.decode(res)
+    assert res.objective == pytest.approx(arch.cost(), abs=1e-6)
+    assert arch.edges == frozenset(chosen)

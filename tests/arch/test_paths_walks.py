@@ -1,0 +1,227 @@
+"""Tests for path enumeration, reduced paths, functional links, and the
+walk indicator matrices of Lemma 1 (concrete and symbolic)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchitectureTemplate,
+    ComponentSpec,
+    Library,
+    ReachabilityEncoder,
+    Role,
+    enumerate_paths,
+    functional_link,
+    logical_power,
+    reduce_path,
+    walk_indicator,
+)
+from repro.ilp import Model, lin_sum
+
+
+def _diamond():
+    g = nx.DiGraph()
+    for n, t in [("S", "src"), ("A", "mid"), ("B", "mid"), ("T", "snk")]:
+        g.add_node(n, ctype=t)
+    g.add_edges_from([("S", "A"), ("S", "B"), ("A", "T"), ("B", "T")])
+    return g
+
+
+class TestEnumeratePaths:
+    def test_diamond_two_paths(self):
+        paths = enumerate_paths(_diamond(), ["S"], "T")
+        assert paths == [("S", "A", "T"), ("S", "B", "T")]
+
+    def test_missing_sink(self):
+        assert enumerate_paths(_diamond(), ["S"], "X") == []
+
+    def test_source_equals_sink(self):
+        paths = enumerate_paths(_diamond(), ["T"], "T")
+        assert paths == [("T",)]
+
+    def test_cutoff_truncates(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("S", "A"), ("A", "T"), ("S", "T")])
+        for n in g.nodes:
+            g.nodes[n]["ctype"] = n
+        assert len(enumerate_paths(g, ["S"], "T", cutoff=1)) == 1
+        assert len(enumerate_paths(g, ["S"], "T")) == 2
+
+
+class TestReducePath:
+    def test_adjacent_same_type_collapse(self):
+        types = {"a": "x", "b": "y", "c": "y", "d": "z"}
+        assert reduce_path(("a", "b", "c", "d"), types) == ("a", "b", "d")
+
+    def test_non_adjacent_same_type_kept(self):
+        types = {"a": "x", "b": "y", "c": "x"}
+        assert reduce_path(("a", "b", "c"), types) == ("a", "b", "c")
+
+    def test_run_of_three(self):
+        types = {n: "y" for n in "abc"}
+        types["s"] = "x"
+        assert reduce_path(("s", "a", "b", "c"), types) == ("s", "a")
+
+
+class TestFunctionalLink:
+    def test_diamond_profile(self):
+        link = functional_link(_diamond(), ["S"], "T")
+        assert link.num_paths == 2
+        assert link.jointly_implementing_types() == ["mid", "snk", "src"]
+        assert link.degree_of_redundancy("mid") == 2
+        assert link.degree_of_redundancy("src") == 1
+        assert link.redundancy_profile()["snk"] == 1
+
+    def test_disconnected_link(self):
+        g = _diamond()
+        g.remove_node("S")
+        g.add_node("S", ctype="src")
+        link = functional_link(g, ["S"], "T")
+        assert not link.is_connected()
+        assert link.jointly_implementing_types() == []
+
+    def test_type_not_on_every_path_excluded(self):
+        g = _diamond()
+        # Add a direct S->T path: 'mid' no longer jointly implements.
+        g.add_edge("S", "T")
+        link = functional_link(g, ["S"], "T")
+        assert "mid" not in link.jointly_implementing_types()
+        assert link.num_paths == 3
+
+
+class TestWalkIndicatorConcrete:
+    def test_matches_networkx_reachability(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n = 6
+            adj = rng.random((n, n)) < 0.3
+            np.fill_diagonal(adj, False)
+            eta = walk_indicator(adj, n)
+            g = nx.from_numpy_array(adj, create_using=nx.DiGraph)
+            for i in range(n):
+                # nx.descendants never includes the start node; eta[i, i]
+                # additionally flags cycles through i — compare off-diagonal.
+                reachable = nx.descendants(g, i) - {i}
+                assert {j for j in range(n) if eta[i, j] and j != i} == reachable
+
+    def test_length_limit(self):
+        # chain 0->1->2: length-1 walks reach only direct successors
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 2] = True
+        eta1 = walk_indicator(adj, 1)
+        assert eta1[0, 1] and not eta1[0, 2]
+        eta2 = walk_indicator(adj, 2)
+        assert eta2[0, 2]
+
+    def test_logical_power(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 2] = True
+        p2 = logical_power(adj, 2)
+        assert p2[0, 2] and not p2[0, 1]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            walk_indicator(np.zeros((2, 2), dtype=bool), 0)
+        with pytest.raises(ValueError):
+            logical_power(np.zeros((2, 2), dtype=bool), 0)
+
+
+def _layered_template():
+    lib = Library(switch_cost=1.0)
+    for i in (1, 2):
+        lib.add(ComponentSpec(f"S{i}", "src", role=Role.SOURCE))
+    for i in (1, 2):
+        lib.add(ComponentSpec(f"M{i}", "mid"))
+    lib.add(ComponentSpec("T1", "snk", role=Role.SINK))
+    lib.set_type_order(["src", "mid", "snk"])
+    t = ArchitectureTemplate(lib, ["S1", "S2", "M1", "M2", "T1"])
+    for s in ("S1", "S2"):
+        for m in ("M1", "M2"):
+            t.allow_edge(s, m)
+    t.allow_edge("M1", "T1")
+    t.allow_edge("M2", "T1")
+    t.allow_bidirectional("M1", "M2")
+    return t
+
+
+class TestReachabilityEncoder:
+    def _setup(self):
+        t = _layered_template()
+        m = Model()
+        edge = {e: m.add_binary(f"e{e}") for e in t.allowed_edges}
+        enc = ReachabilityEncoder(m, t, edge)
+        return t, m, edge, enc
+
+    def _check_reach(self, chosen_edges, expect_reach):
+        """Fix an edge assignment; reach vars must equal true reachability."""
+        t, m, edge, enc = self._setup()
+        sink = t.index_of("T1")
+        reach = enc.reach_to(sink, max_len=3)
+        for e, var in edge.items():
+            m.add_constr(var == (1 if e in chosen_edges else 0))
+        m.minimize(0)
+        res = m.solve(backend="scipy")
+        assert res.is_optimal
+        for name, expected in expect_reach.items():
+            var = reach[t.index_of(name)]
+            if var is None:
+                assert not expected, f"{name}: template claims unreachable"
+            else:
+                assert round(res[var]) == int(expected), name
+
+    def test_reach_vars_track_configuration(self):
+        t = _layered_template()
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        self._check_reach(
+            {e("S1", "M1"), e("M1", "T1")},
+            {"S1": True, "S2": False, "M1": True, "M2": False},
+        )
+
+    def test_cross_type_only_ignores_sibling_hops(self):
+        t = _layered_template()
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        # M2 tied to M1, M1 feeds T1: with cross-type-only walks M2 does NOT
+        # count as reaching T1 (the tie is predecessor-sharing shorthand).
+        self._check_reach(
+            {e("S1", "M1"), e("M1", "T1"), e("M2", "M1"), e("M1", "M2")},
+            {"M1": True, "M2": False},
+        )
+
+    def test_reach_from_sources(self):
+        t, m, edge, enc = self._setup()
+        from_src = enc.reach_from_sources(max_len=3)
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        chosen = {e("S2", "M2"), e("M2", "T1")}
+        for ed, var in edge.items():
+            m.add_constr(var == (1 if ed in chosen else 0))
+        m.minimize(0)
+        res = m.solve(backend="scipy")
+        assert round(res[from_src[t.index_of("M2")]]) == 1
+        assert round(res[from_src[t.index_of("M1")]]) == 0
+        assert round(res[from_src[t.index_of("T1")]]) == 1
+
+    def test_memoization_reuses_vars(self):
+        t, m, edge, enc = self._setup()
+        sink = t.index_of("T1")
+        before = m.num_vars
+        r1 = enc.reach_to(sink, 3)
+        mid = m.num_vars
+        r2 = enc.reach_to(sink, 3)
+        assert m.num_vars == mid > before
+        assert r1 is r2
+
+    def test_constraint_count_forces_redundancy(self):
+        # Requiring two mids connected to T1 forces both direct edges.
+        t, m, edge, enc = self._setup()
+        sink = t.index_of("T1")
+        reach = enc.reach_to(sink, 2)
+        mids = [t.index_of(n) for n in ("M1", "M2")]
+        m.add_constr(lin_sum(reach[w] for w in mids) >= 2)
+        m.minimize(lin_sum(edge.values()))
+        res = m.solve(backend="scipy")
+        assert res.is_optimal
+        assert round(res[edge[(t.index_of("M1"), sink)]]) == 1
+        assert round(res[edge[(t.index_of("M2"), sink)]]) == 1

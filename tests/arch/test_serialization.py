@@ -1,0 +1,138 @@
+"""Round-trip tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.arch.serialization import (
+    architecture_from_dict,
+    architecture_to_dict,
+    library_from_dict,
+    library_to_dict,
+    load_json,
+    save_json,
+    template_from_dict,
+    template_to_dict,
+)
+from repro.eps import paper_template
+from repro.reliability import failure_probability, problem_from_architecture
+from repro.synthesis import synthesize_ilp_ar
+from repro.eps import eps_spec
+
+
+def small_template():
+    lib = Library(switch_cost=3.0)
+    lib.add(ComponentSpec("S", "src", cost=5, capacity=10, failure_prob=0.01,
+                          role=Role.SOURCE))
+    lib.add(ComponentSpec("M", "mid", cost=2, failure_prob=0.02))
+    lib.add(ComponentSpec("T", "snk", demand=5, role=Role.SINK))
+    lib.set_type_order(["src", "mid", "snk"])
+    t = ArchitectureTemplate(lib, ["S", "M", "T"], name="tiny")
+    t.allow_edge("S", "M", switch_cost=7.0)
+    t.allow_edge("M", "T", failure_prob=0.05)
+    return t
+
+
+class TestLibraryRoundTrip:
+    def test_attributes_preserved(self):
+        lib = small_template().library
+        clone = library_from_dict(library_to_dict(lib))
+        assert len(clone) == len(lib)
+        assert clone.switch_cost == lib.switch_cost
+        assert clone.type_order == lib.type_order
+        for spec in lib:
+            other = clone[spec.name]
+            assert other == spec
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            library_from_dict({"kind": "template", "components": []})
+
+
+class TestTemplateRoundTrip:
+    def test_structure_preserved(self):
+        t = small_template()
+        clone = template_from_dict(template_to_dict(t))
+        assert clone.name == t.name
+        assert clone.num_nodes == t.num_nodes
+        assert clone.allowed_edges == t.allowed_edges
+        assert clone.switch_cost(0, 1) == 7.0
+        assert clone.edge_failure_prob(1, 2) == 0.05
+        assert clone.type_order == t.type_order
+
+    def test_orbits_preserved(self):
+        t = paper_template()
+        clone = template_from_dict(template_to_dict(t))
+        assert clone.interchangeable_groups == t.interchangeable_groups
+
+    def test_paper_template_round_trip_is_json_stable(self):
+        t = paper_template()
+        once = json.dumps(template_to_dict(t), sort_keys=True)
+        twice = json.dumps(
+            template_to_dict(template_from_dict(template_to_dict(t))),
+            sort_keys=True,
+        )
+        assert once == twice
+
+    def test_newer_version_rejected(self):
+        data = template_to_dict(small_template())
+        data["version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            template_from_dict(data)
+
+
+class TestArchitectureRoundTrip:
+    def test_edges_and_cost_preserved(self):
+        t = small_template()
+        arch = Architecture(t, [(0, 1), (1, 2)])
+        clone = architecture_from_dict(architecture_to_dict(arch))
+        assert {tuple(sorted(e)) for e in clone.edges} == {
+            tuple(sorted(e)) for e in arch.edges
+        }
+        assert clone.cost() == pytest.approx(arch.cost())
+
+    def test_reliability_identical_after_round_trip(self):
+        t = small_template()
+        arch = Architecture(t, [(0, 1), (1, 2)])
+        clone = architecture_from_dict(architecture_to_dict(arch))
+        r1 = failure_probability(problem_from_architecture(arch, "T"))
+        r2 = failure_probability(problem_from_architecture(clone, "T"))
+        assert r1 == pytest.approx(r2, rel=1e-12)
+
+    def test_synthesized_architecture_round_trip(self, tmp_path):
+        spec = eps_spec(paper_template(), reliability_target=2e-3)
+        res = synthesize_ilp_ar(spec, backend="scipy")
+        path = tmp_path / "arch.json"
+        save_json(res.architecture, path)
+        clone = load_json(path)
+        assert isinstance(clone, Architecture)
+        assert clone.cost() == pytest.approx(res.cost)
+
+
+class TestFileIO:
+    def test_save_load_template(self, tmp_path):
+        t = small_template()
+        path = tmp_path / "template.json"
+        save_json(t, path)
+        clone = load_json(path)
+        assert isinstance(clone, ArchitectureTemplate)
+        assert clone.allowed_edges == t.allowed_edges
+
+    def test_save_load_library(self, tmp_path):
+        lib = small_template().library
+        path = tmp_path / "lib.json"
+        save_json(lib, path)
+        clone = load_json(path)
+        assert isinstance(clone, Library)
+        assert len(clone) == len(lib)
+
+    def test_save_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json({"not": "serializable"}, tmp_path / "x.json")
+
+    def test_load_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "spaceship"}')
+        with pytest.raises(ValueError, match="kind"):
+            load_json(path)

@@ -1,0 +1,167 @@
+"""Tests for templates and concrete architectures (eq. 1 cost semantics,
+same-type shorthand expansion, pruning)."""
+
+import networkx as nx
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+
+
+@pytest.fixture
+def small_template():
+    lib = Library(switch_cost=10.0)
+    lib.add(ComponentSpec("G1", "gen", cost=100, capacity=50, role=Role.SOURCE,
+                          failure_prob=1e-3))
+    lib.add(ComponentSpec("G2", "gen", cost=100, capacity=50, role=Role.SOURCE,
+                          failure_prob=1e-3))
+    lib.add(ComponentSpec("B1", "bus", cost=200, failure_prob=1e-3))
+    lib.add(ComponentSpec("B2", "bus", cost=200, failure_prob=1e-3))
+    lib.add(ComponentSpec("L1", "load", cost=0, demand=30, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    t = ArchitectureTemplate(lib, ["G1", "G2", "B1", "B2", "L1"], name="small")
+    t.allow_edge("G1", "B1")
+    t.allow_edge("G2", "B2")
+    t.allow_edge("G1", "B2")
+    t.allow_bidirectional("B1", "B2")
+    t.allow_edge("B1", "L1")
+    t.allow_edge("B2", "L1")
+    return t
+
+
+class TestTemplate:
+    def test_shape(self, small_template):
+        t = small_template
+        assert t.num_nodes == 5
+        assert t.num_types == 3
+        assert t.type_order == ["gen", "bus", "load"]
+
+    def test_indexing(self, small_template):
+        t = small_template
+        assert t.name_of(t.index_of("B2")) == "B2"
+        assert t.type_of(t.index_of("G1")) == "gen"
+        assert t.type_layer("bus") == 2
+
+    def test_partition(self, small_template):
+        part = small_template.partition()
+        assert sorted(part) == ["bus", "gen", "load"]
+        assert len(part["gen"]) == 2
+
+    def test_sources_and_sinks(self, small_template):
+        t = small_template
+        assert [t.name_of(i) for i in t.source_indices()] == ["G1", "G2"]
+        assert [t.name_of(i) for i in t.sink_indices()] == ["L1"]
+
+    def test_self_loop_rejected(self, small_template):
+        with pytest.raises(ValueError):
+            small_template.allow_edge("B1", "B1")
+
+    def test_nodes_must_be_distinct(self, small_template):
+        with pytest.raises(ValueError):
+            ArchitectureTemplate(small_template.library, ["G1", "G1"])
+
+    def test_undirected_pairs_deduplicate(self, small_template):
+        pairs = small_template.undirected_pairs()
+        b1, b2 = (small_template.index_of(n) for n in ("B1", "B2"))
+        assert (min(b1, b2), max(b1, b2)) in pairs
+        # bidirectional pair appears once
+        assert len([p for p in pairs if set(p) == {b1, b2}]) == 1
+
+    def test_neighbors(self, small_template):
+        t = small_template
+        l1 = t.index_of("L1")
+        preds = {t.name_of(i) for i in t.predecessors_allowed(l1)}
+        assert preds == {"B1", "B2"}
+        g1 = t.index_of("G1")
+        succs = {t.name_of(j) for j in t.successors_allowed(g1)}
+        assert succs == {"B1", "B2"}
+
+    def test_adjacency_allowed(self, small_template):
+        adj = small_template.adjacency_allowed()
+        t = small_template
+        assert adj[t.index_of("G1"), t.index_of("B1")]
+        assert not adj[t.index_of("B1"), t.index_of("G1")]
+
+
+class TestArchitecture:
+    def _arch(self, t, names):
+        edges = [(t.index_of(a), t.index_of(b)) for a, b in names]
+        return Architecture(t, edges)
+
+    def test_disallowed_edge_rejected(self, small_template):
+        t = small_template
+        with pytest.raises(ValueError):
+            Architecture(t, [(t.index_of("B1"), t.index_of("G1"))])
+
+    def test_used_nodes_and_pruning(self, small_template):
+        arch = self._arch(small_template, [("G1", "B1"), ("B1", "L1")])
+        used = {small_template.name_of(i) for i in arch.used_nodes()}
+        assert used == {"G1", "B1", "L1"}
+        assert not arch.is_used(small_template.index_of("G2"))
+
+    def test_cost_counts_components_and_switches_once(self, small_template):
+        # G1->B1, B1<->B2 (one switch), B1->L1
+        arch = self._arch(
+            small_template, [("G1", "B1"), ("B1", "B2"), ("B2", "B1"), ("B1", "L1")]
+        )
+        # components: G1(100) + B1(200) + B2(200) + L1(0) = 500
+        # switches: 3 undirected pairs * 10 = 30
+        assert arch.cost() == pytest.approx(530.0)
+        assert arch.num_switches() == 3
+
+    def test_adjacency_matrix(self, small_template):
+        arch = self._arch(small_template, [("G1", "B1")])
+        adj = arch.adjacency()
+        t = small_template
+        assert adj[t.index_of("G1"), t.index_of("B1")]
+        assert adj.sum() == 1
+
+    def test_graph_view(self, small_template):
+        arch = self._arch(small_template, [("G1", "B1"), ("B1", "L1")])
+        g = arch.graph()
+        assert set(g.nodes) == {"G1", "B1", "L1"}
+        assert g.nodes["G1"]["ctype"] == "gen"
+        assert g.nodes["B1"]["p"] == 1e-3
+
+    def test_expanded_graph_shares_predecessors(self, small_template):
+        # B1 <-> B2 tie: G1 (pred of B1) must become pred of B2 as well.
+        arch = self._arch(
+            small_template,
+            [("G1", "B1"), ("B1", "B2"), ("B2", "B1"), ("B2", "L1")],
+        )
+        ex = arch.expanded_graph()
+        assert ex.has_edge("G1", "B1")
+        assert ex.has_edge("G1", "B2")
+        assert not ex.has_edge("B1", "B2")  # sibling edge resolved away
+        # L1 is fed by B2 only: B1 gained no successor via the tie.
+        assert list(ex.predecessors("L1")) == ["B2"]
+
+    def test_expanded_graph_chain_of_ties(self, small_template):
+        # Tie both directions via a single directed sibling edge still groups.
+        arch = self._arch(
+            small_template, [("G1", "B1"), ("B1", "B2"), ("B2", "L1")]
+        )
+        ex = arch.expanded_graph()
+        assert ex.has_edge("G1", "B2")
+
+    def test_with_edges_extends(self, small_template):
+        t = small_template
+        arch = self._arch(t, [("G1", "B1")])
+        arch2 = arch.with_edges([(t.index_of("B1"), t.index_of("L1"))])
+        assert len(arch2.edges) == 2
+        assert len(arch.edges) == 1  # original untouched
+
+    def test_source_and_sink_names(self, small_template):
+        arch = self._arch(small_template, [("G1", "B1"), ("B1", "L1")])
+        assert arch.source_names() == ["G1"]
+        assert arch.sink_names() == ["L1"]
+
+    def test_equality_and_hash(self, small_template):
+        a = self._arch(small_template, [("G1", "B1")])
+        b = self._arch(small_template, [("G1", "B1")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_mentions_nodes(self, small_template):
+        arch = self._arch(small_template, [("G1", "B1"), ("B1", "L1")])
+        text = arch.describe()
+        assert "G1" in text and "->" in text

@@ -1,0 +1,132 @@
+"""Tests for template refinement (§IV-B second selection step)."""
+
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.arch.transform import (
+    add_redundant_instance,
+    merge_serial_instances,
+    refine_architecture,
+)
+from repro.reliability import failure_probability, problem_from_architecture
+
+
+def base_template():
+    lib = Library(switch_cost=5.0)
+    lib.add(ComponentSpec("S", "src", cost=10, capacity=50, failure_prob=0.01,
+                          role=Role.SOURCE))
+    lib.add(ComponentSpec("B", "bus", cost=20, failure_prob=0.02))
+    lib.add(ComponentSpec("T", "snk", demand=30, role=Role.SINK))
+    lib.set_type_order(["src", "bus", "snk"])
+    t = ArchitectureTemplate(lib, ["S", "B", "T"])
+    t.allow_edge("S", "B", switch_cost=3.0)
+    t.allow_edge("B", "T")
+    return t
+
+
+class TestAddRedundantInstance:
+    def test_clone_inherits_attributes_and_edges(self):
+        refined = add_redundant_instance(base_template(), "B")
+        clone_idx = refined.index_of("B'")
+        assert refined.spec(clone_idx).cost == 20
+        assert refined.spec(clone_idx).ctype == "bus"
+        s, t_idx = refined.index_of("S"), refined.index_of("T")
+        assert refined.is_allowed(s, clone_idx)
+        assert refined.is_allowed(clone_idx, t_idx)
+        # switch cost inherited
+        assert refined.switch_cost(s, clone_idx) == 3.0
+
+    def test_tie_edge_allowed(self):
+        refined = add_redundant_instance(base_template(), "B")
+        b, clone = refined.index_of("B"), refined.index_of("B'")
+        assert refined.is_allowed(b, clone) and refined.is_allowed(clone, b)
+
+    def test_no_tie_option(self):
+        refined = add_redundant_instance(base_template(), "B", tie=False)
+        b, clone = refined.index_of("B"), refined.index_of("B'")
+        assert not refined.is_allowed(b, clone)
+
+    def test_clone_name_collision_rejected(self):
+        with pytest.raises(ValueError):
+            add_redundant_instance(base_template(), "B", clone_name="S")
+
+    def test_original_template_untouched(self):
+        t = base_template()
+        add_redundant_instance(t, "B")
+        assert t.num_nodes == 3
+
+    def test_orbit_declared_for_pair(self):
+        refined = add_redundant_instance(base_template(), "B")
+        assert ["B", "B'"] in refined.interchangeable_groups
+
+    def test_existing_orbit_extended(self):
+        t = base_template()
+        refined1 = add_redundant_instance(t, "B")
+        refined2 = add_redundant_instance(refined1, "B", clone_name="B2")
+        groups = [set(g) for g in refined2.interchangeable_groups]
+        assert {"B", "B'", "B2"} in groups
+
+
+class TestRefineArchitecture:
+    def test_clone_mirrors_active_edges(self):
+        t = base_template()
+        arch = Architecture(t, [(0, 1), (1, 2)])
+        refined = refine_architecture(arch, "B")
+        rt = refined.template
+        assert (rt.index_of("S"), rt.index_of("B'")) in refined.edges
+        assert (rt.index_of("B'"), rt.index_of("T")) in refined.edges
+
+    def test_refinement_improves_reliability(self):
+        t = base_template()
+        arch = Architecture(t, [(0, 1), (1, 2)])
+        refined = refine_architecture(arch, "B")
+        r_before = failure_probability(problem_from_architecture(arch, "T"))
+        r_after = failure_probability(problem_from_architecture(refined, "T"))
+        assert r_after < r_before
+
+    def test_refinement_costs_more(self):
+        t = base_template()
+        arch = Architecture(t, [(0, 1), (1, 2)])
+        refined = refine_architecture(arch, "B")
+        assert refined.cost() > arch.cost()
+
+
+class TestMergeSerialInstances:
+    def test_serial_pair_collapsed(self):
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("S", "src", role=Role.SOURCE))
+        lib.add(ComponentSpec("B1", "bus"))
+        lib.add(ComponentSpec("B2", "bus"))
+        lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+        lib.set_type_order(["src", "bus", "snk"])
+        t = ArchitectureTemplate(lib, ["S", "B1", "B2", "T"])
+        t.allow_edge("S", "B1")
+        t.allow_edge("B1", "B2")  # serial same-type chain
+        t.allow_edge("B1", "T")
+        t.allow_edge("B2", "T")
+        merged = merge_serial_instances(t)
+        names = [merged.name_of(i) for i in range(merged.num_nodes)]
+        assert "B2" not in names
+        assert merged.num_nodes == 3
+
+    def test_non_mergeable_pair_kept(self):
+        # B2 has an extra exterior predecessor B1 lacks: cannot merge.
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("S1", "src", role=Role.SOURCE))
+        lib.add(ComponentSpec("S2", "src", role=Role.SOURCE))
+        lib.add(ComponentSpec("B1", "bus"))
+        lib.add(ComponentSpec("B2", "bus"))
+        lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+        lib.set_type_order(["src", "bus", "snk"])
+        t = ArchitectureTemplate(lib, ["S1", "S2", "B1", "B2", "T"])
+        t.allow_edge("S1", "B1")
+        t.allow_edge("S2", "B2")  # exterior pred only B2 has
+        t.allow_edge("B1", "B2")
+        t.allow_edge("B2", "T")
+        merged = merge_serial_instances(t)
+        assert merged.num_nodes == 5  # untouched
+
+    def test_no_same_type_edges_noop(self):
+        t = base_template()
+        merged = merge_serial_instances(t)
+        assert merged.num_nodes == t.num_nodes

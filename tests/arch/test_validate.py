@@ -1,0 +1,92 @@
+"""Tests for template validation."""
+
+import pytest
+
+from repro.arch import ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.arch.validate import TemplateValidationError, assert_valid, validate_template
+from repro.eps import build_eps_template, paper_template
+
+
+def _lib():
+    lib = Library(switch_cost=1.0)
+    lib.add(ComponentSpec("S", "src", capacity=100, role=Role.SOURCE))
+    lib.add(ComponentSpec("M", "mid"))
+    lib.add(ComponentSpec("T", "snk", demand=50, role=Role.SINK))
+    lib.set_type_order(["src", "mid", "snk"])
+    return lib
+
+
+class TestValidateTemplate:
+    def test_clean_template(self):
+        t = ArchitectureTemplate(_lib(), ["S", "M", "T"])
+        t.allow_edge("S", "M")
+        t.allow_edge("M", "T")
+        assert validate_template(t) == []
+        assert_valid(t)  # no raise
+
+    def test_eps_templates_are_clean(self):
+        assert validate_template(paper_template()) == []
+        assert validate_template(build_eps_template(6)) == []
+
+    def test_unreachable_sink_detected(self):
+        t = ArchitectureTemplate(_lib(), ["S", "M", "T"])
+        t.allow_edge("S", "M")  # no edge into T
+        findings = validate_template(t)
+        assert any("unreachable" in f for f in findings)
+
+    def test_no_sources(self):
+        lib = Library()
+        lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+        t = ArchitectureTemplate(lib, ["T"])
+        findings = validate_template(t)
+        assert any("no source" in f for f in findings)
+
+    def test_source_in_wrong_partition_class(self):
+        lib = Library()
+        lib.add(ComponentSpec("A", "mid", role=Role.SOURCE))
+        lib.add(ComponentSpec("S", "src"))
+        lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+        lib.set_type_order(["src", "mid", "snk"])
+        t = ArchitectureTemplate(lib, ["A", "S", "T"])
+        t.allow_edge("A", "T")
+        findings = validate_template(t)
+        assert any("Pi_1" in f for f in findings)
+
+    def test_edge_into_source_detected(self):
+        t = ArchitectureTemplate(_lib(), ["S", "M", "T"])
+        t.allow_edge("S", "M")
+        t.allow_edge("M", "T")
+        t.allow_edge("M", "S")  # wrong direction
+        findings = validate_template(t)
+        assert any("into a source" in f for f in findings)
+
+    def test_edge_out_of_sink_detected(self):
+        t = ArchitectureTemplate(_lib(), ["S", "M", "T"])
+        t.allow_edge("S", "M")
+        t.allow_edge("M", "T")
+        t.allow_edge("T", "M")
+        findings = validate_template(t)
+        assert any("leaves a sink" in f for f in findings)
+
+    def test_demand_exceeds_supply(self):
+        lib = Library()
+        lib.add(ComponentSpec("S", "src", capacity=10, role=Role.SOURCE))
+        lib.add(ComponentSpec("T", "snk", demand=50, role=Role.SINK))
+        lib.set_type_order(["src", "snk"])
+        t = ArchitectureTemplate(lib, ["S", "T"])
+        t.allow_edge("S", "T")
+        findings = validate_template(t)
+        assert any("demand" in f for f in findings)
+
+    def test_mixed_type_orbit_detected(self):
+        t = ArchitectureTemplate(_lib(), ["S", "M", "T"])
+        t.allow_edge("S", "M")
+        t.allow_edge("M", "T")
+        t.interchangeable_groups.append(["S", "M"])  # bogus orbit
+        findings = validate_template(t)
+        assert any("mixes component types" in f for f in findings)
+
+    def test_assert_valid_raises(self):
+        t = ArchitectureTemplate(_lib(), ["S", "M", "T"])
+        with pytest.raises(TemplateValidationError):
+            assert_valid(t)  # sink unreachable (no edges at all)

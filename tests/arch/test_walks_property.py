@@ -1,0 +1,101 @@
+"""Property test: the symbolic walk-indicator encoder agrees with concrete
+cross-type reachability on random layered templates and configurations.
+
+This is the correctness heart of eq. 6 (learned path constraints) and
+eq. 11 (ILP-AR counting): for any configuration, the auxiliary variables
+must be *forced* to the true reachability values — not merely allowed to
+take them.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ArchitectureTemplate, ComponentSpec, Library, ReachabilityEncoder, Role
+from repro.ilp import Model
+
+
+@st.composite
+def layered_template_and_config(draw):
+    """3-layer template (src/mid/snk) with random allowed edges, random ties
+    and a random configuration subset."""
+    n_src = draw(st.integers(1, 2))
+    n_mid = draw(st.integers(1, 3))
+    lib = Library(switch_cost=1.0)
+    for i in range(n_src):
+        lib.add(ComponentSpec(f"S{i}", "src", role=Role.SOURCE))
+    for i in range(n_mid):
+        lib.add(ComponentSpec(f"M{i}", "mid"))
+    lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+    lib.set_type_order(["src", "mid", "snk"])
+    names = [f"S{i}" for i in range(n_src)] + [f"M{i}" for i in range(n_mid)] + ["T"]
+    t = ArchitectureTemplate(lib, names)
+
+    allowed = []
+    for i in range(n_src):
+        for j in range(n_mid):
+            if draw(st.booleans()):
+                allowed.append((f"S{i}", f"M{j}"))
+    for j in range(n_mid):
+        if draw(st.booleans()):
+            allowed.append((f"M{j}", "T"))
+    for a in range(n_mid):
+        for b in range(n_mid):
+            if a != b and draw(st.booleans()):
+                allowed.append((f"M{a}", f"M{b}"))  # same-type tie edges
+    for (u, v) in allowed:
+        t.allow_edge(u, v)
+
+    config = [e for e in allowed if draw(st.booleans())]
+    return t, config
+
+
+@given(layered_template_and_config())
+@settings(max_examples=40, deadline=None)
+def test_symbolic_reach_matches_concrete(case):
+    t, config = case
+    m = Model()
+    edge_vars = {e: m.add_binary(f"e{e}") for e in t.allowed_edges}
+    enc = ReachabilityEncoder(m, t, edge_vars)  # cross-type only (default)
+    sink = t.index_of("T")
+    max_len = 3
+    reach = enc.reach_to(sink, max_len)
+    from_src = enc.reach_from_sources(max_len)
+
+    # Pin the configuration.
+    active = {(t.index_of(a), t.index_of(b)) for (a, b) in config}
+    for e, var in edge_vars.items():
+        m.add_constr(var == (1 if e in active else 0))
+    m.minimize(0)
+    res = m.solve(backend="scipy")
+    assert res.is_optimal
+
+    # Ground truth: cross-type edges only.
+    g = nx.DiGraph()
+    g.add_nodes_from(range(t.num_nodes))
+    for (i, j) in active:
+        if t.type_of(i) != t.type_of(j):
+            g.add_edge(i, j)
+
+    sources = set(t.source_indices())
+    for w in range(t.num_nodes):
+        if w != sink:
+            truth = nx.has_path(g, w, sink) and w != sink and any(
+                len(p) <= max_len + 1
+                for p in nx.all_simple_paths(g, w, sink, cutoff=max_len)
+            ) if nx.has_path(g, w, sink) else False
+            var = reach.get(w)
+            model_value = bool(round(res[var])) if var is not None else False
+            assert model_value == truth, f"reach_to[{t.name_of(w)}]"
+        if w not in sources:
+            truth_src = any(
+                s in g and nx.has_path(g, s, w) and any(
+                    len(p) <= max_len + 1
+                    for p in nx.all_simple_paths(g, s, w, cutoff=max_len)
+                )
+                for s in sources
+            )
+            var = from_src.get(w)
+            model_value = bool(round(res[var])) if var is not None else False
+            assert model_value == truth_src, f"from_src[{t.name_of(w)}]"

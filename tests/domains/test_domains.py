@@ -1,0 +1,96 @@
+"""Tests for the §VI generalization domains (power grid, comm network)."""
+
+import pytest
+
+from repro.domains import (
+    build_comm_network_template,
+    build_power_grid_template,
+    comm_network_spec,
+    power_grid_spec,
+)
+from repro.reliability import approximate_failure, worst_case_failure
+from repro.synthesis import synthesize_ilp_ar, synthesize_ilp_mr
+
+
+class TestPowerGridTemplate:
+    def test_shape(self):
+        t = build_power_grid_template(num_plants=3, num_substations=3,
+                                      num_feeders=4, num_customers=3)
+        assert t.num_nodes == 13
+        assert t.type_order == ["plant", "substation", "feeder", "customer"]
+        assert len(t.source_indices()) == 3
+        assert len(t.sink_indices()) == 3
+
+    def test_orbits_declared(self):
+        t = build_power_grid_template()
+        groups = {frozenset(g) for g in t.interchangeable_groups}
+        assert frozenset({"S1", "S2", "S3"}) in groups
+
+    def test_substation_ties_bidirectional(self):
+        t = build_power_grid_template()
+        s1, s2 = t.index_of("S1"), t.index_of("S2")
+        assert t.is_allowed(s1, s2) and t.is_allowed(s2, s1)
+
+    def test_synthesis_meets_target(self):
+        spec = power_grid_spec(reliability_target=1e-7)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        assert res.reliability <= 1e-7
+        r, _ = worst_case_failure(res.architecture)
+        assert r <= 1e-7
+
+    def test_power_adequacy_respected(self):
+        spec = power_grid_spec(reliability_target=1e-4)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        arch = res.architecture
+        t = arch.template
+        supply = sum(
+            t.spec(i).capacity for i in arch.used_nodes() if t.spec(i).capacity > 0
+        )
+        demand = sum(t.spec(i).demand for i in range(t.num_nodes))
+        assert supply >= demand
+
+
+class TestCommNetworkTemplate:
+    def test_shape(self):
+        t = build_comm_network_template(num_datacenters=2, num_core=3,
+                                        num_edge=4, num_gateways=2)
+        assert t.num_nodes == 11
+        assert t.num_types == 4
+
+    def test_edge_router_gateway_cap(self):
+        spec = comm_network_spec(reliability_target=1e-6)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        arch = res.architecture
+        t = arch.template
+        for er in t.nodes_of_type("edge_router"):
+            gws = [
+                j for (i, j) in arch.edges
+                if i == er and t.type_of(j) == "gateway"
+            ]
+            assert len(gws) <= 2  # the ConnectionBound requirement
+
+    def test_ilp_ar_works_on_comm_domain(self):
+        spec = comm_network_spec(reliability_target=1e-6)
+        res = synthesize_ilp_ar(spec, backend="scipy")
+        assert res.feasible
+        assert res.approx_reliability <= 1e-6
+        profile = approximate_failure(res.architecture, "GW1").redundancy
+        assert profile["core_router"] >= 2  # p_core = 2e-4 needs h >= 2
+
+    def test_both_algorithms_comparable_cost(self):
+        spec = comm_network_spec(reliability_target=1e-6)
+        mr = synthesize_ilp_mr(spec, backend="scipy")
+        ar = synthesize_ilp_ar(spec, backend="scipy")
+        assert mr.feasible and ar.feasible
+        assert ar.cost <= mr.cost * 2
+        assert mr.cost <= ar.cost * 2
+
+    def test_infeasible_target_detected(self):
+        # Tiny template: 1 core / 1 edge router cannot reach 1e-12.
+        t = build_comm_network_template(num_datacenters=1, num_core=1,
+                                        num_edge=1, num_gateways=1)
+        spec = comm_network_spec(t, reliability_target=1e-12)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.status == "infeasible"

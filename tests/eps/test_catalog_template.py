@@ -1,0 +1,133 @@
+"""Tests for the EPS catalog (Table I) and the scalable template builder."""
+
+import pytest
+
+from repro.arch import Role
+from repro.eps import (
+    FAILURE_PROB,
+    GENERATOR_RATINGS,
+    LOAD_DEMANDS,
+    TYPE_ORDER,
+    base_library_components,
+    build_eps_template,
+    paper_template,
+    render_single_line,
+)
+from repro.eps.catalog import ac_bus, dc_bus, generator, load, rectifier
+
+
+class TestCatalog:
+    def test_table1_generator_ratings(self):
+        assert GENERATOR_RATINGS == {
+            "LG1": 70.0, "LG2": 50.0, "RG1": 80.0, "RG2": 30.0, "APU": 100.0
+        }
+
+    def test_table1_load_demands(self):
+        assert LOAD_DEMANDS == {"LL1": 30.0, "LL2": 10.0, "RL1": 10.0, "RL2": 20.0}
+
+    def test_generator_cost_is_g_over_10(self):
+        g = generator("LG1", 70.0)
+        assert g.cost == 7.0
+        assert g.capacity == 70.0
+        assert g.role == Role.SOURCE
+        assert g.failure_prob == FAILURE_PROB
+
+    def test_bus_and_rectifier_costs(self):
+        assert ac_bus("B").cost == 2000.0
+        assert dc_bus("D").cost == 2000.0
+        assert rectifier("R").cost == 2000.0
+
+    def test_only_gens_buses_rectifiers_fail(self):
+        assert ac_bus("B").failure_prob == FAILURE_PROB
+        assert rectifier("R").failure_prob == FAILURE_PROB
+        assert load("L", 10.0).failure_prob == 0.0
+
+    def test_base_components_count(self):
+        comps = base_library_components()
+        assert len(comps) == 5 + 4 + 4 + 4 + 4  # gens+APU, AC, rect, DC, loads
+        assert {c.ctype for c in comps} == set(TYPE_ORDER)
+
+
+class TestTemplateBuilder:
+    @pytest.mark.parametrize("gens", [2, 4, 6, 8, 10])
+    def test_node_count_matches_table2(self, gens):
+        t = build_eps_template(num_generators=gens)
+        assert t.num_nodes == 5 * gens
+
+    def test_apu_adds_one_node(self):
+        t = build_eps_template(num_generators=4, include_apu=True)
+        assert t.num_nodes == 21
+        assert "APU" in [t.name_of(i) for i in t.source_indices()]
+
+    def test_odd_generator_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_eps_template(num_generators=3)
+        with pytest.raises(ValueError):
+            build_eps_template(num_generators=0)
+
+    def test_type_order_is_paper_partition(self):
+        t = build_eps_template(num_generators=4)
+        assert t.type_order == TYPE_ORDER
+        assert t.num_types == 5
+
+    def test_layered_edges_only(self):
+        t = build_eps_template(num_generators=4)
+        layer = {ctype: i for i, ctype in enumerate(TYPE_ORDER)}
+        for (i, j) in t.allowed_edges:
+            li, lj = layer[t.type_of(i)], layer[t.type_of(j)]
+            assert lj == li + 1 or li == lj  # next layer or sibling tie
+
+    def test_no_sibling_ties_option(self):
+        t = build_eps_template(num_generators=4, sibling_ties=False)
+        for (i, j) in t.allowed_edges:
+            assert t.type_of(i) != t.type_of(j)
+
+    def test_side_local_option(self):
+        t = build_eps_template(num_generators=4, cross_side=False)
+        for (i, j) in t.allowed_edges:
+            a, b = t.name_of(i), t.name_of(j)
+            assert a[0] == b[0] or "APU" in (a, b)
+
+    def test_window_reduces_edges(self):
+        dense = build_eps_template(num_generators=8)
+        sparse = build_eps_template(num_generators=8, window=2)
+        assert len(sparse.allowed_edges) < len(dense.allowed_edges)
+
+    def test_full_template_declares_orbits(self):
+        t = build_eps_template(num_generators=4)
+        kinds = {frozenset(g) for g in t.interchangeable_groups}
+        assert frozenset({"LB1", "LB2", "RB1", "RB2"}) in kinds
+        assert frozenset({"LR1", "LR2", "RR1", "RR2"}) in kinds
+
+    def test_windowed_template_declares_no_orbits(self):
+        t = build_eps_template(num_generators=8, window=2)
+        assert t.interchangeable_groups == []
+
+    def test_paper_template_shape(self):
+        t = paper_template()
+        assert t.num_nodes == 21
+        assert len(t.sink_indices()) == 4
+        assert len(t.source_indices()) == 5
+
+    def test_generator_ratings_cycle(self):
+        t = build_eps_template(num_generators=6)
+        ratings = sorted(
+            t.spec(i).capacity for i in t.nodes_of_type("generator")
+        )
+        # cycle of [70, 50, 80, 30] over 6 gens
+        assert ratings == sorted([70, 50, 80, 30, 70, 50])
+
+
+class TestDiagram:
+    def test_render_contains_layers(self):
+        from repro.arch import Architecture
+
+        t = build_eps_template(num_generators=4)
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        arch = Architecture(
+            t, [e("LG1", "LB1"), e("LB1", "LR1"), e("LR1", "LD1"), e("LD1", "LL1")]
+        )
+        text = render_single_line(arch)
+        assert "generator" in text
+        assert "LG1" in text and "LL1" in text
+        assert "cost" in text

@@ -1,0 +1,128 @@
+"""Integration tests: EPS synthesis results satisfy the §V requirements
+semantically (checked on the decoded architecture, not just the ILP)."""
+
+import pytest
+
+from repro.eps import build_eps_template, eps_spec, paper_template
+from repro.reliability import (
+    approximate_failure,
+    failure_probability_mc,
+    problem_from_architecture,
+    sink_failure_probabilities,
+)
+from repro.synthesis import synthesize_ilp_ar, synthesize_ilp_mr
+
+
+@pytest.fixture(scope="module")
+def mr_result():
+    spec = eps_spec(paper_template(), reliability_target=2e-10)
+    return spec, synthesize_ilp_mr(spec, backend="scipy")
+
+
+@pytest.fixture(scope="module")
+def ar_result():
+    spec = eps_spec(paper_template(), reliability_target=2e-6)
+    return spec, synthesize_ilp_ar(spec, backend="scipy")
+
+
+def _check_eps_invariants(arch):
+    """The §V structural rules, re-checked on the decoded graph."""
+    t = arch.template
+    g = arch.graph()
+    type_of = lambda n: g.nodes[n]["ctype"]
+
+    for node in g.nodes:
+        preds = [p for p in g.predecessors(node)]
+        succs = [s for s in g.successors(node)]
+        ctype = type_of(node)
+        if ctype == "load":
+            assert any(type_of(p) == "dc_bus" for p in preds), node
+        elif ctype == "rectifier":
+            ac_in = [p for p in preds if type_of(p) == "ac_bus"]
+            assert len(ac_in) <= 1, f"{node} fed by {ac_in}"
+            if any(type_of(s) == "dc_bus" for s in succs):
+                assert len(ac_in) == 1, node
+        elif ctype == "dc_bus":
+            if succs:
+                assert any(type_of(p) == "rectifier" for p in preds), node
+        elif ctype == "ac_bus":
+            if any(type_of(s) in ("rectifier", "ac_bus") for s in succs):
+                assert any(type_of(p) == "generator" for p in preds), node
+
+    # Power adequacy.
+    supply = sum(
+        t.spec(i).capacity for i in arch.used_nodes() if t.spec(i).capacity > 0
+    )
+    demand = sum(t.spec(i).demand for i in range(t.num_nodes))
+    assert supply >= demand
+
+
+class TestIlpMrIntegration:
+    def test_feasible(self, mr_result):
+        _, res = mr_result
+        assert res.feasible
+
+    def test_structural_invariants(self, mr_result):
+        _, res = mr_result
+        _check_eps_invariants(res.architecture)
+
+    def test_every_load_meets_target(self, mr_result):
+        spec, res = mr_result
+        probs = sink_failure_probabilities(res.architecture)
+        assert set(probs) == set(spec.sinks())
+        assert all(r <= 2e-10 for r in probs.values()), probs
+
+    def test_monte_carlo_consistency(self, mr_result):
+        """MC cannot resolve 1e-10, but it must see ~zero failures."""
+        _, res = mr_result
+        problem = problem_from_architecture(res.architecture, "LL1")
+        mc = failure_probability_mc(problem, samples=50_000, seed=11)
+        assert mc.failures == 0
+
+    def test_cost_equals_objective_decomposition(self, mr_result):
+        _, res = mr_result
+        arch = res.architecture
+        t = arch.template
+        component = sum(t.spec(i).cost for i in arch.used_nodes())
+        switches = arch.num_switches() * 1000.0
+        assert arch.cost() == pytest.approx(component + switches)
+        assert res.cost == pytest.approx(arch.cost())
+
+
+class TestIlpArIntegration:
+    def test_feasible(self, ar_result):
+        _, res = ar_result
+        assert res.feasible
+
+    def test_structural_invariants(self, ar_result):
+        _, res = ar_result
+        _check_eps_invariants(res.architecture)
+
+    def test_encoded_h_matches_analysis_h(self, ar_result):
+        """The walk-based count the ILP constrained must equal the h_ij the
+        analysis computes from enumerated reduced paths (layered template)."""
+        spec, res = ar_result
+        arch = res.architecture
+        for sink in spec.sinks():
+            approx = approximate_failure(arch, sink)
+            # every failing jointly-implementing type reached h >= 2 for
+            # r* = 2e-6 (h=1 would contribute 2e-4 > r*).
+            for ctype in ("generator", "ac_bus", "rectifier", "dc_bus"):
+                assert approx.redundancy[ctype] >= 2, (sink, ctype, approx.redundancy)
+
+    def test_r_tilde_below_target(self, ar_result):
+        spec, res = ar_result
+        for sink in spec.sinks():
+            approx = approximate_failure(res.architecture, sink)
+            assert approx.r_tilde <= 2e-6 * (1 + 1e-9)
+
+
+class TestScaledTemplates:
+    @pytest.mark.parametrize("gens", [4, 6])
+    def test_scaled_synthesis_loose_target(self, gens):
+        spec = eps_spec(build_eps_template(num_generators=gens),
+                        reliability_target=1e-3)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        assert res.num_iterations == 1  # minimal architecture suffices
+        _check_eps_invariants(res.architecture)

@@ -1,0 +1,46 @@
+"""Synthesis on windowed (sparse) EPS templates — the Table II/III
+footnote path: no orbits, bounded neighborhoods."""
+
+import pytest
+
+from repro.eps import build_eps_template, eps_spec
+from repro.synthesis import synthesize_ilp_ar, synthesize_ilp_mr
+
+
+class TestWindowedTemplates:
+    def test_mr_meets_target_on_sparse_template(self):
+        t = build_eps_template(num_generators=4, window=2)
+        assert t.interchangeable_groups == []
+        spec = eps_spec(t, reliability_target=2e-6)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        assert res.reliability <= 2e-6
+
+    def test_ar_meets_target_on_sparse_template(self):
+        t = build_eps_template(num_generators=4, window=2)
+        spec = eps_spec(t, reliability_target=2e-6)
+        res = synthesize_ilp_ar(spec, backend="scipy")
+        assert res.feasible
+        assert res.approx_reliability <= 2e-6
+
+    def test_sparse_costs_at_least_dense(self):
+        """Removing allowed edges can only increase the optimal cost."""
+        r_star = 2e-6
+        dense = synthesize_ilp_ar(
+            eps_spec(build_eps_template(4), reliability_target=r_star),
+            backend="scipy",
+        )
+        sparse = synthesize_ilp_ar(
+            eps_spec(build_eps_template(4, window=2), reliability_target=r_star),
+            backend="scipy",
+        )
+        assert dense.feasible and sparse.feasible
+        assert sparse.cost >= dense.cost - 1e-6
+
+    def test_window_one_may_lack_redundancy(self):
+        # window=1: each load reachable from exactly one chain per side;
+        # a very tight target must be infeasible.
+        t = build_eps_template(num_generators=4, window=1, sibling_ties=False)
+        spec = eps_spec(t, reliability_target=1e-10)
+        res = synthesize_ilp_mr(spec, backend="scipy", max_iterations=15)
+        assert res.status == "infeasible"

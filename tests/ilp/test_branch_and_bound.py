@@ -1,0 +1,162 @@
+"""Branch-and-bound MILP solver: unit tests plus property-based
+cross-checking against scipy's HiGHS on random instances."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import BnBOptions, Model, lin_sum, solve_milp
+
+
+def _solve_both(m: Model):
+    ours = m.solve(backend="bnb")
+    ref = m.solve(backend="scipy")
+    return ours, ref
+
+
+class TestKnownInstances:
+    def test_knapsack(self):
+        m = Model()
+        values = [10, 13, 7, 8, 6]
+        weights = [3, 4, 2, 3, 2]
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        m.add_constr(lin_sum(w * x for w, x in zip(weights, xs)) <= 7)
+        m.maximize(lin_sum(v * x for v, x in zip(values, xs)))
+        res = m.solve(backend="bnb")
+        assert res.is_optimal
+        assert res.objective == pytest.approx(23.0)  # items 0 and 1
+
+    def test_set_cover(self):
+        m = Model()
+        xs = [m.add_binary(f"s{i}") for i in range(4)]
+        # elements covered by subsets: e1:{0,1}, e2:{1,2}, e3:{2,3}
+        m.add_constr(xs[0] + xs[1] >= 1)
+        m.add_constr(xs[1] + xs[2] >= 1)
+        m.add_constr(xs[2] + xs[3] >= 1)
+        m.minimize(lin_sum(xs))
+        res = m.solve(backend="bnb")
+        assert res.objective == pytest.approx(2.0)  # {1, 2}
+
+    def test_integer_rounding_gap(self):
+        # LP relaxation is fractional; MILP optimum differs from LP.
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_integer("y", ub=10)
+        m.add_constr(2 * x + 3 * y <= 7)
+        m.maximize(x + 2 * y)
+        res = m.solve(backend="bnb")
+        assert res.is_optimal
+        # LP relaxation gives x=0, y=7/3 (obj 14/3); the MILP optimum is 4.
+        assert res.objective == pytest.approx(4.0)
+        ref = m.solve(backend="scipy")
+        assert res.objective == pytest.approx(ref.objective)
+
+    def test_infeasible_integrality(self):
+        # Feasible as LP (x = 0.5) but infeasible as pure integer problem.
+        m = Model()
+        x = m.add_integer("x", ub=1)
+        m.add_constr(2 * x == 1)
+        res = m.solve(backend="bnb")
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_integer("x")
+        m.maximize(x)
+        res = m.solve(backend="bnb")
+        assert res.status == "unbounded"
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.add_integer("x", ub=5)
+        y = m.add_continuous("y", ub=5)
+        m.add_constr(x + y <= 4.5)
+        m.maximize(2 * x + y)
+        ours, ref = _solve_both(m)
+        assert ours.objective == pytest.approx(ref.objective)
+        assert float(ours[x]).is_integer()
+
+    def test_equality_constrained(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constr(lin_sum(xs) == 3)
+        m.minimize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+        res = m.solve(backend="bnb")
+        assert res.objective == pytest.approx(6.0)  # 1+2+3
+
+    def test_node_limit_reports_limit(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(30)]
+        m.add_constr(lin_sum(xs) >= 15)
+        # Intricate parity-ish constraints to keep the tree alive briefly.
+        for i in range(0, 28, 2):
+            m.add_constr(xs[i] + xs[i + 1] <= 1)
+        m.minimize(lin_sum((1 + (i % 7)) * x for i, x in enumerate(xs)))
+        out = solve_milp(m.to_matrix_form(), BnBOptions(node_limit=1))
+        assert out.status in ("limit", "optimal")
+
+    def test_branching_strategies_agree(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(8)]
+        m.add_constr(lin_sum(xs) >= 4)
+        m.add_constr(lin_sum((i % 3) * x for i, x in enumerate(xs)) <= 5)
+        m.minimize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+        objs = []
+        for branching in ("pseudocost", "most_fractional"):
+            out = solve_milp(m.to_matrix_form(), BnBOptions(branching=branching))
+            assert out.status == "optimal"
+            objs.append(out.objective)
+        assert objs[0] == pytest.approx(objs[1])
+
+    def test_scipy_lp_engine_matches(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constr(lin_sum(xs) >= 2)
+        m.minimize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+        out = solve_milp(m.to_matrix_form(), BnBOptions(lp_engine="scipy"))
+        assert out.status == "optimal"
+        assert out.objective == pytest.approx(3.0)
+
+
+@st.composite
+def random_milp(draw):
+    n = draw(st.integers(2, 7))
+    m_rows = draw(st.integers(1, 5))
+    coef = st.integers(-4, 4)
+    c = [draw(coef) for _ in range(n)]
+    a = [[draw(coef) for _ in range(n)] for _ in range(m_rows)]
+    b = [draw(st.integers(0, 8)) for _ in range(m_rows)]  # x=0 feasible
+    return c, a, b
+
+
+@given(random_milp())
+@settings(max_examples=60, deadline=None)
+def test_bnb_matches_highs_on_random_binaries(problem):
+    c, a, b = problem
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(len(c))]
+    for row, rhs in zip(a, b):
+        m.add_constr(lin_sum(coef * x for coef, x in zip(row, xs)) <= rhs)
+    m.minimize(lin_sum(coef * x for coef, x in zip(c, xs)))
+    ours, ref = _solve_both(m)
+    assert ours.is_optimal and ref.is_optimal
+    assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+    # Our incumbent must satisfy every constraint exactly.
+    assert m.violated_constraints(ours.values) == []
+
+
+@given(random_milp())
+@settings(max_examples=30, deadline=None)
+def test_bnb_matches_highs_on_random_general_integers(problem):
+    c, a, b = problem
+    m = Model()
+    xs = [m.add_integer(f"x{i}", ub=3) for i in range(len(c))]
+    for row, rhs in zip(a, b):
+        m.add_constr(lin_sum(coef * x for coef, x in zip(row, xs)) <= rhs)
+    m.minimize(lin_sum(coef * x for coef, x in zip(c, xs)))
+    ours, ref = _solve_both(m)
+    assert ours.is_optimal and ref.is_optimal
+    assert ours.objective == pytest.approx(ref.objective, abs=1e-6)

@@ -1,0 +1,163 @@
+"""Unit tests for linear expressions and variables."""
+
+import math
+
+import pytest
+
+from repro.ilp import Constraint, LinExpr, Model, Var, as_expr, lin_sum
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+class TestVar:
+    def test_binary_flags(self, model):
+        x = model.add_binary("x")
+        assert x.is_binary
+        assert x.is_integer
+        assert x.lb == 0.0 and x.ub == 1.0
+
+    def test_integer_is_not_binary_with_wide_bounds(self, model):
+        x = model.add_integer("x", lb=0, ub=5)
+        assert x.is_integer and not x.is_binary
+
+    def test_continuous_defaults(self, model):
+        x = model.add_continuous("x")
+        assert not x.is_integer
+        assert x.ub == math.inf
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Var("bad", lb=2.0, ub=1.0)
+
+    def test_duplicate_name_rejected(self, model):
+        model.add_binary("x")
+        with pytest.raises(ValueError):
+            model.add_binary("x")
+
+    def test_repr_mentions_kind(self, model):
+        assert "bin" in repr(model.add_binary("b"))
+        assert "cont" in repr(model.add_continuous("c"))
+
+
+class TestArithmetic:
+    def test_add_vars(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = x + y
+        assert expr.terms[x] == 1.0 and expr.terms[y] == 1.0
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_binary("x")
+        expr = 3 * x
+        assert expr.terms[x] == 3.0
+
+    def test_subtraction_cancels(self, model):
+        x = model.add_binary("x")
+        expr = (x + 1) - x
+        assert len(expr) == 0
+        assert expr.constant == 1.0
+
+    def test_negation(self, model):
+        x = model.add_binary("x")
+        expr = -x
+        assert expr.terms[x] == -1.0
+
+    def test_rsub(self, model):
+        x = model.add_binary("x")
+        expr = 1 - x
+        assert expr.constant == 1.0 and expr.terms[x] == -1.0
+
+    def test_division(self, model):
+        x = model.add_binary("x")
+        expr = (4 * x) / 2
+        assert expr.terms[x] == 2.0
+
+    def test_zero_coefficients_dropped(self, model):
+        x = model.add_binary("x")
+        expr = 0 * x + 5
+        assert len(expr) == 0 and expr.constant == 5.0
+
+    def test_multiply_by_expression_rejected(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        with pytest.raises(TypeError):
+            (x + 1) * (y + 1)  # nonlinear
+
+    def test_value_evaluation(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 1.0, y: 0.0}) == 3.0
+
+
+class TestLinSum:
+    def test_mixed_items(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = lin_sum([x, 2 * y, 5])
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == 2.0
+        assert expr.constant == 5.0
+
+    def test_empty(self):
+        expr = lin_sum([])
+        assert len(expr) == 0 and expr.constant == 0.0
+
+    def test_repeated_var_accumulates(self, model):
+        x = model.add_binary("x")
+        expr = lin_sum([x, x, x])
+        assert expr.terms[x] == 3.0
+
+    def test_generator_input(self, model):
+        xs = [model.add_binary(f"x{i}") for i in range(5)]
+        expr = lin_sum(i * x for i, x in enumerate(xs))
+        assert expr.terms[xs[4]] == 4.0
+        assert xs[0] not in expr.terms
+
+    def test_invalid_item_rejected(self):
+        with pytest.raises(TypeError):
+            lin_sum(["nope"])
+
+
+class TestComparisons:
+    def test_le_builds_constraint(self, model):
+        x = model.add_binary("x")
+        con = x <= 1
+        assert isinstance(con, Constraint)
+        assert con.sense == "<="
+        assert con.rhs == 1.0
+
+    def test_ge_builds_constraint(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        con = x + y >= 2
+        assert con.sense == ">=" and con.rhs == 2.0
+
+    def test_eq_builds_constraint(self, model):
+        x = model.add_binary("x")
+        con = x == 1
+        assert isinstance(con, Constraint) and con.sense == "=="
+
+    def test_expr_vs_expr(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        con = x + 1 <= y + 3
+        assert con.rhs == 2.0
+
+    def test_violation_and_satisfaction(self, model):
+        x = model.add_binary("x")
+        con = model.add_constr(x <= 0)
+        assert con.is_satisfied({x: 0.0})
+        assert not con.is_satisfied({x: 1.0})
+        assert con.violation({x: 1.0}) == 1.0
+
+
+class TestAsExpr:
+    def test_from_number(self):
+        expr = as_expr(7)
+        assert expr.constant == 7.0
+
+    def test_from_var(self, model):
+        x = model.add_binary("x")
+        assert as_expr(x).terms[x] == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(TypeError):
+            as_expr("x")

@@ -1,0 +1,180 @@
+"""Linearized Boolean operators: truth-table exactness under optimization.
+
+Each helper claims its auxiliary variable *equals* the Boolean function of
+its arguments in every feasible solution. We verify by fixing the arguments
+and asking the solver for both the min and max of the auxiliary variable —
+they must coincide with the truth table entry.
+"""
+
+import itertools
+
+import pytest
+
+from repro.ilp import (
+    Model,
+    and_,
+    at_least,
+    at_most,
+    count_indicators,
+    exactly,
+    iff,
+    implies,
+    lin_sum,
+    not_,
+    or_,
+)
+
+
+def _forced_value(build, assignment):
+    """Min and max of the helper's output with inputs pinned; assert equal."""
+    results = []
+    for sense in ("min", "max"):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(len(assignment))]
+        for var, val in zip(xs, assignment):
+            m.add_constr(var == val)
+        z = build(m, xs)
+        if sense == "min":
+            m.minimize(z)
+        else:
+            m.maximize(z)
+        res = m.solve(backend="bnb")
+        assert res.is_optimal
+        results.append(round(res[z]))
+    assert results[0] == results[1], f"aux var not functionally determined: {results}"
+    return results[0]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_or_truth_table(n):
+    for assignment in itertools.product([0, 1], repeat=n):
+        value = _forced_value(lambda m, xs: or_(m, xs), assignment)
+        assert value == int(any(assignment))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_and_truth_table(n):
+    for assignment in itertools.product([0, 1], repeat=n):
+        value = _forced_value(lambda m, xs: and_(m, xs), assignment)
+        assert value == int(all(assignment))
+
+
+def test_or_of_expressions():
+    # OR over affine binary expressions (e.g. negations) is also exact.
+    for a, b in itertools.product([0, 1], repeat=2):
+        value = _forced_value(lambda m, xs: or_(m, [not_(xs[0]), xs[1]]), (a, b))
+        assert value == int((1 - a) or b)
+
+
+def test_not_is_affine():
+    m = Model()
+    x = m.add_binary("x")
+    expr = not_(x)
+    assert expr.value({x: 0.0}) == 1.0
+    assert expr.value({x: 1.0}) == 0.0
+
+
+def test_not_rejects_non_binary():
+    m = Model()
+    y = m.add_integer("y", lb=0, ub=5)
+    with pytest.raises(ValueError):
+        not_(y)
+
+
+def test_empty_or_rejected():
+    m = Model()
+    with pytest.raises(ValueError):
+        or_(m, [])
+
+
+def test_empty_and_rejected():
+    m = Model()
+    with pytest.raises(ValueError):
+        and_(m, [])
+
+
+def test_implies_blocks_bad_assignment():
+    m = Model()
+    a, b = m.add_binary("a"), m.add_binary("b")
+    implies(m, a, b)
+    m.add_constr(a == 1)
+    m.add_constr(b == 0)
+    assert m.solve(backend="bnb").status == "infeasible"
+
+
+def test_implies_allows_vacuous():
+    m = Model()
+    a, b = m.add_binary("a"), m.add_binary("b")
+    implies(m, a, b)
+    m.add_constr(a == 0)
+    m.minimize(b)
+    res = m.solve(backend="bnb")
+    assert res.is_optimal and res[b] == 0.0
+
+
+def test_iff_ties_values():
+    m = Model()
+    a, b = m.add_binary("a"), m.add_binary("b")
+    iff(m, a, b)
+    m.add_constr(a == 1)
+    m.minimize(b)
+    res = m.solve(backend="bnb")
+    assert res.is_optimal and res[b] == 1.0
+
+
+@pytest.mark.parametrize("k,feasible", [(0, True), (2, True), (3, True), (4, False)])
+def test_at_least(k, feasible):
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(3)]
+    at_least(m, xs, k)
+    m.minimize(lin_sum(xs))
+    res = m.solve(backend="bnb")
+    if feasible:
+        assert res.is_optimal and res.objective == k
+    else:
+        assert res.status == "infeasible"
+
+
+def test_at_most_caps_sum():
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(4)]
+    at_most(m, xs, 2)
+    m.maximize(lin_sum(xs))
+    res = m.solve(backend="bnb")
+    assert res.objective == 2
+
+
+def test_exactly_pins_sum():
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(4)]
+    exactly(m, xs, 3)
+    m.minimize(lin_sum(xs))
+    res = m.solve(backend="bnb")
+    assert res.is_optimal and res.objective == 3
+
+
+class TestCountIndicators:
+    @pytest.mark.parametrize("assignment", list(itertools.product([0, 1], repeat=3)))
+    def test_indicator_matches_count(self, assignment):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        for var, val in zip(xs, assignment):
+            m.add_constr(var == val)
+        indicators = count_indicators(m, xs, name="c")
+        m.minimize(0)
+        res = m.solve(backend="bnb")
+        assert res.is_optimal
+        chosen = [k for k, ind in enumerate(indicators) if res[ind] > 0.5]
+        assert chosen == [sum(assignment)]
+
+    def test_k_max_smaller_than_args_rejected(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        with pytest.raises(ValueError):
+            count_indicators(m, xs, k_max=2)
+
+    def test_k_max_larger_allowed(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(2)]
+        indicators = count_indicators(m, xs, k_max=4)
+        assert len(indicators) == 5

@@ -1,0 +1,165 @@
+"""Unit tests for the Model container and matrix export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ilp import Model, lin_sum
+
+
+class TestModelConstruction:
+    def test_counts(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_continuous("y", ub=10)
+        m.add_constr(x + y <= 5)
+        assert m.num_vars == 2
+        assert m.num_constrs == 1
+        assert m.num_integer_vars == 1
+
+    def test_auto_names_avoid_collisions(self):
+        m = Model()
+        m.add_binary("_v0")
+        v = m.add_binary()  # must not collide with the explicit _v0
+        assert v.name != "_v0"
+
+    def test_var_by_name(self):
+        m = Model()
+        x = m.add_binary("edge")
+        assert m.var_by_name("edge") is x
+
+    def test_add_constr_rejects_bool(self):
+        m = Model()
+        with pytest.raises(TypeError):
+            m.add_constr(True)  # a comparison that degraded to a bool
+
+    def test_constraint_auto_names_assigned(self):
+        m = Model()
+        x = m.add_binary("x")
+        c1 = m.add_constr(x <= 1)
+        c2 = m.add_constr(x >= 0)
+        assert c1.name != c2.name
+
+    def test_stats(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constr(lin_sum(xs) >= 1)
+        m.add_constr(xs[0] + xs[1] <= 1)
+        stats = m.stats()
+        assert stats["variables"] == 3
+        assert stats["constraints"] == 2
+        assert stats["nonzeros"] == 5
+
+
+class TestMatrixExport:
+    def test_shapes_and_senses(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_continuous("y", lb=-1, ub=4)
+        m.add_constr(2 * x + y <= 3)
+        m.add_constr(x - y >= -2)
+        m.add_constr(x + y == 1)
+        m.minimize(x + 5 * y)
+        form = m.to_matrix_form()
+        assert form.A.shape == (3, 2)
+        assert form.senses == ["<=", ">=", "=="]
+        assert form.b.tolist() == [3.0, -2.0, 1.0]
+        assert form.lb.tolist() == [0.0, -1.0]
+        assert form.ub.tolist() == [1.0, 4.0]
+        assert form.integrality.tolist() == [True, False]
+        assert form.c.tolist() == [1.0, 5.0]
+
+    def test_maximize_normalized_to_min(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.maximize(3 * x + 1)
+        form = m.to_matrix_form()
+        assert form.c.tolist() == [-3.0]
+        assert form.obj_constant == -1.0
+
+    def test_duplicate_terms_accumulate_in_row(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(lin_sum([x, x]) <= 1)
+        form = m.to_matrix_form()
+        assert form.A[0, 0] == 2.0
+
+
+class TestViolationChecking:
+    def test_violated_constraints_reported(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constr(x + y >= 2, name="both")
+        m.add_constr(x <= 0, name="xoff")
+        bad = m.violated_constraints({x: 1.0, y: 0.0})
+        assert {c.name for c in bad} == {"both", "xoff"}
+
+    def test_feasible_assignment_clean(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(x <= 1)
+        assert m.violated_constraints({x: 1.0}) == []
+
+
+class TestSolveResult:
+    def test_objective_matches_values(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constr(x + y >= 1)
+        m.minimize(2 * x + y + 10)
+        res = m.solve(backend="bnb")
+        assert res.is_optimal
+        assert res.objective == pytest.approx(11.0)
+        assert res[y] == 1.0
+
+    def test_expression_evaluation_via_result(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(x >= 1)
+        m.minimize(x)
+        res = m.solve(backend="bnb")
+        assert res.value(3 * x + 2) == pytest.approx(5.0)
+
+    def test_maximize_objective_sign(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.maximize(4 * x)
+        for backend in ("bnb", "scipy"):
+            res = m.solve(backend=backend)
+            assert res.objective == pytest.approx(4.0), backend
+
+    def test_unknown_backend_rejected(self):
+        m = Model()
+        m.add_binary("x")
+        with pytest.raises(ValueError):
+            m.solve(backend="cplex")
+
+
+class TestDegenerateModels:
+    def test_empty_model_is_trivially_optimal(self):
+        m = Model()
+        res = m.solve()
+        assert res.is_optimal
+        assert res.objective == 0.0
+
+    def test_variable_free_infeasible_constraint(self):
+        m = Model()
+        # 0 >= 1 after normalization: constant infeasibility, no variables.
+        from repro.ilp.constraint import Constraint
+        from repro.ilp.expr import LinExpr
+
+        m.add_constr(Constraint(LinExpr({}, -1.0), ">="))  # -1 >= 0
+        res = m.solve()
+        assert res.status == "infeasible"
+
+    def test_variable_free_feasible_constraint(self):
+        m = Model()
+        from repro.ilp.constraint import Constraint
+        from repro.ilp.expr import LinExpr
+
+        m.add_constr(Constraint(LinExpr({}, -1.0), "<="))  # -1 <= 0
+        res = m.solve()
+        assert res.is_optimal

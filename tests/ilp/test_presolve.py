@@ -1,0 +1,214 @@
+"""Tests for MILP presolve reductions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import (
+    BnBOptions,
+    Model,
+    apply_presolve,
+    lin_sum,
+    presolve,
+    solve_milp,
+)
+
+
+def _form(model):
+    return model.to_matrix_form()
+
+
+class TestSingletonRows:
+    def test_singleton_becomes_bound(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        m.add_constr(2 * x <= 6)  # x <= 3
+        m.minimize(-x)
+        result = presolve(_form(m))
+        assert result.status in ("reduced", "solved")
+        if result.status == "reduced":
+            assert result.reduced.num_constrs == 0
+            assert result.reduced.ub[0] == 3.0
+
+    def test_singleton_equality_fixes_variable(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_integer("y", ub=10)
+        m.add_constr(x == 4)
+        m.add_constr(x + y <= 7)
+        m.minimize(-y)
+        result = presolve(_form(m))
+        assert 0 in result.fixed_values
+        assert result.fixed_values[0] == 4.0
+
+    def test_contradictory_singletons_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(x >= 1)
+        m.add_constr(x <= 0)
+        result = presolve(_form(m))
+        assert result.status == "infeasible"
+
+    def test_fractional_equality_on_integer_infeasible(self):
+        m = Model()
+        x = m.add_integer("x", ub=5)
+        m.add_constr(2 * x == 3)  # x = 1.5 impossible
+        result = presolve(_form(m))
+        assert result.status == "infeasible"
+
+
+class TestActivityAnalysis:
+    def test_redundant_row_dropped(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constr(lin_sum(xs) <= 5)  # max activity 3: redundant
+        m.add_constr(lin_sum(xs) >= 1)
+        result = presolve(_form(m))
+        assert result.rows_removed >= 1
+
+    def test_unsatisfiable_row_detected(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constr(lin_sum(xs) >= 4)  # max activity 3
+        result = presolve(_form(m))
+        assert result.status == "infeasible"
+
+    def test_forced_row_fixes_all_members(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constr(lin_sum(xs) >= 3)  # all must be 1
+        result = presolve(_form(m))
+        assert result.status == "solved"
+        assert set(result.fixed_values.values()) == {1.0}
+
+
+class TestBoundPropagation:
+    def test_propagation_through_chain(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        y = m.add_integer("y", ub=10)
+        m.add_constr(x + y <= 4)
+        m.add_constr(x >= 3)
+        result = presolve(_form(m))
+        # x in [3, 4] -> y <= 1
+        if result.status == "reduced":
+            y_idx = result.kept_cols.index(1) if 1 in result.kept_cols else None
+            if y_idx is not None:
+                assert result.reduced.ub[y_idx] <= 1.0 + 1e-9
+
+    def test_integer_rounding(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        m.add_constr(2 * x <= 5)  # x <= 2.5 -> x <= 2
+        result = presolve(_form(m))
+        if result.status == "reduced":
+            assert result.reduced.ub[0] == 2.0
+
+
+class TestRestore:
+    def test_restore_places_values(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constr(x == 1)
+        m.add_constr(x + y >= 1)
+        result = presolve(_form(m))
+        assert result.fixed_values.get(0) == 1.0
+        if result.status == "reduced":
+            lifted = result.restore(np.zeros(len(result.kept_cols)))
+            assert lifted[0] == 1.0
+
+    def test_apply_presolve_end_to_end(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constr(lin_sum(xs) >= 3)
+        m.add_constr(xs[0] == 1)
+        m.add_constr(xs[1] <= 0)
+        m.minimize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+        form = _form(m)
+
+        outcome = apply_presolve(form, lambda reduced: solve_milp(reduced, BnBOptions()))
+        direct = solve_milp(form, BnBOptions())
+        assert outcome.status == "optimal"
+        assert outcome.objective == pytest.approx(direct.objective)
+        # lifted solution satisfies the original model
+        values = {var: outcome.x[var.index] for var in form.variables}
+        assert m.violated_constraints(values) == []
+
+    def test_apply_presolve_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(x >= 1)
+        m.add_constr(x <= 0)
+        outcome = apply_presolve(
+            _form(m), lambda reduced: solve_milp(reduced, BnBOptions())
+        )
+        assert outcome.status == "infeasible"
+
+    def test_apply_presolve_fully_solved(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(2)]
+        m.add_constr(lin_sum(xs) >= 2)
+        m.minimize(lin_sum(xs))
+        outcome = apply_presolve(
+            _form(m), lambda reduced: solve_milp(reduced, BnBOptions())
+        )
+        assert outcome.status == "optimal"
+        assert outcome.objective == pytest.approx(2.0)
+
+
+@st.composite
+def random_binary_milp(draw):
+    n = draw(st.integers(2, 6))
+    m_rows = draw(st.integers(1, 5))
+    coef = st.integers(-3, 3)
+    c = [draw(coef) for _ in range(n)]
+    rows = [[draw(coef) for _ in range(n)] for _ in range(m_rows)]
+    b = [draw(st.integers(0, 6)) for _ in range(m_rows)]
+    return c, rows, b
+
+
+@given(random_binary_milp())
+@settings(max_examples=60, deadline=None)
+def test_presolve_preserves_optimum(problem):
+    """Solving with presolve gives the same optimum as solving directly."""
+    c, rows, b = problem
+    m = Model()
+    xs = [m.add_binary(f"x{i}") for i in range(len(c))]
+    for row, rhs in zip(rows, b):
+        m.add_constr(lin_sum(cf * x for cf, x in zip(row, xs)) <= rhs)
+    m.minimize(lin_sum(cf * x for cf, x in zip(c, xs)))
+    form = m.to_matrix_form()
+
+    direct = solve_milp(form, BnBOptions())
+    with_presolve = apply_presolve(form, lambda r: solve_milp(r, BnBOptions()))
+    assert direct.status == with_presolve.status
+    if direct.status == "optimal":
+        assert with_presolve.objective == pytest.approx(direct.objective, abs=1e-6)
+        values = {var: with_presolve.x[var.index] for var in form.variables}
+        assert m.violated_constraints(values) == []
+
+
+class TestSolverIntegration:
+    def test_use_presolve_through_solve(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        m.add_constr(lin_sum(xs) >= 2)
+        m.add_constr(xs[0] == 1)
+        m.minimize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+        plain = m.solve(backend="bnb")
+        reduced = m.solve(backend="bnb", use_presolve=True)
+        assert reduced.is_optimal
+        assert reduced.objective == pytest.approx(plain.objective)
+        assert m.violated_constraints(reduced.values) == []
+
+    def test_use_presolve_with_scipy_backend(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(5)]
+        m.add_constr(lin_sum(xs) >= 3)
+        m.minimize(lin_sum(xs))
+        res = m.solve(backend="scipy", use_presolve=True)
+        assert res.is_optimal and res.objective == pytest.approx(3.0)

@@ -1,0 +1,180 @@
+"""Tests for the approximate reliability algebra (§IV-A) and Theorem 2."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    Architecture,
+    ArchitectureTemplate,
+    ComponentSpec,
+    Library,
+    Role,
+    functional_link,
+)
+from repro.reliability import (
+    ReliabilityProblem,
+    approximate_failure,
+    approximate_failure_from_link,
+    failure_probability,
+    single_path_failure,
+    theorem2_bound,
+)
+
+
+def _example1_graph(p):
+    g = nx.DiGraph()
+    for n, t in [("G1", "gen"), ("G2", "gen"), ("B1", "bus"), ("B2", "bus"),
+                 ("D1", "dc"), ("D2", "dc"), ("L", "load")]:
+        g.add_node(n, p=p, ctype=t)
+    g.add_edges_from(
+        [("G1", "B1"), ("B1", "D1"), ("D1", "L"), ("G2", "B2"), ("B2", "D2"), ("D2", "L")]
+    )
+    return g
+
+
+class TestEquation7:
+    def test_example1_r_tilde(self):
+        """Paper: r~_L = p_L + 2 p_D^2 + 2 p_B^2 + 2 p_G^2 = p + 6 p^2."""
+        p = 0.01
+        link = functional_link(_example1_graph(p), ["G1", "G2"], "L")
+        result = approximate_failure_from_link(
+            link, {"gen": p, "bus": p, "dc": p, "load": p}
+        )
+        assert result.r_tilde == pytest.approx(p + 6 * p * p)
+        assert result.redundancy == {"gen": 2, "bus": 2, "dc": 2, "load": 1}
+        assert result.num_paths == 2
+
+    def test_term_breakdown(self):
+        p = 0.01
+        link = functional_link(_example1_graph(p), ["G1", "G2"], "L")
+        result = approximate_failure_from_link(
+            link, {"gen": p, "bus": p, "dc": p, "load": p}
+        )
+        assert result.term("load") == pytest.approx(p)
+        assert result.term("gen") == pytest.approx(2 * p * p)
+        assert result.jointly_implementing == ["bus", "dc", "gen", "load"]
+
+    def test_non_implementing_type_excluded(self):
+        # Direct G->L edge bypasses buses: bus no longer jointly implements.
+        g = _example1_graph(0.01)
+        g.add_edge("G1", "L")
+        link = functional_link(g, ["G1", "G2"], "L")
+        result = approximate_failure_from_link(
+            link, {"gen": 0.01, "bus": 0.01, "dc": 0.01, "load": 0.01}
+        )
+        assert "bus" not in result.redundancy
+        assert "dc" not in result.redundancy
+
+    def test_reduced_paths_collapse_adjacent_same_type(self):
+        # S -> B1 -> B2 -> T: adjacent same-type pair counts once (h=1).
+        g = nx.DiGraph()
+        for n, t in [("S", "src"), ("B1", "bus"), ("B2", "bus"), ("T", "snk")]:
+            g.add_node(n, p=0.1, ctype=t)
+        g.add_edges_from([("S", "B1"), ("B1", "B2"), ("B2", "T")])
+        link = functional_link(g, ["S"], "T")
+        result = approximate_failure_from_link(link, {"src": 0.1, "bus": 0.1, "snk": 0.1})
+        assert result.redundancy["bus"] == 1
+
+
+class TestTheorem2:
+    def test_example1_bound_value(self):
+        # m = 4 types, f = 2 paths, |mu| = 4 nodes each: bound = 8/16 = 0.5.
+        link = functional_link(_example1_graph(0.01), ["G1", "G2"], "L")
+        assert theorem2_bound(link) == pytest.approx(0.5)
+
+    def test_empty_link(self):
+        g = nx.DiGraph()
+        g.add_node("T", p=0.1, ctype="snk")
+        link = functional_link(g, [], "T")
+        assert theorem2_bound(link) == 0.0
+
+    @pytest.mark.parametrize("p", [1e-4, 1e-3, 1e-2, 0.05])
+    def test_bound_holds_on_example1(self, p):
+        g = _example1_graph(p)
+        link = functional_link(g, ["G1", "G2"], "L")
+        result = approximate_failure_from_link(
+            link, {t: p for t in ("gen", "bus", "dc", "load")}
+        )
+        prob = ReliabilityProblem(g, ("G1", "G2"), "L")
+        r_exact = failure_probability(prob, method="bdd")
+        assert result.guaranteed_upper_bound(r_exact)
+
+
+@st.composite
+def random_two_layer_architecture(draw):
+    """Random bipartite-ish source->mid->sink graphs with typed nodes."""
+    n_src = draw(st.integers(1, 3))
+    n_mid = draw(st.integers(1, 3))
+    p = draw(st.sampled_from([1e-3, 1e-2, 0.05]))
+    g = nx.DiGraph()
+    for i in range(n_src):
+        g.add_node(f"S{i}", p=p, ctype="src")
+    for i in range(n_mid):
+        g.add_node(f"M{i}", p=p, ctype="mid")
+    g.add_node("T", p=p, ctype="snk")
+    connected_mids = set()
+    for i in range(n_src):
+        targets = draw(st.lists(st.integers(0, n_mid - 1), min_size=1, unique=True))
+        for j in targets:
+            g.add_edge(f"S{i}", f"M{j}")
+            connected_mids.add(j)
+    for j in sorted(connected_mids):
+        if draw(st.booleans()) or j == min(connected_mids):
+            g.add_edge(f"M{j}", "T")
+    return g, [f"S{i}" for i in range(n_src)], p
+
+
+@given(random_two_layer_architecture())
+@settings(max_examples=100, deadline=None)
+def test_theorem2_bound_on_random_architectures(case):
+    """r~ / r >= m f / M_f on every random layered architecture."""
+    g, sources, p = case
+    link = functional_link(g, sources, "T")
+    if not link.paths:
+        return  # disconnected: algebra degenerates to r~ = 1, nothing to check
+    result = approximate_failure_from_link(link, {"src": p, "mid": p, "snk": p})
+    prob = ReliabilityProblem(g, tuple(sources), "T")
+    r_exact = failure_probability(prob, method="bdd")
+    assert result.guaranteed_upper_bound(r_exact), (
+        f"ratio {result.r_tilde / r_exact} < bound {result.bound_ratio}"
+    )
+
+
+class TestArchitectureLevelHelpers:
+    @pytest.fixture
+    def arch(self):
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("G1", "gen", failure_prob=0.01, role=Role.SOURCE))
+        lib.add(ComponentSpec("G2", "gen", failure_prob=0.01, role=Role.SOURCE))
+        lib.add(ComponentSpec("B1", "bus", failure_prob=0.01))
+        lib.add(ComponentSpec("B2", "bus", failure_prob=0.01))
+        lib.add(ComponentSpec("T", "load", failure_prob=0.0, role=Role.SINK))
+        lib.set_type_order(["gen", "bus", "load"])
+        t = ArchitectureTemplate(lib, ["G1", "G2", "B1", "B2", "T"])
+        for gsrc in ("G1", "G2"):
+            for b in ("B1", "B2"):
+                t.allow_edge(gsrc, b)
+        t.allow_edge("B1", "T")
+        t.allow_edge("B2", "T")
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        return Architecture(
+            t, [e("G1", "B1"), e("G2", "B2"), e("B1", "T"), e("B2", "T")]
+        )
+
+    def test_approximate_failure_on_architecture(self, arch):
+        result = approximate_failure(arch, "T")
+        assert result.redundancy == {"gen": 2, "bus": 2, "load": 1}
+        assert result.r_tilde == pytest.approx(2 * 0.01**2 + 2 * 0.01**2)
+
+    def test_single_path_failure(self, arch):
+        rho = single_path_failure(arch, "T")
+        assert rho == pytest.approx(1 - (1 - 0.01) ** 2)  # gen + bus on path
+
+    def test_disconnected_sink(self, arch):
+        bare = Architecture(arch.template, [])
+        result = approximate_failure(bare, "T")
+        assert result.r_tilde == 1.0
+        assert result.num_paths == 0
+        assert single_path_failure(bare, "T") == 1.0

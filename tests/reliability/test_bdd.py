@@ -1,0 +1,125 @@
+"""Unit tests for the ROBDD engine itself."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import BDD
+
+
+class TestConstruction:
+    def test_var_and_terminals(self):
+        bdd = BDD(["a", "b"])
+        a = bdd.var("a")
+        assert bdd.evaluate(a, {"a": True})
+        assert not bdd.evaluate(a, {"a": False})
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(["a", "a"])
+
+    def test_reduction_no_redundant_nodes(self):
+        bdd = BDD(["a", "b"])
+        a = bdd.var("a")
+        # a OR a == a: apply must return the identical node (hash-consing).
+        assert bdd.apply("or", a, a) == a
+
+    def test_cube(self):
+        bdd = BDD(["a", "b", "c"])
+        cube = bdd.cube(["a", "c"])
+        assert bdd.evaluate(cube, {"a": True, "b": False, "c": True})
+        assert not bdd.evaluate(cube, {"a": True, "b": True, "c": False})
+
+    def test_unknown_op_rejected(self):
+        bdd = BDD(["a"])
+        with pytest.raises(ValueError):
+            bdd.apply("xor", 0, 1)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("op,fn", [("and", all), ("or", any)])
+    def test_apply_truth_tables(self, op, fn):
+        bdd = BDD(["a", "b", "c"])
+        u = bdd.apply(op, bdd.var("a"), bdd.apply(op, bdd.var("b"), bdd.var("c")))
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("abc", bits))
+            assert bdd.evaluate(u, assignment) == fn(bits)
+
+    def test_negate(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.apply("and", bdd.var("a"), bdd.var("b"))
+        g = bdd.negate(f)
+        for bits in itertools.product([False, True], repeat=2):
+            assignment = dict(zip("ab", bits))
+            assert bdd.evaluate(g, assignment) == (not all(bits))
+
+    def test_from_path_sets(self):
+        bdd = BDD(["a", "b", "c", "d"])
+        root = bdd.from_path_sets([frozenset("ab"), frozenset("cd")])
+        assert bdd.evaluate(root, {"a": True, "b": True, "c": False, "d": False})
+        assert bdd.evaluate(root, {"a": False, "b": False, "c": True, "d": True})
+        assert not bdd.evaluate(root, {"a": True, "b": False, "c": True, "d": False})
+
+    def test_size_counts_reachable_nodes(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.apply("or", bdd.var("a"), bdd.var("b"))
+        assert bdd.size(f) == 2
+        assert bdd.size(0) == 0
+
+
+class TestProbability:
+    def test_prob_one_plus_prob_zero_is_one(self):
+        bdd = BDD(["a", "b", "c"])
+        root = bdd.from_path_sets([frozenset("ab"), frozenset("bc")])
+        up = {"a": 0.9, "b": 0.8, "c": 0.7}
+        assert bdd.prob_one(root, up) + bdd.prob_zero(root, up) == pytest.approx(1.0)
+
+    def test_single_var_probability(self):
+        bdd = BDD(["a"])
+        assert bdd.prob_one(bdd.var("a"), {"a": 0.3}) == pytest.approx(0.3)
+
+    def test_terminal_probabilities(self):
+        bdd = BDD(["a"])
+        assert bdd.prob_one(1, {}) == 1.0
+        assert bdd.prob_one(0, {}) == 0.0
+        assert bdd.prob_zero(0, {}) == 1.0
+
+    def test_missing_vars_default_certain(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.apply("and", bdd.var("a"), bdd.var("b"))
+        # b missing from up_prob: treated as always-up.
+        assert bdd.prob_one(f, {"a": 0.25}) == pytest.approx(0.25)
+
+    def test_invalid_terminal(self):
+        bdd = BDD(["a"])
+        with pytest.raises(ValueError):
+            bdd.prob_reaching(bdd.var("a"), 2, {})
+
+
+@given(
+    st.lists(
+        st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    ),
+    st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_prob_matches_brute_force(path_sets, probs):
+    """P(f=1) from the BDD equals brute-force enumeration over assignments."""
+    order = list("abcd")
+    up = dict(zip(order, probs))
+    bdd = BDD(order)
+    root = bdd.from_path_sets(path_sets)
+
+    brute = 0.0
+    for bits in itertools.product([False, True], repeat=4):
+        assignment = dict(zip(order, bits))
+        if any(all(assignment[v] for v in ps) for ps in path_sets):
+            weight = 1.0
+            for var, bit in assignment.items():
+                weight *= up[var] if bit else 1.0 - up[var]
+            brute += weight
+    assert bdd.prob_one(root, up) == pytest.approx(brute, abs=1e-12)

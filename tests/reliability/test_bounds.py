@@ -1,0 +1,93 @@
+"""Tests for Esary-Proschan bounds and the rare-event estimate."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.reliability import ReliabilityProblem, failure_probability
+from repro.reliability.bounds import (
+    ReliabilityBounds,
+    rare_event_estimate,
+    reliability_bounds,
+)
+from tests.reliability.test_engines import random_dag_problem
+
+
+def _series(p, n=3):
+    g = nx.DiGraph()
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        g.add_node(name, p=p)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b)
+    return ReliabilityProblem(g, (names[0],), names[-1])
+
+
+def _parallel(p, k=2):
+    g = nx.DiGraph()
+    g.add_node("T", p=0.0)
+    for i in range(k):
+        g.add_node(f"S{i}", p=p)
+        g.add_edge(f"S{i}", "T")
+    return ReliabilityProblem(g, tuple(f"S{i}" for i in range(k)), "T")
+
+
+class TestExactOnSpecialStructures:
+    def test_series_bounds_are_tight(self):
+        """A series system is both a single path set and singleton cuts:
+        both bounds collapse onto the exact value."""
+        prob = _series(0.1, n=3)
+        bounds = reliability_bounds(prob)
+        exact = failure_probability(prob)
+        assert bounds.lower == pytest.approx(exact)
+        assert bounds.upper == pytest.approx(exact)
+
+    def test_parallel_bounds_are_tight(self):
+        prob = _parallel(0.3, k=3)
+        bounds = reliability_bounds(prob)
+        exact = failure_probability(prob)
+        assert bounds.lower == pytest.approx(exact)
+        assert bounds.upper == pytest.approx(exact)
+
+    def test_disconnected(self):
+        g = nx.DiGraph()
+        g.add_node("S", p=0.1)
+        g.add_node("T", p=0.1)
+        prob = ReliabilityProblem(g, ("S",), "T")
+        bounds = reliability_bounds(prob)
+        assert bounds.lower == bounds.upper == 1.0
+        assert rare_event_estimate(prob) == 1.0
+
+
+class TestBracketProperty:
+    @given(random_dag_problem())
+    @settings(max_examples=80, deadline=None)
+    def test_bracket_contains_exact(self, problem):
+        bounds = reliability_bounds(problem)
+        exact = failure_probability(problem)
+        assert bounds.contains(exact), (
+            f"[{bounds.lower}, {bounds.upper}] misses {exact}"
+        )
+        assert 0.0 <= bounds.lower <= bounds.upper <= 1.0
+
+    @given(random_dag_problem())
+    @settings(max_examples=60, deadline=None)
+    def test_rare_event_upper_bounds_exact(self, problem):
+        estimate = rare_event_estimate(problem)
+        exact = failure_probability(problem)
+        assert estimate >= exact - 1e-12
+
+
+class TestRareEventAccuracy:
+    def test_tight_at_small_p(self):
+        prob = _series(1e-5, n=4)
+        estimate = rare_event_estimate(prob)
+        exact = failure_probability(prob)
+        assert estimate == pytest.approx(exact, rel=1e-3)
+
+    def test_counts_reported(self):
+        prob = _parallel(0.2, k=2)
+        bounds = reliability_bounds(prob)
+        assert bounds.num_path_sets == 2
+        assert bounds.num_cut_sets >= 1
+        assert bounds.width >= 0.0

@@ -1,0 +1,158 @@
+"""Tests for the failure model plumbing: problems, restriction, edge
+failures, path probabilities, Monte-Carlo estimator mechanics."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.reliability import (
+    MonteCarloEstimate,
+    ReliabilityProblem,
+    failure_probability,
+    failure_probability_mc,
+    graph_with_edge_failures,
+    path_failure_probability,
+)
+
+
+def _graph(edges, probs):
+    g = nx.DiGraph()
+    for n, p in probs.items():
+        g.add_node(n, p=p)
+    g.add_edges_from(edges)
+    return g
+
+
+class TestReliabilityProblem:
+    def test_missing_probability_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a")
+        with pytest.raises(ValueError):
+            ReliabilityProblem(g, ("a",), "a")
+
+    def test_invalid_probability_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a", p=1.5)
+        with pytest.raises(ValueError):
+            ReliabilityProblem(g, ("a",), "a")
+
+    def test_unknown_sink_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a", p=0.1)
+        with pytest.raises(ValueError):
+            ReliabilityProblem(g, ("a",), "zzz")
+
+    def test_sources_sorted(self):
+        g = _graph([], {"b": 0.1, "a": 0.1})
+        prob = ReliabilityProblem(g, ("b", "a"), "a")
+        assert prob.sources == ("a", "b")
+
+    def test_relevant_subgraph_drops_side_branches(self):
+        g = _graph(
+            [("S", "A"), ("A", "T"), ("S", "X"), ("Y", "T")],
+            {n: 0.1 for n in "SATXY"},
+        )
+        prob = ReliabilityProblem(g, ("S",), "T")
+        sub = prob.relevant_subgraph()
+        assert set(sub.nodes) == {"S", "A", "T"}  # X dead-end, Y unsourced
+
+    def test_restricted_keeps_sink_when_disconnected(self):
+        g = _graph([], {"S": 0.1, "T": 0.2})
+        prob = ReliabilityProblem(g, ("S",), "T").restricted()
+        assert prob.sink == "T"
+        assert prob.sources == ()
+
+
+class TestEdgeFailures:
+    def test_perfect_edges_passthrough(self):
+        g = _graph([("a", "b")], {"a": 0.1, "b": 0.1})
+        out = graph_with_edge_failures(g)
+        assert out.has_edge("a", "b")
+        assert set(out.nodes) == {"a", "b"}
+
+    def test_unreliable_edge_spliced(self):
+        g = _graph([("a", "b")], {"a": 0.1, "b": 0.1})
+        g["a"]["b"]["p"] = 0.05
+        out = graph_with_edge_failures(g)
+        assert not out.has_edge("a", "b")
+        assert out.has_edge("a", "a@b") and out.has_edge("a@b", "b")
+        assert out.nodes["a@b"]["p"] == 0.05
+
+    def test_edge_failure_probability_semantics(self):
+        # a->b with failing edge == 3-node series system.
+        g = _graph([("a", "b")], {"a": 0.1, "b": 0.2})
+        g["a"]["b"]["p"] = 0.3
+        spliced = graph_with_edge_failures(g)
+        prob = ReliabilityProblem(spliced, ("a",), "b")
+        expected = 1 - (0.9 * 0.8 * 0.7)
+        assert failure_probability(prob, method="bdd") == pytest.approx(expected)
+
+    def test_name_collision_detected(self):
+        g = _graph([("a", "b")], {"a": 0.1, "b": 0.1, "a@b": 0.1})
+        g.add_node("a@b", p=0.1)
+        g["a"]["b"]["p"] = 0.5
+        with pytest.raises(ValueError):
+            graph_with_edge_failures(g)
+
+
+class TestPathFailureProbability:
+    def test_series_formula(self):
+        g = _graph([("a", "b"), ("b", "c")], {"a": 0.1, "b": 0.2, "c": 0.0})
+        rho = path_failure_probability(g, ["a", "b", "c"])
+        assert rho == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_eps_magnitude(self):
+        """Table I values give rho ~= 8e-4 on a 4-failing-component path."""
+        p = 2e-4
+        g = _graph(
+            [("g", "b"), ("b", "r"), ("r", "d"), ("d", "l")],
+            {"g": p, "b": p, "r": p, "d": p, "l": 0.0},
+        )
+        rho = path_failure_probability(g, ["g", "b", "r", "d", "l"])
+        assert rho == pytest.approx(8e-4, rel=1e-3)
+
+
+class TestMonteCarlo:
+    def test_certain_failure_when_disconnected(self):
+        g = _graph([], {"S": 0.0, "T": 0.0})
+        prob = ReliabilityProblem(g, ("S",), "T")
+        est = failure_probability_mc(prob, samples=100, seed=0)
+        assert est.estimate == 1.0
+
+    def test_certain_success_when_perfect(self):
+        g = _graph([("S", "T")], {"S": 0.0, "T": 0.0})
+        prob = ReliabilityProblem(g, ("S",), "T")
+        est = failure_probability_mc(prob, samples=500, seed=0)
+        assert est.estimate == 0.0
+
+    def test_deterministic_given_seed(self):
+        g = _graph([("S", "T")], {"S": 0.3, "T": 0.3})
+        prob = ReliabilityProblem(g, ("S",), "T")
+        a = failure_probability_mc(prob, samples=10_000, seed=42)
+        b = failure_probability_mc(prob, samples=10_000, seed=42)
+        assert a.estimate == b.estimate
+
+    def test_interval_contains_truth(self):
+        g = _graph([("S", "T")], {"S": 0.3, "T": 0.1})
+        prob = ReliabilityProblem(g, ("S",), "T")
+        est = failure_probability_mc(prob, samples=50_000, seed=7)
+        truth = 1 - 0.7 * 0.9
+        assert est.contains(truth)
+        lo, hi = est.interval()
+        assert 0.0 <= lo <= est.estimate <= hi <= 1.0
+
+    def test_batching_equivalent(self):
+        g = _graph([("S", "M"), ("M", "T")], {"S": 0.2, "M": 0.2, "T": 0.2})
+        prob = ReliabilityProblem(g, ("S",), "T")
+        small_batch = failure_probability_mc(prob, samples=4_000, seed=5, batch=1_000)
+        one_batch = failure_probability_mc(prob, samples=4_000, seed=5, batch=4_000)
+        # Different batching draws different streams; both must be near truth.
+        truth = 1 - 0.8**3
+        assert abs(small_batch.estimate - truth) < 0.05
+        assert abs(one_batch.estimate - truth) < 0.05
+
+    def test_estimate_dataclass(self):
+        est = MonteCarloEstimate(estimate=0.5, stderr=0.01, samples=100, failures=50)
+        assert est.contains(0.5)
+        assert not est.contains(0.9)

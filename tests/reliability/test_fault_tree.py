@@ -1,0 +1,199 @@
+"""Tests for the FTA engine and the eq.-5 architecture bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.reliability import ReliabilityProblem, failure_probability
+from repro.reliability.fault_tree import (
+    BasicEvent,
+    FaultTree,
+    Gate,
+    fault_tree_from_architecture,
+    fault_tree_from_problem,
+)
+
+
+class TestConstruction:
+    def test_basic_event_validation(self):
+        with pytest.raises(ValueError):
+            BasicEvent("e", 1.5)
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            Gate("g", "xor", ("a",))
+        with pytest.raises(ValueError):
+            Gate("g", "and", ())
+        with pytest.raises(ValueError):
+            Gate("g", "k_of_n", ("a", "b"), k=3)
+
+    def test_duplicate_names_rejected(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        with pytest.raises(ValueError):
+            tree.add_event("a", 0.2)
+        with pytest.raises(ValueError):
+            tree.add_gate("a", "or", ["a"])
+
+    def test_unknown_input_detected(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        tree.add_gate("top", "or", ["a", "ghost"])
+        tree.set_top("top")
+        with pytest.raises(ValueError, match="unknown"):
+            tree.validate()
+
+    def test_missing_top_detected(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        with pytest.raises(ValueError, match="top"):
+            tree.validate()
+
+    def test_cycle_detected(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        tree.gates["g1"] = Gate("g1", "or", ("g2",))
+        tree.gates["g2"] = Gate("g2", "or", ("g1",))
+        tree.set_top("g1")
+        with pytest.raises(ValueError, match="cycle"):
+            tree.validate()
+
+
+class TestProbabilities:
+    def test_or_gate(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        tree.add_event("b", 0.2)
+        tree.add_gate("top", "or", ["a", "b"])
+        tree.set_top("top")
+        assert tree.top_event_probability() == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_and_gate(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        tree.add_event("b", 0.2)
+        tree.add_gate("top", "and", ["a", "b"])
+        tree.set_top("top")
+        assert tree.top_event_probability() == pytest.approx(0.02)
+
+    def test_k_of_n_gate(self):
+        tree = FaultTree()
+        for name in "abc":
+            tree.add_event(name, 0.5)
+        tree.add_gate("top", "k_of_n", ["a", "b", "c"], k=2)
+        tree.set_top("top")
+        # P(at least 2 of 3 at 0.5) = 4/8 = 0.5
+        assert tree.top_event_probability() == pytest.approx(0.5)
+
+    def test_shared_subtree_no_double_counting(self):
+        """Shared events must NOT be treated as independent gate inputs."""
+        tree = FaultTree()
+        tree.add_event("shared", 0.5)
+        tree.add_gate("g1", "or", ["shared"])
+        tree.add_gate("g2", "or", ["shared"])
+        tree.add_gate("top", "and", ["g1", "g2"])
+        tree.set_top("top")
+        # top = shared AND shared = shared: probability 0.5, not 0.25.
+        assert tree.top_event_probability() == pytest.approx(0.5)
+
+    def test_top_can_be_basic_event(self):
+        tree = FaultTree()
+        tree.add_event("a", 0.3)
+        tree.set_top("a")
+        assert tree.top_event_probability() == pytest.approx(0.3)
+
+
+class TestMinimalCutSets:
+    def test_or_of_ands(self):
+        tree = FaultTree()
+        for name in "abcd":
+            tree.add_event(name, 0.1)
+        tree.add_gate("g1", "and", ["a", "b"])
+        tree.add_gate("g2", "and", ["c", "d"])
+        tree.add_gate("top", "or", ["g1", "g2"])
+        tree.set_top("top")
+        cuts = tree.minimal_cut_sets()
+        assert set(cuts) == {frozenset("ab"), frozenset("cd")}
+
+    def test_absorption(self):
+        # top = a OR (a AND b): minimal cuts = {a} only.
+        tree = FaultTree()
+        tree.add_event("a", 0.1)
+        tree.add_event("b", 0.1)
+        tree.add_gate("g", "and", ["a", "b"])
+        tree.add_gate("top", "or", ["a", "g"])
+        tree.set_top("top")
+        assert tree.minimal_cut_sets() == [frozenset("a")]
+
+
+def _two_path_problem(p=0.01):
+    g = nx.DiGraph()
+    for n in ("S1", "S2", "M1", "M2", "T"):
+        g.add_node(n, p=p)
+    g.add_edges_from([("S1", "M1"), ("S2", "M2"), ("M1", "T"), ("M2", "T")])
+    return ReliabilityProblem(g, ("S1", "S2"), "T")
+
+
+def _shared_source_problem(p=0.05):
+    """One source feeding two mids: R_T's subtrees share fail[S]."""
+    g = nx.DiGraph()
+    for n in ("S", "M1", "M2", "T"):
+        g.add_node(n, p=p)
+    g.add_edges_from([("S", "M1"), ("S", "M2"), ("M1", "T"), ("M2", "T")])
+    return ReliabilityProblem(g, ("S",), "T")
+
+
+class TestEquation5Bridge:
+    def test_two_path_matches_exact_engine(self):
+        problem = _two_path_problem()
+        tree = fault_tree_from_problem(problem)
+        assert tree.top_event_probability() == pytest.approx(
+            failure_probability(problem), rel=1e-12
+        )
+
+    def test_shared_source_matches_exact_engine(self):
+        """The case naive FTA gets wrong: shared upstream dependency."""
+        problem = _shared_source_problem()
+        tree = fault_tree_from_problem(problem)
+        assert tree.top_event_probability() == pytest.approx(
+            failure_probability(problem), rel=1e-12
+        )
+
+    def test_cut_sets_match_graph_cut_sets(self):
+        from repro.reliability import minimal_cut_sets
+
+        problem = _two_path_problem()
+        tree_cuts = {
+            frozenset(n[len("fail["):-1] for n in cut)
+            for cut in fault_tree_from_problem(problem).minimal_cut_sets()
+        }
+        graph_cuts = set(minimal_cut_sets(problem))
+        assert tree_cuts == graph_cuts
+
+    def test_disconnected_sink_certain(self):
+        g = nx.DiGraph()
+        g.add_node("S", p=0.1)
+        g.add_node("T", p=0.1)
+        problem = ReliabilityProblem(g, ("S",), "T")
+        tree = fault_tree_from_problem(problem)
+        assert tree.top_event_probability() == 1.0
+
+    def test_from_architecture_with_sibling_expansion(self):
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("G1", "gen", failure_prob=0.01, role=Role.SOURCE))
+        lib.add(ComponentSpec("B1", "bus", failure_prob=0.01))
+        lib.add(ComponentSpec("B2", "bus", failure_prob=0.01))
+        lib.add(ComponentSpec("T", "load", role=Role.SINK))
+        lib.set_type_order(["gen", "bus", "load"])
+        t = ArchitectureTemplate(lib, ["G1", "B1", "B2", "T"])
+        t.allow_edge("G1", "B1")
+        t.allow_bidirectional("B1", "B2")
+        t.allow_edge("B2", "T")
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        arch = Architecture(t, [e("G1", "B1"), e("B1", "B2"), e("B2", "B1"),
+                                e("B2", "T")])
+        tree = fault_tree_from_architecture(arch, "T")
+        from repro.reliability import problem_from_architecture
+
+        expected = failure_probability(problem_from_architecture(arch, "T"))
+        assert tree.top_event_probability() == pytest.approx(expected, rel=1e-12)

@@ -1,0 +1,123 @@
+"""Tests for component importance measures."""
+
+import networkx as nx
+import pytest
+
+from repro.reliability import (
+    ReliabilityProblem,
+    failure_probability,
+    importance_measures,
+    ranked_importance,
+)
+
+
+def _series(probs):
+    g = nx.DiGraph()
+    names = list(probs)
+    for name, p in probs.items():
+        g.add_node(name, p=p)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b)
+    return ReliabilityProblem(g, (names[0],), names[-1])
+
+
+def _two_path():
+    """S -> (A | B) -> T with asymmetric probabilities."""
+    g = nx.DiGraph()
+    g.add_node("S", p=0.01)
+    g.add_node("A", p=0.1)
+    g.add_node("B", p=0.3)
+    g.add_node("T", p=0.0)
+    g.add_edges_from([("S", "A"), ("S", "B"), ("A", "T"), ("B", "T")])
+    return ReliabilityProblem(g, ("S",), "T")
+
+
+class TestBirnbaum:
+    def test_series_birnbaum_matches_derivative(self):
+        """For a series system, I_B(i) = prod_{j != i} (1 - p_j)."""
+        probs = {"a": 0.1, "b": 0.2, "c": 0.3}
+        prob = _series(probs)
+        measures = importance_measures(prob)
+        for node, p in probs.items():
+            expected = 1.0
+            for other, q in probs.items():
+                if other != node:
+                    expected *= 1.0 - q
+            assert measures[node].birnbaum == pytest.approx(expected), node
+
+    def test_finite_difference_consistency(self):
+        """I_B numerically equals dr/dp via finite differences."""
+        prob = _two_path()
+        measures = importance_measures(prob)
+        eps = 1e-7
+        for node, m in measures.items():
+            base_p = prob.graph.nodes[node]["p"]
+            prob.graph.nodes[node]["p"] = base_p + eps
+            r_plus = failure_probability(prob)
+            prob.graph.nodes[node]["p"] = base_p - eps
+            r_minus = failure_probability(prob)
+            prob.graph.nodes[node]["p"] = base_p
+            derivative = (r_plus - r_minus) / (2 * eps)
+            assert m.birnbaum == pytest.approx(derivative, rel=1e-4), node
+
+    def test_single_point_of_failure_dominates(self):
+        prob = _two_path()
+        measures = importance_measures(prob)
+        # S is a cut vertex: far more important than either redundant branch.
+        assert measures["S"].birnbaum > measures["A"].birnbaum
+        assert measures["S"].birnbaum > measures["B"].birnbaum
+
+
+class TestOtherMeasures:
+    def test_improvement_potential_bounds(self):
+        prob = _two_path()
+        r = failure_probability(prob)
+        for m in importance_measures(prob).values():
+            assert 0.0 <= m.improvement_potential <= r + 1e-15
+
+    def test_criticality_sums_reasonably(self):
+        # Series system: criticalities are each p_i * prod(1-p_j)/r; their
+        # sum is <= 1 and close to 1 for small p.
+        prob = _series({"a": 1e-3, "b": 1e-3, "c": 1e-3})
+        total = sum(m.criticality for m in importance_measures(prob).values())
+        assert 0.9 <= total <= 1.0 + 1e-9
+
+    def test_fussell_vesely_in_unit_interval(self):
+        prob = _two_path()
+        for m in importance_measures(prob).values():
+            assert 0.0 <= m.fussell_vesely <= 1.0
+
+    def test_perfect_components_skipped(self):
+        prob = _two_path()
+        assert "T" not in importance_measures(prob)  # p = 0
+
+    def test_disconnected_problem_empty(self):
+        g = nx.DiGraph()
+        g.add_node("S", p=0.1)
+        g.add_node("T", p=0.1)
+        prob = ReliabilityProblem(g, ("S",), "T")
+        assert importance_measures(prob) == {}
+
+
+class TestRanking:
+    def test_ranked_by_birnbaum(self):
+        prob = _two_path()
+        ranked = ranked_importance(prob, "birnbaum")
+        values = [m.birnbaum for m in ranked]
+        assert values == sorted(values, reverse=True)
+        assert ranked[0].component == "S"
+
+    def test_top_limits_output(self):
+        prob = _two_path()
+        assert len(ranked_importance(prob, "birnbaum", top=1)) == 1
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            ranked_importance(_two_path(), "voodoo")
+
+    def test_rank_by_each_measure(self):
+        prob = _two_path()
+        for measure in ("criticality", "improvement_potential", "fussell_vesely"):
+            ranked = ranked_importance(prob, measure)
+            values = [getattr(m, measure) for m in ranked]
+            assert values == sorted(values, reverse=True), measure

@@ -1,0 +1,157 @@
+"""Tests for mission-time reliability (failure rates, R(t), MTTF)."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import failure_probability, ReliabilityProblem
+from repro.reliability.mission import (
+    MissionReliability,
+    mission_reliability,
+    rate_to_probability,
+)
+
+
+def _graph(edges, rates):
+    g = nx.DiGraph()
+    for n, rate in rates.items():
+        g.add_node(n, rate=rate)
+    g.add_edges_from(edges)
+    return g
+
+
+def _series(rates):
+    names = list(rates)
+    return mission_reliability(
+        _graph(list(zip(names, names[1:])), rates), [names[0]], names[-1]
+    )
+
+
+class TestRateToProbability:
+    def test_basic_value(self):
+        assert rate_to_probability(1e-4, 10.0) == pytest.approx(1 - math.exp(-1e-3))
+
+    def test_zero_rate(self):
+        assert rate_to_probability(0.0, 100.0) == 0.0
+
+    def test_zero_duration(self):
+        assert rate_to_probability(1.0, 0.0) == 0.0
+
+    def test_small_rate_precision(self):
+        # expm1 keeps precision where 1 - exp(-x) would cancel
+        assert rate_to_probability(1e-12, 1.0) == pytest.approx(1e-12, rel=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rate_to_probability(-1.0, 1.0)
+
+
+class TestMissionReliability:
+    def test_matches_static_analysis(self):
+        """r(t) must equal the static engine fed with p_i = 1 - exp(-l t)."""
+        rates = {"S": 1e-4, "M": 2e-4, "T": 5e-5}
+        mission = _series(rates)
+        t = 1234.5
+        static = _graph([("S", "M"), ("M", "T")], rates)
+        for n, rate in rates.items():
+            static.nodes[n]["p"] = rate_to_probability(rate, t)
+        expected = failure_probability(
+            ReliabilityProblem(static, ("S",), "T")
+        )
+        assert mission.failure_at(t) == pytest.approx(expected, rel=1e-12)
+
+    def test_monotone_in_time(self):
+        mission = _series({"S": 1e-3, "T": 1e-3})
+        values = [mission.failure_at(t) for t in (0, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_reliability_curve_shape(self):
+        mission = _series({"S": 1e-3, "T": 1e-3})
+        curve = mission.reliability_curve([0.0, 1.0, 10.0])
+        assert len(curve) == 3
+        assert curve[0] == (0.0, 0.0)
+
+    def test_missing_rate_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("S")
+        with pytest.raises(ValueError):
+            MissionReliability(g, ("S",), "S")
+
+    def test_disconnected_sink(self):
+        g = _graph([], {"S": 1e-3, "T": 1e-3})
+        mission = mission_reliability(g, ["S"], "T")
+        assert not mission.is_connected
+        assert mission.failure_at(5.0) == 1.0
+        assert mission.max_mission_duration(1e-3) == 0.0
+
+
+class TestMaxMissionDuration:
+    def test_single_component_closed_form(self):
+        # one source=sink with rate l: r(t) = 1 - exp(-l t) <= r* at
+        # t = -ln(1 - r*) / l.
+        lam = 1e-4
+        g = _graph([], {"S": lam})
+        mission = mission_reliability(g, ["S"], "S")
+        r_star = 1e-6
+        expected = -math.log1p(-r_star) / lam
+        assert mission.max_mission_duration(r_star) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_redundancy_extends_mission(self):
+        lam = 1e-4
+        single = mission_reliability(
+            _graph([("S1", "T")], {"S1": lam, "T": 0.0}), ["S1"], "T"
+        )
+        dual = mission_reliability(
+            _graph([("S1", "T"), ("S2", "T")], {"S1": lam, "S2": lam, "T": 0.0}),
+            ["S1", "S2"],
+            "T",
+        )
+        r_star = 1e-6
+        assert dual.max_mission_duration(r_star) > 10 * single.max_mission_duration(
+            r_star
+        )
+
+
+class TestMttf:
+    def test_single_component(self):
+        lam = 1e-3
+        g = _graph([], {"S": lam})
+        mission = mission_reliability(g, ["S"], "S")
+        assert mission.mttf() == pytest.approx(1.0 / lam, rel=1e-3)
+
+    def test_series_system(self):
+        # Series of independent exponentials: MTTF = 1 / sum(rates).
+        rates = {"a": 1e-3, "b": 2e-3, "c": 3e-3}
+        mission = _series(rates)
+        assert mission.mttf() == pytest.approx(1.0 / sum(rates.values()), rel=1e-2)
+
+    def test_parallel_beats_series(self):
+        lam = 1e-3
+        series = _series({"a": lam, "b": lam})
+        parallel = mission_reliability(
+            _graph([("S1", "T"), ("S2", "T")],
+                   {"S1": lam, "S2": lam, "T": 0.0}),
+            ["S1", "S2"], "T",
+        )
+        # 1-out-of-2 parallel: MTTF = 1.5/lam > series 0.5/lam.
+        assert parallel.mttf() == pytest.approx(1.5 / lam, rel=1e-2)
+        assert series.mttf() == pytest.approx(0.5 / lam, rel=1e-2)
+
+    def test_perfect_system_infinite(self):
+        g = _graph([("S", "T")], {"S": 0.0, "T": 0.0})
+        mission = mission_reliability(g, ["S"], "T")
+        assert mission.mttf() == math.inf
+
+
+@given(st.floats(1e-6, 1e-2), st.floats(1.0, 1e4))
+@settings(max_examples=50, deadline=None)
+def test_failure_at_matches_rate_formula(lam, t):
+    g = _graph([], {"S": lam})
+    mission = mission_reliability(g, ["S"], "S")
+    assert mission.failure_at(t) == pytest.approx(rate_to_probability(lam, t), rel=1e-12)

@@ -1,0 +1,128 @@
+"""Tests for symbolic failure polynomials (the paper's series expansions)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    ReliabilityProblem,
+    failure_polynomial,
+    failure_probability,
+    minimal_cut_sets,
+)
+
+
+def _series_chain(n, p=0.01):
+    g = nx.DiGraph()
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        g.add_node(name, p=p)
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b)
+    return ReliabilityProblem(g, (names[0],), names[-1])
+
+
+def _example1(p=0.01):
+    g = nx.DiGraph()
+    for n in ("G1", "G2", "B1", "B2", "D1", "D2", "L"):
+        g.add_node(n, p=p)
+    for chain in (("G1", "B1", "D1", "L"), ("G2", "B2", "D2", "L")):
+        for a, b in zip(chain, chain[1:]):
+            g.add_edge(a, b)
+    return ReliabilityProblem(g, ("G1", "G2"), "L")
+
+
+class TestPaperExpansions:
+    def test_example1_series(self):
+        """The paper: r_L = p + 9p^2 + O(p^3)."""
+        poly = failure_polynomial(_example1(), max_degree=2)
+        assert poly.coefficient(0) == pytest.approx(0.0)
+        assert poly.coefficient(1) == pytest.approx(1.0)
+        assert poly.coefficient(2) == pytest.approx(9.0)
+
+    def test_series_chain_linear_coefficient_counts_components(self):
+        # 1-(1-p)^n = n p - C(n,2) p^2 + ...
+        poly = failure_polynomial(_series_chain(4), max_degree=2)
+        assert poly.coefficient(1) == pytest.approx(4.0)
+        assert poly.coefficient(2) == pytest.approx(-6.0)
+
+    def test_leading_term_is_min_cut(self):
+        """Lowest degree = min cut size; coefficient = #cuts of that size."""
+        prob = _example1()
+        poly = failure_polynomial(prob, max_degree=3)
+        degree, coeff = poly.leading_term()
+        cuts = minimal_cut_sets(prob)
+        min_size = min(len(c) for c in cuts)
+        count = sum(1 for c in cuts if len(c) == min_size)
+        assert degree == min_size == 1  # the load itself
+        assert coeff == pytest.approx(count)
+
+    def test_min_cut_two_architecture(self):
+        # remove the load's own failure: min cut becomes size 2 (9 cuts).
+        g = _example1().graph.copy()
+        g.nodes["L"]["p"] = 0.0
+        prob = ReliabilityProblem(g, ("G1", "G2"), "L")
+        poly = failure_polynomial(prob, max_degree=2)
+        degree, coeff = poly.leading_term()
+        assert degree == 2
+        assert coeff == pytest.approx(9.0)
+
+
+class TestNumericalConsistency:
+    @pytest.mark.parametrize("p", [1e-5, 1e-4, 1e-3])
+    def test_polynomial_approximates_exact(self, p):
+        prob = _example1(p)
+        poly = failure_polynomial(prob, max_degree=3)
+        exact = failure_probability(prob)
+        assert poly(p) == pytest.approx(exact, rel=1e-6)
+
+    def test_truncation_error_shrinks_with_degree(self):
+        p = 0.05
+        prob = _example1(p)
+        exact = failure_probability(prob)
+        errors = [
+            abs(failure_polynomial(prob, max_degree=d)(p) - exact)
+            for d in (1, 2, 4, 6)
+        ]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-6
+
+    def test_full_degree_is_exact(self):
+        prob = _series_chain(3, p=0.3)
+        poly = failure_polynomial(prob, max_degree=3)
+        assert poly(0.3) == pytest.approx(failure_probability(prob), abs=1e-12)
+
+    def test_disconnected_constant_one(self):
+        g = nx.DiGraph()
+        g.add_node("S", p=0.1)
+        g.add_node("T", p=0.1)
+        prob = ReliabilityProblem(g, ("S",), "T")
+        poly = failure_polynomial(prob, max_degree=2)
+        assert poly.coefficient(0) == 1.0
+
+    def test_perfect_components_excluded_from_expansion(self):
+        g = nx.DiGraph()
+        g.add_node("S", p=0.1)
+        g.add_node("M", p=0.0)  # perfect mid component
+        g.add_node("T", p=0.1)
+        g.add_edges_from([("S", "M"), ("M", "T")])
+        prob = ReliabilityProblem(g, ("S",), "T")
+        poly = failure_polynomial(prob, max_degree=2)
+        # 1-(1-p)^2 = 2p - p^2: only two imperfect comps participate
+        assert poly.coefficient(1) == pytest.approx(2.0)
+        assert poly.coefficient(2) == pytest.approx(-1.0)
+
+    def test_repr_mentions_terms(self):
+        poly = failure_polynomial(_example1(), max_degree=2)
+        assert "p^2" in repr(poly)
+
+
+@given(st.integers(2, 5), st.floats(1e-4, 0.2))
+@settings(max_examples=40, deadline=None)
+def test_series_chain_property(n, p):
+    """Polynomial at full degree equals the closed form for chains."""
+    prob = _series_chain(n, p)
+    poly = failure_polynomial(prob, max_degree=n)
+    expected = 1.0 - (1.0 - p) ** n
+    assert poly(p) == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for operating conditions and condition-dependent adequacy."""
+
+import pytest
+
+from repro.eps import build_eps_template, eps_requirements
+from repro.synthesis import (
+    AdequacyUnderConditions,
+    OperatingCondition,
+    SynthesisSpec,
+    standard_flight_conditions,
+    synthesize_ilp_mr,
+)
+
+
+class TestOperatingCondition:
+    def test_frozen_and_normalized(self):
+        cond = OperatingCondition("x", unavailable=["A"], shed_loads=["L"])
+        assert cond.unavailable == ("A",)
+        assert cond.shed_loads == ("L",)
+        with pytest.raises(Exception):
+            cond.name = "y"
+
+    def test_standard_flight_conditions_cover_generators(self):
+        t = build_eps_template(num_generators=6, include_apu=True)
+        conditions = standard_flight_conditions(t)
+        names = {c.name for c in conditions}
+        assert "nominal" in names
+        assert "APU-out" in names
+        assert "emergency" in names
+        # one N-1 condition per generator (incl. APU) plus nominal+emergency
+        assert len(conditions) == 7 + 2
+
+
+class TestAdequacyUnderConditions:
+    def _spec(self, conditions):
+        t = build_eps_template(num_generators=4, include_apu=True)
+        reqs = eps_requirements(t) + [AdequacyUnderConditions(conditions)]
+        return t, SynthesisSpec(template=t, requirements=reqs,
+                                reliability_target=2e-3)
+
+    def test_generator_out_condition_forces_backup(self):
+        t, spec = self._spec([
+            OperatingCondition("nominal"),
+            OperatingCondition("LG1-out", unavailable=("LG1",)),
+        ])
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        used_gens = [
+            t.name_of(i) for i in res.architecture.used_nodes()
+            if t.spec(i).capacity > 0
+        ]
+        # Demand is 70 kW; losing any single used generator must leave 70.
+        for g in used_gens:
+            remaining = sum(
+                t.spec(t.index_of(n)).capacity for n in used_gens if n != g
+            )
+            if g == "LG1":
+                assert remaining >= 70.0
+
+    def test_shed_loads_reduce_required_supply(self):
+        # Shedding every load in a condition makes it vacuous.
+        all_loads = ["LL1", "LL2", "RL1", "RL2"]
+        t, spec = self._spec([
+            OperatingCondition("total-shed", unavailable=("LG1", "LG2", "RG1",
+                                                          "RG2", "APU"),
+                               shed_loads=tuple(all_loads)),
+        ])
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible  # 0 supply >= 0 demand holds
+
+    def test_unknown_component_rejected(self):
+        t, spec = self._spec([
+            OperatingCondition("typo", unavailable=("NOPE",)),
+        ])
+        with pytest.raises(KeyError):
+            spec.build_encoder()
+
+    def test_impossible_condition_infeasible(self):
+        t, spec = self._spec([
+            OperatingCondition("all-out", unavailable=("LG1", "LG2", "RG1",
+                                                       "RG2", "APU")),
+        ])
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.status == "infeasible"
+
+    def test_standard_conditions_synthesize(self):
+        t = build_eps_template(num_generators=4, include_apu=True)
+        reqs = eps_requirements(t) + [
+            AdequacyUnderConditions(standard_flight_conditions(t))
+        ]
+        spec = SynthesisSpec(template=t, requirements=reqs,
+                             reliability_target=2e-3)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        assert res.reliability <= 2e-3

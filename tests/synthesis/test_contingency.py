@@ -1,0 +1,162 @@
+"""Tests for the N-1 contingency requirement and edge (contactor) failures
+in synthesis-facing code paths."""
+
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.reliability import failure_probability, problem_from_architecture
+from repro.synthesis import (
+    IfFeedsThenFed,
+    NMinusOneAdequacy,
+    RequireIncomingEdge,
+    SynthesisSpec,
+    synthesize_ilp_mr,
+)
+
+
+def make_gen_template(ratings, demand):
+    lib = Library(switch_cost=1.0)
+    for i, rating in enumerate(ratings):
+        lib.add(ComponentSpec(f"G{i}", "gen", cost=rating, capacity=rating,
+                              failure_prob=1e-3, role=Role.SOURCE))
+    lib.add(ComponentSpec("B0", "bus", cost=10, failure_prob=1e-3))
+    lib.add(ComponentSpec("L0", "load", demand=demand, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    t = ArchitectureTemplate(lib, [f"G{i}" for i in range(len(ratings))] + ["B0", "L0"])
+    for i in range(len(ratings)):
+        t.allow_edge(f"G{i}", "B0")
+    t.allow_edge("B0", "L0")
+    return t
+
+
+class TestNMinusOne:
+    def _spec(self, ratings, demand, n_minus_one=True):
+        t = make_gen_template(ratings, demand)
+        reqs = [
+            RequireIncomingEdge(nodes=["L0"], k=1),
+            IfFeedsThenFed(via=["B0"], downstream=["L0"],
+                           upstream=[f"G{i}" for i in range(len(ratings))]),
+        ]
+        if n_minus_one:
+            reqs.append(NMinusOneAdequacy())
+        return SynthesisSpec(template=t, requirements=reqs,
+                             reliability_target=0.5)
+
+    def test_forces_extra_generator(self):
+        # demand 50; gens of 60 each. Without N-1 one gen suffices; with
+        # N-1, losing the single gen must still leave 50 -> two gens.
+        with_n1 = synthesize_ilp_mr(self._spec([60, 60, 60], 50), backend="scipy")
+        without = synthesize_ilp_mr(
+            self._spec([60, 60, 60], 50, n_minus_one=False), backend="scipy"
+        )
+        assert with_n1.feasible and without.feasible
+
+        def gens_used(res):
+            t = res.architecture.template
+            return sum(
+                1 for i in res.architecture.used_nodes()
+                if t.spec(i).capacity > 0
+            )
+
+        assert gens_used(without) == 1
+        assert gens_used(with_n1) >= 2
+
+    def test_survives_largest_unit_loss(self):
+        res = synthesize_ilp_mr(self._spec([80, 60, 60], 50), backend="scipy")
+        t = res.architecture.template
+        used = [
+            t.spec(i) for i in res.architecture.used_nodes() if t.spec(i).capacity > 0
+        ]
+        total = sum(s.capacity for s in used)
+        largest = max(s.capacity for s in used)
+        assert total - largest >= 50
+
+    def test_infeasible_when_template_cannot_cover(self):
+        # two gens of 60: N-1 leaves 60 >= 70? No -> infeasible.
+        spec = self._spec([60, 60], 70)
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.status == "infeasible"
+
+    def test_margin_parameter(self):
+        t = make_gen_template([60, 60, 60], 40)
+        spec = SynthesisSpec(
+            template=t,
+            requirements=[
+                RequireIncomingEdge(nodes=["L0"], k=1),
+                IfFeedsThenFed(via=["B0"], downstream=["L0"],
+                               upstream=["G0", "G1", "G2"]),
+                NMinusOneAdequacy(margin=70.0),  # 40 + 70 = 110 post-loss
+            ],
+            reliability_target=0.5,
+        )
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        used_caps = sorted(
+            t.spec(i).capacity for i in res.architecture.used_nodes()
+            if t.spec(i).capacity > 0
+        )
+        assert sum(used_caps) - max(used_caps) >= 110
+
+
+class TestEdgeFailures:
+    def _template_with_failing_edge(self, q):
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("S", "src", failure_prob=0.1, role=Role.SOURCE))
+        lib.add(ComponentSpec("T", "snk", failure_prob=0.2, role=Role.SINK))
+        lib.set_type_order(["src", "snk"])
+        t = ArchitectureTemplate(lib, ["S", "T"])
+        t.allow_edge("S", "T", failure_prob=q)
+        return t
+
+    def test_contactor_adds_series_term(self):
+        t = self._template_with_failing_edge(0.3)
+        arch = Architecture(t, [(0, 1)])
+        prob = problem_from_architecture(arch, "T")
+        assert failure_probability(prob) == pytest.approx(1 - 0.9 * 0.8 * 0.7)
+
+    def test_perfect_contactor_unchanged(self):
+        t = self._template_with_failing_edge(0.0)
+        arch = Architecture(t, [(0, 1)])
+        prob = problem_from_architecture(arch, "T")
+        assert failure_probability(prob) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            self._template_with_failing_edge(1.5)
+
+    def test_sibling_shorthand_incompatible_with_failing_edges(self):
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("S", "src", failure_prob=0.1, role=Role.SOURCE))
+        lib.add(ComponentSpec("B1", "bus", failure_prob=0.1))
+        lib.add(ComponentSpec("B2", "bus", failure_prob=0.1))
+        lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+        lib.set_type_order(["src", "bus", "snk"])
+        t = ArchitectureTemplate(lib, ["S", "B1", "B2", "T"])
+        t.allow_edge("S", "B1", failure_prob=0.05)
+        t.allow_bidirectional("B1", "B2")
+        t.allow_edge("B2", "T")
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        arch = Architecture(t, [e("S", "B1"), e("B1", "B2"), e("B2", "T")])
+        with pytest.raises(ValueError, match="sibling"):
+            arch.expanded_graph()
+
+    def test_redundant_contactors_improve_reliability(self):
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("S", "src", failure_prob=0.0, role=Role.SOURCE))
+        lib.add(ComponentSpec("M1", "mid", failure_prob=0.0))
+        lib.add(ComponentSpec("M2", "mid", failure_prob=0.0))
+        lib.add(ComponentSpec("T", "snk", role=Role.SINK))
+        lib.set_type_order(["src", "mid", "snk"])
+        t = ArchitectureTemplate(lib, ["S", "M1", "M2", "T"])
+        for m in ("M1", "M2"):
+            t.allow_edge("S", m, failure_prob=0.1)
+            t.allow_edge(m, "T", failure_prob=0.1)
+        e = lambda a, b: (t.index_of(a), t.index_of(b))
+        single = Architecture(t, [e("S", "M1"), e("M1", "T")])
+        double = Architecture(
+            t, [e("S", "M1"), e("M1", "T"), e("S", "M2"), e("M2", "T")]
+        )
+        r1 = failure_probability(problem_from_architecture(single, "T"))
+        r2 = failure_probability(problem_from_architecture(double, "T"))
+        assert r1 == pytest.approx(1 - 0.81)
+        assert r2 == pytest.approx((1 - 0.81) ** 2)

@@ -1,0 +1,218 @@
+"""Tests for GENILP encoding: eq. 1 objective, delta linking, requirement
+objects (eqs. 2-4), and decode round-trips."""
+
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.synthesis import (
+    ArchitectureEncoder,
+    ConnectionBound,
+    ForbidEdge,
+    GlobalPowerAdequacy,
+    IfConnectedThenConnected,
+    IfFeedsThenFed,
+    NodeBalance,
+    RequireEdge,
+    RequireIncomingEdge,
+    SymmetryBreaking,
+    SynthesisSpec,
+)
+
+
+def make_template():
+    lib = Library(switch_cost=10.0)
+    lib.add(ComponentSpec("G1", "gen", cost=100, capacity=60, role=Role.SOURCE,
+                          failure_prob=1e-3))
+    lib.add(ComponentSpec("G2", "gen", cost=100, capacity=40, role=Role.SOURCE,
+                          failure_prob=1e-3))
+    lib.add(ComponentSpec("B1", "bus", cost=200, failure_prob=1e-3))
+    lib.add(ComponentSpec("B2", "bus", cost=200, failure_prob=1e-3))
+    lib.add(ComponentSpec("L1", "load", demand=30, role=Role.SINK))
+    lib.add(ComponentSpec("L2", "load", demand=20, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    t = ArchitectureTemplate(lib, ["G1", "G2", "B1", "B2", "L1", "L2"])
+    for g in ("G1", "G2"):
+        for b in ("B1", "B2"):
+            t.allow_edge(g, b)
+    for b in ("B1", "B2"):
+        for l in ("L1", "L2"):
+            t.allow_edge(b, l)
+    t.allow_bidirectional("B1", "B2")
+    return t
+
+
+class TestEncoderObjective:
+    def test_minimal_model_objective_is_zero_when_empty_allowed(self):
+        t = make_template()
+        enc = ArchitectureEncoder(t)
+        res = enc.solve(backend="scipy")
+        assert res.is_optimal
+        assert res.objective == 0.0  # no requirement: empty architecture
+
+    def test_cost_matches_architecture_cost(self):
+        """Solver objective must equal eq. 1 evaluated on the decoded arch."""
+        t = make_template()
+        spec = SynthesisSpec(
+            template=t,
+            requirements=[
+                RequireIncomingEdge(nodes=["L1", "L2"], k=1),
+                IfFeedsThenFed(via=["B1", "B2"], downstream=["L1", "L2"],
+                               upstream=["G1", "G2"]),
+            ],
+        )
+        enc = spec.build_encoder()
+        res = enc.solve(backend="scipy")
+        assert res.is_optimal
+        arch = enc.decode(res)
+        assert res.objective == pytest.approx(arch.cost())
+
+    def test_switch_charged_once_for_bidirectional_pair(self):
+        t = make_template()
+        enc = ArchitectureEncoder(t)
+        enc.model.add_constr(enc.edge_var("B1", "B2") >= 1)
+        enc.model.add_constr(enc.edge_var("B2", "B1") >= 1)
+        res = enc.solve(backend="scipy")
+        arch = enc.decode(res)
+        # one switch pair + two bus components
+        assert res.objective == pytest.approx(200 + 200 + 10)
+        assert arch.num_switches() == 1
+
+    def test_delta_pruning(self):
+        t = make_template()
+        enc = ArchitectureEncoder(t)
+        enc.model.add_constr(enc.edge_var("G1", "B1") >= 1)
+        res = enc.solve(backend="scipy")
+        g2 = t.index_of("G2")
+        assert res[enc.delta[g2]] == 0.0
+        assert res[enc.delta[t.index_of("G1")]] == 1.0
+
+    def test_decode_requires_values(self):
+        t = make_template()
+        enc = ArchitectureEncoder(t)
+        enc.model.add_constr(enc.edge_var("G1", "B1") >= 2)  # infeasible
+        res = enc.solve(backend="scipy")
+        with pytest.raises(ValueError):
+            enc.decode(res)
+
+
+class TestRequirements:
+    def _solve(self, *requirements, maximize_edges=False):
+        t = make_template()
+        spec = SynthesisSpec(template=t, requirements=list(requirements))
+        enc = spec.build_encoder()
+        res = enc.solve(backend="scipy")
+        return t, enc, res
+
+    def test_connection_bound_at_least_per_dest(self):
+        t, enc, res = self._solve(
+            ConnectionBound(sources=["G1", "G2"], dests=["B1"], k=2, per="dest")
+        )
+        assert res.is_optimal
+        assert res[enc.edge_var("G1", "B1")] == 1.0
+        assert res[enc.edge_var("G2", "B1")] == 1.0
+
+    def test_connection_bound_exact_total(self):
+        t, enc, res = self._solve(
+            ConnectionBound(sources=["G1", "G2"], dests=["B1", "B2"], k=3,
+                            sense="==", per="total")
+        )
+        active = sum(
+            res[enc.edge_var(g, b)] for g in ("G1", "G2") for b in ("B1", "B2")
+        )
+        assert active == 3.0
+
+    def test_connection_bound_at_most(self):
+        t, enc, res = self._solve(
+            RequireIncomingEdge(nodes=["L1"], k=1),
+            ConnectionBound(sources=["B1", "B2"], dests=["L1"], k=1,
+                            sense="<=", per="dest"),
+        )
+        total = res[enc.edge_var("B1", "L1")] + res[enc.edge_var("B2", "L1")]
+        assert total == 1.0
+
+    def test_connection_bound_only_if_used(self):
+        t, enc, res = self._solve(
+            RequireEdge("B1", "L1"),
+            ConnectionBound(sources=["G1", "G2"], dests=["B1", "B2"], k=1,
+                            per="dest", only_if_used=True),
+        )
+        # B1 used -> needs a generator; B2 unused -> no obligation.
+        assert res[enc.edge_var("G1", "B1")] + res[enc.edge_var("G2", "B1")] >= 1.0
+        assert res[enc.delta[t.index_of("B2")]] == 0.0
+
+    def test_unsatisfiable_bound_raises_at_build(self):
+        t = make_template()
+        with pytest.raises(ValueError):
+            SynthesisSpec(
+                template=t,
+                requirements=[
+                    ConnectionBound(sources=["L1"], dests=["G1"], k=1, per="dest")
+                ],
+            ).build_encoder()
+
+    def test_if_connected_then_connected(self):
+        # G->B edge forces B->(load) edge.
+        t, enc, res = self._solve(
+            RequireEdge("G1", "B1"),
+            IfConnectedThenConnected(upstream=["G1", "G2"], via=["B1", "B2"],
+                                     downstream=["L1", "L2"]),
+        )
+        outs = res[enc.edge_var("B1", "L1")] + res[enc.edge_var("B1", "L2")]
+        assert outs >= 1.0
+
+    def test_if_feeds_then_fed(self):
+        t, enc, res = self._solve(
+            RequireEdge("B1", "L1"),
+            IfFeedsThenFed(via=["B1", "B2"], downstream=["L1", "L2"],
+                           upstream=["G1", "G2"]),
+        )
+        ins = res[enc.edge_var("G1", "B1")] + res[enc.edge_var("G2", "B1")]
+        assert ins >= 1.0
+
+    def test_node_balance(self):
+        # B1 feeds both loads (total 50): needs >= 50 of generation in.
+        t, enc, res = self._solve(
+            RequireEdge("B1", "L1"),
+            RequireEdge("B1", "L2"),
+            NodeBalance("B1"),
+        )
+        supply = 60 * res[enc.edge_var("G1", "B1")] + 40 * res[enc.edge_var("G2", "B1")]
+        assert supply >= 50.0
+
+    def test_global_power_adequacy(self):
+        t, enc, res = self._solve(GlobalPowerAdequacy())
+        # total demand 50 -> G1 (60) alone suffices and is cheapest usage
+        total = sum(
+            t.spec(i).capacity * res[enc.delta[i]] for i in range(t.num_nodes)
+        )
+        assert total >= 50.0
+
+    def test_forbid_edge(self):
+        t, enc, res = self._solve(
+            RequireIncomingEdge(nodes=["L1"], k=1),
+            ForbidEdge("B1", "L1"),
+        )
+        assert res[enc.edge_var("B1", "L1")] == 0.0
+        assert res[enc.edge_var("B2", "L1")] == 1.0
+
+    def test_symmetry_breaking_orders_usage(self):
+        t = make_template()
+        t.declare_interchangeable(["B1", "B2"])
+        spec = SynthesisSpec(
+            template=t,
+            requirements=[RequireIncomingEdge(nodes=["L1"], k=1), SymmetryBreaking()],
+        )
+        enc = spec.build_encoder()
+        res = enc.solve(backend="scipy")
+        assert res.is_optimal
+        # in-degree ordering must hold: indeg(B1) >= indeg(B2)
+        in1 = sum(res[v] for v in enc.in_edge_vars("B1"))
+        in2 = sum(res[v] for v in enc.in_edge_vars("B2"))
+        assert in1 >= in2
+
+    def test_spec_sinks_default_and_override(self):
+        t = make_template()
+        spec = SynthesisSpec(template=t)
+        assert spec.sinks() == ["L1", "L2"]
+        spec2 = SynthesisSpec(template=t, sinks_of_interest=["L2"])
+        assert spec2.sinks() == ["L2"]

@@ -1,0 +1,150 @@
+"""Tests for ILP-MR (Algorithm 1) and LEARNCONS (Algorithm 2)."""
+
+import math
+
+import pytest
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.reliability import worst_case_failure
+from repro.synthesis import (
+    IfFeedsThenFed,
+    RequireIncomingEdge,
+    SynthesisSpec,
+    estimate_paths,
+    synthesize_ilp_mr,
+)
+
+
+def make_template(n_per_layer=3, p=1e-2):
+    """Layered gen -> bus -> load template with full cross connectivity."""
+    lib = Library(switch_cost=1.0)
+    for i in range(n_per_layer):
+        lib.add(ComponentSpec(f"G{i}", "gen", cost=50, capacity=100,
+                              failure_prob=p, role=Role.SOURCE))
+        lib.add(ComponentSpec(f"B{i}", "bus", cost=20, failure_prob=p))
+    lib.add(ComponentSpec("L0", "load", demand=10, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    names = [f"G{i}" for i in range(n_per_layer)] + [
+        f"B{i}" for i in range(n_per_layer)
+    ] + ["L0"]
+    t = ArchitectureTemplate(lib, names)
+    for i in range(n_per_layer):
+        for j in range(n_per_layer):
+            t.allow_edge(f"G{i}", f"B{j}")
+        t.allow_edge(f"B{i}", "L0")
+    return t
+
+
+def make_spec(t, r_star):
+    gens = [n for n in (s.name for s in t.library) if n.startswith("G")]
+    buses = [n for n in (s.name for s in t.library) if n.startswith("B")]
+    return SynthesisSpec(
+        template=t,
+        requirements=[
+            RequireIncomingEdge(nodes=["L0"], k=1),
+            IfFeedsThenFed(via=buses, downstream=["L0"], upstream=gens),
+        ],
+        reliability_target=r_star,
+    )
+
+
+class TestEstimatePaths:
+    def test_paper_eps_case(self):
+        """Fig. 2 narrative: r = 6e-4, rho = 8e-4, r* = 2e-10 gives k = 2."""
+        assert estimate_paths(6e-4, 2e-10, 8e-4) == 2
+
+    def test_our_minimal_eps_case(self):
+        assert estimate_paths(8e-4, 2e-10, 8e-4) == 2
+
+    def test_already_satisfied(self):
+        assert estimate_paths(1e-12, 1e-10, 1e-3) == 0
+
+    def test_fine_tuning_returns_zero(self):
+        # r slightly above r*: less than one path factor away.
+        assert estimate_paths(2.8e-10, 2e-10, 8e-4) == 0
+
+    def test_degenerate_rho(self):
+        assert estimate_paths(1e-3, 1e-9, 0.0) == 0
+        assert estimate_paths(1e-3, 1e-9, 1.0) == 0
+
+    def test_zero_r(self):
+        assert estimate_paths(0.0, 1e-9, 1e-3) == 0
+
+
+class TestIlpMrLoop:
+    def test_loose_target_single_iteration(self):
+        t = make_template(3, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=0.5), backend="scipy")
+        assert res.feasible
+        assert res.num_iterations == 1
+        assert res.reliability <= 0.5
+
+    def test_tight_target_forces_redundancy(self):
+        t = make_template(3, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-4), backend="scipy")
+        assert res.feasible
+        assert res.num_iterations >= 2
+        assert res.reliability <= 1e-4
+        # Redundancy costs more than the minimal single chain.
+        assert res.cost > res.iterations[0].cost
+
+    def test_result_architecture_satisfies_target_exactly_by_analysis(self):
+        t = make_template(3, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-4), backend="scipy")
+        r, _ = worst_case_failure(res.architecture, ["L0"])
+        assert r == pytest.approx(res.reliability)
+        assert r <= 1e-4
+
+    def test_infeasible_when_template_lacks_redundancy(self):
+        # 1 gen + 1 bus: max achievable reliability ~ 2p; demand 1e-9 fails.
+        t = make_template(1, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-9), backend="scipy")
+        assert res.status == "infeasible"
+        assert not res.feasible
+
+    def test_iteration_trace_monotone_reliability(self):
+        t = make_template(4, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-5), backend="scipy")
+        rs = [it.reliability for it in res.iterations]
+        assert all(b <= a * (1 + 1e-9) for a, b in zip(rs, rs[1:])), rs
+
+    def test_lazy_strategy_needs_at_least_as_many_iterations(self):
+        t = make_template(4, p=1e-2)
+        fast = synthesize_ilp_mr(make_spec(t, r_star=1e-5), strategy="learncons",
+                                 backend="scipy")
+        slow = synthesize_ilp_mr(make_spec(t, r_star=1e-5), strategy="lazy",
+                                 backend="scipy")
+        assert fast.feasible and slow.feasible
+        assert slow.num_iterations >= fast.num_iterations
+        # Both meet the requirement.
+        assert slow.reliability <= 1e-5 and fast.reliability <= 1e-5
+
+    def test_missing_target_rejected(self):
+        t = make_template(2)
+        spec = make_spec(t, r_star=None)
+        with pytest.raises(ValueError):
+            synthesize_ilp_mr(spec)
+
+    def test_costs_never_decrease_across_iterations(self):
+        t = make_template(4, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-5), backend="scipy")
+        costs = [it.cost for it in res.iterations]
+        assert all(b >= a - 1e-6 for a, b in zip(costs, costs[1:])), costs
+
+    def test_own_bnb_backend_on_small_instance(self):
+        t = make_template(2, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-3), backend="bnb")
+        assert res.feasible
+        assert res.reliability <= 1e-3
+
+    def test_model_stats_populated(self):
+        t = make_template(2, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=0.5), backend="scipy")
+        assert res.model_stats["variables"] > 0
+        assert res.model_stats["constraints"] > 0
+
+    def test_summary_renders(self):
+        t = make_template(2, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=0.5), backend="scipy")
+        text = res.summary()
+        assert "ILP-MR" in text and "iter 1" in text

@@ -1,0 +1,91 @@
+"""Tests for ILP-TSE — the truncated exact encoding baseline."""
+
+import pytest
+
+from repro.reliability import worst_case_failure
+from repro.synthesis import (
+    synthesize_ilp_ar,
+    synthesize_ilp_tse,
+    truncation_tail,
+)
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+
+class TestTruncationTail:
+    def test_zero_components(self):
+        assert truncation_tail([], 2) == 0.0
+
+    def test_order_covers_everything(self):
+        assert truncation_tail([0.5, 0.5], 2) == pytest.approx(0.0, abs=1e-15)
+
+    def test_single_component_order_zero(self):
+        # tail = P(more than 0 fail) = p
+        assert truncation_tail([0.3], 0) == pytest.approx(0.3)
+
+    def test_two_component_order_one(self):
+        # tail = P(both fail) = p^2
+        assert truncation_tail([0.1, 0.1], 1) == pytest.approx(0.01)
+
+    def test_poisson_binomial(self):
+        probs = [0.1, 0.2, 0.3]
+        # P(>1 failure) computed by hand: 1 - P(0) - P(1)
+        p0 = 0.9 * 0.8 * 0.7
+        p1 = 0.1 * 0.8 * 0.7 + 0.9 * 0.2 * 0.7 + 0.9 * 0.8 * 0.3
+        assert truncation_tail(probs, 1) == pytest.approx(1 - p0 - p1)
+
+    def test_monotone_in_order(self):
+        probs = [0.05] * 6
+        tails = [truncation_tail(probs, k) for k in range(4)]
+        assert tails == sorted(tails, reverse=True)
+
+
+class TestIlpTse:
+    def test_result_is_guaranteed_feasible(self):
+        """Unlike ILP-AR, a TSE result must satisfy r <= r* exactly."""
+        t = make_template(3, p=1e-2)
+        res = synthesize_ilp_tse(make_spec(t, r_star=1e-3), order=2,
+                                 backend="scipy")
+        assert res.feasible
+        r, _ = worst_case_failure(res.architecture, ["L0"])
+        assert r <= 1e-3
+
+    def test_matches_ar_optimum_when_algebra_is_tight(self):
+        t = make_template(3, p=1e-2)
+        tse = synthesize_ilp_tse(make_spec(t, r_star=1e-3), order=2,
+                                 backend="scipy")
+        ar = synthesize_ilp_ar(make_spec(t, r_star=1e-3), backend="scipy")
+        assert tse.cost == pytest.approx(ar.cost)
+
+    def test_insufficient_order_rejected(self):
+        t = make_template(3, p=1e-2)
+        # 6 failing comps at 1e-2: tail(1) ~ C(6,2)*1e-4 ~ 1.5e-3 > 1e-5.
+        with pytest.raises(ValueError, match="truncation tail"):
+            synthesize_ilp_tse(make_spec(t, r_star=1e-5), order=1,
+                               backend="scipy")
+
+    def test_order_one_with_loose_target(self):
+        t = make_template(2, p=1e-2)
+        res = synthesize_ilp_tse(make_spec(t, r_star=0.1), order=1,
+                                 backend="scipy")
+        assert res.feasible
+        assert res.reliability <= 0.1
+
+    def test_model_larger_than_ar(self):
+        """The blow-up the paper predicts: TSE >> AR in model size."""
+        t = make_template(3, p=1e-2)
+        tse = synthesize_ilp_tse(make_spec(t, r_star=1e-3), order=2,
+                                 backend="scipy")
+        ar = synthesize_ilp_ar(make_spec(t, r_star=1e-3), backend="scipy")
+        assert tse.model_stats["constraints"] > 2 * ar.model_stats["constraints"]
+
+    def test_missing_target_rejected(self):
+        t = make_template(2)
+        with pytest.raises(ValueError):
+            synthesize_ilp_tse(make_spec(t, r_star=None))
+
+    def test_infeasible_when_redundancy_unavailable(self):
+        t = make_template(1, p=1e-2)
+        res = synthesize_ilp_tse(make_spec(t, r_star=1e-4), order=2,
+                                 backend="scipy")
+        # Single chain: r ~ 2e-2 > 1e-4; scenario constraints cannot hold.
+        assert res.status == "infeasible"

@@ -1,0 +1,119 @@
+"""Unit tests for LEARNCONS internals: connected counts, ADDPATH targets,
+FINDMINREDTYPE selection, saturation handling."""
+
+import pytest
+
+from repro.arch import Architecture
+from repro.synthesis import learn_constraints
+from repro.synthesis.learncons import (
+    _connected_counts,
+    _find_min_redundancy_type,
+    _max_walk_lengths,
+)
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+
+def _arch(t, names):
+    return Architecture(t, [(t.index_of(a), t.index_of(b)) for a, b in names])
+
+
+class TestConnectedCounts:
+    def test_single_chain(self):
+        t = make_template(3)
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0")])
+        counts = _connected_counts(arch, "L0", _max_walk_lengths_for(t))
+        assert counts == {"gen": 1, "bus": 1, "load": 1}
+
+    def test_two_disjoint_chains(self):
+        t = make_template(3)
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0"), ("G1", "B1"), ("B1", "L0")])
+        counts = _connected_counts(arch, "L0", _max_walk_lengths_for(t))
+        assert counts["gen"] == 2 and counts["bus"] == 2
+
+    def test_unconnected_components_not_counted(self):
+        t = make_template(3)
+        # G1->B1 exists but B1 has no edge to L0: gen G1 not counted.
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0"), ("G1", "B1")])
+        counts = _connected_counts(arch, "L0", _max_walk_lengths_for(t))
+        assert counts["gen"] == 1
+
+    def test_sink_counts_itself(self):
+        t = make_template(2)
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0")])
+        counts = _connected_counts(arch, "L0", _max_walk_lengths_for(t))
+        assert counts["load"] == 1
+
+
+def _max_walk_lengths_for(t):
+    n = t.num_types
+    return {ctype: max(1, n - t.type_layer(ctype) + 1) for ctype in t.type_order}
+
+
+class TestFindMinRedundancyType:
+    def test_picks_minimum(self):
+        counts = {"gen": 2, "bus": 1, "load": 1}
+        caps = {"gen": 3, "bus": 3, "load": 1}
+        assert _find_min_redundancy_type(counts, caps, ["gen", "bus", "load"],
+                                         skip="load") == "bus"
+
+    def test_skips_saturated(self):
+        counts = {"gen": 1, "bus": 3, "load": 1}
+        caps = {"gen": 3, "bus": 3, "load": 1}
+        assert _find_min_redundancy_type(counts, caps, ["gen", "bus", "load"],
+                                         skip="load") == "gen"
+
+    def test_all_saturated_returns_none(self):
+        counts = {"gen": 3, "bus": 3, "load": 1}
+        caps = {"gen": 3, "bus": 3, "load": 1}
+        assert _find_min_redundancy_type(counts, caps, ["gen", "bus", "load"],
+                                         skip="load") is None
+
+    def test_skip_excluded_even_if_minimal(self):
+        counts = {"gen": 5, "load": 0}
+        caps = {"gen": 6, "load": 4}
+        assert _find_min_redundancy_type(counts, caps, ["gen", "load"],
+                                         skip="load") == "gen"
+
+
+class TestLearnConstraintsOutcome:
+    def test_adds_constraints_when_below_target(self):
+        t = make_template(3, p=1e-2)
+        spec = make_spec(t, r_star=1e-6)
+        enc = spec.build_encoder()
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0")])
+        before = enc.model.num_constrs
+        outcome = learn_constraints(enc, spec, arch, r=2e-2, r_star=1e-6)
+        assert outcome.added_constraints > 0
+        assert not outcome.saturated
+        assert enc.model.num_constrs > before
+        # r/r* spans ~4 orders; rho ~ 2e-2 -> k = 2 paths estimated.
+        assert outcome.estimated_k == 2
+
+    def test_lazy_strategy_single_target(self):
+        t = make_template(3, p=1e-2)
+        spec = make_spec(t, r_star=1e-6)
+        enc = spec.build_encoder()
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0")])
+        outcome = learn_constraints(enc, spec, arch, r=2e-2, r_star=1e-6,
+                                    strategy="lazy")
+        assert outcome.estimated_k == 0  # lazy never infers k
+        assert outcome.added_constraints == 1  # one path, one sink
+
+    def test_saturated_when_everything_connected(self):
+        t = make_template(2, p=1e-2)
+        spec = make_spec(t, r_star=1e-12)
+        enc = spec.build_encoder()
+        # Fully redundant architecture: every allowed edge active.
+        arch = Architecture(t, t.allowed_edges)
+        outcome = learn_constraints(enc, spec, arch, r=1e-4, r_star=1e-12)
+        assert outcome.saturated
+        assert outcome.added_constraints == 0
+
+    def test_learned_constraints_are_tagged(self):
+        t = make_template(3, p=1e-2)
+        spec = make_spec(t, r_star=1e-6)
+        enc = spec.build_encoder()
+        arch = _arch(t, [("G0", "B0"), ("B0", "L0")])
+        learn_constraints(enc, spec, arch, r=2e-2, r_star=1e-6)
+        tags = {c.tag for c in enc.model.constraints if c.tag.startswith("learned")}
+        assert tags  # at least one learned.<type>.<sink> constraint

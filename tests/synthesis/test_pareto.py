@@ -1,0 +1,136 @@
+"""Tests for the cost/reliability design-space exploration."""
+
+import pytest
+
+from repro.synthesis import SynthesisSpec
+from repro.synthesis.pareto import (
+    TradeoffPoint,
+    cheapest_under_target,
+    explore_tradeoff,
+    most_reliable_under_budget,
+    pareto_front,
+)
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    t = make_template(4, p=1e-2)
+    spec = make_spec(t, r_star=None)
+    return spec, explore_tradeoff(
+        spec, levels=[0.5, 1e-3, 1e-5], algorithm="ar", backend="scipy"
+    )
+
+
+class TestExploreTradeoff:
+    def test_levels_sorted_loose_to_tight(self, sweep):
+        _, points = sweep
+        r_stars = [p.r_star for p in points]
+        assert r_stars == sorted(r_stars, reverse=True)
+
+    def test_costs_nondecreasing(self, sweep):
+        _, points = sweep
+        costs = [p.cost for p in points if p.feasible]
+        assert costs == sorted(costs)
+
+    def test_all_feasible_levels_meet_requirement_approximately(self, sweep):
+        _, points = sweep
+        for p in points:
+            if p.feasible:
+                assert p.result.approx_reliability <= p.r_star * (1 + 1e-9)
+
+    def test_infeasible_levels_reported(self):
+        t = make_template(2, p=1e-2)
+        spec = make_spec(t, r_star=None)
+        points = explore_tradeoff(spec, [0.5, 1e-12], algorithm="ar",
+                                  backend="scipy")
+        feasibility = {p.r_star: p.feasible for p in points}
+        assert feasibility[0.5] is True
+        assert feasibility[1e-12] is False
+
+    def test_mr_algorithm_supported(self):
+        t = make_template(2, p=1e-2)
+        spec = make_spec(t, r_star=None)
+        points = explore_tradeoff(spec, [1e-3], algorithm="mr", backend="scipy")
+        assert points[0].feasible
+        assert points[0].reliability <= 1e-3
+
+    def test_unknown_algorithm_rejected(self):
+        t = make_template(2, p=1e-2)
+        spec = make_spec(t, r_star=None)
+        with pytest.raises(ValueError):
+            explore_tradeoff(spec, [1e-3], algorithm="simulated-annealing")
+
+
+class TestParetoFront:
+    def test_front_is_nondominated(self, sweep):
+        _, points = sweep
+        front = pareto_front(points)
+        assert front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    b.cost <= a.cost and b.reliability <= a.reliability
+                    and (b.cost < a.cost or b.reliability < a.reliability)
+                )
+                assert not dominates
+
+    def test_front_sorted_by_cost(self, sweep):
+        _, points = sweep
+        front = pareto_front(points)
+        costs = [p.cost for p in front]
+        assert costs == sorted(costs)
+
+    def test_front_reliability_decreases_with_cost(self, sweep):
+        _, points = sweep
+        front = pareto_front(points)
+        rels = [p.reliability for p in front]
+        assert rels == sorted(rels, reverse=True)
+
+    def test_duplicates_collapsed(self, sweep):
+        _, points = sweep
+        duplicated = list(points) + list(points)
+        assert len(pareto_front(duplicated)) == len(pareto_front(points))
+
+
+class TestQueries:
+    def test_cheapest_under_target(self, sweep):
+        _, points = sweep
+        choice = cheapest_under_target(points, 1e-2)
+        assert choice is not None
+        assert choice.reliability <= 1e-2
+        cheaper = [
+            p for p in points
+            if p.feasible and p.reliability is not None
+            and p.reliability <= 1e-2 and p.cost < choice.cost
+        ]
+        assert not cheaper
+
+    def test_cheapest_under_impossible_target(self, sweep):
+        _, points = sweep
+        assert cheapest_under_target(points, 1e-30) is None
+
+    def test_most_reliable_under_budget(self):
+        t = make_template(3, p=1e-2)
+        spec = make_spec(t, r_star=None)
+        # generous budget: should reach a redundant design
+        generous = most_reliable_under_budget(
+            spec, budget=1e5, algorithm="ar", backend="scipy", iterations=8
+        )
+        assert generous is not None and generous.feasible
+        # tight budget: only the minimal single-chain design fits
+        tight = most_reliable_under_budget(
+            spec, budget=150.0, algorithm="ar", backend="scipy", iterations=8
+        )
+        assert tight is not None
+        assert tight.cost <= 150.0
+        assert generous.reliability <= tight.reliability
+
+    def test_budget_below_minimal_cost(self):
+        t = make_template(2, p=1e-2)
+        spec = make_spec(t, r_star=None)
+        assert most_reliable_under_budget(
+            spec, budget=1.0, algorithm="ar", backend="scipy", iterations=4
+        ) is None

@@ -1,0 +1,113 @@
+"""Property-based tests for the synthesis algorithms' contracts.
+
+Theorem 1 (ILP-MR soundness and completeness) and Theorem 3 (ILP-AR)
+translate into machine-checkable properties:
+
+* soundness — a returned architecture satisfies every interconnection
+  requirement and (for MR/TSE) the reliability requirement exactly;
+* completeness — UNFEASIBLE is returned only when even the *maximal*
+  configuration (every allowed edge active) misses the requirement.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Architecture, ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.reliability import worst_case_failure
+from repro.synthesis import (
+    IfFeedsThenFed,
+    RequireIncomingEdge,
+    SynthesisSpec,
+    synthesize_ilp_ar,
+    synthesize_ilp_mr,
+)
+
+
+@st.composite
+def random_spec(draw):
+    """Random small layered gen->bus->load synthesis problems."""
+    n_gen = draw(st.integers(1, 3))
+    n_bus = draw(st.integers(1, 3))
+    p = draw(st.sampled_from([1e-3, 1e-2, 5e-2]))
+    lib = Library(switch_cost=draw(st.sampled_from([0.0, 1.0, 10.0])))
+    for i in range(n_gen):
+        lib.add(ComponentSpec(f"G{i}", "gen", cost=10, capacity=100,
+                              failure_prob=p, role=Role.SOURCE))
+    for i in range(n_bus):
+        lib.add(ComponentSpec(f"B{i}", "bus", cost=5, failure_prob=p))
+    lib.add(ComponentSpec("L0", "load", demand=10, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    names = [f"G{i}" for i in range(n_gen)] + [f"B{i}" for i in range(n_bus)] + ["L0"]
+    t = ArchitectureTemplate(lib, names)
+    # random allowed edges, at least one full chain guaranteed
+    t.allow_edge("G0", "B0")
+    t.allow_edge("B0", "L0")
+    for i in range(n_gen):
+        for j in range(n_bus):
+            if (i, j) != (0, 0) and draw(st.booleans()):
+                t.allow_edge(f"G{i}", f"B{j}")
+    for j in range(1, n_bus):
+        if draw(st.booleans()):
+            t.allow_edge(f"B{j}", "L0")
+    r_star = draw(st.sampled_from([0.5, 1e-2, 1e-4, 1e-7, 1e-12]))
+    spec = SynthesisSpec(
+        template=t,
+        requirements=[
+            RequireIncomingEdge(nodes=["L0"], k=1),
+            IfFeedsThenFed(via=[f"B{j}" for j in range(n_bus)],
+                           downstream=["L0"],
+                           upstream=[f"G{i}" for i in range(n_gen)]),
+        ],
+        reliability_target=r_star,
+    )
+    return spec
+
+
+@given(random_spec())
+@settings(max_examples=25, deadline=None)
+def test_ilp_mr_sound_and_complete(spec):
+    result = synthesize_ilp_mr(spec, backend="scipy")
+    maximal = Architecture(spec.template, spec.template.allowed_edges)
+    r_max, _ = worst_case_failure(maximal, spec.sinks())
+
+    if result.feasible:
+        # Soundness: reliability requirement met exactly.
+        r, _ = worst_case_failure(result.architecture, spec.sinks())
+        assert r <= spec.reliability_target * (1 + 1e-9)
+        # Load is connected per the interconnection requirements.
+        sink_idx = spec.template.index_of("L0")
+        assert any(j == sink_idx for (_, j) in result.architecture.edges)
+    else:
+        # Completeness (Theorem 1): even the maximal architecture fails.
+        assert r_max > spec.reliability_target
+
+
+@given(random_spec())
+@settings(max_examples=20, deadline=None)
+def test_ilp_ar_soundness_on_its_own_metric(spec):
+    from repro.reliability import approximate_failure
+
+    result = synthesize_ilp_ar(spec, backend="scipy")
+    if result.feasible:
+        # The algebra's estimate of the returned architecture meets r*.
+        for sink in spec.sinks():
+            approx = approximate_failure(result.architecture, sink)
+            assert approx.r_tilde <= spec.reliability_target * (1 + 1e-6)
+
+
+@given(random_spec())
+@settings(max_examples=15, deadline=None)
+def test_mr_never_cheaper_than_interconnection_minimum(spec):
+    """Reliability constraints can only increase the optimal cost."""
+    base = SynthesisSpec(
+        template=spec.template,
+        requirements=list(spec.requirements),
+        reliability_target=None,
+    )
+    enc = base.build_encoder()
+    unconstrained = enc.solve(backend="scipy")
+    assert unconstrained.is_optimal
+    result = synthesize_ilp_mr(spec, backend="scipy")
+    if result.feasible:
+        assert result.cost >= unconstrained.objective - 1e-6

@@ -1,0 +1,128 @@
+"""Tests for the report formatting helpers and the archex CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.report import format_scientific, format_table, section
+
+
+class TestReport:
+    def test_format_scientific(self):
+        assert format_scientific(2e-10) == "2.00e-10"
+        assert format_scientific(None) == "n/a"
+        assert format_scientific(1.23456e-3, digits=4) == "1.2346e-03"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # all rows padded to equal visual width per column
+        assert "333" in lines[3]
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_section(self):
+        text = section("Title")
+        assert "Title" in text and "=" in text
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize"])
+        assert args.domain == "eps"
+        assert args.algorithm == "mr"
+        assert args.target == 2e-10
+
+    def test_scaling_sizes_parse(self):
+        args = build_parser().parse_args(["scaling", "--sizes", "20,30,40"])
+        assert args.sizes == [20, 30, 40]
+
+    def test_bad_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize", "--domain", "spaceship"])
+
+
+class TestCliExecution:
+    def test_synthesize_comm_net(self, capsys):
+        code = main(
+            ["synthesize", "--domain", "comm-net", "--algorithm", "ar",
+             "--target", "1e-6", "--backend", "scipy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ILP-AR" in out
+        assert "GW1" in out
+
+    def test_analyze_power_grid(self, capsys):
+        code = main(
+            ["analyze", "--domain", "power-grid", "--algorithm", "mr",
+             "--target", "1e-4", "--backend", "scipy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "r (exact)" in out
+        assert "total cost" in out
+
+    def test_infeasible_exit_code(self, capsys):
+        code = main(
+            ["synthesize", "--domain", "comm-net", "--algorithm", "mr",
+             "--target", "1e-30", "--backend", "scipy"]
+        )
+        assert code == 1
+
+
+class TestCliTradeoffAndSave:
+    def test_tradeoff_comm_net(self, capsys):
+        code = main(
+            ["tradeoff", "--domain", "comm-net", "--levels", "1e-3,1e-6",
+             "--backend", "scipy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Pareto front" in out
+
+    def test_save_arch(self, tmp_path, capsys):
+        target = tmp_path / "design.json"
+        code = main(
+            ["synthesize", "--domain", "comm-net", "--algorithm", "ar",
+             "--target", "1e-6", "--backend", "scipy",
+             "--save-arch", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+        from repro.arch import Architecture, load_json
+
+        arch = load_json(target)
+        assert isinstance(arch, Architecture)
+
+
+class TestCliScaling:
+    def test_scaling_small(self, capsys):
+        code = main(
+            ["scaling", "--sizes", "10", "--target", "1e-3",
+             "--backend", "scipy", "--algorithm", "ar"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "10 (2)" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_help(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "synthesize" in proc.stdout
+        assert "tradeoff" in proc.stdout
