@@ -10,28 +10,28 @@ Theorem 2 bound.
 This benchmark re-runs the sweep and checks exactly those shape claims.
 """
 
-import math
-
 import pytest
 
-from conftest import emit
+from conftest import CACHE_DIR, JOBS, emit
+from repro.engine import requirement_sweep, run_batch
 from repro.eps import eps_spec, paper_template
 from repro.reliability import approximate_failure
 from repro.report import format_scientific
-from repro.synthesis import synthesize_ilp_ar
 
 LEVELS = [2e-3, 2e-6, 2e-10]
-
-
-def run_level(r_star):
-    spec = eps_spec(paper_template(), reliability_target=r_star)
-    return synthesize_ilp_ar(spec, backend="scipy")
 
 
 @pytest.mark.benchmark(group="figure3")
 def test_figure3_ilp_ar_requirement_sweep(benchmark):
     def sweep():
-        return [run_level(r) for r in LEVELS]
+        """The whole Fig. 3 sweep as one engine batch (loose -> tight,
+        matching the paper's presentation order)."""
+        spec = eps_spec(paper_template(), reliability_target=None)
+        batch = requirement_sweep(
+            spec, LEVELS, algorithm="ar", name="figure3", backend="scipy"
+        )
+        outcome = run_batch(batch, jobs=JOBS, cache_dir=CACHE_DIR)
+        return [res.unwrap() for res in outcome.results]
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -15,7 +15,8 @@ This benchmark reproduces both arms. Default sizes keep the suite fast;
 
 import pytest
 
-from conftest import LAZY_SIZES, SCALING_GAP, TABLE_SIZES, emit
+from conftest import CACHE_DIR, JOBS, LAZY_SIZES, SCALING_GAP, TABLE_SIZES, emit
+from repro.engine import run_batch, scaling_sweep
 from repro.eps import build_eps_template, eps_spec
 from repro.report import format_scientific
 from repro.synthesis import synthesize_ilp_mr
@@ -33,10 +34,26 @@ def run_one(num_nodes: int, strategy: str):
     )
 
 
+def run_sizes(sizes, strategy):
+    """One engine batch over the |V| sweep for one Table II arm."""
+    labeled = [
+        (n, eps_spec(build_eps_template(num_generators=n // 5),
+                     reliability_target=R_STAR))
+        for n in sizes
+    ]
+    algorithm = "mr-lazy" if strategy == "lazy" else "mr"
+    batch = scaling_sweep(
+        labeled, algorithm=algorithm, name=f"table2-{strategy}",
+        backend="scipy", mip_rel_gap=SCALING_GAP,
+    )
+    outcome = run_batch(batch, jobs=JOBS, cache_dir=CACHE_DIR)
+    return [(res.meta["label"], res.unwrap()) for res in outcome.results]
+
+
 @pytest.mark.benchmark(group="table2")
 def test_table2_learncons_scaling(benchmark):
     def sweep():
-        return [(n, run_one(n, "learncons")) for n in TABLE_SIZES]
+        return run_sizes(TABLE_SIZES, "learncons")
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
@@ -67,7 +84,7 @@ def test_table2_learncons_scaling(benchmark):
 @pytest.mark.benchmark(group="table2")
 def test_table2_lazy_baseline_scaling(benchmark):
     def sweep():
-        return [(n, run_one(n, "lazy")) for n in LAZY_SIZES]
+        return run_sizes(LAZY_SIZES, "lazy")
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -12,6 +12,13 @@ Environment:
     default keeps sizes at 20-30 nodes so the whole suite finishes in
     minutes on a laptop (the 50-node ILP-AR solve took ~1.4 h of CPLEX
     time on the authors' machine; see EXPERIMENTS.md).
+``REPRO_BENCH_JOBS=N``
+    Worker processes for the sweep-shaped benchmarks (they route through
+    :mod:`repro.engine`); default 1 keeps timing comparable to the paper's
+    sequential runs.
+``REPRO_BENCH_CACHE=DIR``
+    Persistent reliability cache directory for the engine-backed sweeps.
+    Off by default so each benchmark run measures cold analysis times.
 """
 
 import os
@@ -19,6 +26,10 @@ import os
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+#: Engine fan-out for the sweep benchmarks (1 = serial, apples-to-apples).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+#: Optional persistent reliability cache directory for the engine sweeps.
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 #: |V| sweep for the scaling tables (|V| = 5 * generators).
 TABLE_SIZES = [20, 30, 40, 50] if FULL else [20, 30]

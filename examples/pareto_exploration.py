@@ -4,7 +4,10 @@ The paper's Fig. 3 samples three points of the cost-versus-reliability
 curve; this example traces the whole front:
 
 1. sweep the reliability requirement across eight orders of magnitude with
-   ILP-AR (fast one-shot synthesis per level);
+   ILP-AR (fast one-shot synthesis per level), fanned out over worker
+   processes by the exploration engine with a persistent reliability cache
+   (delete ``.relcache/`` to watch the cold/warm difference — the second
+   run's telemetry reports the cache hits);
 2. prune dominated designs to the Pareto front;
 3. answer the two practical questions: "cheapest design meeting 1e-8?" and
    "most reliable design under a 30 000 budget?" (the latter by bisection
@@ -13,8 +16,9 @@ curve; this example traces the whole front:
 Run:  python examples/pareto_exploration.py
 """
 
+from repro.engine import summarize_telemetry
 from repro.eps import eps_spec, paper_template
-from repro.report import format_scientific, format_table
+from repro.report import format_scientific, format_table, render_batch_summary
 from repro.synthesis import (
     cheapest_under_target,
     explore_tradeoff,
@@ -23,12 +27,17 @@ from repro.synthesis import (
 )
 
 LEVELS = [2e-3, 2e-5, 2e-7, 2e-9, 2e-11]
+CACHE_DIR = ".relcache"
+TELEMETRY = f"{CACHE_DIR}/telemetry.jsonl"
 
 
 def main() -> None:
     spec = eps_spec(paper_template(), reliability_target=None)
 
-    points = explore_tradeoff(spec, LEVELS, algorithm="ar", backend="scipy")
+    points = explore_tradeoff(
+        spec, LEVELS, algorithm="ar", backend="scipy",
+        jobs=2, cache_dir=CACHE_DIR, telemetry=TELEMETRY,
+    )
     rows = [
         (
             format_scientific(p.r_star),
@@ -61,6 +70,9 @@ def main() -> None:
     if best:
         print(f"Most reliable design under budget {budget:g}: "
               f"cost {best.cost:.6g}, exact r = {best.reliability:.2e}")
+
+    print("\nEngine telemetry (one row per recorded sweep):")
+    print(render_batch_summary(summarize_telemetry(TELEMETRY)))
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@ Public API tour
   §IV-A with the Theorem 2 bound;
 * :mod:`repro.synthesis` — ILP-MR (Algorithm 1 + LEARNCONS) and ILP-AR
   (Algorithm 3, eqs. 9-11);
+* :mod:`repro.engine` — parallel batch design-space exploration with a
+  persistent reliability cache and JSONL run telemetry;
 * :mod:`repro.eps` — the aircraft electric power system case study (§V);
 * :mod:`repro.domains` — power-grid and communication-network templates
   (the generalizations sketched in §VI).

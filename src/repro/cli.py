@@ -11,25 +11,38 @@ Mirrors the paper's ARCHEX prototype workflow from a terminal:
     A Table II style scaling sweep.
 ``archex tradeoff --levels 2e-3,2e-6,2e-10``
     Sweep the requirement, print the Pareto front (Fig. 3 generalized).
+``archex sweep --jobs 4 --cache-dir .relcache``
+    Batch design-space exploration through :mod:`repro.engine`: parallel
+    workers, persistent reliability cache, JSONL run telemetry.
+
+The sweep-shaped commands (``scaling``, ``tradeoff``, ``sweep``) all route
+through the exploration engine and accept ``--jobs`` / ``--cache-dir`` /
+``--telemetry``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
 from typing import List, Optional
 
 from .domains import build_comm_network_template, build_power_grid_template
 from .domains.comm_network import comm_network_requirements
 from .domains.power_grid import power_grid_requirements
 from .arch import save_json
+from .engine import (
+    requirement_sweep,
+    run_batch,
+    scaling_sweep,
+    summarize_telemetry,
+    tradeoff_points,
+)
 from .eps import build_eps_template, eps_requirements, paper_template, render_single_line
 from .reliability import approximate_failure, sink_failure_probabilities
-from .report import format_scientific, format_table
+from .report import format_scientific, format_table, render_batch_summary
 from .synthesis import (
     SynthesisSpec,
-    explore_tradeoff,
     pareto_front,
     synthesize_ilp_ar,
     synthesize_ilp_mr,
@@ -109,29 +122,60 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scaling(args: argparse.Namespace) -> int:
-    rows = []
-    for size_nodes in args.sizes:
+def _telemetry_path(args: argparse.Namespace) -> Optional[str]:
+    """Explicit ``--telemetry`` path, or a default inside ``--cache-dir``."""
+    if getattr(args, "telemetry", None):
+        return args.telemetry
+    if getattr(args, "cache_dir", None):
+        return os.path.join(args.cache_dir, "telemetry.jsonl")
+    return None
+
+
+def _print_batch_footer(outcome, telemetry: Optional[str]) -> None:
+    print(f"\n{outcome.summary()}")
+    if telemetry and os.path.exists(telemetry):
+        print(f"telemetry: {telemetry}")
+        print(render_batch_summary(summarize_telemetry(telemetry)))
+
+
+def _eps_scaling_specs(sizes: List[int], target: Optional[float]):
+    labeled = []
+    for size_nodes in sizes:
         gens = size_nodes // 5
         template = build_eps_template(num_generators=gens)
         spec = SynthesisSpec(
             template=template,
             requirements=eps_requirements(template),
-            reliability_target=args.target,
+            reliability_target=target,
         )
-        start = time.perf_counter()
-        result = _run_synthesis(spec, args.algorithm, args.backend, args.gap)
-        wall = time.perf_counter() - start
+        labeled.append((f"{size_nodes} ({gens})", spec))
+    return labeled
+
+
+def _run_scaling_batch(args: argparse.Namespace):
+    batch = scaling_sweep(
+        _eps_scaling_specs(args.sizes, args.target),
+        algorithm=args.algorithm,
+        backend=args.backend,
+        mip_rel_gap=args.gap,
+    )
+    telemetry = _telemetry_path(args)
+    outcome = run_batch(
+        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry
+    )
+    rows = []
+    for res in outcome.results:
+        result = res.unwrap()
         rows.append(
             (
-                f"{size_nodes} ({gens})",
+                res.meta["label"],
                 result.status,
                 result.num_iterations or 1,
                 f"{result.cost:.6g}",
                 format_scientific(result.reliability),
                 f"{result.analysis_time:.1f}",
                 f"{result.solver_time:.1f}",
-                f"{wall:.1f}",
+                f"{res.wall_time:.1f}",
             )
         )
     print(
@@ -141,16 +185,28 @@ def cmd_scaling(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    return outcome, telemetry
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    outcome, telemetry = _run_scaling_batch(args)
+    if args.jobs > 1 or args.cache_dir or telemetry:
+        _print_batch_footer(outcome, telemetry)
     return 0
 
 
-def cmd_tradeoff(args: argparse.Namespace) -> int:
+def _run_tradeoff_batch(args: argparse.Namespace):
     spec = _spec_for_domain(args.domain, None, args.size)
     algorithm = "ar" if args.algorithm in ("ar", "tse") else "mr"
-    points = explore_tradeoff(
+    batch = requirement_sweep(
         spec, args.levels, algorithm=algorithm, backend=args.backend,
         mip_rel_gap=args.gap,
     )
+    telemetry = _telemetry_path(args)
+    outcome = run_batch(
+        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry
+    )
+    points = tradeoff_points(outcome.results)
     rows = [
         (
             format_scientific(p.r_star),
@@ -167,7 +223,30 @@ def cmd_tradeoff(args: argparse.Namespace) -> int:
         ["cost", "r (exact)"],
         [(f"{p.cost:.6g}", format_scientific(p.reliability)) for p in front],
     ))
+    return outcome, telemetry
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    outcome, telemetry = _run_tradeoff_batch(args)
+    if args.jobs > 1 or args.cache_dir or telemetry:
+        _print_batch_footer(outcome, telemetry)
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Batch design-space exploration with the engine front and center.
+
+    A requirement sweep by default; ``--sizes`` switches to a Table II
+    style scaling sweep. Always prints the batch summary (cache hits,
+    wall time) and, when telemetry is on, the per-run roll-up table — the
+    second run against a warm ``--cache-dir`` shows its speedup there.
+    """
+    if args.sizes:
+        outcome, telemetry = _run_scaling_batch(args)
+    else:
+        outcome, telemetry = _run_tradeoff_batch(args)
+    _print_batch_footer(outcome, telemetry)
+    return 1 if outcome.num_failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--save-arch", default=None, metavar="FILE",
                        help="save the synthesized architecture as JSON")
 
+    def engine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (1 = serial)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent reliability cache directory "
+                       "(shared across runs and workers)")
+        p.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="append JSONL run telemetry to FILE "
+                       "(default: <cache-dir>/telemetry.jsonl)")
+
     p_syn = sub.add_parser("synthesize", help="synthesize an optimal architecture")
     common(p_syn)
     p_syn.set_defaults(func=cmd_synthesize)
@@ -202,15 +291,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sc = sub.add_parser("scaling", help="Table II style scaling sweep")
     common(p_sc)
+    engine_args(p_sc)
     p_sc.add_argument("--sizes", type=lambda s: [int(x) for x in s.split(",")],
                       default=[20, 30])
     p_sc.set_defaults(func=cmd_scaling)
 
     p_to = sub.add_parser("tradeoff", help="requirement sweep + Pareto front")
     common(p_to)
+    engine_args(p_to)
     p_to.add_argument("--levels", type=lambda s: [float(x) for x in s.split(",")],
                       default=[2e-3, 2e-6, 2e-10])
     p_to.set_defaults(func=cmd_tradeoff)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="batch design-space exploration (parallel, cached, telemetered)",
+    )
+    common(p_sw)
+    engine_args(p_sw)
+    p_sw.add_argument("--levels", type=lambda s: [float(x) for x in s.split(",")],
+                      default=[2e-3, 2e-6, 2e-10],
+                      help="requirement levels to sweep")
+    p_sw.add_argument("--sizes", type=lambda s: [int(x) for x in s.split(",")],
+                      default=None,
+                      help="EPS |V| sizes: run a scaling sweep instead of a "
+                      "requirement sweep")
+    p_sw.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -1,0 +1,69 @@
+"""Parallel design-space exploration engine.
+
+The paper's evaluation — Table II scaling sweeps, the Fig. 3
+cost/reliability trade-off, contingency studies — is a pile of
+*independent* synthesis and reliability-analysis runs. This subsystem
+turns those piles into first-class batches:
+
+* :mod:`repro.engine.jobs` — a declarative :class:`Job` /
+  :class:`BatchSpec` layer with builders for requirement sweeps, template
+  scaling sweeps, contingency sets, per-sink reliability maps and budget
+  bisections;
+* :mod:`repro.engine.executor` — :func:`run_batch` /
+  :func:`iter_batch`, a ``concurrent.futures`` process-pool executor
+  with per-job retry and timeout that degrades to a serial loop at
+  ``jobs=1``;
+* :mod:`repro.engine.cache` — a persistent content-addressed
+  :class:`ReliabilityCache` plugged beneath
+  :func:`repro.reliability.failure_probability`, so ILP-MR's RELANALYSIS
+  loop and sweep re-evaluations never re-analyze a graph twice;
+* :mod:`repro.engine.telemetry` — JSONL run telemetry per batch plus
+  roll-up summaries rendered by :func:`repro.report.render_batch_summary`.
+
+``repro.synthesis.explore_tradeoff``, the CLI ``scaling`` / ``tradeoff`` /
+``sweep`` commands and the benchmark harness all route through here.
+"""
+
+from .cache import CacheStats, ReliabilityCache, problem_digest
+from .executor import (
+    BatchResult,
+    execute_job,
+    iter_batch,
+    register_runner,
+    run_batch,
+)
+from .jobs import (
+    BatchSpec,
+    Job,
+    JobResult,
+    budget_bisection,
+    contingency_sweep,
+    reliability_map,
+    requirement_sweep,
+    scaling_sweep,
+    tradeoff_points,
+)
+from .telemetry import TelemetryWriter, read_events, summarize_telemetry
+
+__all__ = [
+    "BatchResult",
+    "BatchSpec",
+    "CacheStats",
+    "Job",
+    "JobResult",
+    "ReliabilityCache",
+    "TelemetryWriter",
+    "budget_bisection",
+    "contingency_sweep",
+    "execute_job",
+    "iter_batch",
+    "problem_digest",
+    "read_events",
+    "register_runner",
+    "reliability_map",
+    "requirement_sweep",
+    "run_batch",
+    "scaling_sweep",
+    "summarize_telemetry",
+    "tradeoff_points",
+]

@@ -1,0 +1,185 @@
+"""Persistent content-addressed reliability cache.
+
+Exact reliability analysis (BDD compilation, factoring, SDP) dominates the
+cost of every sweep, yet sweeps keep re-analyzing the same instantiated
+graphs: neighbouring requirement levels synthesize identical candidate
+architectures, ILP-MR re-visits candidates across runs, and a re-run of a
+whole benchmark recomputes everything from scratch.
+
+The cache keys each analysis by a canonical SHA-256 digest of the
+*restricted* reliability problem — the relevant subgraph's nodes with their
+exact failure probabilities (hex-encoded, so the key is bit-precise), its
+edges, the source set, the sink, and the analysis method. Two
+architectures that induce the same relevant graph share an entry, and a
+cached value is the very float the engine produced, so warm results are
+bit-identical to cold ones.
+
+Entries persist in a single SQLite file under ``cache_dir`` (WAL mode, so
+concurrent worker processes can read and write safely); a per-process
+in-memory layer keeps repeated lookups off the disk. ``cache_dir=None``
+gives a memory-only cache, useful for a single serial sweep or tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["CacheStats", "ReliabilityCache", "problem_digest"]
+
+#: Name of the SQLite file created inside ``cache_dir``.
+CACHE_FILENAME = "relcache.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS reliability (
+    digest TEXT PRIMARY KEY,
+    method TEXT NOT NULL,
+    value REAL NOT NULL,
+    created_at REAL NOT NULL
+)
+"""
+
+
+def problem_digest(problem, method: str) -> str:
+    """Canonical content address of a reliability query.
+
+    Hashes the restricted problem (irrelevant nodes cannot change the
+    answer) plus the engine name. Failure probabilities are hex-encoded so
+    the digest distinguishes values that differ in the last bit.
+    """
+    restricted = problem.restricted()
+    graph = restricted.graph
+    payload = {
+        "nodes": sorted(
+            (str(n), float(graph.nodes[n]["p"]).hex()) for n in graph.nodes
+        ),
+        "edges": sorted((str(u), str(v)) for u, v in graph.edges),
+        "sources": sorted(str(s) for s in restricted.sources),
+        "sink": str(restricted.sink),
+        "method": method,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance (i.e. one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ReliabilityCache:
+    """Content-addressed failure-probability cache.
+
+    Implements the protocol :func:`repro.reliability.failure_probability`
+    consults when installed via
+    :func:`repro.reliability.set_reliability_cache`: ``lookup(problem,
+    method)`` returning ``None`` on miss, and ``store(problem, method,
+    value)``.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.stats = CacheStats()
+        self._memory: Dict[str, float] = {}
+        self._conn: Optional[sqlite3.Connection] = None
+        if self.cache_dir is not None:
+            directory = Path(self.cache_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self.path = directory / CACHE_FILENAME
+            self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+        else:
+            self.path = None
+
+    # -- digest-level API -------------------------------------------------
+
+    def get(self, digest: str) -> Optional[float]:
+        if digest in self._memory:
+            return self._memory[digest]
+        if self._conn is not None:
+            row = self._conn.execute(
+                "SELECT value FROM reliability WHERE digest = ?", (digest,)
+            ).fetchone()
+            if row is not None:
+                value = float(row[0])
+                self._memory[digest] = value
+                return value
+        return None
+
+    def put(self, digest: str, method: str, value: float) -> None:
+        self._memory[digest] = value
+        if self._conn is not None:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO reliability "
+                "(digest, method, value, created_at) VALUES (?, ?, ?, ?)",
+                (digest, method, float(value), time.time()),
+            )
+            self._conn.commit()
+
+    # -- problem-level API (the failure_probability hook) -----------------
+
+    def lookup(self, problem, method: str) -> Optional[float]:
+        value = self.get(problem_digest(problem, method))
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def store(self, problem, method: str, value: float) -> None:
+        self.put(problem_digest(problem, method), method, value)
+        self.stats.stores += 1
+
+    # -- housekeeping -----------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._conn is not None:
+            row = self._conn.execute("SELECT COUNT(*) FROM reliability").fetchone()
+            return int(row[0])
+        return len(self._memory)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ReliabilityCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.cache_dir or "memory"
+        return (
+            f"ReliabilityCache({where!r}, entries={len(self)}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -1,0 +1,465 @@
+"""Batch execution: serial loop or process pool, streaming results back.
+
+``run_batch(batch, jobs=4, cache_dir=..., telemetry=...)`` is the single
+entry point every sweep routes through:
+
+* ``jobs=1`` (the default) degrades gracefully to an in-process loop —
+  no pool, no pickling, identical results;
+* ``jobs>1`` fans the batch out over a ``concurrent.futures``
+  process pool. Each worker installs its own handle onto the shared
+  persistent :class:`repro.engine.ReliabilityCache` in the pool
+  initializer, so exact reliability values computed by one worker are
+  reused by every other worker (and by every later run).
+
+Failures are contained per job: a crashed or failed job yields a
+``JobResult(ok=False, ...)`` instead of poisoning the batch. Transient
+failures (``OSError``, timeouts, a broken pool) are retried up to
+``retries`` times; a broken pool is rebuilt and its in-flight jobs
+resubmitted. Per-job ``timeout`` is enforced in pool mode (a serial loop
+cannot preempt a running engine); note a timed-out worker process keeps
+running to completion in the background — its result is discarded.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..reliability.exact import get_reliability_cache, reliability_cache
+from .cache import ReliabilityCache
+from .jobs import BatchSpec, Job, JobResult
+from .telemetry import TelemetryWriter
+
+__all__ = ["BatchResult", "run_batch", "iter_batch", "execute_job", "register_runner"]
+
+#: Exception types worth retrying: environmental, not semantic.
+TRANSIENT_EXCEPTIONS = (OSError, TimeoutError, BrokenProcessPool)
+
+#: How many times a pool may be rebuilt before the batch gives up.
+MAX_POOL_RESTARTS = 3
+
+
+# ---------------------------------------------------------------------------
+# Job runners
+
+
+def _run_synthesize(job: Job) -> Any:
+    from ..synthesis.ilp_ar import synthesize_ilp_ar
+    from ..synthesis.ilp_mr import synthesize_ilp_mr
+    from ..synthesis.ilp_tse import synthesize_ilp_tse
+
+    spec = job.payload["spec"]
+    algorithm = job.payload["algorithm"]
+    options = dict(job.payload.get("options", {}))
+    if algorithm == "ar":
+        return synthesize_ilp_ar(spec, **options)
+    if algorithm == "mr":
+        return synthesize_ilp_mr(spec, **options)
+    if algorithm == "mr-lazy":
+        return synthesize_ilp_mr(spec, strategy="lazy", **options)
+    if algorithm == "tse":
+        return synthesize_ilp_tse(spec, **options)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _run_reliability(job: Job) -> Any:
+    from ..reliability import failure_probability, problem_from_architecture
+    from ..reliability.montecarlo import failure_probability_mc
+
+    payload = job.payload
+    if payload["method"] == "mc":
+        problem = problem_from_architecture(payload["architecture"], payload["sink"])
+        return failure_probability_mc(
+            problem, samples=payload["samples"], seed=payload["seed"]
+        )
+    return failure_probability(
+        payload["architecture"], sink=payload["sink"], method=payload["method"]
+    )
+
+
+def _run_budget(job: Job) -> Any:
+    from ..synthesis.pareto import most_reliable_under_budget
+
+    return most_reliable_under_budget(
+        job.payload["spec"],
+        job.payload["budget"],
+        algorithm=job.payload["algorithm"],
+        **dict(job.payload.get("options", {})),
+    )
+
+
+_RUNNERS: Dict[str, Callable[[Job], Any]] = {
+    "synthesize": _run_synthesize,
+    "reliability": _run_reliability,
+    "budget": _run_budget,
+}
+
+
+def register_runner(kind: str, fn: Callable[[Job], Any]) -> Callable[[Job], Any]:
+    """Register a runner for a custom job ``kind`` (extension point)."""
+    _RUNNERS[kind] = fn
+    return fn
+
+
+def execute_job(job: Job) -> Any:
+    """Run one job in the current process and return its raw value."""
+    try:
+        runner = _RUNNERS[job.kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {job.kind!r}") from None
+    return runner(job)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side wrapper
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: give this worker a handle on the shared cache."""
+    from ..reliability.exact import set_reliability_cache
+
+    set_reliability_cache(ReliabilityCache(cache_dir))
+
+
+def _worker_run(job: Job) -> Dict[str, Any]:
+    """Execute ``job`` and wrap timing + cache deltas around its value."""
+    cache = get_reliability_cache()
+    before = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
+    start = time.perf_counter()
+    value = execute_job(job)
+    wall = time.perf_counter() - start
+    after = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
+    return {
+        "value": value,
+        "wall_time": wall,
+        "worker_pid": os.getpid(),
+        "cache_hits": after[0] - before[0],
+        "cache_misses": after[1] - before[1],
+    }
+
+
+def _ok_result(job: Job, wrapped: Dict[str, Any], attempts: int) -> JobResult:
+    return JobResult(
+        job_id=job.job_id,
+        ok=True,
+        value=wrapped["value"],
+        attempts=attempts,
+        wall_time=wrapped["wall_time"],
+        worker_pid=wrapped["worker_pid"],
+        cache_hits=wrapped["cache_hits"],
+        cache_misses=wrapped["cache_misses"],
+        meta=dict(job.meta),
+    )
+
+
+def _failed_result(
+    job: Job, exc: BaseException, attempts: int, wall: float
+) -> JobResult:
+    return JobResult(
+        job_id=job.job_id,
+        ok=False,
+        error=str(exc) or exc.__class__.__name__,
+        error_type=exc.__class__.__name__,
+        attempts=attempts,
+        wall_time=wall,
+        meta=dict(job.meta),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch API
+
+
+@dataclass
+class BatchResult:
+    """All job results of one batch, in the batch's submission order."""
+
+    name: str
+    results: List[JobResult] = field(default_factory=list)
+    wall_time: float = 0.0
+    jobs_used: int = 1
+    telemetry_path: Optional[str] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.results)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    def by_id(self) -> Dict[str, JobResult]:
+        return {r.job_id: r for r in self.results}
+
+    def values(self) -> List[Any]:
+        """Raw job values in submission order; raises on any failed job."""
+        return [r.unwrap() for r in self.results]
+
+    def summary(self) -> str:
+        parts = [
+            f"batch {self.name!r}: {len(self.results)} jobs"
+            f" ({self.num_failed} failed) in {self.wall_time:.2f}s"
+            f" with jobs={self.jobs_used}"
+        ]
+        lookups = self.cache_hits + self.cache_misses
+        if lookups:
+            parts.append(
+                f"cache: {self.cache_hits} hits / {self.cache_misses} misses"
+                f" ({100.0 * self.cache_hits / lookups:.0f}% hit rate)"
+            )
+        return "; ".join(parts)
+
+
+def _iter_serial(
+    batch: BatchSpec,
+    cache_dir: Optional[str],
+    retries: int,
+    writer: TelemetryWriter,
+) -> Iterator[JobResult]:
+    # Reuse an already-installed cache (e.g. inside a pool worker running a
+    # nested batch); otherwise install one scoped to this batch.
+    own_cache = get_reliability_cache() is None
+    cache = ReliabilityCache(cache_dir) if own_cache else None
+    try:
+        ctx = reliability_cache(cache) if own_cache else _null_context()
+        with ctx:
+            for job in batch.jobs:
+                writer.emit("job_start", job=job.job_id, kind=job.kind, mode="serial")
+                attempts = 0
+                while True:
+                    attempts += 1
+                    start = time.perf_counter()
+                    try:
+                        wrapped = _worker_run(job)
+                    except TRANSIENT_EXCEPTIONS as exc:
+                        wall = time.perf_counter() - start
+                        if attempts <= retries:
+                            writer.emit(
+                                "job_retry", job=job.job_id, attempt=attempts,
+                                error=type(exc).__name__,
+                            )
+                            continue
+                        result = _failed_result(job, exc, attempts, wall)
+                    except Exception as exc:
+                        wall = time.perf_counter() - start
+                        result = _failed_result(job, exc, attempts, wall)
+                        result.error = f"{exc}\n{traceback.format_exc(limit=3)}"
+                    else:
+                        result = _ok_result(job, wrapped, attempts)
+                    break
+                _emit_job_end(writer, result)
+                yield result
+    finally:
+        if cache is not None:
+            cache.close()
+
+
+class _null_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def _emit_job_end(writer: TelemetryWriter, result: JobResult) -> None:
+    writer.emit(
+        "job_end",
+        job=result.job_id,
+        ok=result.ok,
+        attempts=result.attempts,
+        wall_time=round(result.wall_time, 6),
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        error=result.error_type,
+    )
+
+
+def _iter_pool(
+    batch: BatchSpec,
+    jobs: int,
+    cache_dir: Optional[str],
+    retries: int,
+    timeout: Optional[float],
+    writer: TelemetryWriter,
+) -> Iterator[JobResult]:
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init, initargs=(cache_dir,)
+        )
+
+    pool = make_pool()
+    restarts = 0
+    pending: Dict[Any, tuple] = {}  # future -> (job, attempts, submitted_at)
+    try:
+        for job in batch.jobs:
+            writer.emit("job_start", job=job.job_id, kind=job.kind, mode="pool")
+            fut = pool.submit(_worker_run, job)
+            pending[fut] = (job, 1, time.monotonic())
+
+        def resubmit(job: Job, attempts: int) -> None:
+            fut = pool.submit(_worker_run, job)
+            pending[fut] = (job, attempts, time.monotonic())
+
+        while pending:
+            poll = 0.25 if timeout is not None else None
+            try:
+                done, _ = wait(
+                    list(pending), timeout=poll, return_when=FIRST_COMPLETED
+                )
+            except BrokenProcessPool:
+                done = set()
+
+            for fut in done:
+                job, attempts, _submitted = pending.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    yield _ok_result(job, fut.result(), attempts)
+                    continue
+                if isinstance(exc, BrokenProcessPool):
+                    # Handled wholesale below by rebuilding the pool.
+                    pending[fut] = (job, attempts, _submitted)
+                    continue
+                if isinstance(exc, TRANSIENT_EXCEPTIONS) and attempts <= retries:
+                    writer.emit(
+                        "job_retry", job=job.job_id, attempt=attempts,
+                        error=type(exc).__name__,
+                    )
+                    resubmit(job, attempts + 1)
+                else:
+                    yield _failed_result(job, exc, attempts, 0.0)
+
+            broken = [f for f in pending if f.done() and isinstance(
+                f.exception(), BrokenProcessPool)]
+            if broken:
+                restarts += 1
+                pool.shutdown(wait=False, cancel_futures=True)
+                if restarts > MAX_POOL_RESTARTS:
+                    for fut in list(pending):
+                        job, attempts, _ = pending.pop(fut)
+                        yield _failed_result(
+                            job, BrokenProcessPool("pool restarts exhausted"),
+                            attempts, 0.0,
+                        )
+                    return
+                writer.emit("pool_restart", count=restarts)
+                pool = make_pool()
+                for fut in list(pending):
+                    job, attempts, _ = pending.pop(fut)
+                    resubmit(job, attempts + 1)
+                continue
+
+            if timeout is not None:
+                now = time.monotonic()
+                for fut in [f for f in pending if not f.done()]:
+                    job, attempts, submitted = pending[fut]
+                    if now - submitted <= timeout:
+                        continue
+                    fut.cancel()
+                    del pending[fut]
+                    if attempts <= retries:
+                        writer.emit(
+                            "job_retry", job=job.job_id, attempt=attempts,
+                            error="TimeoutError",
+                        )
+                        resubmit(job, attempts + 1)
+                    else:
+                        writer.emit("job_timeout", job=job.job_id, timeout=timeout)
+                        yield _failed_result(
+                            job, TimeoutError(f"job exceeded {timeout}s"),
+                            attempts, timeout,
+                        )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def iter_batch(
+    batch: BatchSpec,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+    writer: Optional[TelemetryWriter] = None,
+) -> Iterator[JobResult]:
+    """Execute ``batch`` and yield :class:`JobResult` as each completes.
+
+    Pool mode yields in completion order; serial mode in submission order.
+    """
+    writer = writer if writer is not None else TelemetryWriter(None)
+    if jobs <= 1:
+        yield from _iter_serial(batch, cache_dir, retries, writer)
+    else:
+        yield from _iter_pool(batch, jobs, cache_dir, retries, timeout, writer)
+
+
+def run_batch(
+    batch: BatchSpec,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    telemetry: Optional[str] = None,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+) -> BatchResult:
+    """Execute a whole batch and collect results in submission order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` runs serially in-process.
+    cache_dir:
+        Directory for the persistent reliability cache shared by all
+        workers and all future runs; ``None`` keeps caching in-memory and
+        per-process.
+    telemetry:
+        Path of a JSONL event stream to append this batch's life cycle to.
+    retries:
+        Extra attempts granted to jobs failing with a transient error.
+    timeout:
+        Per-job wall-clock limit in seconds (pool mode only).
+    """
+    writer = TelemetryWriter(telemetry, batch=batch.name)
+    order = {job.job_id: i for i, job in enumerate(batch.jobs)}
+    start = time.perf_counter()
+    writer.emit(
+        "batch_start", name=batch.name, jobs=len(batch.jobs),
+        workers=jobs, cache_dir=cache_dir,
+    )
+    try:
+        results: List[JobResult] = []
+        for result in iter_batch(
+            batch, jobs=jobs, cache_dir=cache_dir, retries=retries,
+            timeout=timeout, writer=writer,
+        ):
+            if jobs > 1:
+                _emit_job_end(writer, result)
+            results.append(result)
+        results.sort(key=lambda r: order.get(r.job_id, len(order)))
+        wall = time.perf_counter() - start
+        outcome = BatchResult(
+            name=batch.name,
+            results=results,
+            wall_time=wall,
+            jobs_used=jobs,
+            telemetry_path=str(writer.path) if writer.path else None,
+        )
+        writer.emit(
+            "batch_end",
+            name=batch.name,
+            wall_time=round(wall, 6),
+            ok=len(results) - outcome.num_failed,
+            failed=outcome.num_failed,
+            cache_hits=outcome.cache_hits,
+            cache_misses=outcome.cache_misses,
+        )
+        return outcome
+    finally:
+        writer.close()

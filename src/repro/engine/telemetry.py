@@ -1,0 +1,135 @@
+"""Structured run telemetry — one JSONL event stream per batch.
+
+Every batch the engine executes can append its life cycle to a JSONL file:
+``batch_start``, per-job ``job_start`` / ``job_end`` / ``job_retry`` /
+``job_timeout``, and a closing ``batch_end`` carrying wall time and cache
+hit/miss totals. Events from successive runs append to the same file (each
+run under a fresh ``batch`` id), so a warm-cache re-run can be compared
+against its cold predecessor with nothing but the telemetry file:
+
+    >>> summaries = summarize_telemetry(".relcache/telemetry.jsonl")
+    >>> [s["wall_time"] for s in summaries]       # doctest: +SKIP
+    [12.4, 1.7]
+    >>> [s["cache_hits"] for s in summaries]      # doctest: +SKIP
+    [0, 34]
+
+:func:`repro.report.render_batch_summary` renders these summaries as the
+same ASCII tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = ["TelemetryWriter", "read_events", "summarize_telemetry"]
+
+_BATCH_COUNTER = itertools.count(1)
+
+
+class TelemetryWriter:
+    """Append-mode JSONL event writer for one batch run.
+
+    ``path=None`` makes every method a no-op so call sites never need to
+    branch on whether telemetry was requested.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]], batch: str = "batch") -> None:
+        self.path = Path(path) if path is not None else None
+        self.batch_id = f"{batch}-{os.getpid()}-{next(_BATCH_COUNTER)}"
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    @property
+    def enabled(self) -> bool:
+        return self._fh is not None
+
+    def emit(self, event: str, **fields: Any) -> None:
+        if self._fh is None:
+            return
+        record = {"ts": time.time(), "batch": self.batch_id, "event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a telemetry JSONL file (skipping any truncated trailing line)."""
+    events: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return events
+
+
+def summarize_telemetry(
+    source: Union[str, Path, Iterable[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Per-batch roll-up of a telemetry stream, in batch start order.
+
+    Accepts a JSONL path or an iterable of already-parsed events. Each
+    summary reports job counts, failures, wall time, and cache totals —
+    the numbers the acceptance comparison between a cold and a warm run
+    needs.
+    """
+    if isinstance(source, (str, Path)):
+        events: Iterable[Dict[str, Any]] = read_events(source)
+    else:
+        events = source
+
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        batch = event.get("batch", "?")
+        summary = summaries.setdefault(
+            batch,
+            {
+                "batch": batch,
+                "name": None,
+                "jobs": 0,
+                "ok": 0,
+                "failed": 0,
+                "retries": 0,
+                "wall_time": None,
+                "cache_hits": 0,
+                "cache_misses": 0,
+            },
+        )
+        kind = event.get("event")
+        if kind == "batch_start":
+            summary["name"] = event.get("name")
+            summary["jobs"] = event.get("jobs", 0)
+        elif kind == "job_end":
+            if event.get("ok"):
+                summary["ok"] += 1
+            else:
+                summary["failed"] += 1
+        elif kind == "job_retry":
+            summary["retries"] += 1
+        elif kind == "batch_end":
+            summary["wall_time"] = event.get("wall_time")
+            summary["cache_hits"] = event.get("cache_hits", 0)
+            summary["cache_misses"] = event.get("cache_misses", 0)
+    return list(summaries.values())

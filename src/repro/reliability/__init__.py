@@ -25,6 +25,9 @@ from .exact import (
     cross_check,
     failure_probability,
     failure_probability_bdd,
+    get_reliability_cache,
+    reliability_cache,
+    set_reliability_cache,
     sink_failure_probabilities,
     worst_case_failure,
 )
@@ -83,6 +86,9 @@ __all__ = [
     "path_failure_probability",
     "problem_from_architecture",
     "ranked_importance",
+    "get_reliability_cache",
+    "reliability_cache",
+    "set_reliability_cache",
     "rare_event_estimate",
     "reliability_bounds",
     "rate_to_probability",

@@ -21,6 +21,7 @@ suite enforces that.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
@@ -39,6 +40,9 @@ __all__ = [
     "worst_case_failure",
     "cross_check",
     "bdd_variable_order",
+    "set_reliability_cache",
+    "get_reliability_cache",
+    "reliability_cache",
 ]
 
 
@@ -79,6 +83,40 @@ _ENGINES: Dict[str, Callable[[ReliabilityProblem], float]] = {
     "ie": failure_probability_ie,
 }
 
+#: Optional cache consulted by :func:`failure_probability`. Any object with
+#: ``lookup(problem, method) -> Optional[float]`` and ``store(problem,
+#: method, value)`` qualifies; :class:`repro.engine.ReliabilityCache` is the
+#: persistent implementation. Installed per process (sweep workers install
+#: their own in the pool initializer).
+_ACTIVE_CACHE = None
+
+
+def set_reliability_cache(cache):
+    """Install ``cache`` beneath :func:`failure_probability`.
+
+    Returns the previously installed cache (or ``None``) so callers can
+    restore it; pass ``None`` to uninstall.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    return previous
+
+
+def get_reliability_cache():
+    """The cache currently consulted by :func:`failure_probability`."""
+    return _ACTIVE_CACHE
+
+
+@contextmanager
+def reliability_cache(cache):
+    """Scoped :func:`set_reliability_cache` — restores the previous cache."""
+    previous = set_reliability_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_reliability_cache(previous)
+
 
 def failure_probability(
     target,
@@ -101,7 +139,15 @@ def failure_probability(
         engine = _ENGINES[method]
     except KeyError:
         raise ValueError(f"unknown reliability method {method!r}") from None
-    return engine(problem)
+    cache = _ACTIVE_CACHE
+    if cache is not None:
+        cached = cache.lookup(problem, method)
+        if cached is not None:
+            return cached
+    value = engine(problem)
+    if cache is not None:
+        cache.store(problem, method, value)
+    return value
 
 
 def sink_failure_probabilities(

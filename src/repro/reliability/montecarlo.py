@@ -46,12 +46,20 @@ def failure_probability_mc(
     samples: int = 100_000,
     seed: int = 0,
     batch: int = 20_000,
+    rng: Optional[np.random.Generator] = None,
 ) -> MonteCarloEstimate:
     """Estimate ``r_i`` by direct sampling.
 
     Reachability per sample is computed by iterating
     ``reach <- (reach @ A) & up`` to a fixpoint, fully vectorized over the
     batch dimension.
+
+    Randomness is fully caller-controlled: pass ``rng`` (an explicit
+    ``numpy.random.Generator``, e.g. one stream per parallel worker from a
+    ``SeedSequence.spawn``) or ``seed``, from which a fresh generator is
+    derived. No global RNG state is read or mutated, so concurrent
+    workers with distinct seeds produce independent, reproducible
+    estimates.
     """
     restricted = problem.restricted()
     graph = restricted.graph
@@ -70,7 +78,8 @@ def failure_probability_mc(
         source_mask[index[s]] = True
     sink_idx = index[restricted.sink]
 
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     failures = 0
     remaining = samples
     while remaining > 0:

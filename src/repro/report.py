@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table", "format_scientific", "section"]
+__all__ = ["format_table", "format_scientific", "render_batch_summary", "section"]
 
 
 def format_scientific(value: float | None, digits: int = 2) -> str:
@@ -32,6 +32,38 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in str_rows)
     return "\n".join(lines)
+
+
+def render_batch_summary(summaries: Iterable[dict]) -> str:
+    """Render :func:`repro.engine.summarize_telemetry` roll-ups as a table.
+
+    One row per batch recorded in a telemetry stream — successive rows of
+    the same sweep make the cold-versus-warm-cache comparison (wall time
+    down, hits up) directly readable.
+    """
+    rows = []
+    for s in summaries:
+        lookups = (s.get("cache_hits") or 0) + (s.get("cache_misses") or 0)
+        hit_rate = f"{100.0 * s['cache_hits'] / lookups:.0f}%" if lookups else "-"
+        wall = s.get("wall_time")
+        rows.append(
+            (
+                s.get("name") or s.get("batch", "?"),
+                s.get("jobs", 0),
+                s.get("ok", s.get("jobs", 0)),
+                s.get("failed", 0),
+                s.get("retries", 0),
+                "-" if wall is None else f"{wall:.2f}",
+                s.get("cache_hits", 0),
+                s.get("cache_misses", 0),
+                hit_rate,
+            )
+        )
+    return format_table(
+        ["batch", "jobs", "ok", "failed", "retries", "wall (s)",
+         "cache hits", "misses", "hit rate"],
+        rows,
+    )
 
 
 def section(title: str) -> str:

@@ -55,24 +55,31 @@ def explore_tradeoff(
     spec: SynthesisSpec,
     levels: Sequence[float],
     algorithm: str = "ar",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    telemetry: Optional[str] = None,
     **options,
 ) -> List[TradeoffPoint]:
     """Synthesize once per requirement level (sorted loose -> tight).
 
+    Routed through :mod:`repro.engine`: ``jobs`` fans the levels out over
+    a process pool, ``cache_dir`` enables the persistent reliability
+    cache, ``telemetry`` appends the batch's JSONL event stream. The
+    defaults reproduce the original serial in-process behaviour exactly.
+
     Infeasible levels are kept in the output (with their infeasible
     results) so callers can see where the template's redundancy runs out.
     """
-    points: List[TradeoffPoint] = []
-    for r_star in sorted(levels, reverse=True):
-        level_spec = SynthesisSpec(
-            template=spec.template,
-            requirements=list(spec.requirements),
-            reliability_target=r_star,
-            sinks_of_interest=spec.sinks_of_interest,
-        )
-        result = _synthesize(level_spec, algorithm, **options)
-        points.append(TradeoffPoint(r_star=r_star, result=result))
-    return points
+    if algorithm not in ("ar", "mr"):
+        raise ValueError(f"unknown algorithm {algorithm!r} (use 'ar' or 'mr')")
+    # Imported lazily: repro.engine itself imports from repro.synthesis.
+    from ..engine import requirement_sweep, run_batch, tradeoff_points
+
+    batch = requirement_sweep(spec, levels, algorithm=algorithm, **options)
+    outcome = run_batch(
+        batch, jobs=jobs, cache_dir=cache_dir, telemetry=telemetry
+    )
+    return tradeoff_points(outcome.results)
 
 
 def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:

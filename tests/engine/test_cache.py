@@ -1,0 +1,160 @@
+"""Tests for the persistent content-addressed reliability cache."""
+
+import networkx as nx
+import pytest
+
+from repro.engine import (
+    ReliabilityCache,
+    reliability_map,
+    requirement_sweep,
+    run_batch,
+)
+from repro.engine.cache import problem_digest
+from repro.reliability import (
+    ReliabilityProblem,
+    failure_probability,
+    get_reliability_cache,
+    reliability_cache,
+)
+from repro.synthesis import explore_tradeoff, synthesize_ilp_ar
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+
+def small_problem(p_sink=0.01):
+    g = nx.DiGraph()
+    g.add_node("G0", p=0.1)
+    g.add_node("G1", p=0.1)
+    g.add_node("L0", p=p_sink)
+    g.add_edge("G0", "L0")
+    g.add_edge("G1", "L0")
+    return ReliabilityProblem(g, ("G0", "G1"), "L0")
+
+
+def small_arch():
+    t = make_template(2, p=1e-2)
+    spec = make_spec(t, r_star=None)
+    result = synthesize_ilp_ar(
+        make_spec(t, r_star=1e-3), backend="scipy"
+    )
+    assert result.feasible
+    return result.architecture
+
+
+class TestProblemDigest:
+    def test_independent_of_insertion_order(self):
+        g1 = nx.DiGraph()
+        g1.add_node("A", p=0.1)
+        g1.add_node("B", p=0.2)
+        g1.add_edge("A", "B")
+        g2 = nx.DiGraph()
+        g2.add_node("B", p=0.2)
+        g2.add_node("A", p=0.1)
+        g2.add_edge("A", "B")
+        p1 = ReliabilityProblem(g1, ("A",), "B")
+        p2 = ReliabilityProblem(g2, ("A",), "B")
+        assert problem_digest(p1, "bdd") == problem_digest(p2, "bdd")
+
+    def test_sensitive_to_probability_bits(self):
+        a = small_problem(p_sink=0.01)
+        b = small_problem(p_sink=0.01 + 1e-16)
+        assert problem_digest(a, "bdd") != problem_digest(b, "bdd")
+
+    def test_sensitive_to_method(self):
+        p = small_problem()
+        assert problem_digest(p, "bdd") != problem_digest(p, "sdp")
+
+    def test_ignores_irrelevant_nodes(self):
+        p = small_problem()
+        g = p.graph.copy()
+        g.add_node("orphan", p=0.5)
+        augmented = ReliabilityProblem(g, p.sources, p.sink)
+        assert problem_digest(p, "bdd") == problem_digest(augmented, "bdd")
+
+
+class TestReliabilityCache:
+    def test_memory_roundtrip_and_stats(self):
+        cache = ReliabilityCache(None)
+        problem = small_problem()
+        assert cache.lookup(problem, "bdd") is None
+        cache.store(problem, "bdd", 0.25)
+        assert cache.lookup(problem, "bdd") == 0.25
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_sqlite_persists_across_instances(self, tmp_path):
+        problem = small_problem()
+        value = 0.123456789012345678  # exercises REAL round-trip precision
+        with ReliabilityCache(tmp_path / "c") as first:
+            first.store(problem, "bdd", value)
+        with ReliabilityCache(tmp_path / "c") as second:
+            got = second.lookup(problem, "bdd")
+        assert got == value  # bit-identical
+        with ReliabilityCache(tmp_path / "c") as third:
+            assert len(third) == 1
+
+    def test_hook_serves_cached_value(self):
+        problem = small_problem()
+        with reliability_cache(ReliabilityCache(None)) as cache:
+            cold = failure_probability(problem, method="bdd")
+            warm = failure_probability(problem, method="bdd")
+            assert get_reliability_cache() is cache
+        assert cold == warm
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert get_reliability_cache() is None
+
+    def test_hook_value_matches_uncached(self):
+        problem = small_problem()
+        bare = failure_probability(problem, method="bdd")
+        with reliability_cache(ReliabilityCache(None)):
+            hooked = failure_probability(problem, method="bdd")
+        assert hooked == bare
+
+
+class TestCachedSweeps:
+    LEVELS = [0.5, 1e-3]
+
+    def test_warm_sweep_bit_identical_with_hits(self, tmp_path):
+        spec = make_spec(make_template(2, p=1e-2), r_star=None)
+        batch = requirement_sweep(spec, self.LEVELS, algorithm="mr",
+                                  backend="scipy")
+        cold = run_batch(batch, cache_dir=str(tmp_path / "relcache"))
+        warm = run_batch(batch, cache_dir=str(tmp_path / "relcache"))
+        assert cold.cache_hits == 0 or cold.cache_hits < warm.cache_hits
+        assert warm.cache_hits > 0
+        for a, b in zip(cold.values(), warm.values()):
+            assert a.status == b.status
+            assert a.cost == b.cost
+            assert a.reliability == b.reliability  # bit-identical floats
+
+    def test_explore_tradeoff_cached_matches_uncached(self, tmp_path):
+        spec = make_spec(make_template(2, p=1e-2), r_star=None)
+        plain = explore_tradeoff(spec, self.LEVELS, algorithm="mr",
+                                 backend="scipy")
+        cached = explore_tradeoff(spec, self.LEVELS, algorithm="mr",
+                                  backend="scipy",
+                                  cache_dir=str(tmp_path / "c"))
+        rewarmed = explore_tradeoff(spec, self.LEVELS, algorithm="mr",
+                                    backend="scipy",
+                                    cache_dir=str(tmp_path / "c"))
+        for a, b, c in zip(plain, cached, rewarmed):
+            assert a.r_star == b.r_star == c.r_star
+            assert a.cost == b.cost == c.cost
+            assert a.reliability == b.reliability == c.reliability
+
+    def test_cache_roundtrips_across_worker_processes(self, tmp_path):
+        arch = small_arch()
+        batch = reliability_map(arch, method="bdd")
+        cache_dir = str(tmp_path / "xproc")
+        first = run_batch(batch, jobs=2, cache_dir=cache_dir)
+        assert first.num_failed == 0
+        # Entries written by pool workers are visible to a fresh handle in
+        # this (parent) process...
+        with ReliabilityCache(cache_dir) as cache:
+            assert len(cache) > 0
+        # ...and a second parallel run is served from the shared file.
+        second = run_batch(batch, jobs=2, cache_dir=cache_dir)
+        assert second.cache_hits > 0
+        assert second.values() == first.values()

@@ -1,0 +1,222 @@
+"""Tests for the batch executor: serial/parallel equivalence, retries,
+timeouts, and the job builders."""
+
+import os
+
+import pytest
+
+from repro.engine import (
+    BatchSpec,
+    Job,
+    budget_bisection,
+    contingency_sweep,
+    execute_job,
+    iter_batch,
+    register_runner,
+    reliability_map,
+    requirement_sweep,
+    run_batch,
+    scaling_sweep,
+    tradeoff_points,
+)
+from repro.reliability import failure_probability
+from repro.synthesis import pareto_front
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+LEVELS = [0.5, 1e-3]
+
+
+def sweep_spec():
+    return make_spec(make_template(2, p=1e-2), r_star=None)
+
+
+def result_key(res):
+    return (res.status, res.cost, res.reliability)
+
+
+class TestBuilders:
+    def test_requirement_sweep_orders_loose_to_tight(self):
+        batch = requirement_sweep(sweep_spec(), [1e-6, 0.5, 1e-3])
+        assert [j.meta["r_star"] for j in batch.jobs] == [0.5, 1e-3, 1e-6]
+        assert all(j.kind == "synthesize" for j in batch.jobs)
+
+    def test_requirement_sweep_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            requirement_sweep(sweep_spec(), LEVELS, algorithm="annealing")
+
+    def test_options_forwarded_to_payload(self):
+        batch = requirement_sweep(
+            sweep_spec(), [1e-3], backend="scipy", mip_rel_gap=1e-2
+        )
+        options = batch.jobs[0].payload["options"]
+        assert options == {"backend": "scipy", "mip_rel_gap": 1e-2}
+
+    def test_contingency_sweep_jobs(self):
+        # Loose enough that a single surviving bus chain still meets it.
+        spec = make_spec(make_template(2, p=1e-2), r_star=0.1)
+        batch = contingency_sweep(spec, ["B0"], backend="scipy")
+        assert [j.meta["outage"] for j in batch.jobs] == [None, "B0"]
+        outcome = run_batch(batch)
+        by_id = outcome.by_id()
+        assert by_id["outage=none"].unwrap().feasible
+        # With B0 knocked out the other bus still carries the load.
+        res = by_id["outage=B0"].unwrap()
+        assert res.feasible
+        assert not any(
+            "B0" in (res.architecture.template.name_of(i),
+                     res.architecture.template.name_of(j))
+            for (i, j) in res.architecture.edges
+        )
+
+    def test_budget_bisection_job(self):
+        spec = make_spec(make_template(2, p=1e-2), r_star=None)
+        batch = budget_bisection(spec, [1000.0], backend="scipy")
+        outcome = run_batch(batch)
+        point = outcome.results[0].unwrap()
+        assert point is not None
+        assert point.cost <= 1000.0
+
+
+class TestSerialExecution:
+    def test_requirement_sweep_matches_direct_synthesis(self):
+        batch = requirement_sweep(sweep_spec(), LEVELS, algorithm="mr",
+                                  backend="scipy")
+        outcome = run_batch(batch)
+        assert outcome.num_failed == 0
+        assert outcome.jobs_used == 1
+        points = tradeoff_points(outcome.results)
+        assert [p.r_star for p in points] == sorted(LEVELS, reverse=True)
+        for p in points:
+            assert p.feasible
+            assert p.reliability <= p.r_star
+
+    def test_reliability_map_matches_failure_probability(self):
+        from tests.engine.test_cache import small_arch
+
+        arch = small_arch()
+        outcome = run_batch(reliability_map(arch, method="bdd"))
+        for res in outcome.results:
+            direct = failure_probability(arch, sink=res.meta["sink"],
+                                         method="bdd")
+            assert res.unwrap() == direct
+
+    def test_unknown_job_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            execute_job(Job(job_id="x", kind="teleport", payload={}))
+
+    def test_semantic_failure_contained(self):
+        register_runner("boom", _boom)
+        outcome = run_batch(BatchSpec("boom", [
+            Job(job_id="a", kind="boom", payload={}),
+            Job(job_id="b", kind="boom", payload={"ok": True}),
+        ]))
+        by_id = outcome.by_id()
+        assert not by_id["a"].ok
+        assert by_id["a"].error_type == "RuntimeError"
+        assert by_id["a"].attempts == 1  # semantic errors are not retried
+        assert by_id["b"].ok and by_id["b"].value == 42
+        with pytest.raises(RuntimeError, match="job 'a' failed"):
+            outcome.values()
+
+    def test_transient_failure_retried(self, tmp_path):
+        register_runner("flaky", _flaky)
+        marker = tmp_path / "attempts"
+        outcome = run_batch(
+            BatchSpec("flaky", [Job(
+                job_id="f", kind="flaky",
+                payload={"marker": str(marker), "fail_times": 2},
+            )]),
+            retries=2,
+        )
+        res = outcome.results[0]
+        assert res.ok
+        assert res.attempts == 3
+
+    def test_transient_retries_exhausted(self, tmp_path):
+        register_runner("flaky", _flaky)
+        marker = tmp_path / "attempts"
+        outcome = run_batch(
+            BatchSpec("flaky", [Job(
+                job_id="f", kind="flaky",
+                payload={"marker": str(marker), "fail_times": 5},
+            )]),
+            retries=1,
+        )
+        res = outcome.results[0]
+        assert not res.ok
+        assert res.error_type == "OSError"
+        assert res.attempts == 2
+
+
+class TestParallelExecution:
+    def test_pool_matches_serial(self):
+        batch = requirement_sweep(sweep_spec(), LEVELS, algorithm="mr",
+                                  backend="scipy")
+        serial = run_batch(batch, jobs=1)
+        pooled = run_batch(batch, jobs=2)
+        assert pooled.num_failed == 0
+        assert [r.job_id for r in pooled.results] == [
+            r.job_id for r in serial.results
+        ]
+        for a, b in zip(serial.values(), pooled.values()):
+            assert result_key(a) == result_key(b)
+        assert all(r.worker_pid != os.getpid() for r in pooled.results)
+
+    def test_pareto_front_invariant_under_parallelism(self):
+        batch = requirement_sweep(sweep_spec(), LEVELS, algorithm="ar",
+                                  backend="scipy")
+        serial = pareto_front(tradeoff_points(run_batch(batch, jobs=1).results))
+        pooled = pareto_front(tradeoff_points(run_batch(batch, jobs=2).results))
+        assert [(p.cost, p.reliability) for p in serial] == [
+            (p.cost, p.reliability) for p in pooled
+        ]
+
+    def test_iter_batch_streams_all_results(self):
+        batch = requirement_sweep(sweep_spec(), LEVELS, algorithm="ar",
+                                  backend="scipy")
+        seen = {res.job_id for res in iter_batch(batch, jobs=2)}
+        assert seen == set(batch.job_ids())
+
+    def test_pool_timeout_enforced(self):
+        register_runner("sleep", _sleep)
+        outcome = run_batch(
+            BatchSpec("sleepy", [
+                Job(job_id="slow", kind="sleep", payload={"seconds": 6.0}),
+                Job(job_id="fast", kind="sleep", payload={"seconds": 0.0}),
+            ]),
+            jobs=2, timeout=1.0, retries=0,
+        )
+        by_id = outcome.by_id()
+        assert by_id["fast"].ok
+        assert not by_id["slow"].ok
+        assert by_id["slow"].error_type == "TimeoutError"
+
+
+# Module-level runners so they pickle / survive the fork into pool workers.
+
+
+def _boom(job):
+    if job.payload.get("ok"):
+        return 42
+    raise RuntimeError("intentional failure")
+
+
+def _flaky(job):
+    marker = job.payload["marker"]
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker) as fh:
+            attempts = int(fh.read() or 0)
+    attempts += 1
+    with open(marker, "w") as fh:
+        fh.write(str(attempts))
+    if attempts <= job.payload["fail_times"]:
+        raise OSError(f"transient glitch #{attempts}")
+    return attempts
+
+
+def _sleep(job):
+    import time
+
+    time.sleep(job.payload["seconds"])
+    return "done"

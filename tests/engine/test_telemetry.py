@@ -1,0 +1,79 @@
+"""Tests for the JSONL run telemetry and its report rendering."""
+
+import json
+
+from repro.engine import (
+    TelemetryWriter,
+    read_events,
+    requirement_sweep,
+    run_batch,
+    summarize_telemetry,
+)
+from repro.report import render_batch_summary
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+
+def small_batch():
+    spec = make_spec(make_template(2, p=1e-2), r_star=None)
+    return requirement_sweep(spec, [0.5, 1e-3], algorithm="ar",
+                             backend="scipy")
+
+
+class TestTelemetryWriter:
+    def test_disabled_writer_is_noop(self):
+        writer = TelemetryWriter(None)
+        assert not writer.enabled
+        writer.emit("anything", x=1)  # must not raise
+        writer.close()
+
+    def test_events_are_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path, batch="unit") as writer:
+            writer.emit("batch_start", name="unit", jobs=2)
+            writer.emit("job_end", job="a", ok=True)
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["batch_start", "job_end"]
+        assert all(e["batch"].startswith("unit-") for e in events)
+        assert all("ts" in e for e in events)
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"event": "x", "batch": "b"}) + "\n{\"trunc")
+        assert [e["event"] for e in read_events(path)] == ["x"]
+
+
+class TestBatchTelemetry:
+    def test_run_batch_emits_lifecycle(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        outcome = run_batch(small_batch(), telemetry=str(path))
+        assert outcome.telemetry_path == str(path)
+        events = read_events(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "batch_start"
+        assert kinds[-1] == "batch_end"
+        assert kinds.count("job_start") == 2
+        assert kinds.count("job_end") == 2
+        end = events[-1]
+        assert end["wall_time"] > 0
+        assert {"cache_hits", "cache_misses", "ok", "failed"} <= set(end)
+
+    def test_appended_runs_summarize_separately(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        cache_dir = str(tmp_path / "cache")
+        run_batch(small_batch(), telemetry=str(path), cache_dir=cache_dir)
+        run_batch(small_batch(), telemetry=str(path), cache_dir=cache_dir)
+        summaries = summarize_telemetry(path)
+        assert len(summaries) == 2
+        cold, warm = summaries
+        assert cold["name"] == warm["name"] == "requirement-sweep"
+        assert cold["jobs"] == warm["jobs"] == 2
+        assert warm["cache_hits"] > 0
+        assert all(s["wall_time"] is not None for s in summaries)
+
+    def test_render_batch_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_batch(small_batch(), telemetry=str(path))
+        text = render_batch_summary(summarize_telemetry(path))
+        assert "requirement-sweep" in text
+        assert "wall (s)" in text
+        assert "hit rate" in text

@@ -1,8 +1,10 @@
 """Tests for the cost/reliability design-space exploration."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.synthesis import SynthesisSpec
+from repro.synthesis import SynthesisResult, SynthesisSpec
 from repro.synthesis.pareto import (
     TradeoffPoint,
     cheapest_under_target,
@@ -93,6 +95,50 @@ class TestParetoFront:
         _, points = sweep
         duplicated = list(points) + list(points)
         assert len(pareto_front(duplicated)) == len(pareto_front(points))
+
+
+def _synthetic_point(cost, reliability, r_star=1e-3):
+    return TradeoffPoint(
+        r_star=r_star,
+        result=SynthesisResult(
+            status="optimal", architecture=None, cost=cost,
+            reliability=reliability,
+        ),
+    )
+
+
+#: A mix of dominated, non-dominated and duplicate designs; the front is
+#: exactly [(1, 1e-2), (2, 1e-3), (4, 1e-5)].
+_SYNTHETIC_POINTS = [
+    _synthetic_point(1.0, 1e-2),
+    _synthetic_point(2.0, 1e-3),
+    _synthetic_point(2.0, 1e-3),   # duplicate of the previous design
+    _synthetic_point(3.0, 1e-3),   # dominated (same r, higher cost)
+    _synthetic_point(4.0, 1e-5),
+    _synthetic_point(5.0, 1e-4),   # dominated by (4, 1e-5)
+]
+_EXPECTED_FRONT = [(1.0, 1e-2), (2.0, 1e-3), (4.0, 1e-5)]
+
+
+class TestParetoFrontOrderInvariance:
+    @given(perm=st.permutations(_SYNTHETIC_POINTS))
+    def test_front_invariant_under_input_ordering(self, perm):
+        front = pareto_front(perm)
+        assert [(p.cost, p.reliability) for p in front] == _EXPECTED_FRONT
+
+    def test_front_invariant_under_engine_parallelism(self, tmp_path):
+        # Completion order in a pool is nondeterministic; the front must
+        # not depend on it.
+        from repro.engine import requirement_sweep, run_batch, tradeoff_points
+
+        spec = make_spec(make_template(2, p=1e-2), r_star=None)
+        batch = requirement_sweep(spec, [0.5, 1e-3], algorithm="ar",
+                                  backend="scipy")
+        fronts = []
+        for jobs in (1, 2):
+            points = tradeoff_points(run_batch(batch, jobs=jobs).results)
+            fronts.append([(p.cost, p.reliability) for p in pareto_front(points)])
+        assert fronts[0] == fronts[1]
 
 
 class TestQueries:
