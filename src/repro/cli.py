@@ -14,6 +14,11 @@ Mirrors the paper's ARCHEX prototype workflow from a terminal:
 ``archex sweep --jobs 4 --cache-dir .relcache``
     Batch design-space exploration through :mod:`repro.engine`: parallel
     workers, persistent reliability cache, JSONL run telemetry.
+``archex verify --fuzz 50 --seed 0``
+    Differential verification of the reliability engines: seed corpus +
+    seeded fuzzing, metamorphic properties, Monte-Carlo cross-check, and
+    a persistent-cache audit (see :mod:`repro.verify`). Exits nonzero on
+    any confirmed disagreement.
 
 The sweep-shaped commands (``scaling``, ``tradeoff``, ``sweep``) all route
 through the exploration engine and accept ``--jobs`` / ``--cache-dir`` /
@@ -40,7 +45,12 @@ from .engine import (
 )
 from .eps import build_eps_template, eps_requirements, paper_template, render_single_line
 from .reliability import approximate_failure, sink_failure_probabilities
-from .report import format_scientific, format_table, render_batch_summary
+from .report import (
+    format_scientific,
+    format_table,
+    render_batch_summary,
+    render_verification_table,
+)
 from .synthesis import (
     SynthesisSpec,
     pareto_front,
@@ -249,6 +259,113 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if outcome.num_failed else 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Differential verification of the reliability engines.
+
+    Runs the seed corpus (closed-form graphs + the EPS case-study sinks)
+    and ``--fuzz`` seeded random instances through every applicable exact
+    engine, the metamorphic property battery, and the Monte-Carlo
+    cross-check; audits a persistent cache when ``--cache-dir`` holds one.
+    Failing fuzz cases are shrunk to minimal counterexamples and written
+    to ``--repro-dir``. Exits 1 on any *confirmed* (non-statistical)
+    finding; Monte-Carlo interval misses alone only warn.
+    """
+    from .engine.cache import CACHE_FILENAME
+    from .verify import (
+        audit_cache,
+        corpus_cases,
+        fuzz_cases,
+        save_repro,
+        shrink_problem,
+        verification_batch,
+        verify_problem,
+    )
+
+    cases = corpus_cases(include_eps=not args.no_eps)
+    if args.fuzz > 0:
+        cases.extend(fuzz_cases(args.fuzz, seed=args.seed))
+    by_name = {c.name: c for c in cases}
+    print(f"verifying {len(cases)} cases "
+          f"({len(cases) - args.fuzz} corpus, {args.fuzz} fuzz, seed {args.seed})")
+
+    batch = verification_batch(
+        cases, tol=args.tol, mc_samples=args.mc_samples, seed=args.seed
+    )
+    telemetry = _telemetry_path(args)
+    outcome = run_batch(
+        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry
+    )
+
+    findings: List[dict] = []
+    checks = 0
+    for res in outcome.results:
+        if not res.ok:
+            findings.append({
+                "case": res.meta.get("case", res.job_id),
+                "check": "job-error",
+                "detail": f"{res.error_type}: {res.error}",
+            })
+            continue
+        checks += res.value.get("checks_run", 0)
+        findings.extend(res.value.get("findings", []))
+
+    # Shrink failing fuzz cases to minimal repros (exact findings only —
+    # shrinking against Monte-Carlo noise would chase the coin, not a bug).
+    confirmed = [f for f in findings if not f.get("statistical")]
+    failing_fuzz = sorted(
+        {f["case"] for f in confirmed
+         if by_name.get(f["case"]) is not None
+         and by_name[f["case"]].origin == "fuzz"}
+    )
+    for name in failing_fuzz:
+        def still_fails(problem):
+            result = verify_problem(
+                problem, case=name, tol=args.tol, mc_samples=0
+            )
+            return bool(result.confirmed_findings)
+
+        shrunk = shrink_problem(by_name[name].problem, still_fails)
+        path = save_repro(
+            shrunk,
+            os.path.join(args.repro_dir, name.replace("/", "_") + ".json"),
+            case=name,
+            findings=[f for f in confirmed if f["case"] == name],
+            seed=args.seed,
+        )
+        print(f"repro written: {path}")
+
+    # Audit a pre-existing persistent cache, when there is one.
+    if args.cache_dir and os.path.exists(
+        os.path.join(args.cache_dir, CACHE_FILENAME)
+    ):
+        report = audit_cache(
+            args.cache_dir, sample=args.audit_sample, seed=args.seed,
+            tol=args.tol,
+        )
+        print(
+            f"cache audit: {report.audited}/{report.sampled} sampled entries "
+            f"recomputed ({report.entries} total, {report.skipped} skipped)"
+        )
+        findings.extend(f.as_dict() for f in report.findings)
+        confirmed = [f for f in findings if not f.get("statistical")]
+
+    statistical = [f for f in findings if f.get("statistical")]
+    if findings:
+        print()
+        print(render_verification_table(findings))
+    if statistical and not confirmed:
+        print(f"\nwarning: {len(statistical)} Monte-Carlo interval miss(es); "
+              "no exactly confirmed disagreement")
+    if confirmed:
+        print(f"\nFAIL: {len(confirmed)} confirmed finding(s) "
+              f"across {len(cases)} cases")
+        return 1
+    print(f"\nOK: {len(cases)} cases, {checks} checks, no confirmed findings")
+    if telemetry and os.path.exists(telemetry):
+        print(f"telemetry: {telemetry}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="archex",
@@ -317,6 +434,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="EPS |V| sizes: run a scaling sweep instead of a "
                       "requirement sweep")
     p_sw.set_defaults(func=cmd_sweep)
+
+    p_vf = sub.add_parser(
+        "verify",
+        help="differential verification + fuzzing of the reliability engines",
+    )
+    engine_args(p_vf)
+    p_vf.add_argument("--fuzz", type=int, default=50, metavar="N",
+                      help="number of seeded random fuzz cases (0 = corpus only)")
+    p_vf.add_argument("--seed", type=int, default=0,
+                      help="fuzz/Monte-Carlo/audit sampling seed")
+    p_vf.add_argument("--tol", type=float, default=1e-9,
+                      help="relative tolerance for exact-engine agreement")
+    p_vf.add_argument("--mc-samples", type=int, default=5000, metavar="N",
+                      help="Monte-Carlo samples per case (0 disables the "
+                      "statistical cross-check)")
+    p_vf.add_argument("--audit-sample", type=int, default=25, metavar="N",
+                      help="cache entries to recompute when auditing "
+                      "--cache-dir")
+    p_vf.add_argument("--repro-dir", default="verify-repros", metavar="DIR",
+                      help="where shrunk counterexamples are written")
+    p_vf.add_argument("--no-eps", action="store_true",
+                      help="skip the (slower) EPS case-study corpus cases")
+    p_vf.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -14,10 +14,20 @@ architectures that induce the same relevant graph share an entry, and a
 cached value is the very float the engine produced, so warm results are
 bit-identical to cold ones.
 
+Alongside the digest, each entry stores the canonical problem payload
+itself, so a cached value can later be *audited*: :mod:`repro.verify`
+reconstructs the problem from the payload and recomputes the value with a
+different engine than the one that produced it
+(:func:`repro.verify.audit_cache`).
+
 Entries persist in a single SQLite file under ``cache_dir`` (WAL mode, so
 concurrent worker processes can read and write safely); a per-process
 in-memory layer keeps repeated lookups off the disk. ``cache_dir=None``
 gives a memory-only cache, useful for a single serial sweep or tests.
+A closed (or otherwise failing) SQLite connection never propagates out of
+the cache: every operation degrades to the in-memory layer, so a stale
+handle left installed beneath ``failure_probability`` cannot crash an
+analysis.
 """
 
 from __future__ import annotations
@@ -30,7 +40,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-__all__ = ["CacheStats", "ReliabilityCache", "problem_digest"]
+import networkx as nx
+
+__all__ = [
+    "CacheStats",
+    "ReliabilityCache",
+    "problem_digest",
+    "problem_payload",
+    "payload_digest",
+    "problem_from_payload",
+]
 
 #: Name of the SQLite file created inside ``cache_dir``.
 CACHE_FILENAME = "relcache.sqlite"
@@ -45,16 +64,17 @@ CREATE TABLE IF NOT EXISTS reliability (
 """
 
 
-def problem_digest(problem, method: str) -> str:
-    """Canonical content address of a reliability query.
+def problem_payload(problem, method: str) -> Dict[str, Any]:
+    """Canonical JSON-able description of a reliability query.
 
-    Hashes the restricted problem (irrelevant nodes cannot change the
+    Captures the restricted problem (irrelevant nodes cannot change the
     answer) plus the engine name. Failure probabilities are hex-encoded so
-    the digest distinguishes values that differ in the last bit.
+    the payload distinguishes values that differ in the last bit — and
+    round-trips them exactly through :func:`problem_from_payload`.
     """
     restricted = problem.restricted()
     graph = restricted.graph
-    payload = {
+    return {
         "nodes": sorted(
             (str(n), float(graph.nodes[n]["p"]).hex()) for n in graph.nodes
         ),
@@ -63,8 +83,34 @@ def problem_digest(problem, method: str) -> str:
         "sink": str(restricted.sink),
         "method": method,
     }
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def problem_digest(problem, method: str) -> str:
+    """Canonical content address of a reliability query."""
+    return payload_digest(problem_payload(problem, method))
+
+
+def problem_from_payload(payload: Dict[str, Any]):
+    """Reconstruct the :class:`ReliabilityProblem` a payload describes.
+
+    The payload's hex-encoded probabilities restore bit-identically, so
+    re-analyzing the reconstructed problem reproduces the cached
+    computation exactly — the basis of cache auditing.
+    """
+    from ..reliability.events import ReliabilityProblem
+
+    graph = nx.DiGraph()
+    for name, hex_p in payload["nodes"]:
+        graph.add_node(str(name), p=float.fromhex(hex_p))
+    graph.add_edges_from((str(u), str(v)) for u, v in payload["edges"])
+    return ReliabilityProblem(
+        graph, tuple(str(s) for s in payload["sources"]), str(payload["sink"])
+    )
 
 
 @dataclass
@@ -115,9 +161,29 @@ class ReliabilityCache:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(_SCHEMA)
+            self._migrate()
             self._conn.commit()
         else:
             self.path = None
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing cache file up to the current schema.
+
+        Older caches stored only ``digest -> value``; the ``problem``
+        column (the canonical payload audited by :mod:`repro.verify`) is
+        added in place. Entries written before the migration keep a NULL
+        payload and are simply not auditable.
+        """
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(reliability)")
+        }
+        if "problem" not in columns:
+            self._conn.execute("ALTER TABLE reliability ADD COLUMN problem TEXT")
+
+    @property
+    def closed(self) -> bool:
+        """True when the SQLite layer is gone (never opened, or closed)."""
+        return self.cache_dir is not None and self._conn is None
 
     # -- digest-level API -------------------------------------------------
 
@@ -125,24 +191,44 @@ class ReliabilityCache:
         if digest in self._memory:
             return self._memory[digest]
         if self._conn is not None:
-            row = self._conn.execute(
-                "SELECT value FROM reliability WHERE digest = ?", (digest,)
-            ).fetchone()
+            try:
+                row = self._conn.execute(
+                    "SELECT value FROM reliability WHERE digest = ?", (digest,)
+                ).fetchone()
+            except sqlite3.Error:
+                # Closed or broken connection: degrade to the in-memory
+                # layer rather than crashing the analysis that asked.
+                row = None
             if row is not None:
                 value = float(row[0])
                 self._memory[digest] = value
                 return value
         return None
 
-    def put(self, digest: str, method: str, value: float) -> None:
+    def put(
+        self,
+        digest: str,
+        method: str,
+        value: float,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self._memory[digest] = value
         if self._conn is not None:
-            self._conn.execute(
-                "INSERT OR IGNORE INTO reliability "
-                "(digest, method, value, created_at) VALUES (?, ?, ?, ?)",
-                (digest, method, float(value), time.time()),
+            blob = (
+                json.dumps(payload, sort_keys=True, separators=(",", ":"))
+                if payload is not None
+                else None
             )
-            self._conn.commit()
+            try:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO reliability "
+                    "(digest, method, value, created_at, problem) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (digest, method, float(value), time.time(), blob),
+                )
+                self._conn.commit()
+            except sqlite3.Error:
+                pass  # keep the in-memory entry; persistence degrades
 
     # -- problem-level API (the failure_probability hook) -----------------
 
@@ -155,20 +241,29 @@ class ReliabilityCache:
         return value
 
     def store(self, problem, method: str, value: float) -> None:
-        self.put(problem_digest(problem, method), method, value)
+        payload = problem_payload(problem, method)
+        self.put(payload_digest(payload), method, value, payload=payload)
         self.stats.stores += 1
 
     # -- housekeeping -----------------------------------------------------
 
     def __len__(self) -> int:
         if self._conn is not None:
-            row = self._conn.execute("SELECT COUNT(*) FROM reliability").fetchone()
-            return int(row[0])
+            try:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM reliability"
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.Error:
+                pass
         return len(self._memory)
 
     def close(self) -> None:
         if self._conn is not None:
-            self._conn.close()
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
             self._conn = None
 
     def __enter__(self) -> "ReliabilityCache":

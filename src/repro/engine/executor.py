@@ -99,6 +99,13 @@ _RUNNERS: Dict[str, Callable[[Job], Any]] = {
     "budget": _run_budget,
 }
 
+#: Modules whose import registers a runner for the keyed job kind. Pool
+#: workers execute jobs in a fresh interpreter that has not imported the
+#: registering module, so ``execute_job`` resolves these lazily.
+_KIND_PLUGINS: Dict[str, str] = {
+    "verify": "repro.verify",
+}
+
 
 def register_runner(kind: str, fn: Callable[[Job], Any]) -> Callable[[Job], Any]:
     """Register a runner for a custom job ``kind`` (extension point)."""
@@ -108,10 +115,14 @@ def register_runner(kind: str, fn: Callable[[Job], Any]) -> Callable[[Job], Any]
 
 def execute_job(job: Job) -> Any:
     """Run one job in the current process and return its raw value."""
-    try:
-        runner = _RUNNERS[job.kind]
-    except KeyError:
-        raise ValueError(f"unknown job kind {job.kind!r}") from None
+    runner = _RUNNERS.get(job.kind)
+    if runner is None and job.kind in _KIND_PLUGINS:
+        import importlib
+
+        importlib.import_module(_KIND_PLUGINS[job.kind])
+        runner = _RUNNERS.get(job.kind)
+    if runner is None:
+        raise ValueError(f"unknown job kind {job.kind!r}")
     return runner(job)
 
 

@@ -48,17 +48,40 @@ from .inclusion_exclusion import connectivity_probability_ie, failure_probabilit
 from .mission import MissionReliability, mission_reliability, rate_to_probability
 from .montecarlo import MonteCarloEstimate, failure_probability_mc
 from .pathsets import minimal_cut_sets, minimal_path_sets
-from .polynomial import FailurePolynomial, failure_polynomial
+from .polynomial import (
+    FailurePolynomial,
+    failure_polynomial,
+    failure_probability_polynomial,
+)
+from .registry import (
+    EngineInfo,
+    applicable_exact_engines,
+    engine_info,
+    engine_names,
+    exact_engine_names,
+    inapplicable_reason,
+    register_engine,
+    run_engine,
+)
 from .sdp import connectivity_probability_sdp, failure_probability_sdp
 
 __all__ = [
     "ApproxReliability",
     "BDD",
     "BasicEvent",
+    "EngineInfo",
     "FaultTree",
     "Gate",
     "ComponentImportance",
     "FailurePolynomial",
+    "applicable_exact_engines",
+    "engine_info",
+    "engine_names",
+    "exact_engine_names",
+    "failure_probability_polynomial",
+    "inapplicable_reason",
+    "register_engine",
+    "run_engine",
     "MissionReliability",
     "MonteCarloEstimate",
     "ReliabilityBounds",

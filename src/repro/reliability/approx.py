@@ -123,17 +123,30 @@ def approximate_failure(arch, sink: str) -> ApproxReliability:
     return approximate_failure_from_link(link, type_probs)
 
 
+def _shortest_path(paths) -> tuple:
+    """The canonical shortest path: ties broken on the node-name tuple.
+
+    ``min(..., key=len)`` alone would break length ties by list position,
+    making ESTPATH's ``rho`` — and hence learned constraints and ILP-MR
+    iteration counts — depend on the path enumeration order. The
+    lexicographic tie-break makes the choice a function of the path *set*.
+    """
+    return min(paths, key=lambda p: (len(p), p))
+
+
 def single_path_failure(arch, sink: str) -> float:
     """``rho``: failure probability of one (shortest) source->sink path.
 
     LEARNCONS's ESTPATH uses this to estimate the number of additional
     redundant paths ``k = floor(log(r*/r) / log(rho))`` (§III-A).
+    Deterministic under path-enumeration order: among equal-length
+    shortest paths the lexicographically smallest node-name tuple is used.
     """
     problem = problem_from_architecture(arch, sink)
     link = functional_link(problem.graph, list(problem.sources), sink)
     if not link.paths:
         return 1.0
-    shortest = min(link.paths, key=len)
+    shortest = _shortest_path(link.paths)
     up = 1.0
     for node in shortest:
         up *= 1.0 - float(problem.graph.nodes[node]["p"])

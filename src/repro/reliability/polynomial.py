@@ -24,7 +24,11 @@ from .events import ReliabilityProblem
 from .exact import bdd_variable_order
 from .pathsets import minimal_path_sets
 
-__all__ = ["FailurePolynomial", "failure_polynomial"]
+__all__ = [
+    "FailurePolynomial",
+    "failure_polynomial",
+    "failure_probability_polynomial",
+]
 
 
 class FailurePolynomial:
@@ -112,3 +116,42 @@ def failure_polynomial(
         return value
 
     return FailurePolynomial(walk(root))
+
+
+def uniform_failure_prob(problem: ReliabilityProblem) -> float:
+    """The common failure probability of a uniform-``p`` problem.
+
+    Raises ``ValueError`` when the (restricted) problem mixes two or more
+    distinct nonzero probabilities — the symbolic expansion only speaks
+    about a single ``p``. Returns ``0.0`` for all-perfect instances.
+    """
+    restricted = problem.restricted()
+    probs = {
+        restricted.failure_prob(n)
+        for n in restricted.graph.nodes
+        if restricted.failure_prob(n) > 0.0
+    }
+    if len(probs) > 1:
+        raise ValueError(
+            "polynomial engine requires a uniform failure probability; "
+            f"found {len(probs)} distinct nonzero values"
+        )
+    return probs.pop() if probs else 0.0
+
+
+def failure_probability_polynomial(problem: ReliabilityProblem) -> float:
+    """Exact ``r_i`` via the symbolic failure polynomial.
+
+    Only applicable to uniform-``p`` instances (every imperfect component
+    shares one failure probability). The polynomial truncated at the
+    number of imperfect components is the *complete* expansion — no term
+    of higher degree exists — so evaluating it at ``p`` is exact, giving a
+    fifth independent exact engine for differential verification.
+    """
+    p = uniform_failure_prob(problem)
+    restricted = problem.restricted()
+    n_imperfect = sum(
+        1 for n in restricted.graph.nodes if restricted.failure_prob(n) > 0.0
+    )
+    poly = failure_polynomial(restricted, max_degree=max(n_imperfect, 1))
+    return min(max(poly(p), 0.0), 1.0)

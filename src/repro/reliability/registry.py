@@ -1,0 +1,155 @@
+"""Engine registry: uniform enumeration of the reliability engines.
+
+The repo ships several independent implementations of the same number —
+the K-terminal failure probability of eq. 5 — plus a Monte-Carlo
+statistical oracle. The differential verification harness
+(:mod:`repro.verify`) needs to enumerate them *uniformly*: which engines
+exist, which are exact, and which are applicable to a given
+:class:`ReliabilityProblem` (inclusion-exclusion caps the number of path
+sets, the polynomial engine requires a uniform ``p``).
+
+This module is that capability shim. Every registered exact engine is
+also inserted into :data:`repro.reliability.exact._ENGINES`, so it
+becomes selectable through the ordinary
+``failure_probability(..., method=name)`` front-end (and therefore
+cacheable) with no further wiring. :func:`run_engine` resolves the
+callable through ``exact._ENGINES`` at call time, so tests that
+monkeypatch an engine there are seen by the verifier too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from . import exact
+from .events import ReliabilityProblem
+from .inclusion_exclusion import _MAX_PATHS
+from .pathsets import minimal_path_sets
+from .polynomial import failure_probability_polynomial, uniform_failure_prob
+
+__all__ = [
+    "EngineInfo",
+    "register_engine",
+    "engine_info",
+    "engine_names",
+    "exact_engine_names",
+    "applicable_exact_engines",
+    "inapplicable_reason",
+    "run_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """One registered reliability engine.
+
+    ``applicability`` returns ``None`` when the engine can analyze the
+    problem, or a human-readable reason when it cannot (the verifier
+    reports skipped engines rather than failing on them).
+    """
+
+    name: str
+    fn: Callable[[ReliabilityProblem], float]
+    exact: bool = True
+    applicability: Optional[Callable[[ReliabilityProblem], Optional[str]]] = None
+
+    def why_inapplicable(self, problem: ReliabilityProblem) -> Optional[str]:
+        if self.applicability is None:
+            return None
+        return self.applicability(problem)
+
+
+_REGISTRY: Dict[str, EngineInfo] = {}
+
+
+def register_engine(info: EngineInfo) -> EngineInfo:
+    """Register ``info``; exact engines also join ``failure_probability``."""
+    _REGISTRY[info.name] = info
+    if info.exact:
+        exact._ENGINES.setdefault(info.name, info.fn)
+    return info
+
+
+def engine_info(name: str) -> EngineInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown reliability engine {name!r}") from None
+
+
+def engine_names() -> List[str]:
+    """All registered engine names, in registration order."""
+    return list(_REGISTRY)
+
+
+def exact_engine_names() -> List[str]:
+    return [name for name, info in _REGISTRY.items() if info.exact]
+
+
+def inapplicable_reason(name: str, problem: ReliabilityProblem) -> Optional[str]:
+    """Why ``name`` cannot analyze ``problem`` (``None`` when it can)."""
+    return engine_info(name).why_inapplicable(problem)
+
+
+def applicable_exact_engines(problem: ReliabilityProblem) -> List[str]:
+    """Exact engines able to analyze ``problem``, in registration order."""
+    return [
+        name
+        for name in exact_engine_names()
+        if engine_info(name).why_inapplicable(problem) is None
+    ]
+
+
+def run_engine(name: str, problem: ReliabilityProblem) -> float:
+    """Invoke one engine directly — no cache in front.
+
+    The verifier must observe the engine's own answer, not a previously
+    cached value; exact engines resolve through ``exact._ENGINES`` so a
+    monkeypatched (deliberately broken) engine is exercised too.
+    """
+    info = engine_info(name)
+    fn = exact._ENGINES.get(name, info.fn) if info.exact else info.fn
+    return fn(problem)
+
+
+# ---------------------------------------------------------------------------
+# Built-in engines
+
+
+def _ie_applicability(problem: ReliabilityProblem) -> Optional[str]:
+    paths = minimal_path_sets(problem.restricted())
+    if len(paths) > _MAX_PATHS:
+        return f"{len(paths)} path sets exceed the {_MAX_PATHS}-path IE limit"
+    return None
+
+
+def _polynomial_applicability(problem: ReliabilityProblem) -> Optional[str]:
+    try:
+        uniform_failure_prob(problem)
+    except ValueError:
+        return "component failure probabilities are not uniform"
+    return None
+
+
+for _name in ("bdd", "factoring", "sdp"):
+    register_engine(EngineInfo(name=_name, fn=exact._ENGINES[_name]))
+register_engine(
+    EngineInfo(name="ie", fn=exact._ENGINES["ie"], applicability=_ie_applicability)
+)
+register_engine(
+    EngineInfo(
+        name="polynomial",
+        fn=failure_probability_polynomial,
+        applicability=_polynomial_applicability,
+    )
+)
+
+
+def _mc_fn(problem: ReliabilityProblem) -> float:
+    from .montecarlo import failure_probability_mc
+
+    return failure_probability_mc(problem).estimate
+
+
+register_engine(EngineInfo(name="mc", fn=_mc_fn, exact=False))

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table", "format_scientific", "render_batch_summary", "section"]
+__all__ = [
+    "format_table",
+    "format_scientific",
+    "render_batch_summary",
+    "render_verification_table",
+    "section",
+]
 
 
 def format_scientific(value: float | None, digits: int = 2) -> str:
@@ -62,6 +68,40 @@ def render_batch_summary(summaries: Iterable[dict]) -> str:
     return format_table(
         ["batch", "jobs", "ok", "failed", "retries", "wall (s)",
          "cache hits", "misses", "hit rate"],
+        rows,
+    )
+
+
+def render_verification_table(findings: Iterable[dict]) -> str:
+    """Render ``repro verify`` disagreements, one row per finding.
+
+    Accepts the dict form of :class:`repro.verify.Finding` (the shape the
+    verify jobs stream back). Statistical findings — Monte-Carlo interval
+    misses — are marked so they read differently from exactly confirmed
+    engine disagreements.
+    """
+    rows = []
+    for f in findings:
+        value = f.get("value")
+        reference = f.get("reference")
+        delta = (
+            abs(value - reference)
+            if value is not None and reference is not None
+            else None
+        )
+        rows.append(
+            (
+                f.get("case", "?"),
+                f.get("check", "?"),
+                format_scientific(value, 6) if value is not None else "-",
+                format_scientific(reference, 6) if reference is not None else "-",
+                format_scientific(delta) if delta is not None else "-",
+                "statistical" if f.get("statistical") else "confirmed",
+                f.get("detail", ""),
+            )
+        )
+    return format_table(
+        ["case", "check", "value", "reference", "|delta|", "kind", "detail"],
         rows,
     )
 

@@ -192,8 +192,12 @@ def learn_constraints(
 
         if k >= 1:
             # Enforce k extra connected components of every implementing
-            # type, from the sink-side types toward the sources (T_{n-1}..T_1).
-            for ctype in reversed(t.type_order[:-1] if t.type_order[-1] == sink_type else t.type_order):
+            # type, from the sink-side types toward the sources
+            # (T_{n-1}..T_1). The sink's own type is skipped wherever it
+            # sits in the partition order — redundancy of the sink's
+            # siblings cannot add a path *to* the sink, and enforcing it
+            # would demand meaningless sibling->sink connections.
+            for ctype in reversed([c for c in t.type_order if c != sink_type]):
                 current = counts[ctype]
                 if current >= capacities[ctype]:
                     continue  # nothing more to enforce for this type

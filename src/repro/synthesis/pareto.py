@@ -22,6 +22,10 @@ from .spec import SynthesisSpec
 __all__ = ["TradeoffPoint", "explore_tradeoff", "pareto_front", "cheapest_under_target",
            "most_reliable_under_budget"]
 
+#: Relative tolerance under which two front points count as the same
+#: design, applied to cost and reliability alike.
+_DEDUP_REL_TOL = 1e-9
+
 
 @dataclass
 class TradeoffPoint:
@@ -60,7 +64,12 @@ def explore_tradeoff(
     telemetry: Optional[str] = None,
     **options,
 ) -> List[TradeoffPoint]:
-    """Synthesize once per requirement level (sorted loose -> tight).
+    """Synthesize once per requirement level.
+
+    Levels are sorted loose -> tight (descending failure-probability
+    target) by :func:`repro.engine.requirement_sweep` before submission,
+    regardless of the caller's ordering, and the returned points follow
+    that same sorted order.
 
     Routed through :mod:`repro.engine`: ``jobs`` fans the levels out over
     a process pool, ``cache_dir`` enables the persistent reliability
@@ -103,11 +112,15 @@ def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
         if not dominated:
             front.append(p)
     front.sort(key=lambda p: (p.cost, p.reliability))
-    # Collapse duplicates (same cost and reliability).
+    # Collapse duplicates (same cost and reliability, both compared at the
+    # same relative tolerance so near-identical designs coalesce
+    # symmetrically in either coordinate).
     deduped: List[TradeoffPoint] = []
     for p in front:
-        if deduped and math.isclose(deduped[-1].cost, p.cost) and math.isclose(
-            deduped[-1].reliability, p.reliability, rel_tol=1e-9
+        if deduped and math.isclose(
+            deduped[-1].cost, p.cost, rel_tol=_DEDUP_REL_TOL
+        ) and math.isclose(
+            deduped[-1].reliability, p.reliability, rel_tol=_DEDUP_REL_TOL
         ):
             continue
         deduped.append(p)

@@ -1,0 +1,64 @@
+"""Differential verification and fuzzing for the reliability stack.
+
+The synthesis loop's soundness rests on the exact engines being *right*,
+and the persistent cache makes any wrong value long-lived. This package
+cross-examines the stack from four directions:
+
+* :mod:`repro.verify.differential` — all applicable exact engines on one
+  problem must agree (plus brute-force and Monte-Carlo oracles, plus
+  metamorphic properties: monotonicity, restriction-invariance, the
+  Theorem 2 bound);
+* :mod:`repro.verify.corpus` — seed cases with independently derived
+  closed-form answers, and the EPS case-study sinks;
+* :mod:`repro.verify.fuzz` — seeded random instances, counterexample
+  shrinking, and repro files;
+* :mod:`repro.verify.audit` — recompute cached values with a different
+  engine than the one that wrote them.
+
+``repro verify`` on the CLI drives all four; importing this package
+registers the ``verify`` job kind with :mod:`repro.engine`.
+"""
+
+from .audit import AuditReport, audit_cache
+from .corpus import VerifyCase, closed_form_cases, corpus_cases, eps_cases
+from .differential import (
+    Finding,
+    VerificationResult,
+    brute_force_failure,
+    verify_problem,
+)
+from .fuzz import (
+    fuzz_cases,
+    load_repro,
+    problem_from_dict,
+    problem_to_dict,
+    random_eps_subproblem,
+    random_layered_problem,
+    save_repro,
+    shrink_problem,
+)
+from .jobs import batch_findings, result_to_dict, verification_batch
+
+__all__ = [
+    "AuditReport",
+    "Finding",
+    "VerificationResult",
+    "VerifyCase",
+    "audit_cache",
+    "batch_findings",
+    "brute_force_failure",
+    "closed_form_cases",
+    "corpus_cases",
+    "eps_cases",
+    "fuzz_cases",
+    "load_repro",
+    "problem_from_dict",
+    "problem_to_dict",
+    "random_eps_subproblem",
+    "random_layered_problem",
+    "result_to_dict",
+    "save_repro",
+    "shrink_problem",
+    "verification_batch",
+    "verify_problem",
+]

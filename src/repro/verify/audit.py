@@ -1,0 +1,128 @@
+"""Audit a persistent reliability cache against fresh computation.
+
+The cache (:class:`repro.engine.ReliabilityCache`) makes any wrong engine
+result *persistent*: one bad value keeps resurfacing on every warm sweep.
+Each cache entry stores the canonical problem payload alongside its
+digest, so an auditor can (a) recompute the digest from the payload and
+catch corrupted or tampered rows, and (b) reconstruct the problem and
+recompute its value with a *different* exact engine than the one that
+wrote the entry — a differential check across time as well as across
+engines.
+
+Entries written by caches that predate the payload column audit as
+``skipped`` rather than failing: they carry no problem to reconstruct.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..engine.cache import CACHE_FILENAME, payload_digest, problem_from_payload
+from ..reliability import exact_engine_names, inapplicable_reason, run_engine
+from .differential import Finding, _agree
+
+__all__ = ["AuditReport", "audit_cache"]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one cache file."""
+
+    path: str
+    entries: int = 0  # rows in the cache
+    sampled: int = 0  # rows drawn for auditing
+    audited: int = 0  # rows actually recomputed
+    skipped: int = 0  # sampled rows without a payload / usable engine
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _cross_engine(method: str, problem) -> Optional[str]:
+    """An applicable exact engine other than the one that wrote the entry."""
+    for name in exact_engine_names():
+        if name == method:
+            continue
+        if inapplicable_reason(name, problem) is None:
+            return name
+    # Fall back to re-running the original engine: still catches rows whose
+    # stored value no longer matches what the engine computes.
+    if method in exact_engine_names() and inapplicable_reason(method, problem) is None:
+        return method
+    return None
+
+
+def audit_cache(
+    cache_dir: str,
+    sample: int = 25,
+    seed: int = 0,
+    tol: float = 1e-9,
+) -> AuditReport:
+    """Recompute a seeded sample of cache entries with a different engine.
+
+    Raises ``FileNotFoundError`` when ``cache_dir`` holds no cache file —
+    auditing nothing silently would defeat the point.
+    """
+    path = Path(cache_dir) / CACHE_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(f"no reliability cache at {path}")
+    report = AuditReport(path=str(path))
+    conn = sqlite3.connect(str(path))
+    try:
+        report.entries = int(
+            conn.execute("SELECT COUNT(*) FROM reliability").fetchone()[0]
+        )
+        rows = conn.execute(
+            "SELECT digest, method, value, problem FROM reliability "
+            "ORDER BY digest"
+        ).fetchall()
+    finally:
+        conn.close()
+
+    rng = random.Random(seed)
+    if len(rows) > sample:
+        rows = rng.sample(rows, sample)
+    report.sampled = len(rows)
+
+    for digest, method, value, blob in rows:
+        case = f"cache:{digest[:12]}"
+        if not blob:
+            report.skipped += 1  # pre-payload entry: nothing to reconstruct
+            continue
+        payload = json.loads(blob)
+        if payload_digest(payload) != digest:
+            report.findings.append(
+                Finding(
+                    case=case,
+                    check="cache-digest",
+                    detail="stored payload does not hash to the row digest "
+                    f"(method={method})",
+                )
+            )
+            continue
+        problem = problem_from_payload(payload)
+        engine = _cross_engine(str(method), problem)
+        if engine is None:
+            report.skipped += 1
+            continue
+        recomputed = run_engine(engine, problem)
+        report.audited += 1
+        if not _agree(recomputed, float(value), tol):
+            report.findings.append(
+                Finding(
+                    case=case,
+                    check="cache-audit",
+                    detail=f"cached {method}={value!r} vs fresh "
+                    f"{engine}={recomputed!r}",
+                    value=float(value),
+                    reference=recomputed,
+                )
+            )
+    return report

@@ -1,0 +1,170 @@
+"""Seed corpus for differential verification.
+
+Hand-built bridge and series-parallel graphs whose failure probabilities
+have textbook closed forms, the paper's Example 1, and the EPS case-study
+sinks (the Table I template in its fully connected configuration). The
+closed-form cases pin the engines to independently derived numbers; the
+EPS cases exercise the engines on the very graphs the synthesis loop
+analyzes. The same corpus seeds the fuzzing harness's regression suite
+and the cross-engine agreement tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import networkx as nx
+
+from ..arch import Architecture
+from ..eps import paper_template
+from ..reliability import ReliabilityProblem, problem_from_architecture
+
+__all__ = ["VerifyCase", "closed_form_cases", "eps_cases", "corpus_cases"]
+
+
+@dataclass
+class VerifyCase:
+    """One named verification input, optionally with a closed-form answer."""
+
+    name: str
+    problem: ReliabilityProblem
+    expected: Optional[float] = None
+    origin: str = "corpus"
+
+
+def _graph(nodes, edges) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for name, p in nodes:
+        g.add_node(name, p=p)
+    g.add_edges_from(edges)
+    return g
+
+
+def series_case(p: float = 0.05, n: int = 3) -> VerifyCase:
+    """S -> m1 -> ... -> T chain: r = 1 - (1-p)^(n+2)."""
+    names = ["S"] + [f"m{i}" for i in range(n)] + ["T"]
+    g = _graph([(name, p) for name in names], zip(names, names[1:]))
+    return VerifyCase(
+        name=f"series-{n}@{p:g}",
+        problem=ReliabilityProblem(g, ("S",), "T"),
+        expected=1.0 - (1.0 - p) ** (n + 2),
+    )
+
+
+def parallel_case(p: float = 0.1, k: int = 3) -> VerifyCase:
+    """k disjoint S_i -> m_i -> T branches: r = p + (1-p) * branch_fail^k."""
+    nodes = [("T", p)]
+    edges = []
+    sources = []
+    for i in range(k):
+        nodes += [(f"S{i}", p), (f"m{i}", p)]
+        edges += [(f"S{i}", f"m{i}"), (f"m{i}", "T")]
+        sources.append(f"S{i}")
+    branch_fail = 1.0 - (1.0 - p) ** 2
+    return VerifyCase(
+        name=f"parallel-{k}@{p:g}",
+        problem=ReliabilityProblem(_graph(nodes, edges), tuple(sources), "T"),
+        expected=p + (1.0 - p) * branch_fail**k,
+    )
+
+
+def example1_case(p: float = 2e-4) -> VerifyCase:
+    """Fig. 1b: r_L = p + (1-p) * {p + (1-p)[p + (1-p)p]}^2."""
+    nodes = [(n, p) for n in ("G1", "G2", "B1", "B2", "D1", "D2", "L")]
+    edges = [
+        ("G1", "B1"), ("B1", "D1"), ("D1", "L"),
+        ("G2", "B2"), ("B2", "D2"), ("D2", "L"),
+    ]
+    inner = p + (1 - p) * (p + (1 - p) * p)
+    return VerifyCase(
+        name=f"example1@{p:g}",
+        problem=ReliabilityProblem(_graph(nodes, edges), ("G1", "G2"), "L"),
+        expected=p + (1 - p) * inner**2,
+    )
+
+
+def bridge_case(p_arm: float = 0.1, p_tie: float = 0.2) -> VerifyCase:
+    """The classic 5-component bridge, arms e1..e4 and cross-tie e5.
+
+    Perfect terminals/junctions carry the failing components::
+
+        S -> e1 -> J1 -> e3 -> T
+        S -> e2 -> J2 -> e4 -> T      with  J1 <-e5-> J2
+
+    Conditioning on the tie: r = 1 - [q5 * R_merged + (1-q5) * R_split].
+    """
+    nodes = [("S", 0.0), ("J1", 0.0), ("J2", 0.0), ("T", 0.0)]
+    nodes += [(f"e{i}", p_arm) for i in (1, 2, 3, 4)]
+    nodes += [("e5", p_tie)]
+    edges = [
+        ("S", "e1"), ("e1", "J1"), ("J1", "e3"), ("e3", "T"),
+        ("S", "e2"), ("e2", "J2"), ("J2", "e4"), ("e4", "T"),
+        ("J1", "e5"), ("e5", "J2"), ("J2", "e5"), ("e5", "J1"),
+    ]
+    q = 1.0 - p_arm
+    q5 = 1.0 - p_tie
+    r_merged = (1.0 - p_arm**2) * (1.0 - p_arm**2)
+    r_split = 1.0 - (1.0 - q * q) ** 2
+    reliability = q5 * r_merged + (1.0 - q5) * r_split
+    return VerifyCase(
+        name=f"bridge@{p_arm:g}/{p_tie:g}",
+        problem=ReliabilityProblem(_graph(nodes, edges), ("S",), "T"),
+        expected=1.0 - reliability,
+    )
+
+
+def series_parallel_case(p: float = 0.15) -> VerifyCase:
+    """Two 2-in-series branches in parallel between S and T (all share p).
+
+    r = 1 - (1-p)^2 * [1 - (1 - (1-p)^2)^2].
+    """
+    nodes = [(n, p) for n in ("S", "a1", "a2", "b1", "b2", "T")]
+    edges = [
+        ("S", "a1"), ("a1", "a2"), ("a2", "T"),
+        ("S", "b1"), ("b1", "b2"), ("b2", "T"),
+    ]
+    q = 1.0 - p
+    reliability = q * q * (1.0 - (1.0 - q * q) ** 2)
+    return VerifyCase(
+        name=f"series-parallel@{p:g}",
+        problem=ReliabilityProblem(_graph(nodes, edges), ("S",), "T"),
+        expected=1.0 - reliability,
+    )
+
+
+def closed_form_cases() -> List[VerifyCase]:
+    """Hand-built graphs with independently derived answers."""
+    return [
+        series_case(p=0.05, n=3),
+        series_case(p=2e-4, n=2),
+        parallel_case(p=0.1, k=3),
+        parallel_case(p=2e-4, k=2),
+        example1_case(),
+        bridge_case(),
+        bridge_case(p_arm=0.3, p_tie=0.3),  # uniform p: polynomial applies
+        series_parallel_case(),
+    ]
+
+
+def eps_cases() -> List[VerifyCase]:
+    """The EPS case-study sinks on the paper's fully connected template."""
+    template = paper_template()
+    arch = Architecture(template, template.allowed_edges)
+    cases = []
+    for sink in arch.sink_names():
+        cases.append(
+            VerifyCase(
+                name=f"eps-full/{sink}",
+                problem=problem_from_architecture(arch, sink),
+                origin="eps",
+            )
+        )
+    return cases
+
+
+def corpus_cases(include_eps: bool = True) -> List[VerifyCase]:
+    cases = closed_form_cases()
+    if include_eps:
+        cases.extend(eps_cases())
+    return cases

@@ -1,0 +1,385 @@
+"""Differential and metamorphic verification of the reliability engines.
+
+ILP-MR's soundness rests on RELANALYSIS returning the *exact* K-terminal
+failure probability, and the persistent reliability cache makes any wrong
+engine result long-lived: one bad value silently poisons every warm sweep
+that follows. This module cross-examines the engines on a single
+:class:`ReliabilityProblem`:
+
+* **differential** — every applicable exact engine
+  (:func:`repro.reliability.applicable_exact_engines`) computes the same
+  number and must agree within a float tolerance; small instances are
+  additionally checked against an exhaustive state-enumeration oracle
+  (:func:`brute_force_failure`), and Monte-Carlo provides a statistical
+  cross-check via the existing :class:`MonteCarloEstimate` interval;
+* **metamorphic** — properties that must hold regardless of engine:
+  adding an edge or lowering a component's ``p`` never increases the
+  failure probability, restriction (``problem.restricted()``) never
+  changes the answer, and the Theorem 2 bound
+  (:meth:`ApproxReliability.guaranteed_upper_bound`) holds against each
+  exact value.
+
+Engines are invoked through :func:`repro.reliability.run_engine` — never
+through the cache — so the verifier observes what the engines *compute*,
+not what a (possibly poisoned) cache remembers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..reliability import (
+    ReliabilityProblem,
+    exact_engine_names,
+    failure_probability_mc,
+    inapplicable_reason,
+    minimal_path_sets,
+    run_engine,
+)
+from ..reliability.approx import approximate_failure_from_link
+from ..arch.paths import functional_link
+
+__all__ = [
+    "Finding",
+    "VerificationResult",
+    "brute_force_failure",
+    "verify_problem",
+]
+
+#: Node/edge mutation fan-out per metamorphic property (keeps one case's
+#: verification cost bounded on dense graphs).
+_MAX_MUTATIONS = 3
+
+#: Imperfect-component ceiling for the exhaustive brute-force oracle.
+MAX_BRUTE_FORCE_NODES = 14
+
+
+@dataclass
+class Finding:
+    """One confirmed (or statistically flagged) verification failure."""
+
+    case: str  # case identifier (corpus name, fuzz id, cache digest, ...)
+    check: str  # which verification check tripped
+    detail: str  # human-readable description
+    value: Optional[float] = None  # the offending value
+    reference: Optional[float] = None  # what it was compared against
+    statistical: bool = False  # True for Monte-Carlo interval misses
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.value is None or self.reference is None:
+            return None
+        return abs(self.value - self.reference)
+
+    def as_dict(self) -> Dict:
+        return {
+            "case": self.case,
+            "check": self.check,
+            "detail": self.detail,
+            "value": self.value,
+            "reference": self.reference,
+            "statistical": self.statistical,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Finding":
+        return cls(
+            case=str(data["case"]),
+            check=str(data["check"]),
+            detail=str(data.get("detail", "")),
+            value=data.get("value"),
+            reference=data.get("reference"),
+            statistical=bool(data.get("statistical", False)),
+        )
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one problem: engine values and findings."""
+
+    case: str
+    engines: Dict[str, float] = field(default_factory=dict)
+    skipped: Dict[str, str] = field(default_factory=dict)  # engine -> reason
+    findings: List[Finding] = field(default_factory=list)
+    checks_run: int = 0
+    mc_estimate: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def confirmed_findings(self) -> List[Finding]:
+        """Findings backed by exact computation (MC misses excluded)."""
+        return [f for f in self.findings if not f.statistical]
+
+
+def _agree(a: float, b: float, tol: float) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def brute_force_failure(
+    problem: ReliabilityProblem, max_nodes: int = MAX_BRUTE_FORCE_NODES
+) -> float:
+    """Failure probability by exhaustive enumeration of component states.
+
+    The simplest possible implementation of eq. 5 — sum the probability of
+    every up/down assignment of the imperfect components under which no
+    minimal path set survives intact. Exponential in the imperfect
+    component count (``ValueError`` beyond ``max_nodes``), but its
+    correctness is self-evident, which is exactly what a differential
+    oracle needs.
+    """
+    restricted = problem.restricted()
+    paths = minimal_path_sets(restricted)
+    if not paths:
+        return 1.0
+    imperfect = sorted(
+        n for n in restricted.graph.nodes if restricted.failure_prob(n) > 0.0
+    )
+    if len(imperfect) > max_nodes:
+        raise ValueError(
+            f"brute force limited to {max_nodes} imperfect components, "
+            f"got {len(imperfect)}"
+        )
+    bit_of = {n: 1 << i for i, n in enumerate(imperfect)}
+    # A path survives a failure set iff none of its imperfect nodes failed.
+    path_masks = sorted(
+        {sum(bit_of.get(n, 0) for n in path) for path in paths}
+    )
+    probs = [restricted.failure_prob(n) for n in imperfect]
+    total = 0.0
+    for failed in range(1 << len(imperfect)):
+        if any(mask & failed == 0 for mask in path_masks):
+            continue  # some path fully up: system works
+        weight = 1.0
+        for i, p in enumerate(probs):
+            weight *= p if failed >> i & 1 else 1.0 - p
+        total += weight
+    return min(max(total, 0.0), 1.0)
+
+
+def _added_edge_candidates(problem: ReliabilityProblem) -> List[tuple]:
+    """Deterministic sample of absent edges to try adding."""
+    graph = problem.graph
+    nodes = sorted(graph.nodes)
+    candidates = [
+        (u, v)
+        for u in nodes
+        for v in nodes
+        if u != v and not graph.has_edge(u, v)
+    ]
+    return candidates[:_MAX_MUTATIONS]
+
+
+def _with_edge(problem: ReliabilityProblem, u: str, v: str) -> ReliabilityProblem:
+    graph = problem.graph.copy()
+    graph.add_edge(u, v)
+    return ReliabilityProblem(graph, problem.sources, problem.sink)
+
+
+def _with_prob(problem: ReliabilityProblem, node: str, p: float) -> ReliabilityProblem:
+    graph = problem.graph.copy()
+    graph.nodes[node]["p"] = p
+    return ReliabilityProblem(graph, problem.sources, problem.sink)
+
+
+def verify_problem(
+    problem: ReliabilityProblem,
+    case: str = "case",
+    tol: float = 1e-9,
+    mc_samples: int = 20_000,
+    seed: int = 0,
+    expected: Optional[float] = None,
+    reference: str = "bdd",
+    metamorphic: bool = True,
+) -> VerificationResult:
+    """Run the full differential + metamorphic battery on one problem.
+
+    ``expected`` supplies an independently known closed-form answer (the
+    seed corpus carries them); ``reference`` names the engine used for the
+    metamorphic re-computations. Monte-Carlo misses are recorded with
+    ``statistical=True`` — still findings, but distinguishable from
+    exactly confirmed disagreements.
+    """
+    result = VerificationResult(case=case)
+    findings = result.findings
+
+    # -- differential: every applicable exact engine, same number ---------
+    for name in exact_engine_names():
+        reason = inapplicable_reason(name, problem)
+        if reason is not None:
+            result.skipped[name] = reason
+            continue
+        try:
+            result.engines[name] = run_engine(name, problem)
+        except Exception as exc:  # engine crash is a finding, not an abort
+            findings.append(
+                Finding(
+                    case=case,
+                    check="engine-error",
+                    detail=f"{name} raised {type(exc).__name__}: {exc}",
+                )
+            )
+    result.checks_run += 1
+    if reference not in result.engines:
+        # Without the reference engine nothing below is comparable.
+        if reference not in result.skipped:
+            return result
+        reference = next(iter(result.engines), "")
+        if not reference:
+            return result
+    r_ref = result.engines[reference]
+
+    for name, value in sorted(result.engines.items()):
+        if name == reference:
+            continue
+        if not _agree(value, r_ref, tol):
+            findings.append(
+                Finding(
+                    case=case,
+                    check="engine-disagreement",
+                    detail=f"{name}={value!r} vs {reference}={r_ref!r}",
+                    value=value,
+                    reference=r_ref,
+                )
+            )
+
+    if expected is not None:
+        result.checks_run += 1
+        for name, value in sorted(result.engines.items()):
+            if not _agree(value, expected, tol):
+                findings.append(
+                    Finding(
+                        case=case,
+                        check="closed-form",
+                        detail=f"{name}={value!r} vs closed form {expected!r}",
+                        value=value,
+                        reference=expected,
+                    )
+                )
+
+    # -- brute-force oracle on small instances ----------------------------
+    restricted = problem.restricted()
+    n_imperfect = sum(
+        1 for n in restricted.graph.nodes if restricted.failure_prob(n) > 0.0
+    )
+    if n_imperfect <= MAX_BRUTE_FORCE_NODES:
+        result.checks_run += 1
+        brute = brute_force_failure(problem)
+        if not _agree(brute, r_ref, tol):
+            findings.append(
+                Finding(
+                    case=case,
+                    check="brute-force",
+                    detail=f"{reference}={r_ref!r} vs exhaustive enumeration "
+                    f"{brute!r}",
+                    value=r_ref,
+                    reference=brute,
+                )
+            )
+
+    # -- Monte-Carlo statistical cross-check ------------------------------
+    if mc_samples > 0:
+        result.checks_run += 1
+        mc = failure_probability_mc(problem, samples=mc_samples, seed=seed)
+        result.mc_estimate = mc.estimate
+        if not mc.contains(r_ref, z=6.0):
+            findings.append(
+                Finding(
+                    case=case,
+                    check="mc-interval",
+                    detail=f"{reference}={r_ref!r} outside the 6-sigma "
+                    f"Monte-Carlo interval around {mc.estimate!r} "
+                    f"({mc.samples} samples)",
+                    value=r_ref,
+                    reference=mc.estimate,
+                    statistical=True,
+                )
+            )
+
+    if not metamorphic:
+        return result
+
+    # -- metamorphic: restriction never changes the answer -----------------
+    result.checks_run += 1
+    r_restricted = run_engine(reference, restricted)
+    if not _agree(r_restricted, r_ref, tol):
+        findings.append(
+            Finding(
+                case=case,
+                check="restriction",
+                detail=f"{reference} on restricted()={r_restricted!r} vs "
+                f"original {r_ref!r}",
+                value=r_restricted,
+                reference=r_ref,
+            )
+        )
+
+    # -- metamorphic: adding an edge never increases failure ---------------
+    slack = tol * max(1.0, abs(r_ref))
+    for (u, v) in _added_edge_candidates(problem):
+        result.checks_run += 1
+        r_more = run_engine(reference, _with_edge(problem, u, v))
+        if r_more > r_ref + slack:
+            findings.append(
+                Finding(
+                    case=case,
+                    check="edge-monotonicity",
+                    detail=f"adding edge {u}->{v} raised failure from "
+                    f"{r_ref!r} to {r_more!r}",
+                    value=r_more,
+                    reference=r_ref,
+                )
+            )
+
+    # -- metamorphic: lowering a p never increases failure -----------------
+    imperfect = sorted(
+        n for n in problem.graph.nodes if problem.failure_prob(n) > 0.0
+    )
+    for node in imperfect[:_MAX_MUTATIONS]:
+        result.checks_run += 1
+        lowered = _with_prob(problem, node, problem.failure_prob(node) / 2.0)
+        r_less = run_engine(reference, lowered)
+        if r_less > r_ref + slack:
+            findings.append(
+                Finding(
+                    case=case,
+                    check="prob-monotonicity",
+                    detail=f"halving p({node}) raised failure from {r_ref!r} "
+                    f"to {r_less!r}",
+                    value=r_less,
+                    reference=r_ref,
+                )
+            )
+
+    # -- metamorphic: Theorem 2 bound vs every exact value -----------------
+    # The theorem is stated for the paper's uniform-p setting; on links
+    # with perfect nodes (p=0) the approximation can degenerate to
+    # r~ = 0, so the bound is only checked when every node on the link
+    # shares one nonzero failure probability.
+    link = functional_link(
+        problem.graph, list(problem.sources), problem.sink
+    )
+    link_probs = {problem.failure_prob(n) for n in link.nodes()}
+    if link.paths and len(link_probs) == 1 and min(link_probs) > 0.0:
+        result.checks_run += 1
+        type_probs: Dict[str, float] = {
+            link.type_of[n]: problem.failure_prob(n) for n in link.nodes()
+        }
+        approx = approximate_failure_from_link(link, type_probs)
+        for name, value in sorted(result.engines.items()):
+            if not approx.guaranteed_upper_bound(value):
+                findings.append(
+                    Finding(
+                        case=case,
+                        check="theorem2-bound",
+                        detail=f"r~={approx.r_tilde!r} / r[{name}]={value!r} "
+                        f"below the Theorem 2 ratio {approx.bound_ratio!r}",
+                        value=approx.r_tilde,
+                        reference=value,
+                    )
+                )
+
+    return result

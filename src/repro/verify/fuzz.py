@@ -1,0 +1,254 @@
+"""Seeded fuzzing of the reliability engines.
+
+Random small instances are where engine bugs hide: the seed corpus only
+covers graph shapes someone thought of. The fuzzer generates two families
+— random layered DAGs (the shape every architecture template induces) and
+random sub-architectures of the EPS case study — runs the full
+differential battery on each, and greedily *shrinks* any failing instance
+to a minimal counterexample before serializing it to a repro file.
+
+Everything is driven by :class:`random.Random` seeded from the caller —
+no wall-clock randomness — so ``repro verify --fuzz N --seed S`` is
+reproducible bit-for-bit, and a repro file plus its seed pins a bug
+forever.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import networkx as nx
+
+from ..arch import Architecture
+from ..eps import paper_template
+from ..reliability import (
+    ReliabilityProblem,
+    minimal_path_sets,
+    problem_from_architecture,
+)
+from .corpus import VerifyCase
+
+__all__ = [
+    "fuzz_cases",
+    "random_layered_problem",
+    "random_eps_subproblem",
+    "shrink_problem",
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_repro",
+    "load_repro",
+]
+
+#: Failure probabilities the generators draw from. A mix of magnitudes —
+#: paper-scale (2e-4), moderate, and large — plus 0.0 (perfect nodes).
+_PROB_PALETTE = (0.0, 2e-4, 1e-3, 0.05, 0.1, 0.3)
+
+
+def random_layered_problem(rng: random.Random) -> ReliabilityProblem:
+    """A random layered DAG with one sink and 1-3 sources.
+
+    Mirrors the source -> relay* -> sink shape of architecture templates:
+    2-4 layers, 1-3 nodes wide, edges only between adjacent layers, with a
+    guaranteed source-to-sink path so the instance is non-degenerate.
+    Roughly a third of instances use a single uniform nonzero ``p`` so the
+    polynomial engine participates.
+    """
+    n_layers = rng.randint(2, 4)
+    widths = [rng.randint(1, 3) for _ in range(n_layers)]
+    widths[-1] = 1  # single sink
+    uniform = rng.random() < 1 / 3
+    uniform_p = rng.choice([p for p in _PROB_PALETTE if p > 0.0])
+
+    def prob() -> float:
+        return uniform_p if uniform else rng.choice(_PROB_PALETTE)
+
+    graph = nx.DiGraph()
+    layers: List[List[str]] = []
+    for li, width in enumerate(widths):
+        layer = [f"n{li}_{i}" for i in range(width)]
+        for name in layer:
+            graph.add_node(name, p=prob())
+        layers.append(layer)
+    for below, above in zip(layers, layers[1:]):
+        for u in below:
+            for v in above:
+                if rng.random() < 0.6:
+                    graph.add_edge(u, v)
+        # Every node needs an outgoing edge for a path to possibly exist.
+        for u in below:
+            if graph.out_degree(u) == 0:
+                graph.add_edge(u, rng.choice(above))
+        for v in above:
+            if graph.in_degree(v) == 0:
+                graph.add_edge(rng.choice(below), v)
+    sources = tuple(layers[0])
+    return ReliabilityProblem(graph, sources, layers[-1][0])
+
+
+def random_eps_subproblem(rng: random.Random) -> ReliabilityProblem:
+    """A random sub-architecture of the EPS template, analyzed at one sink.
+
+    Keeps each allowed edge with probability 0.75 and retries until the
+    chosen sink still has at least one functional path — degraded but
+    live configurations, exactly what ILP-MR's inner loop analyzes.
+    """
+    template = paper_template()
+    allowed = list(template.allowed_edges)
+    sinks = Architecture(template, allowed).sink_names()
+    while True:
+        edges = [e for e in allowed if rng.random() < 0.75]
+        arch = Architecture(template, edges)
+        sink = rng.choice(sinks)
+        problem = problem_from_architecture(arch, sink)
+        if minimal_path_sets(problem.restricted()):
+            return problem
+
+
+def fuzz_cases(count: int, seed: int = 0) -> List[VerifyCase]:
+    """``count`` seeded random cases, alternating both generator families."""
+    rng = random.Random(seed)
+    cases = []
+    for i in range(count):
+        if i % 3 == 2:
+            problem = random_eps_subproblem(rng)
+            family = "eps-sub"
+        else:
+            problem = random_layered_problem(rng)
+            family = "layered"
+        cases.append(
+            VerifyCase(
+                name=f"fuzz-{seed}/{i:04d}-{family}",
+                problem=problem,
+                origin="fuzz",
+            )
+        )
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+
+
+def _imperfect_nodes(problem: ReliabilityProblem) -> List[str]:
+    return sorted(
+        n for n in problem.graph.nodes if problem.failure_prob(n) > 0.0
+    )
+
+
+def _candidates(problem: ReliabilityProblem) -> List[ReliabilityProblem]:
+    """Single-step reductions, most aggressive first: drop a node, drop an
+    edge, or make an imperfect node perfect (p=0)."""
+    out: List[ReliabilityProblem] = []
+    protected = set(problem.sources) | {problem.sink}
+    for node in sorted(problem.graph.nodes):
+        if node in protected:
+            continue
+        graph = problem.graph.copy()
+        graph.remove_node(node)
+        out.append(ReliabilityProblem(graph, problem.sources, problem.sink))
+    for u, v in sorted(problem.graph.edges):
+        graph = problem.graph.copy()
+        graph.remove_edge(u, v)
+        out.append(ReliabilityProblem(graph, problem.sources, problem.sink))
+    for node in _imperfect_nodes(problem):
+        graph = problem.graph.copy()
+        graph.nodes[node]["p"] = 0.0
+        out.append(ReliabilityProblem(graph, problem.sources, problem.sink))
+    return out
+
+
+def shrink_problem(
+    problem: ReliabilityProblem,
+    still_fails: Callable[[ReliabilityProblem], bool],
+    max_steps: int = 200,
+) -> ReliabilityProblem:
+    """Greedily minimize a failing instance.
+
+    Repeatedly applies the first single-step reduction under which
+    ``still_fails`` holds, until no reduction preserves the failure (a
+    1-minimal counterexample) or ``max_steps`` reductions were taken.
+    ``still_fails`` should re-run the *non-statistical* part of the
+    verification — shrinking against a Monte-Carlo coin flip would walk
+    to noise, not to a bug.
+    """
+    current = problem
+    for _ in range(max_steps):
+        for candidate in _candidates(current):
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                failed = False  # a reduction that crashes the checker is out
+            if failed:
+                current = candidate
+                break
+        else:
+            return current
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Repro files
+
+
+def problem_to_dict(problem: ReliabilityProblem) -> Dict[str, Any]:
+    """JSON-able description of a problem (full graph, not restricted).
+
+    Probabilities carry both a human-readable float and a hex encoding;
+    :func:`problem_from_dict` restores from the hex form, so the
+    round-trip is bit-exact.
+    """
+    graph = problem.graph
+    return {
+        "nodes": [
+            {
+                "name": str(n),
+                "p": float(graph.nodes[n].get("p", 0.0)),
+                "p_hex": float(graph.nodes[n].get("p", 0.0)).hex(),
+            }
+            for n in sorted(graph.nodes)
+        ],
+        "edges": sorted([str(u), str(v)] for u, v in graph.edges),
+        "sources": sorted(str(s) for s in problem.sources),
+        "sink": str(problem.sink),
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]) -> ReliabilityProblem:
+    graph = nx.DiGraph()
+    for node in data["nodes"]:
+        p = float.fromhex(node["p_hex"]) if "p_hex" in node else float(node["p"])
+        graph.add_node(str(node["name"]), p=p)
+    graph.add_edges_from((str(u), str(v)) for u, v in data["edges"])
+    return ReliabilityProblem(
+        graph, tuple(str(s) for s in data["sources"]), str(data["sink"])
+    )
+
+
+def save_repro(
+    problem: ReliabilityProblem,
+    path: Path,
+    case: str,
+    findings: Optional[List[Dict[str, Any]]] = None,
+    seed: Optional[int] = None,
+) -> Path:
+    """Write a shrunk counterexample (with its findings) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "case": case,
+        "seed": seed,
+        "problem": problem_to_dict(problem),
+        "findings": findings or [],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: Path) -> Dict[str, Any]:
+    """Read a repro file back; ``problem`` is reconstructed, rest verbatim."""
+    data = json.loads(Path(path).read_text())
+    data["problem"] = problem_from_dict(data["problem"])
+    return data

@@ -1,0 +1,96 @@
+"""`verify` jobs for the exploration engine.
+
+Each verification case becomes one :class:`repro.engine.Job` of kind
+``"verify"``, so ``repro verify`` fans the corpus and the fuzz cases out
+over the same process pool (and telemetry stream) as every other batch.
+Problems travel through the pool as their JSON dict form
+(:func:`repro.verify.fuzz.problem_to_dict`) and results come back as
+plain dicts, so the payloads pickle trivially and land readably in the
+telemetry JSONL.
+
+Importing this module registers the runner; pool workers resolve it via
+the executor's kind-plugin table (``"verify" -> repro.verify``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..engine import BatchSpec, Job, register_runner
+from .corpus import VerifyCase
+from .differential import verify_problem
+from .fuzz import problem_from_dict, problem_to_dict
+
+__all__ = ["verification_batch", "result_to_dict"]
+
+
+def verification_batch(
+    cases: Sequence[VerifyCase],
+    tol: float = 1e-9,
+    mc_samples: int = 20_000,
+    seed: int = 0,
+    metamorphic: bool = True,
+) -> BatchSpec:
+    """One ``verify`` job per case, ready for :func:`repro.engine.run_batch`."""
+    jobs = []
+    for i, case in enumerate(cases):
+        jobs.append(
+            Job(
+                job_id=f"verify-{i:04d}",
+                kind="verify",
+                payload={
+                    "case": case.name,
+                    "problem": problem_to_dict(case.problem),
+                    "expected": case.expected,
+                    "tol": tol,
+                    "mc_samples": mc_samples,
+                    "seed": seed,
+                    "metamorphic": metamorphic,
+                },
+                meta={"case": case.name, "origin": case.origin},
+            )
+        )
+    return BatchSpec(
+        name="verify",
+        jobs=jobs,
+        meta={"cases": len(jobs), "tol": tol, "mc_samples": mc_samples},
+    )
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`VerificationResult` to a picklable/JSON-able dict."""
+    return {
+        "case": result.case,
+        "ok": result.ok,
+        "engines": dict(result.engines),
+        "skipped": dict(result.skipped),
+        "checks_run": result.checks_run,
+        "mc_estimate": result.mc_estimate,
+        "findings": [f.as_dict() for f in result.findings],
+    }
+
+
+def _run_verify(job: Job) -> Dict[str, Any]:
+    payload = job.payload
+    result = verify_problem(
+        problem_from_dict(payload["problem"]),
+        case=payload["case"],
+        tol=payload.get("tol", 1e-9),
+        mc_samples=payload.get("mc_samples", 20_000),
+        seed=payload.get("seed", 0),
+        expected=payload.get("expected"),
+        metamorphic=payload.get("metamorphic", True),
+    )
+    return result_to_dict(result)
+
+
+register_runner("verify", _run_verify)
+
+
+def batch_findings(results) -> List[Dict[str, Any]]:
+    """Collect every finding dict out of a batch's :class:`JobResult` list."""
+    findings: List[Dict[str, Any]] = []
+    for result in results:
+        if result.ok and isinstance(result.value, dict):
+            findings.extend(result.value.get("findings", []))
+    return findings

@@ -158,3 +158,99 @@ class TestCachedSweeps:
         second = run_batch(batch, jobs=2, cache_dir=cache_dir)
         assert second.cache_hits > 0
         assert second.values() == first.values()
+
+
+class TestClosedConnectionDegradation:
+    """A dead SQLite handle must degrade to the in-memory layer, never
+    raise out of get/put/len (regression: a connection closed behind the
+    cache's back used to propagate sqlite3.ProgrammingError into
+    failure_probability)."""
+
+    def test_get_put_len_survive_external_close(self, tmp_path):
+        cache = ReliabilityCache(tmp_path / "c")
+        problem = small_problem()
+        cache.store(problem, "bdd", 0.25)
+        cache._conn.close()  # closed behind the cache's back
+        # get: falls back to the in-memory copy of the stored entry.
+        assert cache.lookup(problem, "bdd") == 0.25
+        # put: lands in memory, no exception.
+        other = small_problem(p_sink=0.02)
+        cache.store(other, "bdd", 0.5)
+        assert cache.lookup(other, "bdd") == 0.5
+        # len: counts the in-memory layer.
+        assert len(cache) == 2
+        cache.close()  # idempotent even though sqlite is already gone
+
+    def test_closed_property(self, tmp_path):
+        cache = ReliabilityCache(tmp_path / "c")
+        assert not cache.closed
+        cache.close()
+        assert cache.closed
+        memory = ReliabilityCache(None)
+        assert not memory.closed  # nothing to close in memory-only mode
+
+    def test_analysis_continues_after_close(self, tmp_path):
+        problem = small_problem()
+        cache = ReliabilityCache(tmp_path / "c")
+        with reliability_cache(cache):
+            cold = failure_probability(problem, method="bdd")
+            cache._conn.close()
+            warm = failure_probability(problem, method="bdd")
+        assert warm == cold
+
+
+class TestPayloadStorage:
+    def test_payload_roundtrips_problem(self):
+        from repro.engine.cache import problem_from_payload, problem_payload
+
+        problem = small_problem(p_sink=0.01 + 1e-16)
+        payload = problem_payload(problem, "bdd")
+        back = problem_from_payload(payload)
+        # Bit-exact probabilities and identical topology.
+        assert problem_digest(back, "bdd") == problem_digest(problem, "bdd")
+        for n in back.graph.nodes:
+            assert back.graph.nodes[n]["p"] == problem.graph.nodes[n]["p"]
+
+    def test_store_persists_payload(self, tmp_path):
+        import json
+        import sqlite3
+
+        from repro.engine.cache import CACHE_FILENAME, payload_digest
+
+        problem = small_problem()
+        with ReliabilityCache(tmp_path / "c") as cache:
+            cache.store(problem, "bdd", 0.25)
+        conn = sqlite3.connect(str(tmp_path / "c" / CACHE_FILENAME))
+        digest, blob = conn.execute(
+            "SELECT digest, problem FROM reliability"
+        ).fetchone()
+        conn.close()
+        assert blob is not None
+        assert payload_digest(json.loads(blob)) == digest
+
+    def test_migration_adds_problem_column(self, tmp_path):
+        import sqlite3
+        import time
+
+        from repro.engine.cache import CACHE_FILENAME
+
+        # A cache file from before the payload column existed.
+        directory = tmp_path / "c"
+        directory.mkdir()
+        conn = sqlite3.connect(str(directory / CACHE_FILENAME))
+        conn.execute(
+            "CREATE TABLE reliability (digest TEXT PRIMARY KEY, "
+            "method TEXT NOT NULL, value REAL NOT NULL, "
+            "created_at REAL NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO reliability VALUES ('d1', 'bdd', 0.5, ?)",
+            (time.time(),),
+        )
+        conn.commit()
+        conn.close()
+        with ReliabilityCache(directory) as cache:
+            # Old entry still readable; new entries carry payloads.
+            assert cache.get("d1") == 0.5
+            cache.store(small_problem(), "bdd", 0.25)
+            assert len(cache) == 2

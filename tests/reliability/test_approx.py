@@ -178,3 +178,42 @@ class TestArchitectureLevelHelpers:
         assert result.r_tilde == 1.0
         assert result.num_paths == 0
         assert single_path_failure(bare, "T") == 1.0
+
+
+class TestShortestPathDeterminism:
+    """_shortest_path must not depend on enumeration order (regression:
+    `min(..., key=len)` used to break length ties by list position)."""
+
+    def test_tie_broken_lexicographically(self):
+        from repro.reliability.approx import _shortest_path
+
+        paths = [("S", "b", "T"), ("S", "a", "T"), ("S", "c", "T")]
+        assert _shortest_path(paths) == ("S", "a", "T")
+
+    def test_invariant_under_permutation(self):
+        from itertools import permutations
+
+        from repro.reliability.approx import _shortest_path
+
+        paths = [("S", "x", "T"), ("S", "a", "q", "T"), ("S", "m", "T")]
+        picks = {_shortest_path(list(p)) for p in permutations(paths)}
+        assert picks == {("S", "m", "T")}
+
+    def test_rho_stable_on_equal_length_paths(self):
+        # Two equal-length disjoint paths with different probabilities:
+        # rho must come from the same (canonical) path every time.
+        lib = Library(switch_cost=1.0)
+        lib.add(ComponentSpec("G1", "gen", cost=1, capacity=10,
+                              failure_prob=0.2, role=Role.SOURCE))
+        lib.add(ComponentSpec("G2", "gen", cost=1, capacity=10,
+                              failure_prob=0.1, role=Role.SOURCE))
+        lib.add(ComponentSpec("T", "load", demand=1, role=Role.SINK))
+        lib.set_type_order(["gen", "load"])
+        t = ArchitectureTemplate(lib, ["G1", "G2", "T"])
+        t.allow_edge("G1", "T")
+        t.allow_edge("G2", "T")
+        arch = Architecture(t, t.allowed_edges)
+        rho = single_path_failure(arch, "T")
+        # Canonical pick is the lexicographically smaller path (G1, T).
+        assert rho == pytest.approx(0.2)
+        assert single_path_failure(arch, "T") == rho

@@ -1,0 +1,118 @@
+"""Engine registry tests + cross-engine agreement (the differential seed).
+
+Every applicable exact engine must produce the same number on the same
+problem — on hand-built graphs with known closed forms and on the EPS
+case-study sinks. These are the inline version of what ``repro verify``
+checks at scale.
+"""
+
+import pytest
+
+from repro.arch import Architecture
+from repro.eps import paper_template
+from repro.reliability import (
+    EngineInfo,
+    applicable_exact_engines,
+    engine_info,
+    engine_names,
+    exact,
+    exact_engine_names,
+    failure_probability,
+    inapplicable_reason,
+    problem_from_architecture,
+    register_engine,
+    run_engine,
+)
+from repro.verify.corpus import closed_form_cases, eps_cases
+
+EXACT_ENGINES = exact_engine_names()
+
+
+class TestRegistry:
+    def test_all_exact_engines_registered(self):
+        assert {"bdd", "factoring", "sdp", "ie", "polynomial"} <= set(
+            EXACT_ENGINES
+        )
+
+    def test_mc_listed_but_not_exact(self):
+        assert "mc" in engine_names()
+        assert "mc" not in EXACT_ENGINES
+        assert not engine_info("mc").exact
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown reliability engine"):
+            engine_info("quantum")
+
+    def test_ie_inapplicable_beyond_path_cap(self):
+        problem = eps_cases()[0].problem  # ~320 path sets
+        reason = inapplicable_reason("ie", problem)
+        assert reason is not None and "path" in reason
+
+    def test_polynomial_inapplicable_on_nonuniform(self):
+        from repro.verify.corpus import bridge_case
+
+        problem = bridge_case(p_arm=0.1, p_tie=0.2).problem
+        reason = inapplicable_reason("polynomial", problem)
+        assert reason is not None and "uniform" in reason
+
+    def test_applicable_exact_engines_on_small_uniform(self):
+        case = closed_form_cases()[0]  # series: everything applies
+        assert set(applicable_exact_engines(case.problem)) == set(
+            EXACT_ENGINES
+        )
+
+    def test_registered_engine_reaches_failure_probability(self):
+        name = "const-test-engine"
+        try:
+            register_engine(
+                EngineInfo(name=name, fn=lambda p: 0.125, exact=True)
+            )
+            case = closed_form_cases()[0]
+            assert failure_probability(case.problem, method=name) == 0.125
+            assert run_engine(name, case.problem) == 0.125
+        finally:
+            exact._ENGINES.pop(name, None)
+            from repro.reliability import registry
+
+            registry._REGISTRY.pop(name, None)
+
+    def test_run_engine_observes_monkeypatched_table(self, monkeypatch):
+        # The verifier resolves engines through exact._ENGINES at call
+        # time, so a perturbed engine is seen -- not a stale reference.
+        monkeypatch.setitem(exact._ENGINES, "sdp", lambda p: 0.77)
+        case = closed_form_cases()[0]
+        assert run_engine("sdp", case.problem) == 0.77
+
+
+class TestCrossEngineAgreement:
+    @pytest.mark.parametrize("engine", EXACT_ENGINES)
+    @pytest.mark.parametrize(
+        "case", closed_form_cases(), ids=lambda c: c.name
+    )
+    def test_closed_form_graphs(self, engine, case):
+        if inapplicable_reason(engine, case.problem) is not None:
+            pytest.skip(f"{engine} not applicable")
+        assert run_engine(engine, case.problem) == pytest.approx(
+            case.expected, rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("case", eps_cases(), ids=lambda c: c.name)
+    def test_eps_sinks_agree_within_1e_9(self, case):
+        engines = applicable_exact_engines(case.problem)
+        assert {"bdd", "factoring", "sdp", "polynomial"} <= set(engines)
+        values = {name: run_engine(name, case.problem) for name in engines}
+        reference = values["bdd"]
+        for name, value in values.items():
+            assert value == pytest.approx(reference, rel=1e-9, abs=1e-12), (
+                f"{name} disagrees with bdd on {case.name}"
+            )
+
+    def test_full_eps_matches_paper_scale(self):
+        # Full configuration, paper probabilities: every sink's failure
+        # probability is tiny but nonzero.
+        template = paper_template()
+        arch = Architecture(template, template.allowed_edges)
+        for sink in arch.sink_names():
+            problem = problem_from_architecture(arch, sink)
+            value = run_engine("bdd", problem)
+            assert 0.0 < value < 1e-6

@@ -4,7 +4,7 @@ FINDMINREDTYPE selection, saturation handling."""
 import pytest
 
 from repro.arch import Architecture
-from repro.synthesis import learn_constraints
+from repro.synthesis import SynthesisSpec, learn_constraints
 from repro.synthesis.learncons import (
     _connected_counts,
     _find_min_redundancy_type,
@@ -117,3 +117,71 @@ class TestLearnConstraintsOutcome:
         learn_constraints(enc, spec, arch, r=2e-2, r_star=1e-6)
         tags = {c.tag for c in enc.model.constraints if c.tag.startswith("learned")}
         assert tags  # at least one learned.<type>.<sink> constraint
+
+
+class TestSinkTypeSkip:
+    """The sink's own type must be skipped wherever it sits in the
+    partition order, not only when it happens to be last (regression:
+    the k>=1 branch previously only dropped a *trailing* sink type)."""
+
+    @staticmethod
+    def _mid_sink_template(p=1e-2):
+        # type_order = [gen, load, relay]: the sink L0 is load-typed, and
+        # "load" sits in the MIDDLE of the partition order. L1 is a load
+        # sibling with an allowed edge into L0, so an (incorrect)
+        # load-redundancy constraint for L0 would actually be emitted.
+        from repro.arch import ArchitectureTemplate, ComponentSpec, Library, Role
+
+        lib = Library(switch_cost=1.0)
+        for i in range(2):
+            lib.add(ComponentSpec(f"G{i}", "gen", cost=50, capacity=100,
+                                  failure_prob=p, role=Role.SOURCE))
+            lib.add(ComponentSpec(f"L{i}", "load", cost=10, failure_prob=p,
+                                  demand=10 if i == 0 else 0,
+                                  role=Role.SINK if i == 0 else Role.INTERMEDIATE))
+            lib.add(ComponentSpec(f"R{i}", "relay", cost=5, failure_prob=p))
+        lib.set_type_order(["gen", "load", "relay"])
+        t = ArchitectureTemplate(lib, ["G0", "G1", "L0", "L1", "R0", "R1"])
+        for i in range(2):
+            for j in range(2):
+                t.allow_edge(f"G{i}", f"L{j}")
+                t.allow_edge(f"L{i}", f"R{j}")
+        t.allow_edge("L1", "L0")
+        return t
+
+    def test_mid_order_sink_type_not_enforced_k1(self):
+        from repro.synthesis.spec import RequireIncomingEdge
+
+        t = self._mid_sink_template()
+        spec = SynthesisSpec(
+            template=t,
+            requirements=[RequireIncomingEdge(nodes=["L0"], k=1)],
+            reliability_target=1e-6,
+        )
+        enc = spec.build_encoder()
+        arch = _arch(t, [("G0", "L0")])
+        outcome = learn_constraints(enc, spec, arch, r=2e-2, r_star=1e-6)
+        assert outcome.estimated_k >= 1  # exercises the k>=1 branch
+        assert outcome.added_constraints > 0
+        tags = {c.tag for c in enc.model.constraints
+                if c.tag.startswith("learned")}
+        assert any(tag.startswith("learned.gen.") for tag in tags)
+        # The sink's own type must not be enforced, even mid-order.
+        assert not any(tag.startswith("learned.load.") for tag in tags)
+
+    def test_mid_order_sink_type_not_enforced_k0(self):
+        from repro.synthesis.spec import RequireIncomingEdge
+
+        t = self._mid_sink_template()
+        spec = SynthesisSpec(
+            template=t,
+            requirements=[RequireIncomingEdge(nodes=["L0"], k=1)],
+            reliability_target=1e-6,
+        )
+        enc = spec.build_encoder()
+        arch = _arch(t, [("G0", "L0")])
+        # r barely above target: the fine-tuning (k == 0) branch.
+        learn_constraints(enc, spec, arch, r=2e-6, r_star=1e-6)
+        tags = {c.tag for c in enc.model.constraints
+                if c.tag.startswith("learned")}
+        assert not any(tag.startswith("learned.load.") for tag in tags)

@@ -1,0 +1,79 @@
+"""Tests for auditing the persistent reliability cache."""
+
+import sqlite3
+
+import pytest
+
+from repro.engine import ReliabilityCache
+from repro.engine.cache import CACHE_FILENAME
+from repro.reliability import failure_probability
+from repro.verify import audit_cache
+from repro.verify.corpus import closed_form_cases
+
+
+def _populate(cache_dir, n=4):
+    cases = closed_form_cases()[:n]
+    with ReliabilityCache(cache_dir) as cache:
+        for case in cases:
+            value = failure_probability(case.problem, method="bdd")
+            cache.store(case.problem, "bdd", value)
+    return cases
+
+
+class TestAuditCache:
+    def test_clean_cache_audits_green(self, tmp_path):
+        _populate(tmp_path)
+        report = audit_cache(tmp_path, sample=10, seed=0)
+        assert report.ok
+        assert report.entries == 4
+        assert report.sampled == 4
+        assert report.audited == 4
+        assert report.skipped == 0
+
+    def test_tampered_value_detected(self, tmp_path):
+        _populate(tmp_path)
+        conn = sqlite3.connect(str(tmp_path / CACHE_FILENAME))
+        conn.execute(
+            "UPDATE reliability SET value = value + 0.01 "
+            "WHERE digest = (SELECT MIN(digest) FROM reliability)"
+        )
+        conn.commit()
+        conn.close()
+        report = audit_cache(tmp_path, sample=10, seed=0)
+        assert not report.ok
+        assert [f.check for f in report.findings] == ["cache-audit"]
+        assert report.findings[0].delta == pytest.approx(0.01, rel=1e-6)
+
+    def test_corrupted_payload_detected(self, tmp_path):
+        _populate(tmp_path)
+        conn = sqlite3.connect(str(tmp_path / CACHE_FILENAME))
+        conn.execute(
+            "UPDATE reliability SET problem = '{\"garbage\": true}' "
+            "WHERE digest = (SELECT MIN(digest) FROM reliability)"
+        )
+        conn.commit()
+        conn.close()
+        report = audit_cache(tmp_path, sample=10, seed=0)
+        assert [f.check for f in report.findings] == ["cache-digest"]
+
+    def test_pre_payload_entries_are_skipped(self, tmp_path):
+        _populate(tmp_path)
+        conn = sqlite3.connect(str(tmp_path / CACHE_FILENAME))
+        conn.execute("UPDATE reliability SET problem = NULL")
+        conn.commit()
+        conn.close()
+        report = audit_cache(tmp_path, sample=10, seed=0)
+        assert report.ok
+        assert report.audited == 0
+        assert report.skipped == report.sampled == 4
+
+    def test_sampling_is_seeded(self, tmp_path):
+        _populate(tmp_path)
+        a = audit_cache(tmp_path, sample=2, seed=1)
+        b = audit_cache(tmp_path, sample=2, seed=1)
+        assert a.sampled == b.sampled == 2
+        assert a.audited == b.audited
+
+    def test_missing_cache_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            audit_cache(tmp_path / "nope")

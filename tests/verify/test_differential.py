@@ -1,0 +1,123 @@
+"""Tests for the differential/metamorphic verifier core."""
+
+import pytest
+
+from repro.reliability import exact
+from repro.verify import (
+    Finding,
+    brute_force_failure,
+    closed_form_cases,
+    verify_problem,
+)
+from repro.verify.corpus import bridge_case, example1_case, series_case
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize(
+        "case", closed_form_cases(), ids=lambda c: c.name
+    )
+    def test_matches_closed_forms(self, case):
+        assert brute_force_failure(case.problem) == pytest.approx(
+            case.expected, rel=1e-12
+        )
+
+    def test_rejects_oversized_instances(self):
+        case = series_case(p=0.1, n=20)
+        with pytest.raises(ValueError, match="brute force limited"):
+            brute_force_failure(case.problem, max_nodes=14)
+
+    def test_disconnected_is_certain_failure(self):
+        case = series_case()
+        graph = case.problem.graph.copy()
+        graph.remove_node("m1")
+        from repro.reliability import ReliabilityProblem
+
+        cut = ReliabilityProblem(graph, case.problem.sources, case.problem.sink)
+        assert brute_force_failure(cut) == 1.0
+
+
+class TestVerifyProblem:
+    @pytest.mark.parametrize(
+        "case", closed_form_cases(), ids=lambda c: c.name
+    )
+    def test_clean_engines_verify_green(self, case):
+        result = verify_problem(
+            case.problem, case=case.name, expected=case.expected,
+            mc_samples=2000,
+        )
+        assert result.ok, [f.as_dict() for f in result.findings]
+        assert result.checks_run > 0
+        # bdd/factoring/sdp apply to everything in the corpus.
+        assert {"bdd", "factoring", "sdp"} <= set(result.engines)
+
+    def test_polynomial_skipped_with_reason_on_nonuniform(self):
+        case = bridge_case(p_arm=0.1, p_tie=0.2)  # two distinct nonzero p
+        result = verify_problem(case.problem, mc_samples=0)
+        assert result.ok
+        assert "polynomial" in result.skipped
+        assert "uniform" in result.skipped["polynomial"]
+
+    def test_poisoned_engine_is_confirmed_disagreement(self, monkeypatch):
+        case = example1_case()
+        original = exact._ENGINES["sdp"]
+        monkeypatch.setitem(
+            exact._ENGINES, "sdp", lambda p: original(p) + 1e-5
+        )
+        result = verify_problem(
+            case.problem, case=case.name, expected=case.expected,
+            mc_samples=0,
+        )
+        assert not result.ok
+        checks = {f.check for f in result.confirmed_findings}
+        assert "engine-disagreement" in checks
+        assert "closed-form" in checks
+        disagreement = next(
+            f for f in result.findings if f.check == "engine-disagreement"
+        )
+        assert disagreement.delta == pytest.approx(1e-5, rel=1e-3)
+
+    def test_crashing_engine_is_a_finding_not_an_abort(self, monkeypatch):
+        def boom(problem):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(exact._ENGINES, "factoring", boom)
+        case = series_case()
+        result = verify_problem(case.problem, expected=case.expected,
+                                mc_samples=0)
+        errors = [f for f in result.findings if f.check == "engine-error"]
+        assert len(errors) == 1
+        assert "kaboom" in errors[0].detail
+        # The remaining engines still verified against the closed form.
+        assert "bdd" in result.engines
+        assert not [f for f in result.findings if f.check == "closed-form"]
+
+    def test_mc_miss_is_statistical(self, monkeypatch):
+        # Poison every exact engine identically: the engines agree with
+        # each other, the closed form is not supplied, brute force is the
+        # only exact tripwire -- and Monte-Carlo flags it statistically.
+        case = example1_case(p=0.05)
+        for name in ("bdd", "factoring", "sdp", "ie"):
+            monkeypatch.setitem(exact._ENGINES, name, lambda p: 0.9)
+        result = verify_problem(case.problem, mc_samples=4000,
+                                metamorphic=False)
+        assert not result.ok
+        mc = [f for f in result.findings if f.check == "mc-interval"]
+        assert mc and all(f.statistical for f in mc)
+        assert [f for f in result.findings if f.check == "brute-force"]
+        # Statistical findings never count as confirmed on their own.
+        assert all(
+            f.check != "mc-interval" for f in result.confirmed_findings
+        )
+
+
+class TestFindingSerialization:
+    def test_dict_roundtrip(self):
+        finding = Finding(
+            case="c", check="engine-disagreement", detail="d",
+            value=0.25, reference=0.5, statistical=False,
+        )
+        assert Finding.from_dict(finding.as_dict()) == finding
+        assert finding.delta == 0.25
+
+    def test_delta_none_without_reference(self):
+        assert Finding(case="c", check="x", detail="d").delta is None
