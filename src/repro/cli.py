@@ -19,10 +19,16 @@ Mirrors the paper's ARCHEX prototype workflow from a terminal:
     seeded fuzzing, metamorphic properties, Monte-Carlo cross-check, and
     a persistent-cache audit (see :mod:`repro.verify`). Exits nonzero on
     any confirmed disagreement.
+``archex profile --trace-out trace.json synthesize --algorithm mr``
+    Run any other subcommand under :mod:`repro.obs` tracing, print the
+    profile tree (and metrics), and optionally write a Chrome trace JSON
+    (``.json``, loadable in ``chrome://tracing`` / Perfetto) or a JSONL
+    span stream (``.jsonl``, the telemetry file format).
 
 The sweep-shaped commands (``scaling``, ``tradeoff``, ``sweep``) all route
 through the exploration engine and accept ``--jobs`` / ``--cache-dir`` /
-``--telemetry``.
+``--telemetry``. Every synthesis-shaped command also accepts ``--trace``
+/ ``--trace-out`` as a shorthand for ``profile``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import os
 import sys
 from typing import List, Optional
 
+from . import obs
 from .domains import build_comm_network_template, build_power_grid_template
 from .domains.comm_network import comm_network_requirements
 from .domains.power_grid import power_grid_requirements
@@ -49,7 +56,10 @@ from .report import (
     format_scientific,
     format_table,
     render_batch_summary,
+    render_metrics,
+    render_profile,
     render_verification_table,
+    section,
 )
 from .synthesis import (
     SynthesisSpec,
@@ -366,6 +376,61 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(tracer: obs.Tracer, path: str) -> None:
+    """Write a finished trace: ``.jsonl`` -> span events, else Chrome JSON."""
+    from .engine.telemetry import TelemetryWriter
+
+    if path.endswith(".jsonl"):
+        with TelemetryWriter(path, batch="trace") as writer:
+            obs.export_spans_jsonl(writer, tracer.spans)
+    else:
+        obs.write_chrome_trace(path, tracer.spans, metrics=obs.snapshot())
+    print(f"trace written: {path}")
+
+
+def _finish_trace(tracer: obs.Tracer, args: argparse.Namespace) -> None:
+    print(section("profile"))
+    print(render_profile(tracer.spans, limit=getattr(args, "top", None)))
+    metrics = obs.snapshot()
+    if metrics:
+        print()
+        print(render_metrics(metrics))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        _write_trace(tracer, trace_out)
+
+
+def _run_traced(args: argparse.Namespace) -> int:
+    """Run a command function under tracing, then report the profile."""
+    obs.reset_metrics()
+    with obs.tracing() as tracer:
+        code = args.func(args)
+    _finish_trace(tracer, args)
+    return code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run any other subcommand under tracing (``archex profile -- ...``)."""
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        raise SystemExit("profile: give a subcommand to run, e.g. "
+                         "`archex profile synthesize --algorithm mr`")
+    if argv[0] == "profile":
+        raise SystemExit("profile: cannot profile itself")
+    parser = build_parser()
+    inner = parser.parse_args(argv)
+    # The inner command's own --trace flags are subsumed by this wrapper.
+    inner.trace = False
+    inner.trace_out = None
+    obs.reset_metrics()
+    with obs.tracing() as tracer:
+        code = inner.func(inner)
+    _finish_trace(tracer, args)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="archex",
@@ -387,6 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="EPS generator count (0 = the paper's template)")
         p.add_argument("--save-arch", default=None, metavar="FILE",
                        help="save the synthesized architecture as JSON")
+        p.add_argument("--trace", action="store_true",
+                       help="run under repro.obs tracing and print the "
+                       "profile tree afterwards")
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the trace (.json = Chrome trace event "
+                       "format, .jsonl = telemetry span stream); implies "
+                       "--trace")
 
     def engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -457,12 +529,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_vf.add_argument("--no-eps", action="store_true",
                       help="skip the (slower) EPS case-study corpus cases")
     p_vf.set_defaults(func=cmd_verify)
+
+    p_pr = sub.add_parser(
+        "profile",
+        help="run any subcommand under tracing; print the profile tree",
+    )
+    p_pr.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="write the trace (.json = Chrome trace event "
+                      "format, .jsonl = telemetry span stream)")
+    p_pr.add_argument("--top", type=int, default=None, metavar="N",
+                      help="only print the first N rows of the profile tree")
+    p_pr.add_argument("argv", nargs=argparse.REMAINDER,
+                      help="the subcommand (and its arguments) to profile")
+    p_pr.set_defaults(func=cmd_profile)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.func is not cmd_profile and (
+        getattr(args, "trace", False) or getattr(args, "trace_out", None)
+    ):
+        return _run_traced(args)
     return args.func(args)
 
 

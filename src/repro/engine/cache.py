@@ -42,6 +42,8 @@ from typing import Any, Dict, Optional
 
 import networkx as nx
 
+from .. import obs
+
 __all__ = [
     "CacheStats",
     "ReliabilityCache",
@@ -238,12 +240,28 @@ class ReliabilityCache:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+        if obs.enabled():
+            self._publish_metrics()
         return value
 
     def store(self, problem, method: str, value: float) -> None:
         payload = problem_payload(problem, method)
         self.put(payload_digest(payload), method, value, payload=payload)
         self.stats.stores += 1
+        if obs.enabled():
+            self._publish_metrics()
+
+    def _publish_metrics(self) -> None:
+        """Mirror the hit/miss/store counters into the obs gauges.
+
+        Gauges (not counters) because several cache instances can come
+        and go within one traced run; the gauge always shows the live
+        instance's totals.
+        """
+        obs.gauge("reliability.cache.hits").set(self.stats.hits)
+        obs.gauge("reliability.cache.misses").set(self.stats.misses)
+        obs.gauge("reliability.cache.stores").set(self.stats.stores)
+        obs.gauge("reliability.cache.hit_rate").set(round(self.stats.hit_rate, 4))
 
     # -- housekeeping -----------------------------------------------------
 

@@ -30,6 +30,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .. import obs
 from ..reliability.exact import get_reliability_cache, reliability_cache
 from .cache import ReliabilityCache
 from .jobs import BatchSpec, Job, JobResult
@@ -138,11 +139,18 @@ def _worker_init(cache_dir: Optional[str]) -> None:
 
 
 def _worker_run(job: Job) -> Dict[str, Any]:
-    """Execute ``job`` and wrap timing + cache deltas around its value."""
+    """Execute ``job`` and wrap timing + cache deltas around its value.
+
+    The ``engine.job`` span only materializes when a tracer is active in
+    this process — i.e. in serial mode, or if a pool worker installs its
+    own tracer; the pool initializer deliberately does not, since worker
+    spans could not be streamed back through a pickled result anyway.
+    """
     cache = get_reliability_cache()
     before = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
     start = time.perf_counter()
-    value = execute_job(job)
+    with obs.span("engine.job", job=job.job_id, kind=job.kind):
+        value = execute_job(job)
     wall = time.perf_counter() - start
     after = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
     return {
@@ -444,6 +452,8 @@ def run_batch(
         "batch_start", name=batch.name, jobs=len(batch.jobs),
         workers=jobs, cache_dir=cache_dir,
     )
+    batch_span = obs.span("engine.batch", name=batch.name,
+                          jobs=len(batch.jobs), workers=jobs)
     try:
         results: List[JobResult] = []
         for result in iter_batch(
@@ -471,6 +481,10 @@ def run_batch(
             cache_hits=outcome.cache_hits,
             cache_misses=outcome.cache_misses,
         )
+        batch_span.set_attr("failed", outcome.num_failed)
+        batch_span.set_attr("cache_hits", outcome.cache_hits)
+        batch_span.set_attr("cache_misses", outcome.cache_misses)
         return outcome
     finally:
+        batch_span.__exit__(None, None, None)
         writer.close()

@@ -55,8 +55,16 @@ class TelemetryWriter:
             return
         record = {"ts": time.time(), "batch": self.batch_id, "event": event}
         record.update(fields)
-        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
-        self._fh.flush()
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+        except (ValueError, OSError):
+            # The handle was closed (or broke) underneath us — e.g. emit
+            # after close(), or an interpreter-shutdown race. Telemetry
+            # must never take the run down, so degrade to the same no-op
+            # contract as ``path=None`` from here on.
+            self._fh = None
 
     def close(self) -> None:
         if self._fh is not None:
@@ -94,6 +102,12 @@ def summarize_telemetry(
     summary reports job counts, failures, wall time, and cache totals —
     the numbers the acceptance comparison between a cold and a warm run
     needs.
+
+    A batch that crashed (or was killed) before its ``batch_end`` event
+    still gets a wall time — the gap between its first and last recorded
+    event timestamps, a lower bound on the truth — and is flagged with
+    ``"incomplete": True`` so consumers can tell the estimate apart from
+    a measured value.
     """
     if isinstance(source, (str, Path)):
         events: Iterable[Dict[str, Any]] = read_events(source)
@@ -101,7 +115,10 @@ def summarize_telemetry(
         events = source
 
     summaries: Dict[str, Dict[str, Any]] = {}
+    span_events = {"span_start", "span_end"}
     for event in events:
+        if event.get("event") in span_events:
+            continue  # tracer spans share the stream; not batch life cycle
         batch = event.get("batch", "?")
         summary = summaries.setdefault(
             batch,
@@ -115,8 +132,16 @@ def summarize_telemetry(
                 "wall_time": None,
                 "cache_hits": 0,
                 "cache_misses": 0,
+                "incomplete": True,
+                "_first_ts": None,
+                "_last_ts": None,
             },
         )
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if summary["_first_ts"] is None:
+                summary["_first_ts"] = ts
+            summary["_last_ts"] = ts
         kind = event.get("event")
         if kind == "batch_start":
             summary["name"] = event.get("name")
@@ -132,4 +157,11 @@ def summarize_telemetry(
             summary["wall_time"] = event.get("wall_time")
             summary["cache_hits"] = event.get("cache_hits", 0)
             summary["cache_misses"] = event.get("cache_misses", 0)
+            summary["incomplete"] = False
+
+    for summary in summaries.values():
+        first, last = summary.pop("_first_ts"), summary.pop("_last_ts")
+        if summary["incomplete"] and summary["wall_time"] is None:
+            if first is not None and last is not None:
+                summary["wall_time"] = max(0.0, last - first)
     return list(summaries.values())

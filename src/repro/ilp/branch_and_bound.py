@@ -26,10 +26,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .model import MatrixForm
 from .simplex import LPResult, LPStatus, solve_lp
 
-__all__ = ["BnBOptions", "BnBStats", "solve_milp", "MilpOutcome"]
+__all__ = ["BnBOptions", "BnBStats", "solve_milp", "MilpOutcome", "exit_gap"]
 
 _INT_TOL = 1e-6
 
@@ -99,8 +100,53 @@ class _Pseudocosts:
         return max(up_est, 1e-6) * max(down_est, 1e-6) + 1e-3 * (up_est + down_est)
 
 
+def exit_gap(outcome: MilpOutcome) -> Optional[float]:
+    """Relative optimality gap at termination.
+
+    0.0 for a proven optimum, ``(incumbent - best_bound) / |incumbent|``
+    when the search stopped on a limit with both sides finite, ``None``
+    when no meaningful gap exists (infeasible/unbounded, or no bound).
+    """
+    if outcome.status == "optimal":
+        return 0.0
+    if outcome.status != "limit" or not math.isfinite(outcome.objective):
+        return None
+    bound = outcome.stats.best_bound
+    if not math.isfinite(bound):
+        return None
+    return max(0.0, outcome.objective - bound) / max(1.0, abs(outcome.objective))
+
+
+def _record_bnb_observations(outcome: MilpOutcome) -> None:
+    """BnBStats -> process metrics + attributes on the active span."""
+    stats = outcome.stats
+    obs.counter("ilp.bnb.solves").inc()
+    obs.counter("ilp.bnb.nodes").inc(stats.nodes)
+    obs.counter("ilp.bnb.lp_iterations").inc(stats.lp_iterations)
+    obs.counter("ilp.bnb.incumbents").inc(stats.incumbent_updates)
+    obs.histogram("ilp.bnb.seconds").observe(stats.wall_time)
+    gap = exit_gap(outcome)
+    if gap is not None:
+        obs.gauge("ilp.bnb.gap_at_exit").set(gap)
+    s = obs.current_span()
+    if s is not None:
+        s.set_attr("bnb_nodes", stats.nodes)
+        s.set_attr("bnb_incumbents", stats.incumbent_updates)
+        if gap is not None:
+            s.set_attr("bnb_gap_at_exit", gap)
+
+
 def solve_milp(form: MatrixForm, options: Optional[BnBOptions] = None) -> MilpOutcome:
     """Minimize ``form.c @ x`` over the mixed-integer feasible set."""
+    outcome = _solve_milp_search(form, options)
+    if obs.enabled():
+        _record_bnb_observations(outcome)
+    return outcome
+
+
+def _solve_milp_search(
+    form: MatrixForm, options: Optional[BnBOptions] = None
+) -> MilpOutcome:
     opts = options or BnBOptions()
     start = time.perf_counter()
     stats = BnBStats()

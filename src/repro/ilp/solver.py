@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from .branch_and_bound import BnBOptions, BnBStats, MilpOutcome, solve_milp
 from .expr import LinExpr, Var
 from .model import Model
@@ -123,12 +124,19 @@ def solve(
     else:
         raise ValueError(f"unknown backend {backend!r}")
 
-    if use_presolve:
-        from .presolve import apply_presolve
+    with obs.span(
+        "ilp.solve",
+        backend=chosen,
+        variables=form.num_vars,
+        constraints=form.num_constrs,
+    ) as s:
+        if use_presolve:
+            from .presolve import apply_presolve
 
-        outcome = apply_presolve(form, run)
-    else:
-        outcome = run(form)
+            outcome = apply_presolve(form, run)
+        else:
+            outcome = run(form)
+        s.set_attr("status", outcome.status)
 
     wall = time.perf_counter() - start
     return _wrap(model, form, outcome, chosen, wall)

@@ -1,0 +1,91 @@
+"""``repro.obs`` — zero-dependency tracing & metrics for the whole stack.
+
+The observability substrate every perf-minded PR measures itself
+against. Three pieces:
+
+* **Tracing** (:mod:`repro.obs.tracer`) — a context-local
+  :class:`Tracer` of nested, attributed :class:`Span` regions. Disabled
+  by default; the module-level :func:`span` helper degrades to a shared
+  no-op, so instrumentation stays in the hot paths permanently at the
+  cost of one attribute lookup.
+* **Metrics** (:mod:`repro.obs.metrics`) — :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments in a process-global
+  registry (``metrics.counter("ilp.bnb.nodes").inc(...)``).
+* **Export** (:mod:`repro.obs.export`, :mod:`repro.obs.profile`) —
+  Chrome trace-event JSON (``chrome://tracing`` / Perfetto), JSONL span
+  events sharing :class:`repro.engine.TelemetryWriter`'s stream format,
+  and a profile-tree aggregation rendered by
+  :func:`repro.report.render_profile`.
+
+Typical use (the CLI's ``profile`` subcommand does exactly this)::
+
+    from repro import obs
+    from repro.report import render_profile
+
+    with obs.tracing() as tracer:
+        result = synthesize_ilp_mr(spec)
+    obs.write_chrome_trace("trace.json", tracer.spans)
+    print(render_profile(tracer.spans))
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    export_spans_jsonl,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+    reset_metrics,
+    snapshot,
+)
+from .profile import ProfileNode, build_profile, flatten_profile
+from .tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    enabled,
+    get_tracer,
+    set_attr,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "ProfileNode",
+    "Span",
+    "Tracer",
+    "build_profile",
+    "chrome_trace",
+    "chrome_trace_events",
+    "counter",
+    "current_span",
+    "enabled",
+    "export_spans_jsonl",
+    "flatten_profile",
+    "gauge",
+    "get_tracer",
+    "histogram",
+    "registry",
+    "reset_metrics",
+    "set_attr",
+    "set_tracer",
+    "snapshot",
+    "span",
+    "tracing",
+    "write_chrome_trace",
+]

@@ -1,0 +1,122 @@
+"""Span exporters: Chrome trace-event JSON and telemetry JSONL.
+
+Two offline formats for a finished trace:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``chrome://tracing`` and Perfetto both load it).
+  Each finished span becomes one complete ("X") event with microsecond
+  timestamps relative to the earliest span, its attributes under
+  ``args``, and thread ids remapped to small integers.
+* :func:`export_spans_jsonl` — ``span_start``/``span_end`` event pairs
+  appended through a :class:`repro.engine.TelemetryWriter`, i.e. the same
+  JSONL stream format as the batch telemetry of PR 1 (streaming export is
+  also available by constructing the :class:`repro.obs.Tracer` with a
+  writer directly; this function is the batch form for a finished trace).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .tracer import Span
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "export_spans_jsonl",
+]
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Finished spans as Chrome complete ("X") events, start-ordered."""
+    done = sorted((s for s in spans if s.finished), key=lambda s: s.start)
+    if not done:
+        return []
+    base = done[0].start
+    tids: Dict[int, int] = {}
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = []
+    for s in done:
+        tid = tids.setdefault(s.tid, len(tids) + 1)
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round((s.start - base) * 1e6, 3),
+                "dur": round(s.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": {"span_id": s.span_id, **s.attrs},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    spans: Iterable[Span], metrics: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The full Chrome trace document (``traceEvents`` + metadata)."""
+    doc: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    if metrics:
+        doc["otherData"]["metrics"] = metrics
+    return doc
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Iterable[Span],
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = chrome_trace(spans, metrics=metrics)
+    path.write_text(
+        json.dumps(doc, sort_keys=True, default=str), encoding="utf-8"
+    )
+    return path
+
+
+def export_spans_jsonl(writer, spans: Iterable[Span]) -> int:
+    """Append ``span_start``/``span_end`` pairs for finished spans.
+
+    ``writer`` is a :class:`repro.engine.TelemetryWriter` (possibly
+    pointed at an existing batch-telemetry file — the event names do not
+    collide with the batch life-cycle events). Returns the number of
+    spans exported.
+    """
+    count = 0
+    for s in sorted((s for s in spans if s.finished), key=lambda x: x.start):
+        writer.emit(
+            "span_start",
+            ts=s.ts_epoch,
+            span=s.span_id,
+            parent=s.parent_id,
+            name=s.name,
+        )
+        writer.emit(
+            "span_end",
+            ts=s.ts_epoch + s.duration,
+            span=s.span_id,
+            parent=s.parent_id,
+            name=s.name,
+            duration=round(s.duration, 9),
+            attrs={k: _jsonable(v) for k, v in s.attrs.items()},
+        )
+        count += 1
+    return count
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,179 @@
+"""Process-global metrics: counters, gauges, histograms.
+
+Instruments live in a single :class:`MetricsRegistry` keyed by name
+(dotted, e.g. ``"reliability.engine.bdd.calls"``), created on first use:
+
+    metrics.counter("ilp.bnb.nodes").inc(stats.nodes)
+    metrics.gauge("reliability.cache.hits").set(cache.stats.hits)
+    metrics.histogram("reliability.engine.bdd.seconds").observe(dt)
+
+Updates are plain attribute arithmetic — no locks on the hot path (CPython
+attribute stores are atomic enough for monotone counters; the engine's
+multi-process sweeps aggregate per-process anyway). ``snapshot()`` renders
+the whole registry as a plain dict for reports and exporters.
+
+Hot paths that must stay free even of a dict lookup gate their updates on
+:func:`repro.obs.enabled` — the convention used by the reliability cache —
+so with tracing off the instrumentation costs one attribute lookup.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (cache occupancy, gap at exit, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max/mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.setdefault(name, cls(name))
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as plain dicts, sorted by name."""
+        return {
+            name: inst.as_dict()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh profile runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+#: The process-global registry every module-level accessor resolves to.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    return _REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    _REGISTRY.reset()

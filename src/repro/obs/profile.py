@@ -1,0 +1,94 @@
+"""Aggregate finished spans into a profile tree.
+
+Spans sharing the same *name path* (root name / ... / own name) merge
+into one :class:`ProfileNode` carrying call count, cumulative time, and
+self time (cumulative minus the children's cumulative). Children are
+sorted hottest-first, so rendering the tree top-down reads like a
+profiler's hot-path view — :func:`repro.report.render_profile` does the
+ASCII rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .tracer import Span
+
+__all__ = ["ProfileNode", "build_profile", "flatten_profile"]
+
+
+@dataclass
+class ProfileNode:
+    """One aggregation bucket: every span with this name path."""
+
+    name: str
+    path: str  # "/"-joined name path from the root
+    count: int = 0
+    cum: float = 0.0  # cumulative seconds (sum of span durations)
+    children: Dict[str, "ProfileNode"] = field(default_factory=dict)
+
+    @property
+    def self_time(self) -> float:
+        """Cumulative time not accounted for by child spans."""
+        return max(0.0, self.cum - sum(c.cum for c in self.children.values()))
+
+    def sorted_children(self) -> List["ProfileNode"]:
+        return sorted(self.children.values(), key=lambda c: -c.cum)
+
+    def find(self, path: str) -> Optional["ProfileNode"]:
+        """Look a descendant up by its "/"-joined path suffix."""
+        head, _, rest = path.partition("/")
+        child = self.children.get(head)
+        if child is None:
+            return None
+        return child if not rest else child.find(rest)
+
+
+def build_profile(spans: Iterable[Span]) -> List[ProfileNode]:
+    """Aggregate finished spans into root :class:`ProfileNode` trees.
+
+    Roots (spans with no recorded parent) are returned hottest-first.
+    Spans whose parent never finished are treated as roots too, so a
+    partially captured trace still profiles.
+    """
+    done = [s for s in spans if s.finished]
+    by_id = {s.span_id: s for s in done}
+
+    roots: Dict[str, ProfileNode] = {}
+
+    def node_for(s: Span) -> ProfileNode:
+        parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+        if parent is None:
+            node = roots.get(s.name)
+            if node is None:
+                node = roots[s.name] = ProfileNode(name=s.name, path=s.name)
+            return node
+        parent_node = node_for(parent)
+        node = parent_node.children.get(s.name)
+        if node is None:
+            node = parent_node.children[s.name] = ProfileNode(
+                name=s.name, path=f"{parent_node.path}/{s.name}"
+            )
+        return node
+
+    for s in sorted(done, key=lambda s: s.start):
+        node = node_for(s)
+        node.count += 1
+        node.cum += s.duration
+
+    return sorted(roots.values(), key=lambda n: -n.cum)
+
+
+def flatten_profile(roots: Iterable[ProfileNode]) -> List[ProfileNode]:
+    """Depth-first flattening (children hottest-first), for tabulation."""
+    out: List[ProfileNode] = []
+
+    def walk(node: ProfileNode) -> None:
+        out.append(node)
+        for child in node.sorted_children():
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return out

@@ -1,0 +1,285 @@
+"""Context-local tracer with nested spans.
+
+A :class:`Span` is one timed region of the program — an ILP-MR iteration,
+a reliability analysis, a batch job — with a name, monotonic start/end
+times, typed attributes, and a parent link. Spans nest through a
+context-local stack (``contextvars``, so concurrent threads and asyncio
+tasks each see their own stack) and every finished span is collected on
+the :class:`Tracer` for export (:mod:`repro.obs.export`) and profiling
+(:mod:`repro.obs.profile`).
+
+Tracing is *off* by default. The module-level :func:`span` helper costs a
+single attribute lookup plus a ``None`` check when no tracer is installed
+— it returns a stateless no-op span — so hot paths stay instrumented
+permanently without measurable overhead:
+
+    with span("ilp_mr.iteration", index=i) as s:
+        ...
+        s.set_attr("cost", candidate.cost())
+
+Enable tracing for a region with :func:`tracing`::
+
+    with tracing() as tracer:
+        synthesize_ilp_mr(spec)
+    print(render_profile(tracer.spans))
+
+An optional :class:`repro.engine.TelemetryWriter` streams ``span_start``
+/ ``span_end`` events into the same JSONL format PR 1's batch telemetry
+uses, so one file can carry both event families.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "span",
+    "current_span",
+    "set_attr",
+    "enabled",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+class Span:
+    """One timed, attributed region; also its own context manager."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "ts_epoch",
+        "tid",
+        "attrs",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.ts_epoch = time.time()
+        self.tid = threading.get_ident()
+        self.attrs = attrs
+        self._tracer: Optional["Tracer"] = None
+        self._token = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set_attr(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._finish(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:.6f}s" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, attrs={self.attrs!r})"
+
+
+class _NoopSpan:
+    """Stateless stand-in returned when tracing is disabled.
+
+    Reentrant and shared: it records nothing, so one singleton serves
+    every call site concurrently.
+    """
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+#: Context-local stack of open spans (shared across tracers; only one
+#: tracer is active at a time).
+_STACK: ContextVar[tuple] = ContextVar("repro_obs_stack", default=())
+
+
+class Tracer:
+    """Collects spans for one traced region of the program.
+
+    ``writer`` (optional) is a :class:`repro.engine.TelemetryWriter`;
+    when given, every span emits ``span_start`` on open and ``span_end``
+    (with duration and final attributes) on close, sharing PR 1's JSONL
+    telemetry format.
+    """
+
+    def __init__(self, writer=None) -> None:
+        self.spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._writer = writer
+        self._lock = threading.Lock()
+
+    def span(self, name: str, /, **attrs: Any) -> Span:
+        parent = self.current()
+        s = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        s._tracer = self
+        s._token = _STACK.set(_STACK.get() + (s,))
+        if self._writer is not None:
+            self._writer.emit(
+                "span_start",
+                ts=s.ts_epoch,
+                span=s.span_id,
+                parent=s.parent_id,
+                name=name,
+            )
+        return s
+
+    def current(self) -> Optional[Span]:
+        stack = _STACK.get()
+        return stack[-1] if stack else None
+
+    def _finish(self, s: Span) -> None:
+        if s.end is not None:  # already finished (double __exit__)
+            return
+        s.end = time.perf_counter()
+        if s._token is not None:
+            try:
+                _STACK.reset(s._token)
+            except ValueError:  # finished from a different context
+                stack = _STACK.get()
+                if s in stack:
+                    _STACK.set(tuple(x for x in stack if x is not s))
+            s._token = None
+        with self._lock:
+            self.spans.append(s)
+        if self._writer is not None:
+            self._writer.emit(
+                "span_end",
+                ts=s.ts_epoch + s.duration,
+                span=s.span_id,
+                parent=s.parent_id,
+                name=s.name,
+                duration=round(s.duration, 9),
+                attrs={k: _jsonable(v) for k, v in s.attrs.items()},
+            )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: The installed tracer; ``None`` means tracing is disabled and every
+#: :func:`span` call returns :data:`NOOP_SPAN`.
+_ACTIVE: Optional[Tracer] = None
+
+
+def enabled() -> bool:
+    """True when a tracer is installed (spans are being recorded)."""
+    return _ACTIVE is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` (or ``None`` to disable); returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def tracing(writer=None, tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scoped tracing: install a (new) tracer, restore the previous one.
+
+    The span stack is snapshotted on entry and restored on exit, so a
+    span left open inside the region (a bug, but survivable) cannot leak
+    into later traces as a phantom parent.
+    """
+    t = tracer if tracer is not None else Tracer(writer=writer)
+    previous = set_tracer(t)
+    saved_stack = _STACK.get()
+    try:
+        yield t
+    finally:
+        _STACK.set(saved_stack)
+        set_tracer(previous)
+
+
+def span(name: str, /, **attrs: Any):
+    """Open a span on the active tracer, or a shared no-op when disabled."""
+    t = _ACTIVE
+    if t is None:
+        return NOOP_SPAN
+    return t.span(name, **attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or ``None`` (also when disabled)."""
+    t = _ACTIVE
+    if t is None:
+        return None
+    return t.current()
+
+
+def set_attr(key: str, value: Any) -> None:
+    """Attach ``key=value`` to the innermost open span, if any.
+
+    The one-liner engines use to report size attributes (BDD node count,
+    path-set count) without knowing whether anything is listening.
+    """
+    t = _ACTIVE
+    if t is None:
+        return
+    s = t.current()
+    if s is not None:
+        s.attrs[key] = value

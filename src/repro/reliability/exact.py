@@ -21,11 +21,13 @@ suite enforces that.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from .. import obs
 from .bdd import BDD
 from .events import ReliabilityProblem, problem_from_architecture
 from .factoring import failure_probability_factoring
@@ -70,6 +72,9 @@ def failure_probability_bdd(problem: ReliabilityProblem) -> float:
     order = bdd_variable_order(restricted)
     bdd = BDD(order)
     root = bdd.from_path_sets(paths)
+    if obs.enabled():  # engine-size attributes for the active span, if any
+        obs.set_attr("path_count", len(paths))
+        obs.set_attr("bdd_nodes", bdd.size(root))
     up_prob = {
         n: 1.0 - restricted.failure_prob(n) for n in restricted.graph.nodes
     }
@@ -140,13 +145,25 @@ def failure_probability(
     except KeyError:
         raise ValueError(f"unknown reliability method {method!r}") from None
     cache = _ACTIVE_CACHE
-    if cache is not None:
-        cached = cache.lookup(problem, method)
-        if cached is not None:
-            return cached
-    value = engine(problem)
-    if cache is not None:
-        cache.store(problem, method, value)
+    traced = obs.enabled()
+    with obs.span("reliability.analysis", method=method) as s:
+        if cache is not None:
+            cached = cache.lookup(problem, method)
+            if cached is not None:
+                s.set_attr("cached", True)
+                if traced:
+                    obs.counter("reliability.analysis.cache_hits").inc()
+                return cached
+        start = time.perf_counter()
+        value = engine(problem)
+        if cache is not None:
+            cache.store(problem, method, value)
+        s.set_attr("cached", False)
+        if traced:
+            obs.counter(f"reliability.analysis.{method}.calls").inc()
+            obs.histogram(f"reliability.analysis.{method}.seconds").observe(
+                time.perf_counter() - start
+            )
     return value
 
 

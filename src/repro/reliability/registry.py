@@ -19,9 +19,11 @@ monkeypatch an engine there are seen by the verifier too.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from .. import obs
 from . import exact
 from .events import ReliabilityProblem
 from .inclusion_exclusion import _MAX_PATHS
@@ -107,10 +109,30 @@ def run_engine(name: str, problem: ReliabilityProblem) -> float:
     The verifier must observe the engine's own answer, not a previously
     cached value; exact engines resolve through ``exact._ENGINES`` so a
     monkeypatched (deliberately broken) engine is exercised too.
+
+    When tracing is on, each invocation records a
+    ``reliability.engine`` span (with the restricted problem's size and
+    any engine-specific attributes like BDD node count) and bumps the
+    per-engine call-count / wall-time metrics.
     """
     info = engine_info(name)
     fn = exact._ENGINES.get(name, info.fn) if info.exact else info.fn
-    return fn(problem)
+    if not obs.enabled():
+        return fn(problem)
+    restricted = problem.restricted()
+    with obs.span(
+        "reliability.engine",
+        engine=name,
+        nodes=restricted.graph.number_of_nodes(),
+        edges=restricted.graph.number_of_edges(),
+    ) as s:
+        start = time.perf_counter()
+        value = fn(problem)
+        elapsed = time.perf_counter() - start
+        s.set_attr("value", value)
+    obs.counter(f"reliability.engine.{name}.calls").inc()
+    obs.histogram(f"reliability.engine.{name}.seconds").observe(elapsed)
+    return value
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Tuple
 
+from .. import obs
 from .events import ReliabilityProblem
 from .pathsets import minimal_path_sets
 
@@ -62,6 +63,8 @@ def _intersect_not(products: List[_Product], path: FrozenSet[str]) -> List[_Prod
 
 def connectivity_probability_sdp(problem: ReliabilityProblem) -> float:
     paths = minimal_path_sets(problem)
+    if obs.enabled():
+        obs.set_attr("path_count", len(paths))
     if not paths:
         return 0.0
     up_prob = {n: 1.0 - problem.failure_prob(n) for s in paths for n in s}

@@ -2,42 +2,26 @@
 
 The benchmarks print the same rows the paper's tables report; this module
 keeps the formatting in one place so `pytest benchmarks/ --benchmark-only`
-output is directly comparable with Tables II/III and Figs. 2/3.
+output is directly comparable with Tables II/III and Figs. 2/3. All
+renderers draw through the shared ASCII table helper in
+:mod:`repro.tables` (re-exported here for backward compatibility).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Union
+
+from .tables import format_scientific, format_table, section
 
 __all__ = [
     "format_table",
     "format_scientific",
     "render_batch_summary",
+    "render_metrics",
+    "render_profile",
     "render_verification_table",
     "section",
 ]
-
-
-def format_scientific(value: float | None, digits: int = 2) -> str:
-    """Compact scientific notation, ``n/a`` for missing values."""
-    if value is None:
-        return "n/a"
-    return f"{value:.{digits}e}"
-
-
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """Render an aligned ASCII table."""
-    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in str_rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    def fmt(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
-
-    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(row) for row in str_rows)
-    return "\n".join(lines)
 
 
 def render_batch_summary(summaries: Iterable[dict]) -> str:
@@ -45,13 +29,19 @@ def render_batch_summary(summaries: Iterable[dict]) -> str:
 
     One row per batch recorded in a telemetry stream — successive rows of
     the same sweep make the cold-versus-warm-cache comparison (wall time
-    down, hits up) directly readable.
+    down, hits up) directly readable. A batch that never reached its
+    ``batch_end`` event (crash, kill) is marked with a trailing ``*`` on
+    its wall time — the value is then the first-to-last event gap, a
+    lower bound.
     """
     rows = []
     for s in summaries:
         lookups = (s.get("cache_hits") or 0) + (s.get("cache_misses") or 0)
         hit_rate = f"{100.0 * s['cache_hits'] / lookups:.0f}%" if lookups else "-"
         wall = s.get("wall_time")
+        wall_cell = "-" if wall is None else f"{wall:.2f}"
+        if s.get("incomplete"):
+            wall_cell += "*"
         rows.append(
             (
                 s.get("name") or s.get("batch", "?"),
@@ -59,7 +49,7 @@ def render_batch_summary(summaries: Iterable[dict]) -> str:
                 s.get("ok", s.get("jobs", 0)),
                 s.get("failed", 0),
                 s.get("retries", 0),
-                "-" if wall is None else f"{wall:.2f}",
+                wall_cell,
                 s.get("cache_hits", 0),
                 s.get("cache_misses", 0),
                 hit_rate,
@@ -106,7 +96,64 @@ def render_verification_table(findings: Iterable[dict]) -> str:
     )
 
 
-def section(title: str) -> str:
-    """A titled separator for benchmark console output."""
-    bar = "=" * max(len(title), 8)
-    return f"\n{bar}\n{title}\n{bar}"
+def render_profile(
+    spans_or_roots: Union[Iterable, List],
+    limit: Optional[int] = None,
+) -> str:
+    """ASCII profile tree of a finished trace.
+
+    Accepts either a list of :class:`repro.obs.Span` (e.g.
+    ``tracer.spans``) or prebuilt :class:`repro.obs.ProfileNode` roots.
+    One row per distinct span path — call count, cumulative and self
+    seconds, and the share of the trace's total — with children indented
+    beneath their parent, hottest first. ``limit`` truncates to the
+    first N rows of the (already hot-path-sorted) tree walk.
+    """
+    from .obs.profile import ProfileNode, build_profile, flatten_profile
+
+    items = list(spans_or_roots)
+    if items and not isinstance(items[0], ProfileNode):
+        roots = build_profile(items)
+    else:
+        roots = items
+    nodes = flatten_profile(roots)
+    total = sum(r.cum for r in roots) or 1.0
+    if limit is not None:
+        nodes = nodes[:limit]
+    rows = []
+    for node in nodes:
+        depth = node.path.count("/")
+        rows.append(
+            (
+                "  " * depth + node.name,
+                node.count,
+                f"{node.cum:.4f}",
+                f"{node.self_time:.4f}",
+                f"{100.0 * node.cum / total:.1f}%",
+            )
+        )
+    return format_table(["span", "calls", "cum (s)", "self (s)", "% total"], rows)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Render a :func:`repro.obs.snapshot` metrics dump as a table.
+
+    Counters and gauges print their value; histograms print
+    ``count / mean / min / max``.
+    """
+    rows = []
+    for name, data in sorted(snapshot.items()):
+        kind = data.get("kind", "?")
+        if kind == "histogram":
+            value = (
+                f"n={data['count']} mean={data['mean']:.4g}"
+                + (
+                    f" min={data['min']:.4g} max={data['max']:.4g}"
+                    if data.get("min") is not None
+                    else ""
+                )
+            )
+        else:
+            value = f"{data.get('value')}"
+        rows.append((name, kind, value))
+    return format_table(["metric", "kind", "value"], rows)

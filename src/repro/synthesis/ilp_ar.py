@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set
 
 import networkx as nx
 
+from .. import obs
 from ..arch import ArchitectureTemplate
 from ..ilp import count_indicators, lin_sum
 from ..reliability import approximate_failure, worst_case_failure
@@ -143,43 +144,65 @@ def synthesize_ilp_ar(
     result carries both the algebra's ``r~`` and the exactly computed ``r``
     of the synthesized architecture.
     """
-    setup_start = time.perf_counter()
-    enc = spec.build_encoder()
-    encode_reliability_ar(enc, spec, walk_budget=walk_budget)
-    setup_time = time.perf_counter() - setup_start
+    with obs.span("ilp_ar", backend=backend) as run_span:
+        with obs.span("ilp_ar.encode") as encode_span:
+            setup_start = time.perf_counter()
+            enc = spec.build_encoder()
+            indicators = encode_reliability_ar(enc, spec, walk_budget=walk_budget)
+            setup_time = time.perf_counter() - setup_start
+            # The eager encoding's size is the story of Table II: how many
+            # x_ijk indicator binaries eqs. 9-11 introduced.
+            encode_span.set_attr(
+                "x_ijk",
+                sum(
+                    len(xs)
+                    for per_type in indicators.values()
+                    for xs in per_type.values()
+                ),
+            )
+            encode_span.set_attr("sinks", len(indicators))
 
-    result = SynthesisResult(
-        status="limit",
-        architecture=None,
-        cost=float("inf"),
-        reliability=None,
-        algorithm="ILP-AR",
-        setup_time=setup_time,
-        model_stats=enc.model.stats(),
-    )
-
-    solve_start = time.perf_counter()
-    solved = enc.solve(
-        backend=backend, time_limit=time_limit, mip_rel_gap=mip_rel_gap
-    )
-    result.solver_time = time.perf_counter() - solve_start
-
-    if not solved.is_optimal:
-        result.status = solved.status
-        return result
-
-    arch = enc.decode(solved)
-    result.architecture = arch
-    result.cost = arch.cost()
-    result.status = "optimal"
-
-    if verify:
-        analysis_start = time.perf_counter()
-        r, _ = worst_case_failure(arch, spec.sinks(), method=rel_method)
-        approx = max(
-            approximate_failure(arch, s).r_tilde for s in spec.sinks()
+        result = SynthesisResult(
+            status="limit",
+            architecture=None,
+            cost=float("inf"),
+            reliability=None,
+            algorithm="ILP-AR",
+            setup_time=setup_time,
+            model_stats=enc.model.stats(),
         )
-        result.analysis_time = time.perf_counter() - analysis_start
-        result.reliability = r
-        result.approx_reliability = approx
-    return result
+        run_span.set_attr("variables", result.model_stats.get("variables"))
+        run_span.set_attr("constraints", result.model_stats.get("constraints"))
+
+        with obs.span("ilp_ar.solve"):
+            solve_start = time.perf_counter()
+            solved = enc.solve(
+                backend=backend, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+            )
+            result.solver_time = time.perf_counter() - solve_start
+
+        if not solved.is_optimal:
+            result.status = solved.status
+            run_span.set_attr("status", result.status)
+            return result
+
+        arch = enc.decode(solved)
+        result.architecture = arch
+        result.cost = arch.cost()
+        result.status = "optimal"
+        run_span.set_attr("status", "optimal")
+        run_span.set_attr("cost", result.cost)
+
+        if verify:
+            with obs.span("ilp_ar.analysis") as verify_span:
+                analysis_start = time.perf_counter()
+                r, _ = worst_case_failure(arch, spec.sinks(), method=rel_method)
+                approx = max(
+                    approximate_failure(arch, s).r_tilde for s in spec.sinks()
+                )
+                result.analysis_time = time.perf_counter() - analysis_start
+                result.reliability = r
+                result.approx_reliability = approx
+                verify_span.set_attr("reliability", r)
+                verify_span.set_attr("approx_reliability", approx)
+        return result

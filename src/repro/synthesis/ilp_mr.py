@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from .. import obs
 from ..reliability import worst_case_failure
 from .learncons import learn_constraints
 from .result import IterationRecord, SynthesisResult
@@ -51,64 +52,96 @@ def synthesize_ilp_mr(
         raise ValueError("ILP-MR needs spec.reliability_target (r*)")
     r_star = spec.reliability_target
 
-    setup_start = time.perf_counter()
-    enc = spec.build_encoder()
-    setup_time = time.perf_counter() - setup_start
+    with obs.span(
+        "ilp_mr", strategy=strategy, backend=backend, rel_method=rel_method
+    ) as run_span:
+        with obs.span("ilp_mr.setup"):
+            setup_start = time.perf_counter()
+            enc = spec.build_encoder()
+            setup_time = time.perf_counter() - setup_start
 
-    result = SynthesisResult(
-        status="limit",
-        architecture=None,
-        cost=float("inf"),
-        reliability=None,
-        algorithm=f"ILP-MR[{strategy}]",
-        setup_time=setup_time,
-    )
-
-    for iteration in range(1, max_iterations + 1):
-        solve_start = time.perf_counter()
-        solved = enc.solve(
-            backend=backend, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+        result = SynthesisResult(
+            status="limit",
+            architecture=None,
+            cost=float("inf"),
+            reliability=None,
+            algorithm=f"ILP-MR[{strategy}]",
+            setup_time=setup_time,
         )
-        solver_time = time.perf_counter() - solve_start
-        result.solver_time += solver_time
 
-        if not solved.is_optimal:
-            result.status = "infeasible" if solved.status == "infeasible" else solved.status
-            result.model_stats = enc.model.stats()
-            return result
+        for iteration in range(1, max_iterations + 1):
+            with obs.span("ilp_mr.iteration", index=iteration) as it_span:
+                with obs.span("ilp_mr.solve"):
+                    solve_start = time.perf_counter()
+                    solved = enc.solve(
+                        backend=backend, time_limit=time_limit,
+                        mip_rel_gap=mip_rel_gap,
+                    )
+                    solver_time = time.perf_counter() - solve_start
+                result.solver_time += solver_time
 
-        arch = enc.decode(solved)
-        analysis_start = time.perf_counter()
-        r, worst_sink = worst_case_failure(arch, spec.sinks(), method=rel_method)
-        analysis_time = time.perf_counter() - analysis_start
-        result.analysis_time += analysis_time
+                if not solved.is_optimal:
+                    result.status = (
+                        "infeasible" if solved.status == "infeasible"
+                        else solved.status
+                    )
+                    result.model_stats = enc.model.stats()
+                    it_span.set_attr("status", result.status)
+                    run_span.set_attr("iterations", iteration)
+                    return result
 
-        record = IterationRecord(
-            index=iteration,
-            architecture=arch,
-            cost=arch.cost(),
-            reliability=r,
-            worst_sink=worst_sink,
-            solver_time=solver_time,
-            analysis_time=analysis_time,
-        )
-        result.iterations.append(record)
+                arch = enc.decode(solved)
+                with obs.span("ilp_mr.analysis"):
+                    analysis_start = time.perf_counter()
+                    r, worst_sink = worst_case_failure(
+                        arch, spec.sinks(), method=rel_method
+                    )
+                    analysis_time = time.perf_counter() - analysis_start
+                result.analysis_time += analysis_time
 
-        if r <= r_star:
-            result.status = "optimal"
-            result.architecture = arch
-            result.cost = arch.cost()
-            result.reliability = r
-            result.model_stats = enc.model.stats()
-            return result
+                record = IterationRecord(
+                    index=iteration,
+                    architecture=arch,
+                    cost=arch.cost(),
+                    reliability=r,
+                    worst_sink=worst_sink,
+                    solver_time=solver_time,
+                    analysis_time=analysis_time,
+                )
+                result.iterations.append(record)
+                it_span.set_attr("cost", record.cost)
+                it_span.set_attr("reliability", r)
+                it_span.set_attr("worst_sink", worst_sink)
 
-        outcome = learn_constraints(enc, spec, arch, r, r_star, strategy=strategy)
-        record.learned_constraints = outcome.added_constraints
-        record.estimated_k = outcome.estimated_k
-        if outcome.saturated:
-            result.status = "infeasible"
-            result.model_stats = enc.model.stats()
-            return result
+                if r <= r_star:
+                    result.status = "optimal"
+                    result.architecture = arch
+                    result.cost = arch.cost()
+                    result.reliability = r
+                    result.model_stats = enc.model.stats()
+                    run_span.set_attr("iterations", iteration)
+                    run_span.set_attr("status", "optimal")
+                    run_span.set_attr("cost", result.cost)
+                    return result
 
-    result.model_stats = enc.model.stats()
-    return result
+                with obs.span("ilp_mr.learncons"):
+                    outcome = learn_constraints(
+                        enc, spec, arch, r, r_star, strategy=strategy
+                    )
+                record.learned_constraints = outcome.added_constraints
+                record.estimated_k = outcome.estimated_k
+                it_span.set_attr(
+                    "learned_constraints", outcome.added_constraints
+                )
+                it_span.set_attr("estimated_k", outcome.estimated_k)
+                if outcome.saturated:
+                    result.status = "infeasible"
+                    result.model_stats = enc.model.stats()
+                    run_span.set_attr("iterations", iteration)
+                    run_span.set_attr("status", "infeasible")
+                    return result
+
+        result.model_stats = enc.model.stats()
+        run_span.set_attr("iterations", max_iterations)
+        run_span.set_attr("status", result.status)
+        return result

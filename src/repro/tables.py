@@ -1,0 +1,42 @@
+"""Shared ASCII table drawing.
+
+Factored out of :mod:`repro.report` so every renderer — batch summaries,
+verification findings, profile trees, metrics — draws through one
+implementation instead of each growing its own alignment logic.
+:mod:`repro.report` re-exports these names for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_scientific", "section"]
+
+
+def format_scientific(value: float | None, digits: int = 2) -> str:
+    """Compact scientific notation, ``n/a`` for missing values."""
+    if value is None:
+        return "n/a"
+    return f"{value:.{digits}e}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def section(title: str) -> str:
+    """A titled separator for benchmark console output."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"

@@ -41,6 +41,29 @@ class TestTelemetryWriter:
         path.write_text(json.dumps({"event": "x", "batch": "b"}) + "\n{\"trunc")
         assert [e["event"] for e in read_events(path)] == ["x"]
 
+    def test_emit_after_close_degrades_to_noop(self, tmp_path):
+        # Regression: emit() used to hit "I/O operation on closed file".
+        path = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(path, batch="unit")
+        writer.emit("batch_start", name="unit")
+        writer.close()
+        writer.emit("after_close", x=1)  # must not raise
+        assert not writer.enabled
+        assert [e["event"] for e in read_events(path)] == ["batch_start"]
+
+    def test_emit_on_externally_closed_handle_degrades(self, tmp_path):
+        # A handle closed underneath the writer (not via close()) must
+        # also degrade to the path=None no-op contract, permanently.
+        path = tmp_path / "t.jsonl"
+        writer = TelemetryWriter(path, batch="unit")
+        writer.emit("one")
+        writer._fh.close()
+        writer.emit("two")  # must not raise; drops the broken handle
+        assert not writer.enabled
+        writer.emit("three")  # still a no-op
+        writer.close()
+        assert [e["event"] for e in read_events(path)] == ["one"]
+
 
 class TestBatchTelemetry:
     def test_run_batch_emits_lifecycle(self, tmp_path):
@@ -77,3 +100,46 @@ class TestBatchTelemetry:
         assert "requirement-sweep" in text
         assert "wall (s)" in text
         assert "hit rate" in text
+
+    def test_completed_batch_not_flagged_incomplete(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_batch(small_batch(), telemetry=str(path))
+        (summary,) = summarize_telemetry(path)
+        assert summary["incomplete"] is False
+
+
+class TestCrashedBatch:
+    def events(self, ts0=1000.0):
+        return [
+            {"ts": ts0, "batch": "b-1", "event": "batch_start",
+             "name": "crashy", "jobs": 3},
+            {"ts": ts0 + 1.0, "batch": "b-1", "event": "job_start", "job": "j1"},
+            {"ts": ts0 + 4.5, "batch": "b-1", "event": "job_end", "job": "j1",
+             "ok": True},
+            # ... crash: no batch_end ever recorded.
+        ]
+
+    def test_wall_time_falls_back_to_event_span(self):
+        (summary,) = summarize_telemetry(self.events())
+        assert summary["incomplete"] is True
+        assert summary["wall_time"] == 4.5  # last_ts - first_ts
+        assert summary["jobs"] == 3 and summary["ok"] == 1
+
+    def test_render_marks_incomplete_wall_time(self):
+        text = render_batch_summary(summarize_telemetry(self.events()))
+        assert "4.50*" in text
+
+    def test_single_event_batch_gets_zero_wall_time(self):
+        (summary,) = summarize_telemetry(self.events()[:1])
+        assert summary["incomplete"] is True
+        assert summary["wall_time"] == 0.0
+
+    def test_span_events_do_not_pollute_summaries(self):
+        events = self.events() + [
+            {"ts": 2000.0, "batch": "trace-1", "event": "span_start",
+             "span": 1, "name": "ilp_mr"},
+            {"ts": 2900.0, "batch": "trace-1", "event": "span_end",
+             "span": 1, "name": "ilp_mr", "duration": 900.0},
+        ]
+        summaries = summarize_telemetry(events)
+        assert [s["batch"] for s in summaries] == ["b-1"]

@@ -1,0 +1,230 @@
+"""The stack under tracing: synthesis, reliability, solver, engine, cache.
+
+These tests pin the acceptance criteria of the observability PR: span
+names are stable API (the CLI profile tree and the TUTORIAL reference
+them), per-iteration spans exist, and span cumulative times reconcile
+with the coarse aggregates ``SynthesisResult`` already reported.
+"""
+
+import pytest
+
+from repro import obs
+from repro.arch import ArchitectureTemplate, ComponentSpec, Library, Role
+from repro.engine import ReliabilityCache, run_batch
+from repro.engine.jobs import requirement_sweep
+from repro.reliability import (
+    failure_probability,
+    problem_from_architecture,
+    reliability_cache,
+)
+from repro.reliability.registry import run_engine
+from repro.synthesis import (
+    IfFeedsThenFed,
+    RequireIncomingEdge,
+    SynthesisSpec,
+    synthesize_ilp_ar,
+    synthesize_ilp_mr,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+def make_template(n_per_layer=3, p=1e-2):
+    lib = Library(switch_cost=1.0)
+    for i in range(n_per_layer):
+        lib.add(ComponentSpec(f"G{i}", "gen", cost=50, capacity=100,
+                              failure_prob=p, role=Role.SOURCE))
+        lib.add(ComponentSpec(f"B{i}", "bus", cost=20, failure_prob=p))
+    lib.add(ComponentSpec("L0", "load", demand=10, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    names = [f"G{i}" for i in range(n_per_layer)] + [
+        f"B{i}" for i in range(n_per_layer)
+    ] + ["L0"]
+    t = ArchitectureTemplate(lib, names)
+    for i in range(n_per_layer):
+        for j in range(n_per_layer):
+            t.allow_edge(f"G{i}", f"B{j}")
+        t.allow_edge(f"B{i}", "L0")
+    return t
+
+
+def make_spec(t, r_star):
+    gens = [n for n in (s.name for s in t.library) if n.startswith("G")]
+    buses = [n for n in (s.name for s in t.library) if n.startswith("B")]
+    return SynthesisSpec(
+        template=t,
+        requirements=[
+            RequireIncomingEdge(nodes=["L0"], k=1),
+            IfFeedsThenFed(via=buses, downstream=["L0"], upstream=gens),
+        ],
+        reliability_target=r_star,
+    )
+
+
+class TestIlpMrSpans:
+    def test_one_iteration_span_per_iteration(self):
+        with obs.tracing() as tracer:
+            res = synthesize_ilp_mr(
+                make_spec(make_template(3), 1e-4), backend="scipy"
+            )
+        assert res.feasible and res.num_iterations >= 2
+        iters = [s for s in tracer.spans if s.name == "ilp_mr.iteration"]
+        assert len(iters) == res.num_iterations
+        assert sorted(s.attrs["index"] for s in iters) == list(
+            range(1, res.num_iterations + 1)
+        )
+        # Every iteration carries its candidate's cost and reliability.
+        assert all("cost" in s.attrs and "reliability" in s.attrs for s in iters)
+
+    def test_span_times_reconcile_with_result_aggregates(self):
+        with obs.tracing() as tracer:
+            res = synthesize_ilp_mr(
+                make_spec(make_template(3), 1e-4), backend="scipy"
+            )
+        roots = obs.build_profile(tracer.spans)
+        root = next(r for r in roots if r.name == "ilp_mr")
+        solve = root.find("ilp_mr.iteration/ilp_mr.solve")
+        analysis = root.find("ilp_mr.iteration/ilp_mr.analysis")
+        assert solve.count == res.num_iterations
+        assert analysis.count == res.num_iterations
+        # Acceptance: within 5% of the result's own aggregates.
+        assert solve.cum == pytest.approx(res.solver_time, rel=0.05)
+        assert analysis.cum == pytest.approx(res.analysis_time, rel=0.05)
+
+    def test_learncons_spans_on_all_but_last_iteration(self):
+        with obs.tracing() as tracer:
+            res = synthesize_ilp_mr(
+                make_spec(make_template(3), 1e-4), backend="scipy"
+            )
+        learns = [s for s in tracer.spans if s.name == "ilp_mr.learncons"]
+        assert len(learns) == res.num_iterations - 1
+
+    def test_untraced_run_identical(self):
+        spec = make_spec(make_template(3), 1e-4)
+        with obs.tracing():
+            traced = synthesize_ilp_mr(spec, backend="scipy")
+        plain = synthesize_ilp_mr(make_spec(make_template(3), 1e-4),
+                                  backend="scipy")
+        assert traced.cost == plain.cost
+        assert traced.reliability == plain.reliability
+        assert traced.num_iterations == plain.num_iterations
+
+
+class TestIlpArSpans:
+    def test_encode_solve_analysis_phases(self):
+        with obs.tracing() as tracer:
+            res = synthesize_ilp_ar(
+                make_spec(make_template(3), 1e-3), backend="scipy"
+            )
+        assert res.feasible
+        names = {s.name for s in tracer.spans}
+        assert {"ilp_ar", "ilp_ar.encode", "ilp_ar.solve",
+                "ilp_ar.analysis"} <= names
+        encode = next(s for s in tracer.spans if s.name == "ilp_ar.encode")
+        # Eq. 9-11 indicator count is reported on the encode span.
+        assert encode.attrs["x_ijk"] > 0
+        assert encode.attrs["sinks"] == 1
+
+
+class TestReliabilitySpans:
+    def test_run_engine_span_and_metrics(self):
+        arch = synthesize_ilp_mr(
+            make_spec(make_template(2), 1e-3), backend="scipy"
+        ).architecture
+        problem = problem_from_architecture(arch, "L0")
+        with obs.tracing() as tracer:
+            value = run_engine("bdd", problem)
+        (s,) = [x for x in tracer.spans if x.name == "reliability.engine"]
+        assert s.attrs["engine"] == "bdd"
+        assert s.attrs["nodes"] > 0 and s.attrs["edges"] > 0
+        assert s.attrs["value"] == value
+        # BDD engine reports its compiled size on the span.
+        assert s.attrs["bdd_nodes"] > 0 and s.attrs["path_count"] > 0
+        snap = obs.snapshot()
+        assert snap["reliability.engine.bdd.calls"]["value"] == 1
+        assert snap["reliability.engine.bdd.seconds"]["count"] == 1
+
+    def test_sdp_reports_path_count(self):
+        arch = synthesize_ilp_mr(
+            make_spec(make_template(2), 1e-3), backend="scipy"
+        ).architecture
+        problem = problem_from_architecture(arch, "L0")
+        with obs.tracing() as tracer:
+            run_engine("sdp", problem)
+        (s,) = [x for x in tracer.spans if x.name == "reliability.engine"]
+        assert s.attrs["path_count"] > 0
+
+    def test_analysis_span_marks_cache_hits(self):
+        arch = synthesize_ilp_mr(
+            make_spec(make_template(2), 1e-3), backend="scipy"
+        ).architecture
+        with reliability_cache(ReliabilityCache(None)):
+            with obs.tracing() as tracer:
+                failure_probability(arch, sink="L0")
+                failure_probability(arch, sink="L0")
+        spans = [s for s in tracer.spans if s.name == "reliability.analysis"]
+        assert [s.attrs["cached"] for s in spans] == [False, True]
+
+    def test_cache_counters_surface_as_gauges(self):
+        arch = synthesize_ilp_mr(
+            make_spec(make_template(2), 1e-3), backend="scipy"
+        ).architecture
+        with reliability_cache(ReliabilityCache(None)):
+            with obs.tracing():
+                failure_probability(arch, sink="L0")
+                failure_probability(arch, sink="L0")
+        snap = obs.snapshot()
+        assert snap["reliability.cache.hits"]["value"] == 1
+        assert snap["reliability.cache.misses"]["value"] == 1
+        assert snap["reliability.cache.stores"]["value"] == 1
+        assert snap["reliability.cache.hit_rate"]["value"] == 0.5
+        # Per-method analysis counters: one computed call, one cache hit.
+        assert snap["reliability.analysis.bdd.calls"]["value"] == 1
+        assert snap["reliability.analysis.cache_hits"]["value"] == 1
+        assert snap["reliability.analysis.bdd.seconds"]["count"] == 1
+
+
+class TestBnBMetrics:
+    def test_bnb_stats_reach_metrics_and_span(self):
+        with obs.tracing() as tracer:
+            res = synthesize_ilp_mr(
+                make_spec(make_template(2), 1e-3), backend="bnb"
+            )
+        assert res.feasible
+        snap = obs.snapshot()
+        assert snap["ilp.bnb.solves"]["value"] >= 1
+        assert snap["ilp.bnb.nodes"]["value"] >= 1
+        assert snap["ilp.bnb.incumbents"]["value"] >= 1
+        assert snap["ilp.bnb.seconds"]["count"] == snap["ilp.bnb.solves"]["value"]
+        assert snap["ilp.bnb.gap_at_exit"]["value"] == pytest.approx(0.0)
+        solve_spans = [s for s in tracer.spans if s.name == "ilp.solve"]
+        assert solve_spans
+        assert all(s.attrs["backend"] == "bnb" for s in solve_spans)
+        assert any(s.attrs.get("bnb_nodes", 0) >= 1 for s in solve_spans)
+
+
+class TestEngineSpans:
+    def test_batch_and_job_spans_in_serial_mode(self):
+        spec = make_spec(make_template(3), None)
+        batch = requirement_sweep(
+            spec, [1e-2, 1e-3], algorithm="mr", backend="scipy"
+        )
+        with obs.tracing() as tracer:
+            outcome = run_batch(batch, jobs=1)
+        assert outcome.num_failed == 0
+        batch_spans = [s for s in tracer.spans if s.name == "engine.batch"]
+        job_spans = [s for s in tracer.spans if s.name == "engine.job"]
+        assert len(batch_spans) == 1
+        assert batch_spans[0].attrs["jobs"] == 2
+        assert batch_spans[0].attrs["failed"] == 0
+        assert len(job_spans) == 2
+        # Jobs nest under the batch; synthesis spans nest under jobs.
+        assert all(s.parent_id == batch_spans[0].span_id for s in job_spans)
+        mr_roots = [s for s in tracer.spans if s.name == "ilp_mr"]
+        job_ids = {s.span_id for s in job_spans}
+        assert all(s.parent_id in job_ids for s in mr_roots)

@@ -1,0 +1,70 @@
+"""Metrics registry: instruments, get-or-create, snapshot, reset."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = obs.counter("x.calls")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert obs.counter("x.calls") is c  # get-or-create
+
+    def test_gauge(self):
+        g = obs.gauge("x.level")
+        assert g.value is None
+        g.set(2.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram(self):
+        h = obs.histogram("x.seconds")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram_snapshot_has_no_min_max(self):
+        obs.histogram("empty")
+        snap = obs.snapshot()["empty"]
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_kind_collision_rejected(self):
+        obs.counter("same.name")
+        with pytest.raises(TypeError):
+            obs.gauge("same.name")
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_order(self):
+        obs.counter("b").inc()
+        obs.gauge("a").set(7)
+        snap = obs.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["a"] == {"kind": "gauge", "value": 7}
+        assert snap["b"] == {"kind": "counter", "value": 1}
+
+    def test_reset_clears(self):
+        obs.counter("x").inc()
+        obs.reset_metrics()
+        assert obs.snapshot() == {}
+
+    def test_independent_registries(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        assert "x" not in obs.snapshot()
+        assert len(r) == 1

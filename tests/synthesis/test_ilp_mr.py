@@ -148,3 +148,42 @@ class TestIlpMrLoop:
         res = synthesize_ilp_mr(make_spec(t, r_star=0.5), backend="scipy")
         text = res.summary()
         assert "ILP-MR" in text and "iter 1" in text
+
+
+class TestIterationTiming:
+    """IterationRecord timing fields reconcile with the result aggregates."""
+
+    def test_per_iteration_times_positive_and_sum_to_aggregates(self):
+        t = make_template(3, p=1e-2)
+        res = synthesize_ilp_mr(make_spec(t, r_star=1e-4), backend="scipy")
+        assert res.feasible and res.num_iterations >= 2
+        for record in res.iterations:
+            assert record.solver_time > 0.0
+            assert record.analysis_time > 0.0
+        assert sum(r.solver_time for r in res.iterations) == pytest.approx(
+            res.solver_time
+        )
+        assert sum(r.analysis_time for r in res.iterations) == pytest.approx(
+            res.analysis_time
+        )
+        # setup + per-iteration solver/analysis account for total_time.
+        accounted = res.setup_time + res.solver_time + res.analysis_time
+        assert accounted == pytest.approx(res.total_time)
+
+    def test_eps_paper_template_iteration_timing(self):
+        from repro.eps import eps_requirements, paper_template
+        from repro.synthesis import SynthesisSpec
+
+        template = paper_template()
+        spec = SynthesisSpec(
+            template=template,
+            requirements=eps_requirements(template),
+            reliability_target=2e-4,
+        )
+        res = synthesize_ilp_mr(spec, backend="scipy")
+        assert res.feasible
+        assert all(r.solver_time > 0 and r.analysis_time > 0
+                   for r in res.iterations)
+        assert res.setup_time + sum(
+            r.solver_time + r.analysis_time for r in res.iterations
+        ) == pytest.approx(res.total_time)

@@ -114,6 +114,67 @@ class TestCliScaling:
         assert "10 (2)" in out
 
 
+class TestCliProfile:
+    ARGS = ["synthesize", "--domain", "comm-net", "--algorithm", "mr",
+            "--target", "1e-3", "--backend", "scipy"]
+
+    def test_trace_flag_prints_profile(self, capsys):
+        code = main(self.ARGS + ["--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile" in out
+        assert "ilp_mr" in out and "ilp_mr.solve" in out
+        assert "% total" in out
+        # Metrics table rides along (analysis call counters at minimum).
+        assert "reliability.analysis.bdd.calls" in out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        code = main(self.ARGS + ["--trace-out", str(trace)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "ilp_mr" in names and "ilp_mr.iteration" in names
+        assert doc["otherData"]["metrics"]
+
+    def test_profile_subcommand_wraps_inner_command(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        code = main(["profile", "--trace-out", str(trace), "--top", "5",
+                     "--"] + self.ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile" in out and "ilp_mr" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_profile_jsonl_trace_out(self, tmp_path, capsys):
+        from repro.engine import read_events
+
+        trace = tmp_path / "spans.jsonl"
+        code = main(["profile", "--trace-out", str(trace)] + self.ARGS)
+        assert code == 0
+        events = read_events(trace)
+        assert {e["event"] for e in events} == {"span_start", "span_end"}
+
+    def test_profile_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+    def test_profile_cannot_nest(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "profile", "synthesize"])
+
+    def test_tracing_disabled_after_run(self, capsys):
+        from repro import obs
+
+        assert main(self.ARGS + ["--trace"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro_help(self):
         import subprocess
