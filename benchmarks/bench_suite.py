@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Standalone entry point for the ILP benchmark suite.
+
+Thin wrapper over :func:`repro.bench.run_bench` so the suite can run
+without pytest (CI calls it directly, developers via ``repro bench``):
+
+    PYTHONPATH=src python benchmarks/bench_suite.py --profile smoke
+    PYTHONPATH=src python benchmarks/bench_suite.py --profile full
+
+Writes ``BENCH_ilp.json`` (schema ``repro.bench/ilp/v1``) at the repo root
+by default and exits nonzero if the document fails its own schema check or
+any warm/cold arm disagreed on the optimal cost — the bench doubles as a
+correctness gate for the warm-start machinery.
+
+``REPRO_BENCH_PROFILE`` overrides the default profile (CLI flag wins).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap first)
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(a.startswith("--profile") for a in argv):
+        profile = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+        argv = ["--profile", profile, *argv]
+    sys.exit(main(["bench", *argv]))

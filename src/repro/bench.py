@@ -1,0 +1,350 @@
+"""Reproducible ILP benchmark suite — the numbers behind ``BENCH_ilp.json``.
+
+Three families of rows, all measured in one process so warm and cold arms
+see identical code and inputs:
+
+``ilp_mr``
+    Table II learncons instances run end-to-end twice: ``warm=True``
+    (incremental export + dual-simplex reseeding + incumbent seeding) and
+    ``warm=False`` (the original re-encode-and-cold-start behavior). The
+    row records both wall times, the speedup, both optimal costs, and the
+    warm arm's branch-and-bound counters (nodes, LP iterations, warm-start
+    hit rate) taken from the :mod:`repro.obs` metrics registry.
+
+``lp_scaling``
+    Synthetic set-cover 0-1 ILPs of growing size solved cold by both
+    backends — the data that calibrates :class:`repro.ilp.solver.AutoTuning`.
+
+``warm_lp``
+    A single LP re-solve after tightening one variable bound: cold
+    iterations versus dual-simplex pivots from the carried basis. This is
+    the per-node saving branch-and-bound compounds.
+
+Run via ``repro bench`` or ``benchmarks/bench_suite.py``; validate a
+produced document with :func:`validate_bench_document` (CI does).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from . import obs
+from .eps import build_eps_template, eps_spec
+from .ilp import BnBOptions, Model, lin_sum
+from .ilp.branch_and_bound import solve_milp
+from .ilp.scipy_backend import scipy_milp_available, solve_with_scipy
+from .ilp.simplex import solve_lp
+from .synthesis import synthesize_ilp_mr
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "validate_bench_document", "PROFILES"]
+
+BENCH_SCHEMA = "repro.bench/ilp/v1"
+
+#: (num_generators, reliability_target) per profile for the ILP-MR rows
+#: solved with the from-scratch backend. Small targets multiply learncons
+#: iterations; the cold arm re-solves everything from scratch, so sizes are
+#: chosen to keep the *cold* baseline tractable.
+PROFILES: Dict[str, Dict[str, list]] = {
+    "smoke": {
+        "ilp_mr_bnb": [(2, 1e-3)],
+        "ilp_mr_scipy": [(4, 1e-4)],
+        "lp_scaling": [(40, 60)],
+        "warm_lp": [2],
+    },
+    "full": {
+        "ilp_mr_bnb": [(2, 1e-3), (2, 5e-4)],
+        "ilp_mr_scipy": [(4, 1e-4), (6, 1e-4)],
+        "lp_scaling": [(40, 60), (80, 120), (120, 200)],
+        "warm_lp": [2, 4],
+    },
+}
+
+_COUNTER_KEYS = (
+    "ilp.bnb.nodes",
+    "ilp.bnb.lp_iterations",
+    "ilp.bnb.warm_lp_solves",
+    "ilp.bnb.cold_lp_solves",
+    "ilp.simplex.solves",
+    "ilp.simplex.warm_starts",
+    "ilp.simplex.phase1_skips",
+    "ilp.simplex.refactorizations",
+    "ilp.simplex.dual_pivots",
+)
+
+
+def _counter_values() -> Dict[str, int]:
+    snap = obs.snapshot()
+    return {
+        k: snap[k]["value"] for k in _COUNTER_KEYS
+        if k in snap and snap[k]["kind"] == "counter"
+    }
+
+
+def _counters_since(before: Dict[str, int]) -> Dict[str, int]:
+    after = _counter_values()
+    return {k: after.get(k, 0) - before.get(k, 0) for k in _COUNTER_KEYS}
+
+
+def _measure_ilp_mr(gens: int, target: float, backend: str, warm: bool) -> dict:
+    spec = eps_spec(
+        build_eps_template(num_generators=gens), reliability_target=target
+    )
+    before = _counter_values()
+    start = time.perf_counter()
+    result = synthesize_ilp_mr(spec, backend=backend, warm=warm)
+    wall = time.perf_counter() - start
+    counters = _counters_since(before)
+    solves = counters["ilp.bnb.warm_lp_solves"] + counters["ilp.bnb.cold_lp_solves"]
+    return {
+        "wall_seconds": wall,
+        "status": result.status,
+        "cost": result.cost,
+        "iterations": len(result.iterations),
+        "solver_seconds": result.solver_time,
+        "analysis_seconds": result.analysis_time,
+        "bnb_nodes": counters["ilp.bnb.nodes"],
+        "lp_iterations": counters["ilp.bnb.lp_iterations"],
+        "warm_lp_solves": counters["ilp.bnb.warm_lp_solves"],
+        "cold_lp_solves": counters["ilp.bnb.cold_lp_solves"],
+        "phase1_skips": counters["ilp.simplex.phase1_skips"],
+        "refactorizations": counters["ilp.simplex.refactorizations"],
+        "warm_hit_rate": (
+            counters["ilp.bnb.warm_lp_solves"] / solves if solves else 0.0
+        ),
+    }
+
+
+def _ilp_mr_row(gens: int, target: float, backend: str) -> dict:
+    cold = _measure_ilp_mr(gens, target, backend, warm=False)
+    warm = _measure_ilp_mr(gens, target, backend, warm=True)
+    return {
+        "kind": "ilp_mr",
+        "instance": f"eps-g{gens}",
+        "num_nodes": 10 * gens,
+        "reliability_target": target,
+        "backend": backend,
+        "cold": cold,
+        "warm": warm,
+        "speedup": (
+            cold["wall_seconds"] / warm["wall_seconds"]
+            if warm["wall_seconds"] > 0 else float("inf")
+        ),
+        "costs_identical": cold["cost"] == warm["cost"],
+    }
+
+
+def _make_cover(n_vars: int, n_rows: int, seed: int) -> Model:
+    """Random set-cover-shaped 0-1 ILP (the scaling-sweep workload)."""
+    rng = np.random.default_rng(seed)
+    m = Model(f"cover{n_vars}x{n_rows}")
+    xs = [m.add_binary(f"x{i}") for i in range(n_vars)]
+    cost = rng.integers(1, 20, n_vars)
+    for _ in range(n_rows):
+        picks = rng.choice(n_vars, size=max(2, n_vars // 8), replace=False)
+        m.add_constr(lin_sum([xs[i] for i in picks]) >= 2)
+    m.minimize(lin_sum([int(c) * x for c, x in zip(cost, xs)]))
+    return m
+
+
+def _lp_scaling_row(n_vars: int, n_rows: int) -> dict:
+    form = _make_cover(n_vars, n_rows, seed=n_vars).to_matrix_form()
+    start = time.perf_counter()
+    bnb = solve_milp(form, BnBOptions())
+    bnb_seconds = time.perf_counter() - start
+    row = {
+        "kind": "lp_scaling",
+        "instance": f"cover-{n_vars}x{n_rows}",
+        "num_vars": n_vars,
+        "num_constrs": n_rows,
+        "bnb_seconds": bnb_seconds,
+        "bnb_status": bnb.status,
+        "bnb_nodes": bnb.stats.nodes,
+        "bnb_lp_iterations": bnb.stats.lp_iterations,
+        "bnb_objective": bnb.objective,
+    }
+    if scipy_milp_available():
+        start = time.perf_counter()
+        ref = solve_with_scipy(form)
+        row["scipy_seconds"] = time.perf_counter() - start
+        row["scipy_objective"] = ref.objective
+        row["objectives_agree"] = abs(bnb.objective - ref.objective) <= 1e-6
+    return row
+
+
+def _warm_lp_row(gens: int) -> dict:
+    """Bound-tightening re-solve: the per-node saving inside B&B."""
+    spec = eps_spec(
+        build_eps_template(num_generators=gens), reliability_target=1e-4
+    )
+    form = spec.build_encoder().model.to_matrix_form()
+    a = form.dense_A()
+    start = time.perf_counter()
+    base = solve_lp(
+        form.c, a, form.senses, form.b, form.lb, form.ub, want_basis=True
+    )
+    cold_first = time.perf_counter() - start
+
+    # Tighten one fractional binary to 0 — a typical down-branch.
+    lb, ub = form.lb.copy(), form.ub.copy()
+    frac = [
+        j for j in range(form.num_vars)
+        if form.integrality[j] and abs(base.x[j] - round(base.x[j])) > 1e-6
+    ]
+    j = frac[0] if frac else int(np.argmax(form.integrality))
+    ub[j] = 0.0
+
+    start = time.perf_counter()
+    cold = solve_lp(form.c, a, form.senses, form.b, lb, ub)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = solve_lp(
+        form.c, a, form.senses, form.b, lb, ub, warm_basis=base.basis
+    )
+    warm_seconds = time.perf_counter() - start
+    return {
+        "kind": "warm_lp",
+        "instance": f"eps-g{gens}-relaxation",
+        "num_vars": form.num_vars,
+        "num_constrs": form.num_constrs,
+        "first_solve_seconds": cold_first,
+        "cold_seconds": cold_seconds,
+        "cold_iterations": cold.iterations,
+        "warm_seconds": warm_seconds,
+        "warm_iterations": warm.iterations,
+        "warm_dual_pivots": warm.dual_pivots,
+        "warm_started": warm.warm_started,
+        "objectives_agree": (
+            abs(cold.objective - warm.objective)
+            <= 1e-6 * max(1.0, abs(cold.objective))
+        ),
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+    }
+
+
+def run_bench(
+    profile: str = "smoke",
+    out: Optional[str] = "BENCH_ilp.json",
+    backends: Sequence[str] = ("bnb", "scipy"),
+    log=print,
+) -> dict:
+    """Run the suite and (optionally) write the JSON document to ``out``."""
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    plan = PROFILES[profile]
+    # Counters only tick while a tracer is installed.
+    previous_tracer = obs.get_tracer()
+    obs.set_tracer(obs.Tracer())
+    rows: List[dict] = []
+    try:
+        if "bnb" in backends:
+            for gens, target in plan["ilp_mr_bnb"]:
+                log(f"[bench] ilp_mr bnb eps-g{gens} target={target} ...")
+                rows.append(_ilp_mr_row(gens, target, "bnb"))
+        if "scipy" in backends and scipy_milp_available():
+            for gens, target in plan["ilp_mr_scipy"]:
+                log(f"[bench] ilp_mr scipy eps-g{gens} target={target} ...")
+                rows.append(_ilp_mr_row(gens, target, "scipy"))
+        for n_vars, n_rows in plan["lp_scaling"]:
+            log(f"[bench] lp_scaling cover-{n_vars}x{n_rows} ...")
+            rows.append(_lp_scaling_row(n_vars, n_rows))
+        for gens in plan["warm_lp"]:
+            log(f"[bench] warm_lp eps-g{gens} ...")
+            rows.append(_warm_lp_row(gens))
+    finally:
+        obs.set_tracer(previous_tracer)
+
+    mr_bnb = [r for r in rows if r["kind"] == "ilp_mr" and r["backend"] == "bnb"]
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "profile": profile,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "rows": rows,
+        "summary": {
+            "ilp_mr_min_speedup": (
+                min(r["speedup"] for r in mr_bnb) if mr_bnb else None
+            ),
+            "ilp_mr_max_speedup": (
+                max(r["speedup"] for r in mr_bnb) if mr_bnb else None
+            ),
+            "all_costs_identical": all(
+                r["costs_identical"] for r in rows if r["kind"] == "ilp_mr"
+            ),
+            "all_objectives_agree": all(
+                r.get("objectives_agree", True) for r in rows
+            ),
+        },
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        log(f"[bench] wrote {out} ({len(rows)} rows)")
+    return doc
+
+
+_ROW_REQUIRED = {
+    "ilp_mr": {
+        "instance", "backend", "reliability_target", "cold", "warm",
+        "speedup", "costs_identical",
+    },
+    "lp_scaling": {
+        "instance", "num_vars", "num_constrs", "bnb_seconds", "bnb_status",
+        "bnb_nodes", "bnb_objective",
+    },
+    "warm_lp": {
+        "instance", "cold_seconds", "cold_iterations", "warm_seconds",
+        "warm_dual_pivots", "warm_started", "objectives_agree", "speedup",
+    },
+}
+
+_ARM_REQUIRED = {
+    "wall_seconds", "status", "cost", "iterations", "bnb_nodes",
+    "lp_iterations", "warm_lp_solves", "cold_lp_solves", "warm_hit_rate",
+}
+
+
+def validate_bench_document(doc: dict) -> List[str]:
+    """Schema check for a ``BENCH_ilp.json`` document; returns problems."""
+    problems: List[str] = []
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {BENCH_SCHEMA!r}")
+    for key in ("profile", "rows", "summary", "environment"):
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    rows = doc.get("rows", [])
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty list")
+        rows = []
+    for i, row in enumerate(rows):
+        kind = row.get("kind")
+        required = _ROW_REQUIRED.get(kind)
+        if required is None:
+            problems.append(f"rows[{i}]: unknown kind {kind!r}")
+            continue
+        missing = required - set(row)
+        if missing:
+            problems.append(f"rows[{i}] ({kind}): missing {sorted(missing)}")
+        if kind == "ilp_mr":
+            for arm in ("cold", "warm"):
+                arm_missing = _ARM_REQUIRED - set(row.get(arm, {}))
+                if arm_missing:
+                    problems.append(
+                        f"rows[{i}].{arm}: missing {sorted(arm_missing)}"
+                    )
+    summary = doc.get("summary", {})
+    for key in ("ilp_mr_min_speedup", "all_costs_identical"):
+        if key not in summary:
+            problems.append(f"summary: missing {key!r}")
+    return problems

@@ -39,7 +39,9 @@ import sys
 from typing import List, Optional
 
 from . import obs
+from .bench import PROFILES, run_bench, validate_bench_document
 from .domains import build_comm_network_template, build_power_grid_template
+from .ilp import configure_auto
 from .domains.comm_network import comm_network_requirements
 from .domains.power_grid import power_grid_requirements
 from .arch import save_json
@@ -431,6 +433,42 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    out = None if args.out == "-" else args.out
+    doc = run_bench(profile=args.profile, out=out, backends=args.backends)
+    problems = validate_bench_document(doc)
+    summary = doc["summary"]
+    rows = [
+        [
+            r["instance"],
+            r["backend"],
+            f"{r['cold']['wall_seconds']:.2f}",
+            f"{r['warm']['wall_seconds']:.2f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['warm']['warm_hit_rate']:.0%}",
+            "yes" if r["costs_identical"] else "NO",
+        ]
+        for r in doc["rows"] if r["kind"] == "ilp_mr"
+    ]
+    print(section("ILP-MR warm vs cold"))
+    print(format_table(
+        ["instance", "backend", "cold s", "warm s", "speedup",
+         "warm hits", "costs equal"],
+        rows,
+    ))
+    if summary["ilp_mr_min_speedup"] is not None:
+        print(f"\nmin ILP-MR speedup: {summary['ilp_mr_min_speedup']:.1f}x")
+    if problems:
+        print("\nSCHEMA PROBLEMS:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    if not summary["all_costs_identical"] or not summary["all_objectives_agree"]:
+        print("\nWARM/COLD DISAGREEMENT — see the document rows")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="archex",
@@ -459,6 +497,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the trace (.json = Chrome trace event "
                        "format, .jsonl = telemetry span stream); implies "
                        "--trace")
+        p.add_argument("--auto-scipy-vars", type=int, default=None, metavar="N",
+                       help="auto-backend cutover: route to HiGHS above N "
+                       "variables (default: calibrated from BENCH_ilp.json)")
+        p.add_argument("--auto-scipy-constrs", type=int, default=None,
+                       metavar="N",
+                       help="auto-backend cutover: route to HiGHS above N "
+                       "constraints")
 
     def engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -530,6 +575,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the (slower) EPS case-study corpus cases")
     p_vf.set_defaults(func=cmd_verify)
 
+    p_bn = sub.add_parser(
+        "bench",
+        help="run the ILP benchmark suite and write BENCH_ilp.json",
+    )
+    p_bn.add_argument("--profile", default="smoke", choices=sorted(PROFILES),
+                      help="workload size (smoke = CI-friendly, full = the "
+                      "numbers quoted in the README)")
+    p_bn.add_argument("--out", default="BENCH_ilp.json", metavar="FILE",
+                      help="output document path ('-' = stdout only)")
+    p_bn.add_argument("--backends", default="bnb,scipy",
+                      type=lambda s: [x for x in s.split(",") if x],
+                      help="comma list of MILP backends to measure")
+    p_bn.set_defaults(func=cmd_bench)
+
     p_pr = sub.add_parser(
         "profile",
         help="run any subcommand under tracing; print the profile tree",
@@ -548,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "auto_scipy_vars", None) is not None or getattr(
+        args, "auto_scipy_constrs", None
+    ) is not None:
+        configure_auto(
+            scipy_vars=args.auto_scipy_vars,
+            scipy_constrs=args.auto_scipy_constrs,
+        )
     if args.func is not cmd_profile and (
         getattr(args, "trace", False) or getattr(args, "trace_out", None)
     ):

@@ -25,10 +25,11 @@ from .logic import (
     not_,
     or_,
 )
+from .incremental import WarmStartContext, extend_basis
 from .model import MatrixForm, Model
 from .presolve import PresolveResult, apply_presolve, presolve
-from .simplex import LPResult, LPStatus, solve_lp
-from .solver import SolveResult, Status, solve
+from .simplex import LPBasis, LPResult, LPStatus, bland_cutover, solve_lp
+from .solver import AutoTuning, SolveResult, Status, configure_auto, solve
 
 __all__ = [
     "Model",
@@ -57,6 +58,12 @@ __all__ = [
     "Status",
     "LPResult",
     "LPStatus",
+    "LPBasis",
     "BnBOptions",
     "BnBStats",
+    "WarmStartContext",
+    "extend_basis",
+    "AutoTuning",
+    "configure_auto",
+    "bland_cutover",
 ]

@@ -5,11 +5,17 @@ ARCHEX prototype. It is a textbook LP-relaxation branch-and-bound:
 
 * each node solves an LP relaxation (via the from-scratch bounded simplex in
   :mod:`repro.ilp.simplex`, or scipy's HiGHS ``linprog`` when requested);
+* with the from-scratch engine, every node inherits its parent's optimal
+  basis and re-optimizes with the dual simplex — branching only tightens one
+  variable bound, which leaves the parent basis dual feasible — so child
+  LPs skip phase 1 entirely (``BnBOptions.warm_start``);
+* an initial incumbent can be seeded (:func:`solve_milp`'s ``incumbent``)
+  so bound pruning is active from node zero — ILP-MR passes the previous
+  iteration's optimum when it is still feasible;
 * fractional integer variables are branched on with either most-fractional
   or pseudocost selection;
 * node selection is best-bound with depth-first plunging, which finds
-  incumbents early while keeping the global dual bound tight;
-* a rounding heuristic probes each LP solution for a quick incumbent.
+  incumbents early while keeping the global dual bound tight.
 
 The solver is exact: on termination without hitting a limit, the incumbent
 is optimal within the requested gap.
@@ -22,13 +28,13 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from .. import obs
 from .model import MatrixForm
-from .simplex import LPResult, LPStatus, solve_lp
+from .simplex import LPBasis, LPResult, LPStatus, solve_lp
 
 __all__ = ["BnBOptions", "BnBStats", "solve_milp", "MilpOutcome", "exit_gap"]
 
@@ -45,6 +51,9 @@ class BnBOptions:
     node_limit: Optional[int] = None
     gap: float = 1e-9
     plunge_depth: int = 8  # depth-first plunges between best-bound picks
+    #: Warm-start node LPs from the parent's optimal basis via dual simplex
+    #: (simplex engine only). Off = the original cold two-phase start per node.
+    warm_start: bool = True
 
 
 @dataclass
@@ -54,6 +63,17 @@ class BnBStats:
     incumbent_updates: int = 0
     wall_time: float = 0.0
     best_bound: float = -math.inf
+    #: Node LPs that re-optimized from an inherited basis (phase 1 skipped).
+    warm_lp_solves: int = 0
+    #: Node LPs that ran the two-phase cold start.
+    cold_lp_solves: int = 0
+    dual_pivots: int = 0
+    #: True when a caller-supplied incumbent passed validation and seeded
+    #: the search (pruning active from node zero).
+    seeded_incumbent: bool = False
+    #: Nodes fathomed by the bound test while the seeded incumbent was
+    #: still the best known solution — prunes attributable to the seed.
+    seed_pruned_nodes: int = 0
 
 
 @dataclass
@@ -62,6 +82,9 @@ class MilpOutcome:
     objective: float
     x: Optional[np.ndarray]
     stats: BnBStats = field(default_factory=BnBStats)
+    #: Optimal basis of the root LP relaxation (simplex engine only) —
+    #: the seed for cross-solve warm starts after appending constraints.
+    root_basis: Optional[LPBasis] = None
 
 
 @dataclass(order=True)
@@ -71,6 +94,7 @@ class _Node:
     depth: int = field(compare=False)
     lb: np.ndarray = field(compare=False, default=None)
     ub: np.ndarray = field(compare=False, default=None)
+    basis: Optional[LPBasis] = field(compare=False, default=None)
 
 
 class _Pseudocosts:
@@ -124,6 +148,11 @@ def _record_bnb_observations(outcome: MilpOutcome) -> None:
     obs.counter("ilp.bnb.nodes").inc(stats.nodes)
     obs.counter("ilp.bnb.lp_iterations").inc(stats.lp_iterations)
     obs.counter("ilp.bnb.incumbents").inc(stats.incumbent_updates)
+    obs.counter("ilp.bnb.warm_lp_solves").inc(stats.warm_lp_solves)
+    obs.counter("ilp.bnb.cold_lp_solves").inc(stats.cold_lp_solves)
+    if stats.seeded_incumbent:
+        obs.counter("ilp.bnb.seeded_incumbents").inc()
+        obs.counter("ilp.bnb.seed_pruned_nodes").inc(stats.seed_pruned_nodes)
     obs.histogram("ilp.bnb.seconds").observe(stats.wall_time)
     gap = exit_gap(outcome)
     if gap is not None:
@@ -132,20 +161,64 @@ def _record_bnb_observations(outcome: MilpOutcome) -> None:
     if s is not None:
         s.set_attr("bnb_nodes", stats.nodes)
         s.set_attr("bnb_incumbents", stats.incumbent_updates)
+        s.set_attr("bnb_warm_lp_solves", stats.warm_lp_solves)
         if gap is not None:
             s.set_attr("bnb_gap_at_exit", gap)
 
 
-def solve_milp(form: MatrixForm, options: Optional[BnBOptions] = None) -> MilpOutcome:
-    """Minimize ``form.c @ x`` over the mixed-integer feasible set."""
-    outcome = _solve_milp_search(form, options)
+def solve_milp(
+    form: MatrixForm,
+    options: Optional[BnBOptions] = None,
+    incumbent: Optional[np.ndarray] = None,
+    basis: Optional[LPBasis] = None,
+) -> MilpOutcome:
+    """Minimize ``form.c @ x`` over the mixed-integer feasible set.
+
+    ``incumbent`` optionally seeds the search with a known feasible point
+    (e.g. the previous CEGIS iteration's optimum); it is validated against
+    the current constraints and silently ignored when infeasible or stale.
+    ``basis`` warm-starts the *root* LP from a previous solve of a related
+    model (extended over any appended rows via
+    :func:`repro.ilp.incremental.extend_basis`); a stale basis simply falls
+    back to a cold root solve.
+    """
+    outcome = _solve_milp_search(form, options, incumbent, basis)
     if obs.enabled():
         _record_bnb_observations(outcome)
     return outcome
 
 
+def _validate_incumbent(form: MatrixForm, x: np.ndarray) -> Optional[float]:
+    """Objective of a seed point, or None when it is not MILP-feasible."""
+    if x is None or len(x) != form.num_vars:
+        return None
+    x = np.asarray(x, dtype=float)
+    if not np.all(np.isfinite(x)):
+        return None
+    if np.any(x < form.lb - _INT_TOL) or np.any(x > form.ub + _INT_TOL):
+        return None
+    frac = np.abs(x[form.integrality] - np.round(x[form.integrality]))
+    if frac.size and frac.max(initial=0.0) > _INT_TOL:
+        return None
+    if form.num_constrs:
+        lhs = form.A @ x
+        scale = 1.0 + np.abs(form.b)
+        for i, sense in enumerate(form.senses):
+            resid = lhs[i] - form.b[i]
+            if sense == "<=" and resid > 1e-7 * scale[i]:
+                return None
+            if sense == ">=" and resid < -1e-7 * scale[i]:
+                return None
+            if sense == "==" and abs(resid) > 1e-7 * scale[i]:
+                return None
+    return float(form.c @ x)
+
+
 def _solve_milp_search(
-    form: MatrixForm, options: Optional[BnBOptions] = None
+    form: MatrixForm,
+    options: Optional[BnBOptions] = None,
+    incumbent: Optional[np.ndarray] = None,
+    basis: Optional[LPBasis] = None,
 ) -> MilpOutcome:
     opts = options or BnBOptions()
     start = time.perf_counter()
@@ -155,20 +228,42 @@ def _solve_milp_search(
     counter = itertools.count()
 
     dense_a = form.dense_A()  # B&B is dispatched to small models only
+    use_simplex = opts.lp_engine != "scipy"
 
-    def lp_solve(lb: np.ndarray, ub: np.ndarray) -> LPResult:
-        if opts.lp_engine == "scipy":
+    def lp_solve(
+        lb: np.ndarray, ub: np.ndarray, basis: Optional[LPBasis] = None
+    ) -> LPResult:
+        if not use_simplex:
             return _scipy_lp(form, dense_a, lb, ub)
-        return solve_lp(form.c, dense_a, form.senses, form.b, lb, ub)
+        res = solve_lp(
+            form.c, dense_a, form.senses, form.b, lb, ub,
+            warm_basis=basis if opts.warm_start else None,
+            want_basis=opts.warm_start,
+        )
+        if res.warm_started:
+            stats.warm_lp_solves += 1
+        else:
+            stats.cold_lp_solves += 1
+        stats.dual_pivots += res.dual_pivots
+        return res
 
     root = _Node(bound=-math.inf, tie=next(counter), depth=0,
-                 lb=form.lb.copy(), ub=form.ub.copy())
+                 lb=form.lb.copy(), ub=form.ub.copy(), basis=basis)
     heap: List[_Node] = [root]
     incumbent_x: Optional[np.ndarray] = None
     incumbent_obj = math.inf
+    if incumbent is not None:
+        seed_obj = _validate_incumbent(form, incumbent)
+        if seed_obj is not None:
+            incumbent_x = _snap(np.asarray(incumbent, dtype=float), int_mask)
+            incumbent_obj = seed_obj
+            stats.seeded_incumbent = True
+            stats.incumbent_updates += 1
     pseudo = _Pseudocosts(n)
+    seed_active = stats.seeded_incumbent
     hit_limit = False
     root_status: Optional[LPStatus] = None
+    root_basis: Optional[LPBasis] = None
 
     while heap:
         if opts.time_limit is not None and time.perf_counter() - start > opts.time_limit:
@@ -180,6 +275,8 @@ def _solve_milp_search(
 
         node = heapq.heappop(heap)
         if node.bound >= incumbent_obj - opts.gap:
+            if seed_active:
+                stats.seed_pruned_nodes += 1
             continue  # pruned by bound
 
         # Depth-first plunge from this node.
@@ -188,16 +285,19 @@ def _solve_milp_search(
             if plunge is None:
                 break
             stats.nodes += 1
-            res = lp_solve(plunge.lb, plunge.ub)
+            res = lp_solve(plunge.lb, plunge.ub, plunge.basis)
             stats.lp_iterations += res.iterations
             if stats.nodes == 1:
                 root_status = res.status
+                root_basis = res.basis
             if res.status is LPStatus.UNBOUNDED:
                 if stats.nodes == 1:
                     return MilpOutcome("unbounded", -math.inf, None, stats)
                 plunge = None
                 continue
             if not res.is_optimal or res.objective >= incumbent_obj - opts.gap:
+                if seed_active and res.is_optimal:
+                    stats.seed_pruned_nodes += 1
                 plunge = None
                 continue
 
@@ -208,6 +308,7 @@ def _solve_milp_search(
                     incumbent_obj = res.objective
                     incumbent_x = _snap(res.x, int_mask)
                     stats.incumbent_updates += 1
+                    seed_active = False
                 plunge = None
                 continue
 
@@ -218,10 +319,10 @@ def _solve_milp_search(
             _try_rounding(form, res.x, int_mask, lp_solve, plunge, stats)
 
             down = _Node(bound=res.objective, tie=next(counter), depth=plunge.depth + 1,
-                         lb=plunge.lb.copy(), ub=plunge.ub.copy())
+                         lb=plunge.lb.copy(), ub=plunge.ub.copy(), basis=res.basis)
             down.ub[var] = math.floor(value)
             up = _Node(bound=res.objective, tie=next(counter), depth=plunge.depth + 1,
-                       lb=plunge.lb.copy(), ub=plunge.ub.copy())
+                       lb=plunge.lb.copy(), ub=plunge.ub.copy(), basis=res.basis)
             up.lb[var] = math.ceil(value)
             _record_pseudocost(pseudo, var, frac, res.objective, down, up, lp_solve, stats)
 
@@ -246,12 +347,14 @@ def _solve_milp_search(
     stats.wall_time = time.perf_counter() - start
     if incumbent_x is None:
         if hit_limit:
-            return MilpOutcome("limit", math.inf, None, stats)
+            return MilpOutcome("limit", math.inf, None, stats, root_basis=root_basis)
         if root_status is LPStatus.UNBOUNDED:
-            return MilpOutcome("unbounded", -math.inf, None, stats)
-        return MilpOutcome("infeasible", math.inf, None, stats)
+            return MilpOutcome("unbounded", -math.inf, None, stats,
+                               root_basis=root_basis)
+        return MilpOutcome("infeasible", math.inf, None, stats, root_basis=root_basis)
     status = "limit" if hit_limit and heap else "optimal"
-    return MilpOutcome(status, incumbent_obj, incumbent_x, stats)
+    return MilpOutcome(status, incumbent_obj, incumbent_x, stats,
+                       root_basis=root_basis)
 
 
 # -- helpers -----------------------------------------------------------------
@@ -305,7 +408,7 @@ def _record_pseudocost(pseudo, var, frac, parent_obj, down, up, lp_solve, stats)
     if pseudo.up_count[var] or pseudo.down_count[var]:
         return
     for child, direction, f in ((down, "down", frac), (up, "up", 1.0 - frac)):
-        res = lp_solve(child.lb, child.ub)
+        res = lp_solve(child.lb, child.ub, child.basis)
         stats.lp_iterations += res.iterations
         if res.is_optimal:
             pseudo.update(var, direction, f, max(0.0, res.objective - parent_obj))

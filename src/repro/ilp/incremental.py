@@ -1,0 +1,122 @@
+"""Cross-solve warm starts for incrementally grown models.
+
+ILP-MR (Algorithm 1) re-solves what is almost the same 0-1 ILP every
+iteration: LEARNCONS only *appends* ``>=`` rows over existing variables.
+:class:`WarmStartContext` carries the three reusable artifacts between those
+solves:
+
+* the previous :class:`~repro.ilp.model.MatrixForm`, so re-export only
+  encodes the appended constraints (see ``Model.to_matrix_form(base=...)``);
+* the previous optimal root basis, extended over the new rows/columns by
+  :func:`extend_basis` so the next solve re-optimizes with the dual simplex
+  instead of a phase-1 cold start;
+* the previous optimum, offered as an initial incumbent (branch-and-bound
+  validates it against the grown constraint set and ignores it when the
+  learned constraints cut it off — which is the common case, since that is
+  what LEARNCONS is for).
+
+Why extending the basis is sound: appending a row whose slack is made basic
+extends the basis matrix block-triangularly, so the old columns' reduced
+costs are unchanged and the new row's dual value is zero — the extended
+basis stays *dual* feasible (it is primal infeasible exactly when the new
+constraint cuts the old optimum, which is what the dual simplex repairs).
+A new structural column entering at a bound has reduced cost equal to its
+objective coefficient; our appended columns are cost-:math:`\\geq 0`
+binaries entering at their lower bound, which also preserves dual
+feasibility. Appended *equality* rows have no slack to make basic, so
+:func:`extend_basis` reports the basis unusable and the solve falls back to
+a cold start rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .model import MatrixForm, Model
+from .simplex import _AT_LOWER, _AT_UPPER, _BASIC, LPBasis
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .branch_and_bound import MilpOutcome
+
+__all__ = ["WarmStartContext", "extend_basis", "AT_LOWER", "AT_UPPER", "BASIC"]
+
+# Status codes, re-exported for tests that build bases by hand.
+AT_LOWER = _AT_LOWER
+AT_UPPER = _AT_UPPER
+BASIC = _BASIC
+
+
+def extend_basis(
+    basis: LPBasis, old_form: MatrixForm, new_form: MatrixForm
+) -> Optional[LPBasis]:
+    """Extend ``basis`` (optimal for ``old_form``) to cover ``new_form``.
+
+    New structural columns start nonbasic at their lower bound (upper bound
+    when the lower is unbounded), new inequality rows get a basic slack.
+    Returns ``None`` when the extension cannot preserve dual feasibility —
+    an appended equality row, or a shrunk model — in which case the caller
+    should cold-start.
+    """
+    extra_vars = new_form.num_vars - old_form.num_vars
+    extra_rows = new_form.num_constrs - old_form.num_constrs
+    if extra_vars < 0 or extra_rows < 0:
+        return None
+    if len(basis.var_status) != old_form.num_vars:
+        return None
+    if len(basis.row_status) != old_form.num_constrs:
+        return None
+    if any(s == "==" for s in new_form.senses[old_form.num_constrs:]):
+        return None
+
+    var_status = np.empty(new_form.num_vars, dtype=np.int8)
+    var_status[: old_form.num_vars] = basis.var_status
+    if extra_vars:
+        lb = new_form.lb[old_form.num_vars:]
+        var_status[old_form.num_vars:] = np.where(
+            np.isfinite(lb), _AT_LOWER, _AT_UPPER
+        )
+    row_status = np.empty(new_form.num_constrs, dtype=np.int8)
+    row_status[: old_form.num_constrs] = basis.row_status
+    row_status[old_form.num_constrs:] = _BASIC
+    return LPBasis(var_status, row_status)
+
+
+@dataclass
+class WarmStartContext:
+    """Mutable carrier of warm-start state across a sequence of solves.
+
+    Create one per model lifetime, pass it as ``warm=`` to
+    :func:`repro.ilp.solver.solve` (or ``Model.solve``); each solve refreshes
+    the export incrementally, seeds branch-and-bound with the carried basis
+    and incumbent, and absorbs the new optimum for the next round.
+    """
+
+    form: Optional[MatrixForm] = None
+    basis: Optional[LPBasis] = None
+    incumbent: Optional[np.ndarray] = None
+
+    def refresh(self, model: Model) -> MatrixForm:
+        """Re-export ``model`` reusing the previous rows; adapt the basis."""
+        new_form = model.to_matrix_form(base=self.form)
+        if self.basis is not None and self.form is not None:
+            self.basis = extend_basis(self.basis, self.form, new_form)
+        if self.incumbent is not None and len(self.incumbent) < new_form.num_vars:
+            # Pad with lower bounds; validation rejects it if infeasible.
+            pad = new_form.lb[len(self.incumbent):]
+            self.incumbent = np.concatenate(
+                [self.incumbent, np.where(np.isfinite(pad), pad, 0.0)]
+            )
+        self.form = new_form
+        return new_form
+
+    def absorb(self, outcome: "MilpOutcome") -> None:
+        """Record a finished solve's basis and optimum for the next one."""
+        if outcome.root_basis is not None:
+            self.basis = outcome.root_basis
+        elif outcome.status != "optimal":
+            self.basis = None
+        if outcome.x is not None:
+            self.incumbent = np.asarray(outcome.x, dtype=float).copy()

@@ -14,7 +14,7 @@ representing the result.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from .expr import LinExpr, Var, as_expr, lin_sum
 from .model import Model

@@ -191,11 +191,39 @@ class Model:
 
     # -- export ----------------------------------------------------------
 
-    def to_matrix_form(self) -> MatrixForm:
-        """Export to the dense form the solvers consume.
+    def _reusable_base(self, base: Optional[MatrixForm]) -> bool:
+        """True when ``base`` is a prefix export of this model.
+
+        Variables and constraints are append-only, so a previous export
+        stays valid for its first ``num_vars`` columns / ``num_constrs``
+        rows; identity checks on the boundary variables guard against a
+        form exported from a different model.
+        """
+        if base is None:
+            return False
+        if base.num_vars > self.num_vars or base.num_constrs > self.num_constrs:
+            return False
+        if base.num_vars == 0:
+            return self.num_vars == 0 or base.num_constrs == 0
+        return (
+            base.variables[0] is self.variables[0]
+            and base.variables[base.num_vars - 1] is self.variables[base.num_vars - 1]
+        )
+
+    def to_matrix_form(self, base: Optional[MatrixForm] = None) -> MatrixForm:
+        """Export to the matrix form the solvers consume.
 
         Maximization is converted to minimization by negating the objective;
         :class:`repro.ilp.solver.SolveResult` undoes the sign flip.
+
+        ``base`` — a previous export of *this* model — makes the export
+        incremental: rows already encoded there are reused (the CSR block is
+        widened to the new column count without copying its arrays) and only
+        constraints added since are walked. This is what keeps per-iteration
+        SOLVEILP cost proportional to the learned constraints, not the whole
+        model. Objective, bounds and integrality are always rebuilt — they
+        are O(n) vector fills. An incompatible ``base`` (different model, or
+        rows removed) falls back to a full export.
         """
         n = self.num_vars
         c = np.zeros(n)
@@ -207,22 +235,38 @@ class Model:
             obj_constant = -obj_constant
 
         m = self.num_constrs
+        first_row = base.num_constrs if self._reusable_base(base) else 0
         rows: List[int] = []
         cols: List[int] = []
         data: List[float] = []
-        b = np.zeros(m)
-        senses: List[str] = []
-        for row, con in enumerate(self.constraints):
+        b_new = np.zeros(m - first_row)
+        senses_new: List[str] = []
+        for row, con in enumerate(self.constraints[first_row:]):
             for var, coeff in con.expr.terms.items():
                 rows.append(row)
                 cols.append(var.index)
                 data.append(coeff)
-            b[row] = con.rhs
-            senses.append(con.sense)
-        a = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(m, n), dtype=float
+            b_new[row] = con.rhs
+            senses_new.append(con.sense)
+        a_new = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(m - first_row, n), dtype=float
         )
-        a.sum_duplicates()
+        a_new.sum_duplicates()
+
+        if first_row:
+            old = base.A
+            # Same data/indices/indptr arrays, wider shape: column indices
+            # are stable because variables are append-only.
+            widened = sparse.csr_matrix(
+                (old.data, old.indices, old.indptr), shape=(first_row, n)
+            )
+            a = sparse.vstack([widened, a_new], format="csr")
+            b = np.concatenate([base.b, b_new])
+            senses = list(base.senses) + senses_new
+        else:
+            a = a_new
+            b = b_new
+            senses = senses_new
 
         lb = np.array([v.lb for v in self.variables])
         ub = np.array([v.ub for v in self.variables])

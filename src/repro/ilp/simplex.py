@@ -1,22 +1,31 @@
-"""Bounded-variable primal simplex for linear programs.
+"""Bounded-variable revised simplex with a factorized, reusable basis.
 
 This is the from-scratch LP engine that backs the branch-and-bound MILP
 solver in :mod:`repro.ilp.branch_and_bound` (the role CPLEX's LP relaxation
 played in the paper's experiments). It implements the revised primal simplex
-method with explicit variable bounds and a two-phase start:
+method with explicit variable bounds, a two-phase cold start, and — the
+pieces that make CEGIS-style re-solving cheap — a *warm* start path:
 
-* all rows are converted to equalities by appending slack/surplus columns;
-* phase 1 minimizes the sum of artificial variables to find a basic
-  feasible solution; phase 2 optimizes the real objective;
+* the basis is LU-factorized once (``scipy.linalg.lu_factor`` when scipy is
+  importable, a pure-numpy partial-pivot LU otherwise) and maintained across
+  pivots with product-form *eta* updates; every solve of ``B x = b`` (FTRAN)
+  or ``B^T y = c`` (BTRAN) runs against the factorization, so a pivot costs
+  O(m^2) instead of the O(m^3) refactorize-per-pivot of the original
+  implementation. The factorization is rebuilt every
+  ``_REFACTOR_EVERY`` pivots to bound eta-file growth and drift;
+* :func:`solve_lp` accepts a starting :class:`LPBasis` and re-optimizes from
+  it with a bounded-variable **dual simplex** — the textbook move after
+  tightening bounds (branch-and-bound children) or appending rows (learned
+  interconnection constraints), both of which leave the parent basis dual
+  feasible. Warm solves skip phase 1 entirely;
 * nonbasic variables rest at a finite bound; the ratio test supports the
   *bound flip* move required for bounded variables;
-* Dantzig pricing with an automatic switch to Bland's rule to guarantee
-  termination on degenerate instances.
+* Dantzig pricing with an automatic switch to Bland's rule — scaled with
+  problem size, see :func:`bland_cutover` — to guarantee termination on
+  degenerate instances.
 
-The implementation is dense (numpy) and refactorizes the basis each
-iteration via ``numpy.linalg.solve``; this is O(m^3) per pivot, plenty for
-the few-thousand-constraint instances the reproduction solves, and trivially
-correct — no basis-update drift to chase.
+Every fallback is graceful: a stale/singular/dual-infeasible warm basis
+degrades to the cold two-phase start, never to a wrong answer.
 """
 
 from __future__ import annotations
@@ -24,16 +33,44 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LPStatus", "LPResult", "solve_lp"]
+from .. import obs
+
+try:  # pragma: no cover - scipy is a declared dependency, but stay runnable
+    from scipy.linalg import lu_factor as _sp_lu_factor
+    from scipy.linalg import lu_solve as _sp_lu_solve
+
+    _HAVE_SCIPY_LU = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY_LU = False
+
+__all__ = ["LPStatus", "LPResult", "LPBasis", "NO_SLACK", "solve_lp", "bland_cutover"]
 
 _TOL = 1e-9
 _FEAS_TOL = 1e-7
-_BLAND_AFTER = 2000
+_PIVOT_TOL = 1e-8
+_SINGULAR_TOL = 1e-11
+_BLAND_BASE = 2000
+_BLAND_FACTOR = 10
 _MAX_ITER_FACTOR = 200
+_REFACTOR_EVERY = 64
+
+#: Sentinel in :attr:`LPBasis.row_status` for rows without a slack column
+#: (equality rows) or rows whose basis information is unusable.
+NO_SLACK = -1
+
+
+def bland_cutover(m: int, n: int) -> int:
+    """Iteration count after which pricing switches to Bland's rule.
+
+    The cutover scales with problem size: an absolute threshold flips large
+    models into (slow, but cycle-proof) Bland pricing almost immediately,
+    long before degeneracy is a realistic risk.
+    """
+    return max(_BLAND_BASE, _BLAND_FACTOR * (m + n))
 
 
 class LPStatus(Enum):
@@ -43,22 +80,44 @@ class LPStatus(Enum):
     ITERATION_LIMIT = "iteration_limit"
 
 
+# Internal nonbasic status markers (also the LPBasis encoding).
+_AT_LOWER = 0
+_AT_UPPER = 1
+_BASIC = 2
+
+
+@dataclass
+class LPBasis:
+    """Layout-independent snapshot of an optimal simplex basis.
+
+    ``var_status[j]`` is the status of structural column ``j`` and
+    ``row_status[i]`` the status of row ``i``'s slack column
+    (:data:`NO_SLACK` for equality rows). Stored per-variable rather than as
+    column indices so it survives the model growing new columns and rows:
+    see :func:`repro.ilp.incremental.extend_basis`.
+    """
+
+    var_status: np.ndarray
+    row_status: np.ndarray
+
+    def copy(self) -> "LPBasis":
+        return LPBasis(self.var_status.copy(), self.row_status.copy())
+
+
 @dataclass
 class LPResult:
     status: LPStatus
     objective: float
     x: Optional[np.ndarray]
     iterations: int
+    basis: Optional[LPBasis] = None
+    #: True when the solve started from an installed basis (phase 1 skipped).
+    warm_started: bool = False
+    dual_pivots: int = 0
 
     @property
     def is_optimal(self) -> bool:
         return self.status is LPStatus.OPTIMAL
-
-
-# Internal nonbasic status markers.
-_AT_LOWER = 0
-_AT_UPPER = 1
-_BASIC = 2
 
 
 def solve_lp(
@@ -69,11 +128,19 @@ def solve_lp(
     lb: np.ndarray,
     ub: np.ndarray,
     max_iterations: Optional[int] = None,
+    warm_basis: Optional[LPBasis] = None,
+    want_basis: bool = False,
 ) -> LPResult:
     """Minimize ``c @ x`` subject to ``A x (senses) b`` and ``lb <= x <= ub``.
 
     Parameters mirror :class:`repro.ilp.model.MatrixForm`. Bounds may be
     infinite; rows may mix ``<=``, ``>=`` and ``==``.
+
+    ``warm_basis`` (from a previous :class:`LPResult` with ``want_basis``)
+    re-optimizes via dual simplex instead of the two-phase cold start; it is
+    safe to pass a basis recorded under different bounds — the standard
+    branch-and-bound warm start — or one extended over newly appended
+    rows/columns. An unusable basis silently falls back to the cold start.
     """
     c = np.asarray(c, dtype=float)
     a = np.asarray(a, dtype=float)
@@ -99,13 +166,66 @@ def solve_lp(
         a_eq[row, n + k] = 1.0 if senses[row] == "<=" else -1.0
     c_full = np.concatenate([c, np.zeros(n_slack)])
 
+    warm_flags = (
+        _flags_from_basis(warm_basis, n, m, slack_rows)
+        if warm_basis is not None
+        else None
+    )
+
     solver = _BoundedSimplex(a_eq, b.copy(), lb_full, ub_full, max_iterations)
-    status, iterations = solver.solve(c_full)
+    status, iterations = solver.solve(c_full, warm_flags=warm_flags)
+    _record_lp_observations(solver)
     if status is not LPStatus.OPTIMAL:
-        return LPResult(status, math.nan, None, iterations)
+        return LPResult(
+            status, math.nan, None, iterations,
+            warm_started=solver.warm_started, dual_pivots=solver.dual_pivots,
+        )
     x_full = solver.solution()
     x = x_full[:n]
-    return LPResult(LPStatus.OPTIMAL, float(c @ x), x, iterations)
+    basis = solver.export_basis(n, m, slack_rows) if want_basis else None
+    return LPResult(
+        LPStatus.OPTIMAL,
+        float(c @ x),
+        x,
+        iterations,
+        basis=basis,
+        warm_started=solver.warm_started,
+        dual_pivots=solver.dual_pivots,
+    )
+
+
+def _record_lp_observations(solver: "_BoundedSimplex") -> None:
+    if not obs.enabled():
+        return
+    obs.counter("ilp.simplex.solves").inc()
+    if solver.warm_started:
+        obs.counter("ilp.simplex.warm_starts").inc()
+        obs.counter("ilp.simplex.phase1_skips").inc()
+    else:
+        obs.counter("ilp.simplex.cold_starts").inc()
+    obs.counter("ilp.simplex.refactorizations").inc(solver.refactorizations)
+    obs.counter("ilp.simplex.dual_pivots").inc(solver.dual_pivots)
+    eta_len = solver.max_eta_len
+    if solver.factors is not None:
+        eta_len = max(eta_len, solver.factors.eta_len)
+    obs.histogram("ilp.simplex.eta_len").observe(eta_len)
+
+
+def _flags_from_basis(
+    basis: LPBasis, n: int, m: int, slack_rows: List[int]
+) -> Optional[np.ndarray]:
+    """Expand an :class:`LPBasis` into per-column flags, or None if stale."""
+    if len(basis.var_status) != n or len(basis.row_status) != m:
+        return None
+    flags = np.empty(n + len(slack_rows), dtype=np.int8)
+    flags[:n] = basis.var_status
+    for k, row in enumerate(slack_rows):
+        status = basis.row_status[row]
+        if status == NO_SLACK:
+            return None  # basis predates this row and was not extended
+        flags[n + k] = status
+    # Equality rows carry no slack; any non-sentinel status there is ignored.
+    return flags
 
 
 def _bound_only_solution(
@@ -126,8 +246,133 @@ def _bound_only_solution(
     return x
 
 
+# -- LU kernels (scipy when available, pure numpy otherwise) -----------------
+
+
+def _np_lu_factor(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Partial-pivot LU compatible with :func:`_np_lu_solve` (getrf layout)."""
+    lu = a.copy()
+    m = lu.shape[0]
+    piv = np.arange(m)
+    for k in range(m):
+        p = k + int(np.argmax(np.abs(lu[k:, k])))
+        piv[k] = p
+        if p != k:
+            lu[[k, p]] = lu[[p, k]]
+        pivot = lu[k, k]
+        if pivot != 0.0:
+            lu[k + 1 :, k] /= pivot
+            lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+    return lu, piv
+
+
+def _np_lu_solve(
+    lu_piv: Tuple[np.ndarray, np.ndarray], b: np.ndarray, trans: int = 0
+) -> np.ndarray:
+    lu, piv = lu_piv
+    m = lu.shape[0]
+    x = np.asarray(b, dtype=float).copy()
+    if trans == 0:
+        for k in range(m):  # apply row swaps: P b
+            p = piv[k]
+            if p != k:
+                x[k], x[p] = x[p], x[k]
+        for k in range(1, m):  # L y = P b (unit diagonal)
+            x[k] -= lu[k, :k] @ x[:k]
+        for k in range(m - 1, -1, -1):  # U x = y
+            x[k] = (x[k] - lu[k, k + 1 :] @ x[k + 1 :]) / lu[k, k]
+    else:
+        for k in range(m):  # U^T y = b
+            x[k] = (x[k] - lu[:k, k] @ x[:k]) / lu[k, k]
+        for k in range(m - 1, -1, -1):  # L^T z = y
+            x[k] -= lu[k + 1 :, k] @ x[k + 1 :]
+        for k in range(m - 1, -1, -1):  # P^T x = z
+            p = piv[k]
+            if p != k:
+                x[k], x[p] = x[p], x[k]
+    return x
+
+
+class _SingularBasis(Exception):
+    pass
+
+
+class _BasisFactors:
+    """LU factors of the basis matrix plus a product-form eta file.
+
+    After a pivot replacing basic position ``pos`` with a column whose FTRAN
+    image is ``alpha`` (= B^-1 a_entering), the inverse is updated as
+    ``B_new^-1 = E^-1 B_old^-1`` where ``E^-1`` is the identity with column
+    ``pos`` replaced by the eta vector. FTRAN applies the LU solve then the
+    etas oldest-first; BTRAN applies the transposed etas newest-first then
+    the LU back-solve.
+    """
+
+    def __init__(self, basis_matrix: np.ndarray) -> None:
+        self.m = basis_matrix.shape[0]
+        if _HAVE_SCIPY_LU:
+            self._lu = _sp_lu_factor(basis_matrix, check_finite=False)
+            diag = np.abs(np.diag(self._lu[0]))
+        else:
+            self._lu = _np_lu_factor(basis_matrix)
+            diag = np.abs(np.diag(self._lu[0]))
+        scale = diag.max(initial=0.0)
+        if scale == 0.0 or diag.min() < _SINGULAR_TOL * max(1.0, scale):
+            raise _SingularBasis
+        self.etas: List[Tuple[int, np.ndarray]] = []
+
+    def _lu_solve(self, rhs: np.ndarray, trans: int) -> np.ndarray:
+        if _HAVE_SCIPY_LU:
+            return _sp_lu_solve(self._lu, rhs, trans=trans, check_finite=False)
+        return _np_lu_solve(self._lu, rhs, trans=trans)
+
+    @property
+    def eta_len(self) -> int:
+        return len(self.etas)
+
+    @property
+    def stale(self) -> bool:
+        return len(self.etas) >= _REFACTOR_EVERY
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs``."""
+        x = self._lu_solve(rhs, trans=0)
+        for pos, eta in self.etas:
+            t = x[pos]
+            if t != 0.0:
+                x += eta * t
+                x[pos] = eta[pos] * t
+        return x
+
+    def btran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B^T y = rhs``."""
+        y = np.asarray(rhs, dtype=float).copy()
+        for pos, eta in reversed(self.etas):
+            y[pos] = eta @ y
+        return self._lu_solve(y, trans=1)
+
+    def update(self, alpha: np.ndarray, pos: int) -> None:
+        """Record the pivot replacing basic position ``pos``.
+
+        ``alpha`` is the FTRAN image of the entering column against the
+        *current* factors. Raises :class:`_SingularBasis` on a pivot element
+        too small to divide by — the caller refactorizes.
+        """
+        pivot = alpha[pos]
+        if abs(pivot) < _PIVOT_TOL:
+            raise _SingularBasis
+        eta = -alpha / pivot
+        eta[pos] = 1.0 / pivot
+        self.etas.append((pos, eta))
+
+
 class _BoundedSimplex:
-    """Two-phase revised simplex over ``A x = b, lb <= x <= ub``."""
+    """Two-phase revised simplex over ``A x = b, lb <= x <= ub``.
+
+    The tableau columns are laid out as ``[structural+slack | artificial]``;
+    the artificial block only participates in cold starts and is pinned at
+    zero afterwards (and from the beginning on warm starts).
+    """
 
     def __init__(
         self,
@@ -138,20 +383,16 @@ class _BoundedSimplex:
         max_iterations: Optional[int],
     ) -> None:
         self.m, self.n = a.shape
-        self.lb = lb
-        self.ub = ub
         self.max_iterations = max_iterations or max(
             5000, _MAX_ITER_FACTOR * (self.m + self.n)
         )
         # Start every structural variable at a finite bound (0 for free vars).
-        self.xn = np.where(
-            np.isfinite(lb), lb, np.where(np.isfinite(ub), ub, 0.0)
-        )
-        self.status_flags = np.where(
+        xn = np.where(np.isfinite(lb), lb, np.where(np.isfinite(ub), ub, 0.0))
+        flags = np.where(
             np.isfinite(lb), _AT_LOWER, np.where(np.isfinite(ub), _AT_UPPER, _AT_LOWER)
         ).astype(np.int8)
 
-        residual = b - a @ self.xn
+        residual = b - a @ xn
         # One artificial per row, signed so its value is |residual| >= 0.
         art_cols = np.zeros((self.m, self.m))
         for i in range(self.m):
@@ -160,22 +401,40 @@ class _BoundedSimplex:
         self.b = b
         self.lb = np.concatenate([lb, np.zeros(self.m)])
         self.ub = np.concatenate([ub, np.full(self.m, math.inf)])
-        self.xn = np.concatenate([self.xn, np.abs(residual)])
+        self.xn = np.concatenate([xn, np.abs(residual)])
         self.status_flags = np.concatenate(
-            [self.status_flags, np.full(self.m, _BASIC, dtype=np.int8)]
+            [flags, np.full(self.m, _BASIC, dtype=np.int8)]
         )
-        self.basis = list(range(self.n, self.n + self.m))
+        self.basis: List[int] = list(range(self.n, self.n + self.m))
         self.n_total = self.n + self.m
         self.n_structural = self.n
 
+        self.factors: Optional[_BasisFactors] = None
+        self.xb: Optional[np.ndarray] = None
+        self.warm_started = False
+        self.refactorizations = 0
+        self.dual_pivots = 0
+        self.max_eta_len = 0
+        self._bland_after = bland_cutover(self.m, self.n)
+
     # -- main driver ---------------------------------------------------------
 
-    def solve(self, c_structural: np.ndarray):
+    def solve(self, c: np.ndarray, warm_flags: Optional[np.ndarray] = None):
         iterations = 0
+        if warm_flags is not None and self._install(warm_flags):
+            self.warm_started = True
+            outcome = self._warm_solve(c)
+            if outcome is not None:
+                return outcome
+            # Warm start went nowhere (stale numerics); restart cold.
+            self.warm_started = False
+            self.dual_pivots = 0
+            self._reset_cold()
+
         # Phase 1: minimize sum of artificials.
         c1 = np.zeros(self.n_total)
         c1[self.n_structural :] = 1.0
-        status, it1 = self._optimize(c1)
+        status, it1 = self._primal(c1)
         iterations += it1
         if status is not LPStatus.OPTIMAL and status is not LPStatus.UNBOUNDED:
             return status, iterations
@@ -187,28 +446,161 @@ class _BoundedSimplex:
         self._evict_artificials()
 
         # Phase 2: real objective on structural columns only.
-        c2 = np.zeros(self.n_total)
-        c2[: self.n_structural] = c_structural
-        status, it2 = self._optimize(c2)
-        iterations += it2
-        return status, iterations
+        status, it2 = self._primal(self._full_cost(c))
+        return status, iterations + it2
 
     def solution(self) -> np.ndarray:
         return self._values()[: self.n_structural]
 
-    # -- internals ---------------------------------------------------------
+    def export_basis(self, n: int, m: int, slack_rows: List[int]) -> Optional[LPBasis]:
+        """Snapshot the current basis, or None if an artificial is basic."""
+        flags = self.status_flags
+        if np.any(flags[self.n_structural :] == _BASIC):
+            return None  # degenerate leftover: not a clean structural basis
+        var_status = flags[:n].astype(np.int8).copy()
+        row_status = np.full(m, NO_SLACK, dtype=np.int8)
+        for k, row in enumerate(slack_rows):
+            row_status[row] = flags[n + k]
+        return LPBasis(var_status, row_status)
+
+    # -- warm start ----------------------------------------------------------
+
+    def _install(self, flags: np.ndarray) -> bool:
+        """Adopt an external basis; True on success (factors + xb ready)."""
+        if len(flags) != self.n_structural:
+            return False
+        full = np.concatenate(
+            [flags.astype(np.int8), np.full(self.m, _AT_LOWER, dtype=np.int8)]
+        )
+        basis = [int(j) for j in np.flatnonzero(full == _BASIC)]
+        if len(basis) != self.m:
+            return False
+        # Artificials never participate in a warm solve.
+        self.ub[self.n_structural :] = 0.0
+        # Normalize nonbasic statuses against the *current* bounds (they may
+        # have changed since the basis was recorded: branching tightens them).
+        lb, ub = self.lb, self.ub
+        nonbasic = full != _BASIC
+        at_upper = nonbasic & (full == _AT_UPPER) & ~np.isfinite(ub)
+        full[at_upper] = _AT_LOWER
+        at_lower = nonbasic & (full == _AT_LOWER) & ~np.isfinite(lb)
+        flip = at_lower & np.isfinite(ub)
+        full[flip] = _AT_UPPER
+        xn = np.where(full == _AT_UPPER, ub, np.where(np.isfinite(lb), lb, 0.0))
+        try:
+            factors = _BasisFactors(self.a[:, basis])
+        except _SingularBasis:
+            return False
+        self.refactorizations += 1
+        self.status_flags = full
+        self.basis = basis
+        self.xn = xn
+        self.factors = factors
+        self._recompute_xb()
+        return True
+
+    def _reset_cold(self) -> None:
+        """Restore the artificial starting basis after a failed warm start."""
+        lb, ub = self.lb[: self.n], self.ub[: self.n]
+        xn = np.where(np.isfinite(lb), lb, np.where(np.isfinite(ub), ub, 0.0))
+        flags = np.where(
+            np.isfinite(lb), _AT_LOWER, np.where(np.isfinite(ub), _AT_UPPER, _AT_LOWER)
+        ).astype(np.int8)
+        # The artificial column signs from __init__ match this residual
+        # (same starting point), so only their bounds need restoring.
+        residual = self.b - self.a[:, : self.n] @ xn
+        self.ub[self.n_structural :] = math.inf
+        self.xn = np.concatenate([xn, np.abs(residual)])
+        self.status_flags = np.concatenate(
+            [flags, np.full(self.m, _BASIC, dtype=np.int8)]
+        )
+        self.basis = list(range(self.n, self.n + self.m))
+        self.factors = None
+        self.xb = None
+
+    def _warm_solve(self, c: np.ndarray):
+        """Dual (or primal phase-2) re-optimization from the installed basis.
+
+        Returns ``(status, iterations)``, or None to request a cold restart.
+        """
+        c_full = self._full_cost(c)
+        reduced = self._reduced_costs(c_full)
+        if self._dual_feasible(reduced):
+            status, its = self._dual(c_full)
+            if status is LPStatus.OPTIMAL:
+                # Polish with primal phase 2 (usually 0 iterations): bound
+                # flips during the dual pass can leave tiny residuals.
+                status2, its2 = self._primal(c_full)
+                return status2, its + its2
+            if status is LPStatus.INFEASIBLE:
+                return LPStatus.INFEASIBLE, its
+            return None  # iteration cap / numerics: cold restart
+        if self._primal_feasible():
+            # Basis is primal feasible but not dual feasible (e.g. the
+            # objective changed): plain phase 2, still no phase 1.
+            return self._primal(c_full)
+        return None
+
+    def _full_cost(self, c: np.ndarray) -> np.ndarray:
+        if len(c) == self.n_total:
+            return c
+        full = np.zeros(self.n_total)
+        full[: len(c)] = c
+        return full
+
+    # -- factorization-backed state ------------------------------------------
+
+    def _refactorize(self) -> None:
+        self.factors = _BasisFactors(self.a[:, self.basis])
+        self.refactorizations += 1
+
+    def _ensure_factors(self) -> None:
+        if self.factors is None or self.factors.stale:
+            if self.factors is not None:
+                self.max_eta_len = max(self.max_eta_len, self.factors.eta_len)
+            self._refactorize()
+            self._recompute_xb()
+
+    def _recompute_xb(self) -> None:
+        nonbasic_contrib = np.where(self.status_flags == _BASIC, 0.0, self.xn)
+        rhs = self.b - self.a @ nonbasic_contrib
+        self.xb = self.factors.ftran(rhs)
 
     def _values(self) -> np.ndarray:
         values = self.xn.copy()
-        basis_matrix = self.a[:, self.basis]
-        rhs = self.b - self.a @ np.where(self.status_flags == _BASIC, 0.0, self.xn)
-        xb = np.linalg.solve(basis_matrix, rhs)
-        for pos, var in enumerate(self.basis):
-            values[var] = xb[pos]
+        if self.xb is None:
+            self._ensure_factors()
+        values[self.basis] = self.xb
         return values
+
+    def _reduced_costs(self, c: np.ndarray) -> np.ndarray:
+        y = self.factors.btran(c[self.basis])
+        return c - y @ self.a
+
+    def _dual_feasible(self, reduced: np.ndarray, tol: float = 1e-7) -> bool:
+        flags = self.status_flags
+        lb, ub = self.lb, self.ub
+        movable = (flags != _BASIC) & (lb != ub)
+        free = movable & ~np.isfinite(lb) & ~np.isfinite(ub)
+        if np.any(np.abs(reduced[free]) > tol):
+            return False
+        low = movable & (flags == _AT_LOWER) & ~free
+        if np.any(reduced[low] < -tol):
+            return False
+        up = movable & (flags == _AT_UPPER)
+        return not np.any(reduced[up] > tol)
+
+    def _primal_feasible(self, tol: float = _FEAS_TOL) -> bool:
+        basis = self.basis
+        lo = self.lb[basis]
+        hi = self.ub[basis]
+        return bool(
+            np.all(self.xb >= lo - tol) and np.all(self.xb <= hi + tol)
+        )
 
     def _evict_artificials(self) -> None:
         """Pivot basic artificials (at value ~0) out of the basis when possible."""
+        changed = False
         for pos in range(self.m):
             var = self.basis[pos]
             if var < self.n_structural:
@@ -225,26 +617,24 @@ class _BoundedSimplex:
                 pivot = binv_row @ self.a[:, j]
                 if abs(pivot) > 1e-7:
                     self._pivot(entering=j, leaving_pos=pos, t=0.0, entering_to=None)
+                    changed = True
                     break
+        if changed:
+            self.factors = None
+            self.xb = None
 
-    def _optimize(self, c: np.ndarray):
-        from scipy.linalg import lu_factor, lu_solve
+    # -- primal simplex ------------------------------------------------------
 
+    def _primal(self, c: np.ndarray):
         iteration = 0
         while iteration < self.max_iterations:
-            basis_matrix = self.a[:, self.basis]
-            nonbasic_contrib = np.where(self.status_flags == _BASIC, 0.0, self.xn)
-            rhs = self.b - self.a @ nonbasic_contrib
             try:
-                # One LU factorization serves all three solves this iteration.
-                lu = lu_factor(basis_matrix)
-                xb = lu_solve(lu, rhs)
-                y = lu_solve(lu, c[self.basis], trans=1)
-            except (np.linalg.LinAlgError, ValueError):
+                self._ensure_factors()
+                reduced = self._reduced_costs(c)
+            except _SingularBasis:
                 return LPStatus.INFEASIBLE, iteration
-            reduced = c - y @ self.a
 
-            use_bland = iteration > _BLAND_AFTER
+            use_bland = iteration > self._bland_after
             entering = self._price(reduced, use_bland)
             if entering is None:
                 return LPStatus.OPTIMAL, iteration
@@ -256,39 +646,11 @@ class _BoundedSimplex:
                 direction = -1.0 if reduced[entering] > 0 else 1.0
             else:
                 direction = 1.0 if self.status_flags[entering] == _AT_LOWER else -1.0
-            col = lu_solve(lu, self.a[:, entering]) * direction
+            col = self.factors.ftran(self.a[:, entering]) * direction
 
-            # Ratio test: basic variables hitting bounds, or the entering
-            # variable flipping to its opposite bound.
-            limit = self.ub[entering] - self.lb[entering]
-            best_t = limit
-            leaving_pos = None
-            leaving_to = None
-            for pos in range(self.m):
-                if col[pos] > _TOL:
-                    bound = self.lb[self.basis[pos]]
-                    if not math.isfinite(bound):
-                        continue
-                    t = max(0.0, (xb[pos] - bound) / col[pos])
-                    to = _AT_LOWER
-                elif col[pos] < -_TOL:
-                    bound = self.ub[self.basis[pos]]
-                    if not math.isfinite(bound):
-                        continue
-                    t = max(0.0, (bound - xb[pos]) / (-col[pos]))
-                    to = _AT_UPPER
-                else:
-                    continue
-                if t < best_t - _TOL:
-                    best_t, leaving_pos, leaving_to = t, pos, to
-                elif abs(t - best_t) <= _TOL and leaving_pos is not None:
-                    # Tie-break: Bland picks the smallest variable index to
-                    # guarantee termination; otherwise keep the first hit.
-                    if use_bland and self.basis[pos] < self.basis[leaving_pos]:
-                        best_t, leaving_pos, leaving_to = t, pos, to
-                elif leaving_pos is None and t <= best_t + _TOL:
-                    best_t, leaving_pos, leaving_to = t, pos, to
-
+            best_t, leaving_pos, leaving_to = self._ratio_test(
+                entering, col, use_bland
+            )
             if leaving_pos is None and not math.isfinite(best_t):
                 return LPStatus.UNBOUNDED, iteration
 
@@ -303,37 +665,153 @@ class _BoundedSimplex:
                     if self.status_flags[entering] == _AT_UPPER
                     else self.lb[entering]
                 )
+                self.xb -= best_t * col
             else:
+                entering_value = self.xn[entering] + best_t * direction
+                self.xb -= best_t * col
+                self.xb[leaving_pos] = entering_value
+                try:
+                    self.factors.update(col * direction, leaving_pos)
+                except _SingularBasis:
+                    self.factors = None  # refactorize next round
                 self._pivot(entering, leaving_pos, best_t * direction, leaving_to)
             iteration += 1
         return LPStatus.ITERATION_LIMIT, iteration
 
+    def _ratio_test(self, entering: int, col: np.ndarray, use_bland: bool):
+        """Max step for the entering variable; vectorized over basic rows."""
+        basis = np.asarray(self.basis)
+        xb = self.xb
+        t = np.full(self.m, math.inf)
+        to = np.full(self.m, _AT_LOWER, dtype=np.int8)
+
+        pos_rows = col > _TOL
+        if np.any(pos_rows):
+            bound = self.lb[basis[pos_rows]]
+            ok = np.isfinite(bound)
+            idx = np.flatnonzero(pos_rows)[ok]
+            t[idx] = np.maximum(0.0, (xb[idx] - bound[ok]) / col[idx])
+        neg_rows = col < -_TOL
+        if np.any(neg_rows):
+            bound = self.ub[basis[neg_rows]]
+            ok = np.isfinite(bound)
+            idx = np.flatnonzero(neg_rows)[ok]
+            t[idx] = np.maximum(0.0, (bound[ok] - xb[idx]) / (-col[idx]))
+            to[idx] = _AT_UPPER
+
+        limit = self.ub[entering] - self.lb[entering]
+        row_min = t.min(initial=math.inf)
+        if row_min >= limit:
+            # Bound flip (or unbounded when the limit is infinite too).
+            return limit, None, None
+        ties = np.flatnonzero(t <= row_min + _TOL)
+        if use_bland:
+            # Bland: smallest leaving variable index for termination.
+            pos = int(ties[np.argmin(basis[ties])])
+        else:
+            # Stability: largest pivot magnitude among the tied rows.
+            pos = int(ties[np.argmax(np.abs(col[ties]))])
+        return float(t[pos]), pos, int(to[pos])
+
     def _price(self, reduced: np.ndarray, use_bland: bool) -> Optional[int]:
         """Pick the entering variable (Dantzig, or Bland when anti-cycling)."""
-        best = None
-        best_score = _TOL
-        for j in range(self.n_total):
-            flag = self.status_flags[j]
-            if flag == _BASIC:
-                continue
-            if self.lb[j] == self.ub[j]:
-                continue  # fixed variable can never improve
-            score = 0.0
-            free = not math.isfinite(self.lb[j]) and not math.isfinite(self.ub[j])
-            if free and abs(reduced[j]) > _TOL:
-                # A free nonbasic variable improves in either direction.
-                score = abs(reduced[j])
-            elif flag == _AT_LOWER and reduced[j] < -_TOL:
-                score = -reduced[j]
-            elif flag == _AT_UPPER and reduced[j] > _TOL:
-                score = reduced[j]
-            if score > _TOL:
-                if use_bland:
-                    return j
-                if score > best_score:
-                    best_score = score
-                    best = j
-        return best
+        flags = self.status_flags
+        lb, ub = self.lb, self.ub
+        movable = (flags != _BASIC) & (lb != ub)
+        free = movable & ~np.isfinite(lb) & ~np.isfinite(ub)
+        score = np.zeros(self.n_total)
+        if np.any(free):
+            score[free] = np.abs(reduced[free])
+        low = movable & (flags == _AT_LOWER) & ~free
+        score[low] = -reduced[low]
+        up = movable & (flags == _AT_UPPER)
+        score[up] = reduced[up]
+        candidates = score > _TOL
+        if not np.any(candidates):
+            return None
+        if use_bland:
+            return int(np.argmax(candidates))  # first candidate index
+        return int(np.argmax(score))
+
+    # -- dual simplex --------------------------------------------------------
+
+    def _dual(self, c: np.ndarray):
+        """Bounded-variable dual simplex from a dual-feasible basis.
+
+        Pivots until the basics are back inside their bounds (OPTIMAL), no
+        entering column exists (primal INFEASIBLE), or the iteration cap
+        trips (caller falls back to a cold start).
+        """
+        iteration = 0
+        while iteration < self.max_iterations:
+            try:
+                self._ensure_factors()
+            except _SingularBasis:
+                return LPStatus.ITERATION_LIMIT, iteration
+            basis = np.asarray(self.basis)
+            lo = self.lb[basis]
+            hi = self.ub[basis]
+            below = np.where(np.isfinite(lo), lo - self.xb, -math.inf)
+            above = np.where(np.isfinite(hi), self.xb - hi, -math.inf)
+            viol = np.maximum(below, above)
+            r = int(np.argmax(viol))
+            if viol[r] <= _FEAS_TOL:
+                return LPStatus.OPTIMAL, iteration
+            to_lower = below[r] >= above[r]
+
+            reduced = self._reduced_costs(c)
+            binv_row = self.factors.btran(_unit(self.m, r))
+            alpha = binv_row @ self.a
+
+            entering = self._dual_ratio_test(reduced, alpha, to_lower)
+            if entering is None:
+                return LPStatus.INFEASIBLE, iteration
+
+            alpha_q = self.factors.ftran(self.a[:, entering])
+            bound_r = lo[r] if to_lower else hi[r]
+            step = (self.xb[r] - bound_r) / alpha[entering]
+            self.xb -= step * alpha_q
+            self.xb[r] = self.xn[entering] + step
+            try:
+                self.factors.update(alpha_q, r)
+            except _SingularBasis:
+                self.factors = None
+            self._pivot(
+                entering, r, step, _AT_LOWER if to_lower else _AT_UPPER
+            )
+            iteration += 1
+            self.dual_pivots += 1
+        return LPStatus.ITERATION_LIMIT, iteration
+
+    def _dual_ratio_test(
+        self, reduced: np.ndarray, alpha: np.ndarray, to_lower: bool
+    ) -> Optional[int]:
+        """Entering column keeping the reduced costs dual feasible."""
+        flags = self.status_flags
+        lb, ub = self.lb, self.ub
+        movable = (flags != _BASIC) & (lb != ub)
+        free = movable & ~np.isfinite(lb) & ~np.isfinite(ub)
+        # Leaving variable sits below its lower bound (to_lower): its row
+        # value must increase, so entering-at-lower needs alpha < 0 and
+        # entering-at-upper needs alpha > 0; mirrored when above the upper.
+        if to_lower:
+            ok_low = movable & (flags == _AT_LOWER) & (alpha < -_PIVOT_TOL)
+            ok_up = movable & (flags == _AT_UPPER) & (alpha > _PIVOT_TOL)
+        else:
+            ok_low = movable & (flags == _AT_LOWER) & (alpha > _PIVOT_TOL)
+            ok_up = movable & (flags == _AT_UPPER) & (alpha < -_PIVOT_TOL)
+        ok_free = free & (np.abs(alpha) > _PIVOT_TOL)
+        candidates = ok_low | ok_up | ok_free
+        if not np.any(candidates):
+            return None
+        idx = np.flatnonzero(candidates)
+        ratios = np.abs(reduced[idx]) / np.abs(alpha[idx])
+        best = ratios.min()
+        ties = idx[ratios <= best + _TOL]
+        # Prefer the largest pivot among the tied ratios for stability.
+        return int(ties[np.argmax(np.abs(alpha[ties]))])
+
+    # -- pivot bookkeeping ---------------------------------------------------
 
     def _pivot(
         self,

@@ -24,14 +24,48 @@ import numpy as np
 from .. import obs
 from .branch_and_bound import BnBOptions, BnBStats, MilpOutcome, solve_milp
 from .expr import LinExpr, Var
+from .incremental import WarmStartContext
 from .model import Model
 from .scipy_backend import scipy_milp_available, solve_with_scipy
 
-__all__ = ["SolveResult", "Status", "solve"]
+__all__ = ["AutoTuning", "SolveResult", "Status", "configure_auto", "solve"]
 
-# Model sizes above which "auto" prefers the HiGHS backend.
-_AUTO_SCIPY_VARS = 60
-_AUTO_SCIPY_CONSTRS = 150
+
+@dataclass
+class AutoTuning:
+    """Dispatch thresholds for the ``"auto"`` backend.
+
+    ``auto`` routes to HiGHS when the model exceeds *either* threshold and
+    scipy is importable, otherwise to the from-scratch branch-and-bound.
+    Defaults were recalibrated from the ``BENCH_ilp.json`` scaling sweep
+    after the warm-start work: with basis inheritance the from-scratch
+    solver beats HiGHS up to roughly 80 binaries / 150 rows on the
+    set-cover-shaped models this project produces (it was cut over at 60
+    variables before), and falls behind quickly after. Override per call
+    (``solve(..., tuning=...)``), per process (:func:`configure_auto`,
+    which the CLI's ``--auto-scipy-vars`` / ``--auto-scipy-constrs`` flags
+    use), or not at all.
+    """
+
+    scipy_vars: int = 80
+    scipy_constrs: int = 200
+
+    def prefers_scipy(self, num_vars: int, num_constrs: int) -> bool:
+        return num_vars > self.scipy_vars or num_constrs > self.scipy_constrs
+
+
+_DEFAULT_TUNING = AutoTuning()
+
+
+def configure_auto(
+    scipy_vars: Optional[int] = None, scipy_constrs: Optional[int] = None
+) -> AutoTuning:
+    """Override the process-wide ``auto`` thresholds; returns the active set."""
+    if scipy_vars is not None:
+        _DEFAULT_TUNING.scipy_vars = scipy_vars
+    if scipy_constrs is not None:
+        _DEFAULT_TUNING.scipy_constrs = scipy_constrs
+    return _DEFAULT_TUNING
 
 
 class Status:
@@ -80,15 +114,23 @@ def solve(
     mip_rel_gap: Optional[float] = None,
     use_presolve: bool = False,
     options: Optional[BnBOptions] = None,
+    warm: Optional[WarmStartContext] = None,
+    tuning: Optional[AutoTuning] = None,
 ) -> SolveResult:
     """Solve ``model`` and return a :class:`SolveResult`.
 
     ``use_presolve`` applies the safe reductions of
     :mod:`repro.ilp.presolve` before dispatching (HiGHS presolves
     internally anyway; this mainly helps the from-scratch backend).
+
+    ``warm`` carries state across repeated solves of a growing model
+    (ILP-MR's loop): the export is incremental, and with the ``bnb``
+    backend the root LP re-optimizes from the previous optimal basis and
+    the previous optimum seeds the incumbent. Scipy/HiGHS has no warm
+    interface, so there the context only accelerates the export.
     """
     start = time.perf_counter()
-    form = model.to_matrix_form()
+    form = warm.refresh(model) if warm is not None else model.to_matrix_form()
 
     if form.num_vars == 0:
         # Degenerate model: every row's lhs is the constant 0.
@@ -106,7 +148,8 @@ def solve(
 
     chosen = backend
     if backend == "auto":
-        big = form.num_vars > _AUTO_SCIPY_VARS or form.num_constrs > _AUTO_SCIPY_CONSTRS
+        knobs = tuning or _DEFAULT_TUNING
+        big = knobs.prefers_scipy(form.num_vars, form.num_constrs)
         chosen = "scipy" if big and scipy_milp_available() else "bnb"
 
     if chosen == "scipy":
@@ -120,6 +163,14 @@ def solve(
             opts.gap = mip_rel_gap
 
         def run(f):
+            # Presolve rewrites the form, so the carried basis/incumbent
+            # only apply to the untransformed export.
+            if warm is not None and f is form:
+                outcome = solve_milp(
+                    f, opts, incumbent=warm.incumbent, basis=warm.basis
+                )
+                warm.absorb(outcome)
+                return outcome
             return solve_milp(f, opts)
     else:
         raise ValueError(f"unknown backend {backend!r}")

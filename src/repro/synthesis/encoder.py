@@ -113,9 +113,12 @@ class ArchitectureEncoder:
         backend: str = "auto",
         time_limit: Optional[float] = None,
         mip_rel_gap: Optional[float] = None,
+        warm=None,
+        options=None,
     ) -> SolveResult:
         return self.model.solve(
-            backend=backend, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+            backend=backend, time_limit=time_limit, mip_rel_gap=mip_rel_gap,
+            warm=warm, options=options,
         )
 
     def decode(self, result: SolveResult) -> Architecture:

@@ -14,6 +14,7 @@ import time
 from typing import Optional
 
 from .. import obs
+from ..ilp import BnBOptions, WarmStartContext
 from ..reliability import worst_case_failure
 from .learncons import learn_constraints
 from .result import IterationRecord, SynthesisResult
@@ -30,6 +31,7 @@ def synthesize_ilp_mr(
     max_iterations: int = 60,
     time_limit: Optional[float] = None,
     mip_rel_gap: Optional[float] = None,
+    warm: bool = True,
 ) -> SynthesisResult:
     """Run ILP-MR on a synthesis spec.
 
@@ -47,13 +49,27 @@ def synthesize_ilp_mr(
         models are highly symmetric (interchangeable buses/rectifiers), so a
         small gap (e.g. 1e-3) speeds large instances up considerably at a
         bounded cost-optimality loss.
+    warm:
+        Reuse work across iterations (default on): the encoded model is
+        exported incrementally as LEARNCONS appends rows, and with the
+        from-scratch backend each SOLVEILP re-optimizes from the previous
+        iteration's optimal basis (dual simplex) with the previous
+        candidate offered as incumbent. ``False`` restores the original
+        re-encode-and-cold-start-everything behavior — the cold baseline in
+        ``BENCH_ilp.json``.
     """
     if spec.reliability_target is None:
         raise ValueError("ILP-MR needs spec.reliability_target (r*)")
     r_star = spec.reliability_target
+    ctx: Optional[WarmStartContext] = WarmStartContext() if warm else None
+    # warm=False is the measured cold baseline: node-level basis inheritance
+    # inside branch-and-bound is switched off too, restoring the original
+    # two-phase cold start at every node.
+    bnb_options = None if warm else BnBOptions(warm_start=False)
 
     with obs.span(
-        "ilp_mr", strategy=strategy, backend=backend, rel_method=rel_method
+        "ilp_mr", strategy=strategy, backend=backend, rel_method=rel_method,
+        warm=warm,
     ) as run_span:
         with obs.span("ilp_mr.setup"):
             setup_start = time.perf_counter()
@@ -75,7 +91,8 @@ def synthesize_ilp_mr(
                     solve_start = time.perf_counter()
                     solved = enc.solve(
                         backend=backend, time_limit=time_limit,
-                        mip_rel_gap=mip_rel_gap,
+                        mip_rel_gap=mip_rel_gap, warm=ctx,
+                        options=bnb_options,
                     )
                     solver_time = time.perf_counter() - solve_start
                 result.solver_time += solver_time

@@ -187,3 +187,38 @@ class TestIterationTiming:
         assert res.setup_time + sum(
             r.solver_time + r.analysis_time for r in res.iterations
         ) == pytest.approx(res.total_time)
+
+
+class TestWarmStart:
+    """Warm-vs-cold equivalence of the full ILP-MR loop (acceptance check)."""
+
+    def test_warm_and_cold_reach_identical_result_bnb(self):
+        t = make_template(3, p=1e-2)
+        spec = make_spec(t, r_star=1e-4)
+        warm = synthesize_ilp_mr(spec, backend="bnb", warm=True)
+        cold = synthesize_ilp_mr(spec, backend="bnb", warm=False)
+        assert warm.status == cold.status == "optimal"
+        assert warm.cost == cold.cost  # bit-identical optimal cost
+        assert warm.num_iterations == cold.num_iterations
+        assert warm.reliability == pytest.approx(cold.reliability)
+
+    def test_warm_and_cold_agree_on_eps_instance(self):
+        from repro.eps import build_eps_template, eps_spec
+
+        spec = eps_spec(
+            build_eps_template(num_generators=2), reliability_target=1e-3
+        )
+        warm = synthesize_ilp_mr(spec, backend="bnb", warm=True)
+        cold = synthesize_ilp_mr(spec, backend="bnb", warm=False)
+        assert warm.status == cold.status == "optimal"
+        assert warm.cost == cold.cost
+
+    def test_warm_flag_works_with_scipy_backend(self):
+        # scipy has no warm interface; the flag must still be accepted and
+        # only change export behavior, not results.
+        t = make_template(3, p=1e-2)
+        spec = make_spec(t, r_star=1e-4)
+        warm = synthesize_ilp_mr(spec, backend="scipy", warm=True)
+        cold = synthesize_ilp_mr(spec, backend="scipy", warm=False)
+        assert warm.status == cold.status == "optimal"
+        assert warm.cost == cold.cost

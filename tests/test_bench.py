@@ -1,0 +1,149 @@
+"""Benchmark harness: schema validation, document generation, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    PROFILES,
+    run_bench,
+    validate_bench_document,
+)
+
+#: Minimal profile so the harness itself can be tested in seconds.
+_TINY = {
+    "ilp_mr_bnb": [(2, 1e-3)],
+    "ilp_mr_scipy": [],
+    "lp_scaling": [(12, 16)],
+    "warm_lp": [2],
+}
+
+
+@pytest.fixture
+def tiny_profile(monkeypatch):
+    monkeypatch.setitem(PROFILES, "tiny", _TINY)
+    return "tiny"
+
+
+class TestRunBench:
+    def test_document_passes_own_schema(self, tiny_profile, tmp_path):
+        out = tmp_path / "BENCH_ilp.json"
+        doc = run_bench(
+            profile=tiny_profile, out=str(out), backends=("bnb",),
+            log=lambda *_: None,
+        )
+        assert validate_bench_document(doc) == []
+        on_disk = json.loads(out.read_text())
+        assert on_disk["schema"] == BENCH_SCHEMA
+        assert validate_bench_document(on_disk) == []
+
+    def test_warm_and_cold_measured_in_same_run(self, tiny_profile):
+        doc = run_bench(
+            profile=tiny_profile, out=None, backends=("bnb",),
+            log=lambda *_: None,
+        )
+        mr = [r for r in doc["rows"] if r["kind"] == "ilp_mr"]
+        assert mr, "profile must produce ILP-MR rows"
+        for row in mr:
+            assert row["costs_identical"], row
+            assert row["warm"]["wall_seconds"] > 0
+            assert row["cold"]["wall_seconds"] > 0
+            assert row["warm"]["warm_hit_rate"] > 0
+            assert row["cold"]["warm_lp_solves"] == 0
+        assert doc["summary"]["all_costs_identical"]
+        assert doc["summary"]["ilp_mr_min_speedup"] > 1.0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            run_bench(profile="nope", out=None)
+
+
+class TestValidation:
+    def good_doc(self):
+        return {
+            "schema": BENCH_SCHEMA,
+            "profile": "smoke",
+            "environment": {"python": "3"},
+            "rows": [
+                {
+                    "kind": "ilp_mr",
+                    "instance": "eps-g2",
+                    "backend": "bnb",
+                    "reliability_target": 1e-3,
+                    "speedup": 5.0,
+                    "costs_identical": True,
+                    "cold": {k: 1 for k in (
+                        "wall_seconds", "status", "cost", "iterations",
+                        "bnb_nodes", "lp_iterations", "warm_lp_solves",
+                        "cold_lp_solves", "warm_hit_rate",
+                    )},
+                    "warm": {k: 1 for k in (
+                        "wall_seconds", "status", "cost", "iterations",
+                        "bnb_nodes", "lp_iterations", "warm_lp_solves",
+                        "cold_lp_solves", "warm_hit_rate",
+                    )},
+                },
+            ],
+            "summary": {
+                "ilp_mr_min_speedup": 5.0,
+                "all_costs_identical": True,
+            },
+        }
+
+    def test_good_document(self):
+        assert validate_bench_document(self.good_doc()) == []
+
+    def test_wrong_schema_flagged(self):
+        doc = self.good_doc()
+        doc["schema"] = "something/else"
+        assert any("schema" in p for p in validate_bench_document(doc))
+
+    def test_missing_arm_fields_flagged(self):
+        doc = self.good_doc()
+        del doc["rows"][0]["warm"]["warm_hit_rate"]
+        problems = validate_bench_document(doc)
+        assert any("warm_hit_rate" in p for p in problems)
+
+    def test_unknown_row_kind_flagged(self):
+        doc = self.good_doc()
+        doc["rows"].append({"kind": "mystery"})
+        assert any("unknown kind" in p for p in validate_bench_document(doc))
+
+    def test_empty_rows_flagged(self):
+        doc = self.good_doc()
+        doc["rows"] = []
+        assert any("non-empty" in p for p in validate_bench_document(doc))
+
+
+class TestBenchCLI:
+    def test_cli_writes_and_validates(self, tiny_profile, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--profile", tiny_profile, "--out", str(out),
+            "--backends", "bnb",
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench_document(doc) == []
+        printed = capsys.readouterr().out
+        assert "ILP-MR warm vs cold" in printed
+        assert "min ILP-MR speedup" in printed
+
+    def test_cli_auto_threshold_flags(self, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.ilp.solver import _DEFAULT_TUNING
+
+        saved = (_DEFAULT_TUNING.scipy_vars, _DEFAULT_TUNING.scipy_constrs)
+        try:
+            rc = main([
+                "synthesize", "--size", "2", "--target", "1e-3",
+                "--auto-scipy-vars", "10", "--auto-scipy-constrs", "20",
+            ])
+            assert rc == 0
+            assert _DEFAULT_TUNING.scipy_vars == 10
+            assert _DEFAULT_TUNING.scipy_constrs == 20
+        finally:
+            _DEFAULT_TUNING.scipy_vars, _DEFAULT_TUNING.scipy_constrs = saved
