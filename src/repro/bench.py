@@ -22,14 +22,24 @@ see identical code and inputs:
 
 Run via ``repro bench`` or ``benchmarks/bench_suite.py``; validate a
 produced document with :func:`validate_bench_document` (CI does).
+
+The suite also doubles as a **regression sentinel**: each run can append
+a compact record to a ``BENCH_history.jsonl`` time series
+(:func:`append_history`) and be compared against the committed history
+with robust statistics (:func:`compare_history` — median + MAD, so one
+noisy CI run cannot poison the baseline). ``archex bench --compare``
+exits nonzero on a slowdown beyond the threshold, turning the 7–48x
+warm-start wins into a guarded property instead of a one-shot artifact.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,9 +51,20 @@ from .ilp.scipy_backend import scipy_milp_available, solve_with_scipy
 from .ilp.simplex import solve_lp
 from .synthesis import synthesize_ilp_mr
 
-__all__ = ["BENCH_SCHEMA", "run_bench", "validate_bench_document", "PROFILES"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "HISTORY_SCHEMA",
+    "run_bench",
+    "validate_bench_document",
+    "PROFILES",
+    "history_entry",
+    "append_history",
+    "read_history",
+    "compare_history",
+]
 
 BENCH_SCHEMA = "repro.bench/ilp/v1"
+HISTORY_SCHEMA = "repro.bench/history/v1"
 
 #: (num_generators, reliability_target) per profile for the ILP-MR rows
 #: solved with the from-scratch backend. Small targets multiply learncons
@@ -348,3 +369,160 @@ def validate_bench_document(doc: dict) -> List[str]:
         if key not in summary:
             problems.append(f"summary: missing {key!r}")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Regression sentinel: the BENCH_history.jsonl time series
+
+
+def _entry_metrics(doc: dict) -> Dict[str, float]:
+    """Flatten a bench document into scalar time-series metrics.
+
+    Keys are ``kind/instance[/backend]/metric``. ``*_seconds`` metrics
+    are lower-is-better; ``*/speedup`` is higher-is-better (the
+    comparator keys direction off the suffix).
+    """
+    metrics: Dict[str, float] = {}
+    for row in doc.get("rows", []):
+        kind = row.get("kind")
+        if kind == "ilp_mr":
+            base = f"ilp_mr/{row['instance']}/{row['backend']}"
+            metrics[f"{base}/warm_wall_seconds"] = row["warm"]["wall_seconds"]
+            metrics[f"{base}/cold_wall_seconds"] = row["cold"]["wall_seconds"]
+            metrics[f"{base}/speedup"] = row["speedup"]
+        elif kind == "lp_scaling":
+            base = f"lp_scaling/{row['instance']}"
+            metrics[f"{base}/bnb_seconds"] = row["bnb_seconds"]
+            if "scipy_seconds" in row:
+                metrics[f"{base}/scipy_seconds"] = row["scipy_seconds"]
+        elif kind == "warm_lp":
+            base = f"warm_lp/{row['instance']}"
+            metrics[f"{base}/warm_seconds"] = row["warm_seconds"]
+            metrics[f"{base}/cold_seconds"] = row["cold_seconds"]
+            metrics[f"{base}/speedup"] = row["speedup"]
+    return {k: float(v) for k, v in metrics.items() if v == v}  # drop NaN
+
+
+def history_entry(doc: dict) -> dict:
+    """One compact, appendable time-series record for a bench document."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "generated_at": doc.get("generated_at"),
+        "profile": doc.get("profile"),
+        "environment": doc.get("environment", {}),
+        "metrics": _entry_metrics(doc),
+    }
+
+
+def append_history(
+    doc: dict, path: Union[str, Path] = "BENCH_history.jsonl"
+) -> dict:
+    """Append ``doc``'s :func:`history_entry` to the JSONL series."""
+    entry = history_entry(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def read_history(
+    path: Union[str, Path], profile: Optional[str] = None
+) -> List[dict]:
+    """Read the history series (optionally only one profile's entries).
+
+    Unknown schemas and truncated lines are skipped — the sentinel must
+    keep working across history format evolution.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if entry.get("schema") != HISTORY_SCHEMA:
+            continue
+        if profile is not None and entry.get("profile") != profile:
+            continue
+        entries.append(entry)
+    return entries
+
+
+def _metric_direction(name: str) -> str:
+    return "higher" if name.endswith("speedup") else "lower"
+
+
+def compare_history(
+    doc: dict,
+    history: Sequence[dict],
+    threshold: float = 0.5,
+    min_runs: int = 2,
+    mad_factor: float = 4.0,
+    min_seconds: float = 0.02,
+) -> List[Dict[str, Any]]:
+    """Robust-statistic verdicts for ``doc`` against past history entries.
+
+    For each metric the baseline is the **median** of past values and the
+    noise scale the **MAD** (median absolute deviation). A lower-is-better
+    metric regresses only when the current value clears *both* gates::
+
+        current > median * (1 + threshold)          # relative slowdown
+        current > median + mad_factor * MAD         # outside normal noise
+
+    and the absolute excess is at least ``min_seconds`` (micro-benchmarks
+    jitter by milliseconds; a 60% slowdown on a 2 ms solve is not a
+    finding). ``*/speedup`` metrics mirror the gates downward. Metrics
+    with fewer than ``min_runs`` past samples report ``no-history`` and
+    never fail the gate.
+
+    Returns one verdict dict per metric: ``metric``, ``current``,
+    ``median``, ``mad``, ``runs``, ``ratio`` (current/median) and
+    ``status`` in ``{"ok", "regression", "improved", "no-history"}``.
+    """
+    current = _entry_metrics(doc)
+    verdicts: List[Dict[str, Any]] = []
+    for name in sorted(current):
+        value = current[name]
+        past = [
+            e["metrics"][name]
+            for e in history
+            if isinstance(e.get("metrics"), dict) and name in e["metrics"]
+        ]
+        if len(past) < min_runs:
+            verdicts.append({
+                "metric": name, "current": value, "median": None,
+                "mad": None, "runs": len(past), "ratio": None,
+                "status": "no-history",
+            })
+            continue
+        med = statistics.median(past)
+        mad = statistics.median(abs(x - med) for x in past)
+        ratio = value / med if med else float("inf")
+        direction = _metric_direction(name)
+        if direction == "lower":
+            regressed = (
+                value > med * (1.0 + threshold)
+                and value > med + mad_factor * mad
+                and value - med > min_seconds
+            )
+            improved = value < med * (1.0 - threshold)
+        else:
+            regressed = (
+                value < med * (1.0 - min(threshold, 0.99))
+                and value < med - mad_factor * mad
+            )
+            improved = value > med * (1.0 + threshold)
+        status = "regression" if regressed else (
+            "improved" if improved else "ok"
+        )
+        verdicts.append({
+            "metric": name, "current": value, "median": med, "mad": mad,
+            "runs": len(past), "ratio": ratio, "status": status,
+        })
+    return verdicts

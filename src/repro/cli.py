@@ -34,12 +34,20 @@ through the exploration engine and accept ``--jobs`` / ``--cache-dir`` /
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from . import obs
-from .bench import PROFILES, run_bench, validate_bench_document
+from .bench import (
+    PROFILES,
+    append_history,
+    compare_history,
+    read_history,
+    run_bench,
+    validate_bench_document,
+)
 from .domains import build_comm_network_template, build_power_grid_template
 from .ilp import configure_auto
 from .domains.comm_network import comm_network_requirements
@@ -58,6 +66,7 @@ from .report import (
     format_scientific,
     format_table,
     render_batch_summary,
+    render_bench_comparison,
     render_metrics,
     render_profile,
     render_verification_table,
@@ -423,9 +432,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
         raise SystemExit("profile: cannot profile itself")
     parser = build_parser()
     inner = parser.parse_args(argv)
-    # The inner command's own --trace flags are subsumed by this wrapper.
+    # The inner command's own --trace/--sample-profile flags are subsumed
+    # by this wrapper (main() already consumed the outer ones).
     inner.trace = False
     inner.trace_out = None
+    inner.sample_profile = None
+    inner.serve = None
+    inner.log = None
     obs.reset_metrics()
     with obs.tracing() as tracer:
         code = inner.func(inner)
@@ -433,9 +446,44 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return code
 
 
+def _bench_sentinel(doc: dict, args: argparse.Namespace) -> int:
+    """The ``--compare`` regression gate: compare, report, then append."""
+    history = read_history(args.history, profile=doc.get("profile"))
+    verdicts = compare_history(doc, history, threshold=args.threshold)
+    print(section("bench regression sentinel"))
+    print(render_bench_comparison(verdicts))
+    regressions = [v for v in verdicts if v["status"] == "regression"]
+    fresh = [v for v in verdicts if v["status"] == "no-history"]
+    if fresh:
+        print(f"\n{len(fresh)} metric(s) lack history "
+              f"(need >= 2 prior runs in {args.history})")
+    if not args.no_append:
+        append_history(doc, args.history)
+        print(f"appended this run to {args.history} "
+              f"({len(history) + 1} entries for profile "
+              f"{doc.get('profile')!r})")
+    if regressions:
+        names = ", ".join(v["metric"] for v in regressions)
+        print(f"\nREGRESSION: {len(regressions)} metric(s) slower than the "
+              f"history baseline: {names}")
+        if args.warn_only:
+            print("(warn-only mode: not failing the gate)")
+            return 0
+        return 1
+    print("\nsentinel: no regressions against the history baseline")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    out = None if args.out == "-" else args.out
-    doc = run_bench(profile=args.profile, out=out, backends=args.backends)
+    if args.from_doc:
+        with open(args.from_doc) as fh:
+            doc = json.load(fh)
+        print(f"loaded bench document {args.from_doc} "
+              f"(profile {doc.get('profile')!r}, {len(doc.get('rows', []))} "
+              "rows; skipping the measurement run)")
+    else:
+        out = None if args.out == "-" else args.out
+        doc = run_bench(profile=args.profile, out=out, backends=args.backends)
     problems = validate_bench_document(doc)
     summary = doc["summary"]
     rows = [
@@ -466,6 +514,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not summary["all_costs_identical"] or not summary["all_objectives_agree"]:
         print("\nWARM/COLD DISAGREEMENT — see the document rows")
         return 1
+    if args.compare:
+        return _bench_sentinel(doc, args)
     return 0
 
 
@@ -477,7 +527,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def obs_args(p: argparse.ArgumentParser) -> None:
+        """Live observability flags shared by every long-running command."""
+        p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       help="expose /metrics (Prometheus), /runs and "
+                       "/healthz on 127.0.0.1:PORT for the duration of the "
+                       "command (0 = pick an ephemeral port)")
+        p.add_argument("--log", default=None, metavar="FILE",
+                       help="append structured JSON logs (run/job/span "
+                       "correlated) to FILE")
+        p.add_argument("--log-level", default="info",
+                       choices=["debug", "info", "warning", "error"],
+                       help="minimum level for --log records")
+        p.add_argument("--sample-profile", default=None, metavar="FILE",
+                       help="run under the wall-clock sampling profiler and "
+                       "write collapsed stacks (flamegraph.pl / speedscope "
+                       "input) to FILE")
+        p.add_argument("--sample-interval", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="sampling profiler period (default 5ms)")
+
     def common(p: argparse.ArgumentParser) -> None:
+        obs_args(p)
         p.add_argument("--domain", default="eps",
                        choices=["eps", "power-grid", "comm-net"])
         p.add_argument("--algorithm", default="mr", choices=["mr", "mr-lazy", "ar", "tse"])
@@ -573,6 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="where shrunk counterexamples are written")
     p_vf.add_argument("--no-eps", action="store_true",
                       help="skip the (slower) EPS case-study corpus cases")
+    obs_args(p_vf)
     p_vf.set_defaults(func=cmd_verify)
 
     p_bn = sub.add_parser(
@@ -587,6 +659,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bn.add_argument("--backends", default="bnb,scipy",
                       type=lambda s: [x for x in s.split(",") if x],
                       help="comma list of MILP backends to measure")
+    p_bn.add_argument("--from", dest="from_doc", default=None, metavar="FILE",
+                      help="load an existing bench document instead of "
+                      "re-running the suite (pairs with --compare)")
+    p_bn.add_argument("--compare", action="store_true",
+                      help="run the regression sentinel: compare against "
+                      "--history, append this run, exit 1 on regressions")
+    p_bn.add_argument("--history", default="BENCH_history.jsonl",
+                      metavar="FILE",
+                      help="bench history ledger (JSONL, one run per line)")
+    p_bn.add_argument("--threshold", type=float, default=0.5,
+                      help="relative slowdown beyond the history median that "
+                      "counts as a regression (0.5 = 50%%)")
+    p_bn.add_argument("--warn-only", action="store_true",
+                      help="report regressions without failing the gate")
+    p_bn.add_argument("--no-append", action="store_true",
+                      help="do not record this run in the history ledger")
+    obs_args(p_bn)
     p_bn.set_defaults(func=cmd_bench)
 
     p_pr = sub.add_parser(
@@ -604,6 +693,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.func is not cmd_profile and (
+        getattr(args, "trace", False) or getattr(args, "trace_out", None)
+    ):
+        return _run_traced(args)
+    return args.func(args)
+
+
+def _run_sampled(args: argparse.Namespace, inner: Callable[[argparse.Namespace], int]) -> int:
+    """Run ``inner`` under the wall-clock sampling profiler."""
+    profiler = obs.SamplingProfiler(interval=args.sample_interval)
+    with profiler:
+        code = inner(args)
+    profiler.write_collapsed(args.sample_profile)
+    print(f"sampling profile written: {args.sample_profile} "
+          f"({profiler.samples} samples, {len(profiler)} distinct stacks "
+          f"@ {args.sample_interval * 1000:.1f}ms)")
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -614,11 +723,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             scipy_vars=args.auto_scipy_vars,
             scipy_constrs=args.auto_scipy_constrs,
         )
-    if args.func is not cmd_profile and (
-        getattr(args, "trace", False) or getattr(args, "trace_out", None)
-    ):
-        return _run_traced(args)
-    return args.func(args)
+    if getattr(args, "log", None):
+        obs.configure_obslog(
+            path=args.log, level=getattr(args, "log_level", "info")
+        )
+    server = None
+    if getattr(args, "serve", None) is not None:
+        server = obs.ObsServer(port=args.serve)
+        server.start()
+        print(f"observability server: {server.url} "
+              "(/metrics /runs /healthz)", file=sys.stderr)
+    try:
+        if getattr(args, "sample_profile", None):
+            return _run_sampled(args, _dispatch)
+        return _dispatch(args)
+    finally:
+        if server is not None:
+            server.stop()
+        if getattr(args, "log", None):
+            obs.configure_obslog()  # detach the sink; flush is per-record
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -132,26 +132,38 @@ def execute_job(job: Job) -> Any:
 
 
 def _worker_init(cache_dir: Optional[str]) -> None:
-    """Pool initializer: give this worker a handle on the shared cache."""
+    """Pool initializer: shared cache handle + metrics observation.
+
+    The observer makes the worker's :mod:`repro.obs` counters tick
+    without installing a tracer (worker spans could not be streamed back
+    through a pickled result anyway); ``_worker_run`` ships the per-job
+    metrics delta home for the parent to merge.
+    """
     from ..reliability.exact import set_reliability_cache
 
     set_reliability_cache(ReliabilityCache(cache_dir))
+    obs.add_observer()
 
 
 def _worker_run(job: Job) -> Dict[str, Any]:
-    """Execute ``job`` and wrap timing + cache deltas around its value.
+    """Execute ``job`` and wrap timing + cache/metrics deltas around it.
 
     The ``engine.job`` span only materializes when a tracer is active in
     this process — i.e. in serial mode, or if a pool worker installs its
-    own tracer; the pool initializer deliberately does not, since worker
-    spans could not be streamed back through a pickled result anyway.
+    own tracer. Metrics, by contrast, tick in every mode (the batch and
+    the pool initializer both register observers) and the per-job delta
+    travels back with the result so ``jobs>1`` sweeps report true totals.
     """
     cache = get_reliability_cache()
     before = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
+    metrics_before = obs.snapshot()
     start = time.perf_counter()
     with obs.span("engine.job", job=job.job_id, kind=job.kind):
         value = execute_job(job)
     wall = time.perf_counter() - start
+    if obs.enabled():
+        obs.counter("engine.jobs.completed").inc()
+        obs.histogram("engine.job.seconds").observe(wall)
     after = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
     return {
         "value": value,
@@ -159,6 +171,7 @@ def _worker_run(job: Job) -> Dict[str, Any]:
         "worker_pid": os.getpid(),
         "cache_hits": after[0] - before[0],
         "cache_misses": after[1] - before[1],
+        "metrics": obs.snapshot_delta(metrics_before, obs.snapshot()),
     }
 
 
@@ -172,8 +185,26 @@ def _ok_result(job: Job, wrapped: Dict[str, Any], attempts: int) -> JobResult:
         worker_pid=wrapped["worker_pid"],
         cache_hits=wrapped["cache_hits"],
         cache_misses=wrapped["cache_misses"],
+        metrics=wrapped.get("metrics"),
         meta=dict(job.meta),
     )
+
+
+def _absorb_worker_metrics(writer: TelemetryWriter, result: JobResult) -> None:
+    """Ship a pool worker's metrics delta over telemetry and merge it.
+
+    Only called in pool mode: a serial job already ticked the parent's
+    own registry, so merging its delta would double-count.
+    """
+    if not result.metrics:
+        return
+    writer.emit(
+        "metrics_snapshot",
+        job=result.job_id,
+        worker_pid=result.worker_pid,
+        metrics=result.metrics,
+    )
+    obs.merge_snapshot(result.metrics)
 
 
 def _failed_result(
@@ -342,7 +373,9 @@ def _iter_pool(
                 job, attempts, _submitted = pending.pop(fut)
                 exc = fut.exception()
                 if exc is None:
-                    yield _ok_result(job, fut.result(), attempts)
+                    result = _ok_result(job, fut.result(), attempts)
+                    _absorb_worker_metrics(writer, result)
+                    yield result
                     continue
                 if isinstance(exc, BrokenProcessPool):
                     # Handled wholesale below by rebuilding the pool.
@@ -414,10 +447,18 @@ def iter_batch(
     Pool mode yields in completion order; serial mode in submission order.
     """
     writer = writer if writer is not None else TelemetryWriter(None)
-    if jobs <= 1:
-        yield from _iter_serial(batch, cache_dir, retries, writer)
-    else:
-        yield from _iter_pool(batch, jobs, cache_dir, retries, timeout, writer)
+    # Observe metrics for the batch's duration: serial jobs tick the
+    # parent registry directly; pool workers register their own observer
+    # in the initializer and ship deltas home.
+    obs.add_observer()
+    try:
+        if jobs <= 1:
+            yield from _iter_serial(batch, cache_dir, retries, writer)
+        else:
+            yield from _iter_pool(batch, jobs, cache_dir, retries, timeout,
+                                  writer)
+    finally:
+        obs.remove_observer()
 
 
 def run_batch(
@@ -454,37 +495,66 @@ def run_batch(
     )
     batch_span = obs.span("engine.batch", name=batch.name,
                           jobs=len(batch.jobs), workers=jobs)
+    run = obs.run_registry().start(
+        "batch", name=batch.name, total=len(batch.jobs), workers=jobs,
+        done=0, failed=0,
+    )
+    outcome: Optional[BatchResult] = None
     try:
-        results: List[JobResult] = []
-        for result in iter_batch(
-            batch, jobs=jobs, cache_dir=cache_dir, retries=retries,
-            timeout=timeout, writer=writer,
-        ):
-            if jobs > 1:
-                _emit_job_end(writer, result)
-            results.append(result)
-        results.sort(key=lambda r: order.get(r.job_id, len(order)))
-        wall = time.perf_counter() - start
-        outcome = BatchResult(
-            name=batch.name,
-            results=results,
-            wall_time=wall,
-            jobs_used=jobs,
-            telemetry_path=str(writer.path) if writer.path else None,
-        )
-        writer.emit(
-            "batch_end",
-            name=batch.name,
-            wall_time=round(wall, 6),
-            ok=len(results) - outcome.num_failed,
-            failed=outcome.num_failed,
-            cache_hits=outcome.cache_hits,
-            cache_misses=outcome.cache_misses,
-        )
-        batch_span.set_attr("failed", outcome.num_failed)
-        batch_span.set_attr("cache_hits", outcome.cache_hits)
-        batch_span.set_attr("cache_misses", outcome.cache_misses)
-        return outcome
+        with obs.log_context(run=run.run_id, batch=batch.name):
+            obs.log("engine.batch_start", jobs=len(batch.jobs), workers=jobs)
+            results: List[JobResult] = []
+            done = failed = 0
+            for result in iter_batch(
+                batch, jobs=jobs, cache_dir=cache_dir, retries=retries,
+                timeout=timeout, writer=writer,
+            ):
+                if jobs > 1:
+                    _emit_job_end(writer, result)
+                results.append(result)
+                done += 1
+                failed += 0 if result.ok else 1
+                run.update(done=done, failed=failed)
+                obs.log(
+                    "engine.job_end",
+                    level="info" if result.ok else "warning",
+                    job=result.job_id, ok=result.ok,
+                    wall_time=round(result.wall_time, 6),
+                    error=result.error_type,
+                )
+            results.sort(key=lambda r: order.get(r.job_id, len(order)))
+            wall = time.perf_counter() - start
+            outcome = BatchResult(
+                name=batch.name,
+                results=results,
+                wall_time=wall,
+                jobs_used=jobs,
+                telemetry_path=str(writer.path) if writer.path else None,
+            )
+            writer.emit(
+                "batch_end",
+                name=batch.name,
+                wall_time=round(wall, 6),
+                ok=len(results) - outcome.num_failed,
+                failed=outcome.num_failed,
+                cache_hits=outcome.cache_hits,
+                cache_misses=outcome.cache_misses,
+            )
+            batch_span.set_attr("failed", outcome.num_failed)
+            batch_span.set_attr("cache_hits", outcome.cache_hits)
+            batch_span.set_attr("cache_misses", outcome.cache_misses)
+            obs.log(
+                "engine.batch_end", wall_time=round(wall, 6),
+                failed=outcome.num_failed,
+            )
+            return outcome
     finally:
+        if outcome is None:
+            run.finish(status="error")
+        else:
+            run.finish(
+                status="failed" if outcome.num_failed else "done",
+                wall_time=round(outcome.wall_time, 6),
+            )
         batch_span.__exit__(None, None, None)
         writer.close()

@@ -17,6 +17,16 @@ against. Three pieces:
   and a profile-tree aggregation rendered by
   :func:`repro.report.render_profile`.
 
+Since PR 5 the layer is also *live*: a stdlib HTTP server
+(:mod:`repro.obs.server`) exposes ``/metrics`` (Prometheus text
+exposition), ``/runs`` (in-flight synthesis/batch snapshots from the
+:class:`RunRegistry`), and ``/healthz`` while a sweep runs; structured
+JSON logs (:mod:`repro.obs.obslog`) carry run/job/span correlation ids;
+a wall-clock sampling profiler (:mod:`repro.obs.sampling`) exports
+flamegraph-ready collapsed stacks; and pool workers ship their metrics
+home for merging (:mod:`repro.obs.aggregate`), so multi-process sweeps
+report true totals.
+
 Typical use (the CLI's ``profile`` subcommand does exactly this)::
 
     from repro import obs
@@ -26,8 +36,19 @@ Typical use (the CLI's ``profile`` subcommand does exactly this)::
         result = synthesize_ilp_mr(spec)
     obs.write_chrome_trace("trace.json", tracer.spans)
     print(render_profile(tracer.spans))
+
+And watching a run live (the CLI's ``--serve PORT`` flag)::
+
+    with obs.ObsServer(port=9200):
+        run_batch(batch, jobs=4)   # meanwhile: curl :9200/metrics
 """
 
+from .aggregate import (
+    iter_metrics_snapshots,
+    merge_snapshot,
+    merge_telemetry,
+    snapshot_delta,
+)
 from .export import (
     chrome_trace,
     chrome_trace_events,
@@ -35,6 +56,7 @@ from .export import (
     write_chrome_trace,
 )
 from .metrics import (
+    DEFAULT_BUCKET_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -46,14 +68,38 @@ from .metrics import (
     reset_metrics,
     snapshot,
 )
+from .obslog import (
+    ObsLog,
+    configure_obslog,
+    current_log_context,
+    get_obslog,
+    log,
+    log_context,
+    obslog_enabled,
+    read_log,
+)
 from .profile import ProfileNode, build_profile, flatten_profile
+from .sampling import SamplingProfiler
+from .server import (
+    ObsServer,
+    RunHandle,
+    RunRegistry,
+    escape_label_value,
+    prometheus_name,
+    render_prometheus,
+    reset_run_registry,
+    run_registry,
+)
 from .tracer import (
     NOOP_SPAN,
     Span,
     Tracer,
+    add_observer,
     current_span,
     enabled,
     get_tracer,
+    observed,
+    remove_observer,
     set_attr,
     set_tracer,
     span,
@@ -62,29 +108,54 @@ from .tracer import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKET_BOUNDS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "ObsLog",
+    "ObsServer",
     "ProfileNode",
+    "RunHandle",
+    "RunRegistry",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "add_observer",
     "build_profile",
     "chrome_trace",
     "chrome_trace_events",
+    "configure_obslog",
     "counter",
+    "current_log_context",
     "current_span",
     "enabled",
+    "escape_label_value",
     "export_spans_jsonl",
     "flatten_profile",
     "gauge",
+    "get_obslog",
     "get_tracer",
     "histogram",
+    "iter_metrics_snapshots",
+    "log",
+    "log_context",
+    "merge_snapshot",
+    "merge_telemetry",
+    "observed",
+    "obslog_enabled",
+    "prometheus_name",
+    "read_log",
     "registry",
+    "remove_observer",
+    "render_prometheus",
     "reset_metrics",
+    "reset_run_registry",
+    "run_registry",
     "set_attr",
     "set_tracer",
     "snapshot",
+    "snapshot_delta",
     "span",
     "tracing",
     "write_chrome_trace",

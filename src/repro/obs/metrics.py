@@ -7,10 +7,15 @@ Instruments live in a single :class:`MetricsRegistry` keyed by name
     metrics.gauge("reliability.cache.hits").set(cache.stats.hits)
     metrics.histogram("reliability.engine.bdd.seconds").observe(dt)
 
-Updates are plain attribute arithmetic — no locks on the hot path (CPython
+Counter and gauge updates are plain attribute arithmetic — CPython
 attribute stores are atomic enough for monotone counters; the engine's
-multi-process sweeps aggregate per-process anyway). ``snapshot()`` renders
-the whole registry as a plain dict for reports and exporters.
+multi-process sweeps ship per-process snapshots home and merge them
+(:mod:`repro.obs.aggregate`). Histograms carry multiple fields per
+observation (count/sum/min/max plus exposition buckets), so they take a
+small per-instrument lock: the live ``/metrics`` exposition thread
+(:mod:`repro.obs.server`) can scrape while synthesis threads write
+without torn reads. ``snapshot()`` renders the whole registry as a plain
+dict for reports and exporters.
 
 Hot paths that must stay free even of a dict lookup gate their updates on
 :func:`repro.obs.enabled` — the convention used by the reliability cache —
@@ -21,13 +26,15 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any, Dict, Optional
+from bisect import bisect_left
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
     "registry",
     "counter",
     "gauge",
@@ -35,6 +42,15 @@ __all__ = [
     "snapshot",
     "reset_metrics",
 ]
+
+#: Default histogram bucket upper bounds (``le``, inclusive). A sparse
+#: exponential ladder wide enough for both latency histograms (seconds,
+#: sub-millisecond to minutes) and small-count histograms (eta file
+#: lengths). The Prometheus exposition adds the implicit ``+Inf`` bucket.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
 
 
 class Counter:
@@ -72,39 +88,83 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observations: count/sum/min/max/mean."""
+    """Streaming summary of observations: count/sum/min/max/mean + buckets.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    ``bucket_counts`` holds *non-cumulative* per-bucket counts, one per
+    bound in ``bounds`` plus a trailing overflow (``+Inf``) slot; the
+    Prometheus exposition cumulates them. A bound counts values
+    ``value <= bound`` (Prometheus ``le`` semantics). Mutation and
+    snapshotting take the instrument's lock so a concurrent scrape never
+    sees e.g. an updated ``count`` with a stale ``sum``.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "bounds",
+                 "bucket_counts", "_lock")
     kind = "histogram"
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, data: Dict[str, Any]) -> None:
+        """Fold another histogram's ``as_dict`` snapshot into this one.
+
+        The worker-metrics aggregation path (:mod:`repro.obs.aggregate`).
+        Bucket counts only merge when the bounds agree; mismatched bounds
+        keep the scalar summary correct and drop the foreign buckets.
+        """
+        with self._lock:
+            self.count += data.get("count", 0)
+            self.total += data.get("sum", 0.0)
+            other_min = data.get("min")
+            other_max = data.get("max")
+            if other_min is not None and other_min < self.min:
+                self.min = other_min
+            if other_max is not None and other_max > self.max:
+                self.max = other_max
+            counts = data.get("bucket_counts")
+            if (
+                counts is not None
+                and list(data.get("bounds", ())) == list(self.bounds)
+                and len(counts) == len(self.bucket_counts)
+            ):
+                for i, c in enumerate(counts):
+                    self.bucket_counts[i] += c
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "count": self.count,
-            "sum": self.total,
-            "min": None if self.count == 0 else self.min,
-            "max": None if self.count == 0 else self.max,
-            "mean": self.mean,
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self.count,
+                "sum": self.total,
+                "min": None if self.count == 0 else self.min,
+                "max": None if self.count == 0 else self.max,
+                "mean": self.mean,
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self.bucket_counts),
+            }
 
 
 class MetricsRegistry:
@@ -115,6 +175,10 @@ class MetricsRegistry:
         self._lock = threading.Lock()
 
     def _get(self, name: str, cls):
+        # Fast path: an existing instrument needs no lock (dict reads are
+        # atomic); creation and the registry-wide snapshot/reset serialize
+        # on the lock so a concurrent scrape never observes a half-built
+        # registry.
         inst = self._instruments.get(name)
         if inst is None:
             with self._lock:
@@ -137,10 +201,9 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """All instruments as plain dicts, sorted by name."""
-        return {
-            name: inst.as_dict()
-            for name, inst in sorted(self._instruments.items())
-        }
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.as_dict() for name, inst in instruments}
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh profile runs)."""

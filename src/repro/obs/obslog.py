@@ -1,0 +1,194 @@
+"""Structured JSON logging with run/job/span correlation.
+
+One JSON object per line, the same shape family as the engine's batch
+telemetry, so a log file and a telemetry file can be grepped and joined
+with the same tooling:
+
+    {"ts": 1754..., "level": "info", "event": "ilp_mr.iteration",
+     "run": "ilp_mr-1234-1", "iteration": 3, "cost": 34.0, ...}
+
+Correlation fields come from two places and are attached automatically:
+
+* a context-local field stack set with :func:`log_context` — the run and
+  job ids the synthesis loops and the executor push around their work
+  (``contextvars``, so threads and pool callbacks don't bleed into each
+  other);
+* the innermost open :class:`repro.obs.Span` of the active tracer, when
+  there is one (``span`` id and ``span_name``).
+
+Logging is *off* by default: :func:`log` costs one global lookup and a
+``None`` check until :func:`configure_obslog` installs a sink. The sink
+writes to a path (append mode, JSONL) or an open stream; a broken sink
+degrades to a no-op — logging must never take a run down (the same
+contract as :class:`repro.engine.TelemetryWriter`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, TextIO, Tuple, Union
+
+from . import tracer as _tracer
+
+__all__ = [
+    "ObsLog",
+    "configure_obslog",
+    "get_obslog",
+    "obslog_enabled",
+    "log",
+    "log_context",
+    "current_log_context",
+    "read_log",
+]
+
+#: Severity order for the level filter.
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Context-local correlation fields, stored as a tuple of (key, value)
+#: pairs so snapshots are immutable and tokens restore cleanly.
+_FIELDS: ContextVar[Tuple[Tuple[str, Any], ...]] = ContextVar(
+    "repro_obslog_fields", default=()
+)
+
+
+class ObsLog:
+    """A JSONL log sink with level filtering.
+
+    ``path`` appends to a file (parent directories are created);
+    ``stream`` writes to an open text stream instead. Exactly one of the
+    two is used; ``path`` wins when both are given.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        stream: Optional[TextIO] = None,
+        level: str = "info",
+    ) -> None:
+        if level not in _LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+            )
+        self.level = level
+        self.path = Path(path) if path is not None else None
+        self._stream: Optional[TextIO] = None
+        self._owns_stream = False
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("a", encoding="utf-8")
+            self._owns_stream = True
+        elif stream is not None:
+            self._stream = stream
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        if self._stream is None:
+            return
+        if _LEVELS.get(level, 20) < _LEVELS[self.level]:
+            return
+        record: Dict[str, Any] = {"ts": time.time(), "level": level,
+                                  "event": event}
+        record.update(dict(_FIELDS.get()))
+        span = _tracer.current_span()
+        if span is not None:
+            record.setdefault("span", span.span_id)
+            record.setdefault("span_name", span.name)
+        record.update(fields)
+        try:
+            self._stream.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n"
+            )
+            self._stream.flush()
+        except (ValueError, OSError):
+            # Closed or broken sink — degrade to no-op for the rest of
+            # the run rather than poisoning the caller.
+            self._stream = None
+
+    def close(self) -> None:
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "ObsLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: The installed sink; ``None`` means logging is disabled.
+_SINK: Optional[ObsLog] = None
+
+
+def configure_obslog(
+    path: Optional[Union[str, Path]] = None,
+    stream: Optional[TextIO] = None,
+    level: str = "info",
+) -> Optional[ObsLog]:
+    """Install a log sink (or uninstall with no arguments).
+
+    Returns the newly installed :class:`ObsLog`, or ``None`` after an
+    uninstall. The previous sink, if any, is closed.
+    """
+    global _SINK
+    previous, _SINK = _SINK, None
+    if previous is not None:
+        previous.close()
+    if path is not None or stream is not None:
+        _SINK = ObsLog(path=path, stream=stream, level=level)
+    return _SINK
+
+
+def get_obslog() -> Optional[ObsLog]:
+    return _SINK
+
+
+def obslog_enabled() -> bool:
+    return _SINK is not None and _SINK.enabled
+
+
+def log(event: str, level: str = "info", **fields: Any) -> None:
+    """Emit one structured log record (no-op while no sink is installed)."""
+    sink = _SINK
+    if sink is None:
+        return
+    sink.emit(level, event, fields)
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Attach correlation fields (``run=..., job=...``) to every record
+    logged inside the ``with`` block (context-local, so concurrent
+    threads and tasks keep separate stacks)."""
+    token = _FIELDS.set(_FIELDS.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _FIELDS.reset(token)
+
+
+def current_log_context() -> Dict[str, Any]:
+    """The correlation fields that would be attached right now."""
+    return dict(_FIELDS.get())
+
+
+def read_log(path: Union[str, Path]) -> list:
+    """Parse a JSONL log file (skipping any truncated trailing line)."""
+    records = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records

@@ -1,0 +1,393 @@
+"""Live observability endpoint: ``/metrics``, ``/healthz``, ``/runs``.
+
+A stdlib-only background HTTP thread (:class:`ObsServer`) that makes a
+long-running sweep watchable while it runs:
+
+``/metrics``
+    The process-global :class:`repro.obs.MetricsRegistry` rendered in
+    Prometheus text exposition format (version 0.0.4): ``# HELP`` /
+    ``# TYPE`` per metric, counters with the ``_total`` suffix,
+    histograms as cumulative ``_bucket{le="..."}`` series plus ``_sum``
+    and ``_count``, and a labeled ``repro_runs_active`` gauge per run
+    kind. ``curl localhost:PORT/metrics`` or point a Prometheus scrape
+    job at it.
+``/healthz``
+    ``200 ok`` while the server thread is alive (liveness probe).
+``/runs``
+    A JSON snapshot of the :class:`RunRegistry`: every in-flight ILP-MR /
+    ILP-AR synthesis (current iteration, cost, reliability) and batch
+    (jobs done/failed/total), plus a ring of recently finished runs.
+
+The server is read-only and binds to ``127.0.0.1`` by default; ``port=0``
+picks an ephemeral port (read it back from :attr:`ObsServer.port`).
+Starting the server registers a metrics observer
+(:func:`repro.obs.add_observer`) so instrumented code records even when
+no tracer is installed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from . import tracer as _tracer
+from .metrics import registry as _metrics_registry
+
+__all__ = [
+    "RunHandle",
+    "RunRegistry",
+    "ObsServer",
+    "run_registry",
+    "reset_run_registry",
+    "render_prometheus",
+    "escape_label_value",
+    "prometheus_name",
+]
+
+
+# ---------------------------------------------------------------------------
+# Run registry: live snapshots of in-flight work
+
+
+class RunHandle:
+    """One registered run; loops call :meth:`update` as they progress."""
+
+    __slots__ = ("_registry", "run_id", "kind", "started_at", "finished_at",
+                 "status", "attrs")
+
+    def __init__(self, registry: "RunRegistry", run_id: str, kind: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._registry = registry
+        self.run_id = run_id
+        self.kind = kind
+        self.started_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.status = "running"
+        self.attrs = attrs
+
+    def update(self, **attrs: Any) -> "RunHandle":
+        """Merge progress attributes (iteration, cost, done/total, ...)."""
+        with self._registry._lock:
+            self.attrs.update(attrs)
+        return self
+
+    def finish(self, status: str = "done", **attrs: Any) -> None:
+        """Mark the run finished; it moves to the recently-finished ring."""
+        self._registry._finish(self, status, attrs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "status": self.status,
+            "started_at": self.started_at,
+            "elapsed": round(
+                (self.finished_at or time.time()) - self.started_at, 6
+            ),
+        }
+        d.update(self.attrs)
+        return d
+
+
+class RunRegistry:
+    """Thread-safe registry of in-flight and recently finished runs.
+
+    ``start()`` is cheap (a dict insert) and always on — unlike spans,
+    run registration has no enable gate, so a scrape arriving at any
+    moment sees the truth. Finished runs are kept in a bounded ring so
+    ``/runs`` can show what just happened without growing forever.
+    """
+
+    def __init__(self, keep_finished: int = 32) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._active: Dict[str, RunHandle] = {}
+        self._finished: List[RunHandle] = []
+        self._keep_finished = keep_finished
+
+    def start(self, kind: str, **attrs: Any) -> RunHandle:
+        run_id = f"{kind}-{os.getpid()}-{next(self._ids)}"
+        handle = RunHandle(self, run_id, kind, attrs)
+        with self._lock:
+            self._active[run_id] = handle
+        return handle
+
+    def _finish(self, handle: RunHandle, status: str,
+                attrs: Dict[str, Any]) -> None:
+        with self._lock:
+            if handle.finished_at is not None:  # double finish
+                return
+            handle.status = status
+            handle.finished_at = time.time()
+            handle.attrs.update(attrs)
+            self._active.pop(handle.run_id, None)
+            self._finished.append(handle)
+            del self._finished[: -self._keep_finished]
+
+    def active(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [h.as_dict() for h in self._active.values()]
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "active": [h.as_dict() for h in self._active.values()],
+                "finished": [h.as_dict() for h in self._finished],
+            }
+
+    def active_by_kind(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for h in self._active.values():
+                counts[h.kind] = counts.get(h.kind, 0) + 1
+            return counts
+
+    def reset(self) -> None:
+        with self._lock:
+            self._active.clear()
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+
+#: The process-global run registry the synthesis loops and the batch
+#: executor report into.
+_RUN_REGISTRY = RunRegistry()
+
+
+def run_registry() -> RunRegistry:
+    return _RUN_REGISTRY
+
+
+def reset_run_registry() -> None:
+    _RUN_REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Dotted registry name -> valid Prometheus metric name."""
+    return "repro_" + _NAME_OK.sub("_", name)
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+def render_prometheus(
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+    runs: Optional[RunRegistry] = None,
+) -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    ``metrics`` defaults to the live global registry's snapshot and
+    ``runs`` to the global run registry; pass explicit values for
+    deterministic golden-file tests.
+    """
+    if metrics is None:
+        metrics = _metrics_registry().snapshot()
+    if runs is None:
+        runs = _RUN_REGISTRY
+
+    lines: List[str] = []
+
+    def header(pname: str, ptype: str, original: str) -> None:
+        lines.append(f"# HELP {pname} repro.obs metric {original}")
+        lines.append(f"# TYPE {pname} {ptype}")
+
+    for name, data in sorted(metrics.items()):
+        kind = data.get("kind")
+        pname = prometheus_name(name)
+        if kind == "counter":
+            pname += "_total"
+            header(pname, "counter", name)
+            lines.append(f"{pname} {_format_value(data.get('value', 0))}")
+        elif kind == "gauge":
+            value = data.get("value")
+            if value is None:
+                continue
+            header(pname, "gauge", name)
+            lines.append(f"{pname} {_format_value(value)}")
+        elif kind == "histogram":
+            header(pname, "histogram", name)
+            bounds = list(data.get("bounds", ())) + [float("inf")]
+            counts = data.get("bucket_counts")
+            if counts is None or len(counts) != len(bounds):
+                # Pre-bucket snapshot (e.g. merged from an older worker):
+                # everything lands in +Inf, which is still conformant.
+                counts = [0] * (len(bounds) - 1) + [data.get("count", 0)]
+            cumulative = 0
+            for bound, count in zip(bounds, counts):
+                cumulative += count
+                lines.append(
+                    f'{pname}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{pname}_sum {_format_value(data.get('sum', 0.0))}")
+            lines.append(f"{pname}_count {data.get('count', 0)}")
+
+    active = runs.active_by_kind()
+    header("repro_runs_active", "gauge", "runs.active")
+    if active:
+        for kind in sorted(active):
+            lines.append(
+                f'repro_runs_active{{kind="{escape_label_value(kind)}"}} '
+                f"{active[kind]}"
+            )
+    else:
+        lines.append("repro_runs_active 0")
+
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The HTTP server
+
+
+class _ObsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1.0"
+    # Set by ObsServer.start() on the handler subclass it builds.
+    obs_server: "ObsServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(200, "text/plain; charset=utf-8", "ok\n")
+        elif path == "/metrics":
+            body = render_prometheus(
+                metrics=self.obs_server.metrics.snapshot(),
+                runs=self.obs_server.runs,
+            )
+            self._send(
+                200, "text/plain; version=0.0.4; charset=utf-8", body
+            )
+        elif path == "/runs":
+            body = json.dumps(
+                self.obs_server.runs.snapshot(), sort_keys=True, default=str
+            ) + "\n"
+            self._send(200, "application/json", body)
+        elif path == "/":
+            self._send(
+                200, "text/plain; charset=utf-8",
+                "repro.obs endpoints: /metrics /runs /healthz\n",
+            )
+        else:
+            self._send(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _send(self, code: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args: Any) -> None:  # pragma: no cover - quiet
+        pass
+
+
+class ObsServer:
+    """Background HTTP thread exposing ``/metrics``, ``/runs``, ``/healthz``.
+
+    Usage (the CLI's ``--serve PORT`` does exactly this)::
+
+        server = ObsServer(port=9200).start()
+        ...  # long sweep; scrape http://127.0.0.1:9200/metrics meanwhile
+        server.stop()
+
+    Also a context manager. While running, a metrics observer is
+    registered so instrumented code keeps its counters ticking without a
+    tracer.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics=None,
+        runs: Optional[RunRegistry] = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.metrics = metrics if metrics is not None else _metrics_registry()
+        self.runs = runs if runs is not None else _RUN_REGISTRY
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        if self._httpd is not None:
+            return self
+        handler = type("_BoundObsHandler", (_ObsHandler,), {"obs_server": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-obs-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _tracer.add_observer()
+        return self
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        _tracer.remove_observer()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -45,6 +45,9 @@ __all__ = [
     "current_span",
     "set_attr",
     "enabled",
+    "add_observer",
+    "remove_observer",
+    "observed",
     "get_tracer",
     "set_tracer",
     "tracing",
@@ -219,10 +222,46 @@ def _jsonable(value: Any) -> Any:
 #: :func:`span` call returns :data:`NOOP_SPAN`.
 _ACTIVE: Optional[Tracer] = None
 
+#: Nesting depth of forced-observation regions. Metrics call sites gate on
+#: :func:`enabled`; historically that meant "a tracer is installed", but the
+#: live observability plane (exposition server, pool workers shipping their
+#: snapshots home, ``run_batch``) needs counters to tick without paying for
+#: span collection. Observers raise this count so ``enabled()`` is true while
+#: spans still degrade to the shared no-op.
+_OBSERVERS = 0
+
 
 def enabled() -> bool:
-    """True when a tracer is installed (spans are being recorded)."""
-    return _ACTIVE is not None
+    """True when instrumentation should record.
+
+    Either a tracer is installed (spans + metrics) or at least one
+    metrics observer — an :class:`repro.obs.ObsServer`, a pool worker, a
+    running batch — is active (metrics only; spans stay no-ops).
+    """
+    return _ACTIVE is not None or _OBSERVERS > 0
+
+
+def add_observer() -> None:
+    """Enable metrics recording without a tracer (nestable)."""
+    global _OBSERVERS
+    _OBSERVERS += 1
+
+
+def remove_observer() -> None:
+    """Undo one :func:`add_observer`; never drops below zero."""
+    global _OBSERVERS
+    if _OBSERVERS > 0:
+        _OBSERVERS -= 1
+
+
+@contextmanager
+def observed() -> Iterator[None]:
+    """Scoped metrics observation: counters tick inside, spans stay off."""
+    add_observer()
+    try:
+        yield
+    finally:
+        remove_observer()
 
 
 def get_tracer() -> Optional[Tracer]:

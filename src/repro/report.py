@@ -17,6 +17,7 @@ __all__ = [
     "format_table",
     "format_scientific",
     "render_batch_summary",
+    "render_bench_comparison",
     "render_metrics",
     "render_profile",
     "render_verification_table",
@@ -133,6 +134,36 @@ def render_profile(
             )
         )
     return format_table(["span", "calls", "cum (s)", "self (s)", "% total"], rows)
+
+
+def render_bench_comparison(verdicts: Iterable[dict]) -> str:
+    """Render :func:`repro.bench.compare_history` verdicts as a table.
+
+    One row per tracked metric: current value versus the robust baseline
+    (median of the history series, MAD as the noise scale) and the
+    sentinel's verdict. Regressions are shouted in caps so they stand
+    out in CI logs.
+    """
+    rows = []
+    for v in verdicts:
+        med = v.get("median")
+        ratio = v.get("ratio")
+        status = v.get("status", "?")
+        rows.append(
+            (
+                v.get("metric", "?"),
+                f"{v['current']:.4g}",
+                f"{med:.4g}" if med is not None else "-",
+                f"{v['mad']:.2g}" if v.get("mad") is not None else "-",
+                f"{ratio:.2f}x" if ratio is not None else "-",
+                v.get("runs", 0),
+                status.upper() if status == "regression" else status,
+            )
+        )
+    return format_table(
+        ["metric", "current", "median", "mad", "ratio", "runs", "verdict"],
+        rows,
+    )
 
 
 def render_metrics(snapshot: dict) -> str:

@@ -144,6 +144,36 @@ def synthesize_ilp_ar(
     result carries both the algebra's ``r~`` and the exactly computed ``r``
     of the synthesized architecture.
     """
+    live = obs.run_registry().start(
+        "ilp_ar", backend=backend, target=spec.reliability_target,
+        phase="encode",
+    )
+    result = None
+    try:
+        with obs.log_context(run=live.run_id):
+            result = _synthesize_ilp_ar(
+                spec, backend, walk_budget, time_limit, mip_rel_gap,
+                rel_method, verify, live,
+            )
+            return result
+    finally:
+        live.finish(
+            status=result.status if result is not None else "error",
+            cost=None if result is None or result.architecture is None
+            else result.cost,
+        )
+
+
+def _synthesize_ilp_ar(
+    spec: SynthesisSpec,
+    backend: str,
+    walk_budget: Optional[int],
+    time_limit: Optional[float],
+    mip_rel_gap: Optional[float],
+    rel_method: str,
+    verify: bool,
+    live: "obs.RunHandle",
+) -> SynthesisResult:
     with obs.span("ilp_ar", backend=backend) as run_span:
         with obs.span("ilp_ar.encode") as encode_span:
             setup_start = time.perf_counter()
@@ -173,6 +203,16 @@ def synthesize_ilp_ar(
         )
         run_span.set_attr("variables", result.model_stats.get("variables"))
         run_span.set_attr("constraints", result.model_stats.get("constraints"))
+        live.update(
+            phase="solve",
+            variables=result.model_stats.get("variables"),
+            constraints=result.model_stats.get("constraints"),
+        )
+        obs.log(
+            "ilp_ar.encoded", setup_time=round(setup_time, 6),
+            variables=result.model_stats.get("variables"),
+            constraints=result.model_stats.get("constraints"),
+        )
 
         with obs.span("ilp_ar.solve"):
             solve_start = time.perf_counter()
@@ -192,6 +232,11 @@ def synthesize_ilp_ar(
         result.status = "optimal"
         run_span.set_attr("status", "optimal")
         run_span.set_attr("cost", result.cost)
+        live.update(phase="analysis", cost=result.cost)
+        obs.log(
+            "ilp_ar.solved", cost=result.cost,
+            solver_time=round(result.solver_time, 6),
+        )
 
         if verify:
             with obs.span("ilp_ar.analysis") as verify_span:

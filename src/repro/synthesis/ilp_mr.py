@@ -67,6 +67,40 @@ def synthesize_ilp_mr(
     # two-phase cold start at every node.
     bnb_options = None if warm else BnBOptions(warm_start=False)
 
+    live = obs.run_registry().start(
+        "ilp_mr", strategy=strategy, backend=backend, target=r_star,
+        iteration=0,
+    )
+    result = None
+    try:
+        with obs.log_context(run=live.run_id):
+            result = _synthesize_ilp_mr(
+                spec, strategy, backend, rel_method, max_iterations,
+                time_limit, mip_rel_gap, r_star, ctx, bnb_options, live,
+            )
+            return result
+    finally:
+        live.finish(
+            status=result.status if result is not None else "error",
+            cost=None if result is None or result.architecture is None
+            else result.cost,
+        )
+
+
+def _synthesize_ilp_mr(
+    spec: SynthesisSpec,
+    strategy: str,
+    backend: str,
+    rel_method: str,
+    max_iterations: int,
+    time_limit: Optional[float],
+    mip_rel_gap: Optional[float],
+    r_star: float,
+    ctx: Optional[WarmStartContext],
+    bnb_options: Optional[BnBOptions],
+    live: "obs.RunHandle",
+) -> SynthesisResult:
+    warm = ctx is not None
     with obs.span(
         "ilp_mr", strategy=strategy, backend=backend, rel_method=rel_method,
         warm=warm,
@@ -129,6 +163,16 @@ def synthesize_ilp_mr(
                 it_span.set_attr("cost", record.cost)
                 it_span.set_attr("reliability", r)
                 it_span.set_attr("worst_sink", worst_sink)
+                live.update(
+                    iteration=iteration, cost=record.cost, reliability=r,
+                    worst_sink=worst_sink,
+                )
+                obs.log(
+                    "ilp_mr.iteration", iteration=iteration, cost=record.cost,
+                    reliability=r, worst_sink=worst_sink,
+                    solver_time=round(solver_time, 6),
+                    analysis_time=round(analysis_time, 6),
+                )
 
                 if r <= r_star:
                     result.status = "optimal"

@@ -192,6 +192,113 @@ class TestParallelExecution:
         assert by_id["slow"].error_type == "TimeoutError"
 
 
+def multi_sink_arch(n_sinks=4):
+    """A fully wired gen->bus->loads architecture with ``n_sinks`` sinks.
+
+    Each sink's reliability subproblem is distinct (different relevant
+    subgraph), so serial and pool runs see identical cache behaviour —
+    no cross-job hits for serial mode to enjoy and pool mode to miss.
+    """
+    from repro.arch import (
+        Architecture,
+        ArchitectureTemplate,
+        ComponentSpec,
+        Library,
+        Role,
+    )
+
+    lib = Library(switch_cost=1.0)
+    for i in range(2):
+        lib.add(ComponentSpec(f"G{i}", "gen", cost=50, capacity=100,
+                              failure_prob=1e-2, role=Role.SOURCE))
+        lib.add(ComponentSpec(f"B{i}", "bus", cost=20, failure_prob=1e-2))
+    for s in range(n_sinks):
+        lib.add(ComponentSpec(f"L{s}", "load", demand=10, role=Role.SINK))
+    lib.set_type_order(["gen", "bus", "load"])
+    names = ["G0", "G1", "B0", "B1"] + [f"L{s}" for s in range(n_sinks)]
+    t = ArchitectureTemplate(lib, names)
+    for i in range(2):
+        for j in range(2):
+            t.allow_edge(f"G{i}", f"B{j}")
+        for s in range(n_sinks):
+            t.allow_edge(f"B{i}", f"L{s}")
+    return Architecture(t, t.allowed_edges)
+
+
+class TestWorkerMetricsAggregation:
+    """Pool workers' metrics must survive the trip home (the jobs>1
+    metrics-loss fix): after a parallel batch the parent registry reports
+    the same per-engine call totals as a serial run of the same batch."""
+
+    def run_with_metrics(self, jobs, telemetry=None):
+        from repro import obs
+
+        obs.reset_metrics()
+        outcome = run_batch(
+            reliability_map(multi_sink_arch(), method="bdd"),
+            jobs=jobs, telemetry=telemetry,
+        )
+        assert outcome.num_failed == 0
+        snap = obs.snapshot()
+        obs.reset_metrics()
+        return outcome, {
+            name: data["value"]
+            for name, data in snap.items()
+            if data["kind"] == "counter"
+        }
+
+    def test_pool_counters_match_serial(self):
+        _, serial = self.run_with_metrics(jobs=1)
+        _, pooled = self.run_with_metrics(jobs=2)
+        assert serial["engine.jobs.completed"] == 4
+        assert pooled == serial
+
+    def test_job_results_carry_metrics_deltas(self):
+        outcome, _ = self.run_with_metrics(jobs=2)
+        for res in outcome.results:
+            assert res.metrics, "pool results must ship a metrics delta"
+            assert res.metrics["engine.jobs.completed"]["value"] == 1
+
+    def test_metrics_snapshots_land_in_telemetry(self, tmp_path):
+        from repro import obs
+        from repro.engine import read_events
+
+        telemetry = str(tmp_path / "telemetry.jsonl")
+        outcome, counters = self.run_with_metrics(jobs=2, telemetry=telemetry)
+        snaps = [e for e in read_events(telemetry)
+                 if e["event"] == "metrics_snapshot"]
+        assert len(snaps) == len(outcome.results)
+        assert {s["job"] for s in snaps} == set(outcome.by_id())
+        assert all(s["worker_pid"] != os.getpid() for s in snaps)
+        # The artifact alone reconstructs the worker totals.
+        replayed = obs.merge_telemetry(telemetry)
+        assert replayed.counter("engine.jobs.completed").value == (
+            counters["engine.jobs.completed"]
+        )
+
+    def test_serial_mode_does_not_double_count(self, tmp_path):
+        from repro.engine import read_events
+
+        telemetry = str(tmp_path / "telemetry.jsonl")
+        _, counters = self.run_with_metrics(jobs=1, telemetry=telemetry)
+        assert counters["engine.jobs.completed"] == 4
+        snaps = [e for e in read_events(telemetry)
+                 if e["event"] == "metrics_snapshot"]
+        assert snaps == []  # serial jobs tick the parent registry directly
+
+    def test_batch_registers_a_live_run(self):
+        from repro import obs
+
+        obs.reset_run_registry()
+        outcome, _ = self.run_with_metrics(jobs=1)
+        finished = obs.run_registry().snapshot()["finished"]
+        (record,) = [r for r in finished if r["kind"] == "batch"]
+        assert record["status"] == "done"
+        assert record["done"] == len(outcome.results)
+        assert record["failed"] == 0
+        obs.reset_run_registry()
+
+
 # Module-level runners so they pickle / survive the fork into pool workers.
 
 

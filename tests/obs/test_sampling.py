@@ -1,0 +1,110 @@
+"""Sampling profiler: collapsed-stack capture and export."""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler
+
+#: ``frame;frame;... count`` — the format flamegraph.pl consumes.
+_COLLAPSED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
+
+
+def spin(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(i * i for i in range(200))
+
+
+class TestCapture:
+    def test_samples_the_calling_thread(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            spin(0.15)
+        assert prof.samples > 10
+        assert prof.counts
+        joined = prof.collapsed()
+        assert "spin" in joined
+        # Root-first ordering: this test function is an ancestor of spin.
+        for line in joined.splitlines():
+            if "spin" in line:
+                stack = line.rsplit(" ", 1)[0].split(";")
+                assert stack.index(
+                    "tests.obs.test_sampling.spin"
+                ) > stack.index(
+                    "tests.obs.test_sampling."
+                    "TestCapture.test_samples_the_calling_thread"
+                )
+                break
+        else:
+            pytest.fail("no sampled stack contains spin()")
+
+    def test_all_threads_mode_prefixes_thread_ids(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=lambda: stop.wait(2.0))
+        worker.start()
+        try:
+            with SamplingProfiler(interval=0.001, all_threads=True) as prof:
+                spin(0.05)
+        finally:
+            stop.set()
+            worker.join()
+        assert prof.counts
+        assert all(stack[0].startswith("thread-") for stack in prof.counts)
+
+    def test_stop_is_idempotent_and_restart_safe(self):
+        prof = SamplingProfiler(interval=0.001)
+        prof.start().start()
+        spin(0.02)
+        prof.stop().stop()
+        assert not prof.running
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_max_depth_truncates_stacks(self):
+        def recurse(n):
+            if n == 0:
+                spin(0.05)
+            else:
+                recurse(n - 1)
+
+        with SamplingProfiler(interval=0.001, max_depth=5) as prof:
+            recurse(40)
+        assert prof.counts
+        assert max(len(s) for s in prof.counts) <= 5
+
+
+class TestExport:
+    def test_collapsed_format(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            spin(0.05)
+        lines = prof.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            assert _COLLAPSED_LINE.match(line), line
+
+    def test_write_collapsed_creates_parents(self, tmp_path):
+        with SamplingProfiler(interval=0.001) as prof:
+            spin(0.05)
+        out = prof.write_collapsed(tmp_path / "deep" / "prof.collapsed")
+        assert out.exists()
+        assert out.read_text() == prof.collapsed()
+
+    def test_top_counts_by_leaf(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            spin(0.1)
+        top = prof.top(3)
+        assert top
+        assert top == sorted(top, key=lambda kv: -kv[1])
+        assert sum(c for _, c in prof.top(10_000)) == sum(
+            prof.counts.values()
+        )
+
+    def test_empty_profiler_exports_empty(self):
+        prof = SamplingProfiler()
+        assert prof.collapsed() == ""
+        assert prof.top() == []
+        assert len(prof) == 0

@@ -1,0 +1,226 @@
+"""Live endpoint: Prometheus exposition conformance, run registry, HTTP."""
+
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import (
+    ObsServer,
+    RunRegistry,
+    escape_label_value,
+    prometheus_name,
+    render_prometheus,
+)
+from tests.synthesis.test_ilp_mr import make_spec, make_template
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    obs.reset_metrics()
+    obs.reset_run_registry()
+    yield
+    obs.reset_metrics()
+    obs.reset_run_registry()
+
+
+def http_get(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.read().decode("utf-8")
+
+
+class TestNamesAndEscaping:
+    def test_dotted_names_sanitized(self):
+        assert prometheus_name("engine.jobs.completed") == (
+            "repro_engine_jobs_completed"
+        )
+        assert prometheus_name("a-b c/d") == "repro_a_b_c_d"
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b') == r"a\"b"
+        assert escape_label_value("a\\b") == r"a\\b"
+        assert escape_label_value("a\nb") == r"a\nb"
+
+
+class TestPrometheusRendering:
+    def test_counter_gets_total_suffix_and_headers(self):
+        text = render_prometheus(
+            metrics={"x.calls": {"kind": "counter", "value": 3}},
+            runs=RunRegistry(),
+        )
+        assert "# HELP repro_x_calls_total" in text
+        assert "# TYPE repro_x_calls_total counter" in text
+        assert "repro_x_calls_total 3\n" in text
+
+    def test_every_sample_has_help_and_type(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.2)
+        text = render_prometheus(metrics=reg.snapshot(), runs=RunRegistry())
+        names = set()
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            names.add(re.match(r"([a-zA-Z0-9_:]+)", line).group(1))
+        for name in names:
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert (
+                f"# HELP {name} " in text or f"# HELP {base} " in text
+            ), name
+            assert (
+                f"# TYPE {name} " in text or f"# TYPE {base} " in text
+            ), name
+
+    def test_unset_gauge_is_omitted(self):
+        text = render_prometheus(
+            metrics={"g": {"kind": "gauge", "value": None}},
+            runs=RunRegistry(),
+        )
+        assert "repro_g" not in text
+
+    def test_histogram_buckets_cumulative_and_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h.seconds")
+        for v in (0.0002, 0.3, 0.3, 7.0, 1e9):  # 1e9 beyond the last bound
+            h.observe(v)
+        text = render_prometheus(metrics=reg.snapshot(), runs=RunRegistry())
+        buckets = re.findall(
+            r'repro_h_seconds_bucket\{le="([^"]+)"\} (\d+)', text
+        )
+        assert buckets[-1][0] == "+Inf"
+        counts = [int(c) for _, c in buckets]
+        assert counts == sorted(counts), "bucket series must be cumulative"
+        assert counts[-1] == 5
+        bounds = [float(b) for b, _ in buckets[:-1]]
+        assert bounds == sorted(bounds)
+        assert "repro_h_seconds_count 5" in text
+        assert "repro_h_seconds_sum" in text
+
+    def test_histogram_le_boundary_is_inclusive(self):
+        # le semantics: a value exactly on a bound lands in that bucket.
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.1)  # 0.1 is a default bound
+        text = render_prometheus(metrics=reg.snapshot(), runs=RunRegistry())
+        (le_01,) = re.findall(r'repro_h_bucket\{le="0\.1"\} (\d+)', text)
+        assert int(le_01) == 1
+
+    def test_pre_bucket_snapshot_still_conformant(self):
+        # A merged snapshot from an older worker may lack bucket data.
+        text = render_prometheus(
+            metrics={"h": {"kind": "histogram", "count": 4, "sum": 2.0,
+                           "min": 0.1, "max": 1.0}},
+            runs=RunRegistry(),
+        )
+        assert 'repro_h_bucket{le="+Inf"} 4' in text
+        assert "repro_h_count 4" in text
+
+    def test_active_runs_gauge_labeled_per_kind(self):
+        runs = RunRegistry()
+        runs.start("ilp_mr")
+        runs.start("ilp_mr")
+        runs.start("batch")
+        text = render_prometheus(metrics={}, runs=runs)
+        assert 'repro_runs_active{kind="batch"} 1' in text
+        assert 'repro_runs_active{kind="ilp_mr"} 2' in text
+
+    def test_no_active_runs_renders_zero(self):
+        text = render_prometheus(metrics={}, runs=RunRegistry())
+        assert "repro_runs_active 0" in text
+
+
+class TestRunRegistry:
+    def test_start_update_finish_lifecycle(self):
+        reg = RunRegistry()
+        run = reg.start("ilp_mr", strategy="learncons", iteration=0)
+        run.update(iteration=1, cost=13.0)
+        snap = reg.snapshot()
+        (active,) = snap["active"]
+        assert active["kind"] == "ilp_mr"
+        assert active["status"] == "running"
+        assert active["iteration"] == 1 and active["cost"] == 13.0
+        run.finish(status="optimal")
+        snap = reg.snapshot()
+        assert snap["active"] == []
+        (done,) = snap["finished"]
+        assert done["status"] == "optimal"
+        assert done["elapsed"] >= 0
+
+    def test_double_finish_is_idempotent(self):
+        reg = RunRegistry()
+        run = reg.start("batch")
+        run.finish(status="done")
+        run.finish(status="error")
+        (done,) = reg.snapshot()["finished"]
+        assert done["status"] == "done"
+
+    def test_finished_ring_is_bounded(self):
+        reg = RunRegistry(keep_finished=3)
+        for i in range(7):
+            reg.start("batch", index=i).finish()
+        finished = reg.snapshot()["finished"]
+        assert [r["index"] for r in finished] == [4, 5, 6]
+
+    def test_run_ids_unique(self):
+        reg = RunRegistry()
+        ids = {reg.start("x").run_id for _ in range(5)}
+        assert len(ids) == 5
+
+
+class TestObsServer:
+    def test_healthz_metrics_and_404(self):
+        with ObsServer(port=0) as server:
+            assert http_get(server.url + "/healthz") == "ok\n"
+            obs.counter("unit.calls").inc(2)
+            text = http_get(server.url + "/metrics")
+            assert "repro_unit_calls_total 2" in text
+            with pytest.raises(urllib.error.HTTPError):
+                http_get(server.url + "/nope")
+
+    def test_server_registers_metrics_observer(self):
+        assert not obs.enabled()
+        with ObsServer(port=0):
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_runs_endpoint_sees_scripted_ilp_mr_iterations(self):
+        """Drive a run handle the way the ILP-MR loop does — two
+        iterations — and watch the /runs JSON change under a live scrape."""
+        with ObsServer(port=0) as server:
+            run = obs.run_registry().start(
+                "ilp_mr", strategy="learncons", target=2e-10, iteration=0
+            )
+            run.update(iteration=1, cost=13007.0, reliability=8e-4,
+                       worst_sink="RL2")
+            doc = json.loads(http_get(server.url + "/runs"))
+            (active,) = doc["active"]
+            assert active["iteration"] == 1 and active["cost"] == 13007.0
+
+            run.update(iteration=2, cost=39015.0, reliability=5e-10)
+            doc = json.loads(http_get(server.url + "/runs"))
+            (active,) = doc["active"]
+            assert active["iteration"] == 2 and active["cost"] == 39015.0
+
+            run.finish(status="optimal", cost=39015.0)
+            doc = json.loads(http_get(server.url + "/runs"))
+            assert doc["active"] == []
+            (done,) = doc["finished"]
+            assert done["status"] == "optimal"
+
+    def test_real_ilp_mr_run_lands_in_registry(self):
+        """An actual multi-iteration ILP-MR run must leave a finished
+        /runs record carrying its final iteration count and status."""
+        from repro.synthesis import synthesize_ilp_mr
+
+        spec = make_spec(make_template(2, p=1e-2), r_star=1e-3)
+        result = synthesize_ilp_mr(spec, backend="scipy")
+        assert result.feasible
+        assert result.num_iterations >= 2  # needs learned redundancy
+        finished = obs.run_registry().snapshot()["finished"]
+        (record,) = [r for r in finished if r["kind"] == "ilp_mr"]
+        assert record["status"] == "optimal"
+        assert record["iteration"] == result.num_iterations
+        assert record["cost"] == result.cost

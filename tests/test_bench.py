@@ -6,7 +6,12 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA,
+    HISTORY_SCHEMA,
     PROFILES,
+    append_history,
+    compare_history,
+    history_entry,
+    read_history,
     run_bench,
     validate_bench_document,
 )
@@ -147,3 +152,160 @@ class TestBenchCLI:
             assert _DEFAULT_TUNING.scipy_constrs == 20
         finally:
             _DEFAULT_TUNING.scipy_vars, _DEFAULT_TUNING.scipy_constrs = saved
+
+
+def make_doc(warm=0.1, cold=1.0, profile="unit"):
+    """A minimal bench document carrying one ILP-MR row."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "profile": profile,
+        "generated_at": "2026-01-01T00:00:00Z",
+        "environment": {"python": "3"},
+        "rows": [{
+            "kind": "ilp_mr",
+            "instance": "eps-g2",
+            "backend": "bnb",
+            "speedup": cold / warm,
+            "costs_identical": True,
+            "warm": {"wall_seconds": warm},
+            "cold": {"wall_seconds": cold},
+        }],
+        "summary": {},
+    }
+
+
+class TestHistoryLedger:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        entry = append_history(make_doc(), path)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["profile"] == "unit"
+        assert entry["metrics"]["ilp_mr/eps-g2/bnb/warm_wall_seconds"] == 0.1
+        append_history(make_doc(warm=0.2), path)
+        assert len(read_history(path)) == 2
+
+    def test_read_filters_by_profile_and_skips_junk(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(make_doc(profile="a"), path)
+        append_history(make_doc(profile="b"), path)
+        with path.open("a") as fh:
+            fh.write('{"schema": "something/else"}\n')
+            fh.write("not json at all\n")
+        assert len(read_history(path)) == 2
+        assert len(read_history(path, profile="a")) == 1
+
+    def test_missing_history_file_reads_empty(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_history_entry_drops_nan_metrics(self):
+        doc = make_doc()
+        doc["rows"][0]["speedup"] = float("nan")
+        entry = history_entry(doc)
+        assert "ilp_mr/eps-g2/bnb/speedup" not in entry["metrics"]
+
+
+class TestCompareHistory:
+    def history_of(self, *docs):
+        return [history_entry(d) for d in docs]
+
+    def by_metric(self, verdicts):
+        return {v["metric"]: v for v in verdicts}
+
+    def test_insufficient_history_never_fails(self):
+        verdicts = compare_history(make_doc(), self.history_of(make_doc()))
+        assert {v["status"] for v in verdicts} == {"no-history"}
+
+    def test_steady_state_is_ok(self):
+        history = self.history_of(make_doc(), make_doc(), make_doc())
+        verdicts = compare_history(make_doc(), history)
+        assert {v["status"] for v in verdicts} == {"ok"}
+
+    def test_slowdown_beyond_threshold_regresses(self):
+        history = self.history_of(make_doc(), make_doc(), make_doc())
+        verdicts = self.by_metric(compare_history(make_doc(warm=0.5), history))
+        warm = verdicts["ilp_mr/eps-g2/bnb/warm_wall_seconds"]
+        assert warm["status"] == "regression"
+        assert warm["ratio"] == pytest.approx(5.0)
+        # The warm arm got slower, so the speedup collapsed too.
+        assert verdicts["ilp_mr/eps-g2/bnb/speedup"]["status"] == "regression"
+
+    def test_speedup_direction_is_higher_better(self):
+        history = self.history_of(make_doc(), make_doc())
+        verdicts = self.by_metric(compare_history(make_doc(warm=0.01), history))
+        assert verdicts["ilp_mr/eps-g2/bnb/speedup"]["status"] == "improved"
+        assert verdicts["ilp_mr/eps-g2/bnb/warm_wall_seconds"]["status"] == (
+            "improved"
+        )
+
+    def test_mad_noise_gate_absorbs_jittery_series(self):
+        # Median 1.0 but the series routinely swings to 1.8: a 1.6 reading
+        # is inside 4*MAD even though it clears the 50% relative gate.
+        history = self.history_of(
+            make_doc(cold=0.6), make_doc(cold=1.0), make_doc(cold=1.4),
+            make_doc(cold=1.8), make_doc(cold=1.0),
+        )
+        verdicts = self.by_metric(compare_history(make_doc(cold=1.6), history))
+        assert verdicts["ilp_mr/eps-g2/bnb/cold_wall_seconds"]["status"] == "ok"
+
+    def test_min_seconds_floor_ignores_microbenchmark_jitter(self):
+        history = self.history_of(
+            make_doc(warm=0.002), make_doc(warm=0.002)
+        )
+        verdicts = self.by_metric(
+            compare_history(make_doc(warm=0.004, cold=1.0), history)
+        )
+        # 2x slower but only +2ms: below the absolute floor, not a finding.
+        assert verdicts["ilp_mr/eps-g2/bnb/warm_wall_seconds"]["status"] != (
+            "regression"
+        )
+
+
+class TestBenchSentinelCLI:
+    def run_sentinel(self, tmp_path, doc, history_docs, *extra):
+        from repro.cli import main
+
+        doc_path = tmp_path / "doc.json"
+        doc_path.write_text(json.dumps(doc))
+        hist_path = tmp_path / "hist.jsonl"
+        if hist_path.exists():
+            hist_path.unlink()  # each call states its own prior history
+        for h in history_docs:
+            append_history(h, hist_path)
+        return main([
+            "bench", "--from", str(doc_path), "--compare",
+            "--history", str(hist_path), *extra,
+        ]), hist_path
+
+    def full_doc(self, tiny_profile, **kw):
+        doc = run_bench(profile=tiny_profile, out=None, backends=("bnb",),
+                        log=lambda *_: None)
+        for row in doc["rows"]:
+            if row["kind"] == "ilp_mr":
+                for arm in ("warm", "cold"):
+                    row[arm]["wall_seconds"] = kw.get(arm, row[arm]["wall_seconds"])
+                if "warm" in kw or "cold" in kw:
+                    row["speedup"] = (
+                        row["cold"]["wall_seconds"] / row["warm"]["wall_seconds"]
+                    )
+        return doc
+
+    def test_green_run_appends_and_passes(self, tiny_profile, tmp_path, capsys):
+        doc = self.full_doc(tiny_profile, warm=0.1, cold=1.0)
+        rc, hist = self.run_sentinel(tmp_path, doc, [doc, doc])
+        assert rc == 0
+        assert len(read_history(hist)) == 3
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_regression_fails_unless_warn_only(self, tiny_profile, tmp_path,
+                                               capsys):
+        base = self.full_doc(tiny_profile, warm=0.1, cold=1.0)
+        slow = self.full_doc(tiny_profile, warm=0.1, cold=10.0)
+        rc, _ = self.run_sentinel(tmp_path, slow, [base, base], "--no-append")
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        rc, hist = self.run_sentinel(
+            tmp_path, slow, [base, base], "--warn-only", "--no-append"
+        )
+        assert rc == 0
+        assert len(read_history(hist)) == 2  # --no-append respected
