@@ -48,10 +48,8 @@ from .bench import (
     run_bench,
     validate_bench_document,
 )
-from .domains import build_comm_network_template, build_power_grid_template
+from .domains import domain_spec, eps_scaling_specs
 from .ilp import configure_auto
-from .domains.comm_network import comm_network_requirements
-from .domains.power_grid import power_grid_requirements
 from .arch import save_json
 from .engine import (
     requirement_sweep,
@@ -60,7 +58,7 @@ from .engine import (
     summarize_telemetry,
     tradeoff_points,
 )
-from .eps import build_eps_template, eps_requirements, paper_template, render_single_line
+from .eps import render_single_line
 from .reliability import approximate_failure, sink_failure_probabilities
 from .report import (
     format_scientific,
@@ -69,6 +67,7 @@ from .report import (
     render_bench_comparison,
     render_metrics,
     render_profile,
+    render_runs_table,
     render_verification_table,
     section,
 )
@@ -84,20 +83,12 @@ __all__ = ["main", "build_parser"]
 
 
 def _spec_for_domain(domain: str, target: Optional[float], size: int) -> SynthesisSpec:
-    if domain == "eps":
-        template = paper_template() if size == 0 else build_eps_template(size)
-        requirements = eps_requirements(template)
-    elif domain == "power-grid":
-        template = build_power_grid_template()
-        requirements = power_grid_requirements(template)
-    elif domain == "comm-net":
-        template = build_comm_network_template()
-        requirements = comm_network_requirements(template)
-    else:
-        raise SystemExit(f"unknown domain {domain!r}")
-    return SynthesisSpec(
-        template=template, requirements=requirements, reliability_target=target
-    )
+    # Shared with the service's job-spec builders, so a CLI invocation and
+    # a POSTed job spec construct byte-identical synthesis problems.
+    try:
+        return domain_spec(domain, target=target, size=size)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _run_synthesis(spec: SynthesisSpec, algorithm: str, backend: str, gap: Optional[float]):
@@ -170,17 +161,7 @@ def _print_batch_footer(outcome, telemetry: Optional[str]) -> None:
 
 
 def _eps_scaling_specs(sizes: List[int], target: Optional[float]):
-    labeled = []
-    for size_nodes in sizes:
-        gens = size_nodes // 5
-        template = build_eps_template(num_generators=gens)
-        spec = SynthesisSpec(
-            template=template,
-            requirements=eps_requirements(template),
-            reliability_target=target,
-        )
-        labeled.append((f"{size_nodes} ({gens})", spec))
-    return labeled
+    return eps_scaling_specs(sizes, target=target)
 
 
 def _run_scaling_batch(args: argparse.Namespace):
@@ -519,6 +500,115 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the synthesis service in the foreground until interrupted.
+
+    Promotes the observability server into a durable job API: POST job
+    specs to ``/api/jobs``, poll ``/api/jobs/<id>``, fetch the
+    deterministic result document and evidence-packed artifacts. Runs
+    persist under ``--runs-dir``; ``--resume`` requeues whatever a
+    previous (crashed or killed) service left PENDING or RUNNING.
+    """
+    import time as _time
+
+    from .service import JobQueue, RunStore, ServiceServer, resume_interrupted
+
+    store = RunStore(args.runs_dir) if args.runs_dir else RunStore()
+    queue = JobQueue(
+        store,
+        workers=args.workers,
+        batch_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        default_timeout=args.job_timeout,
+    ).start()
+    if args.resume:
+        resumed = resume_interrupted(store, queue)
+        if resumed:
+            print(f"resumed {len(resumed)} interrupted run(s): "
+                  + ", ".join(r.run_id for r in resumed))
+        else:
+            print("no interrupted runs to resume")
+    server = ServiceServer(queue, host=args.host, port=args.port).start()
+    print(f"service: {server.url} "
+          f"(POST /api/jobs; {args.workers} worker(s); "
+          f"runs under {store.root})")
+    if args.port_file:
+        # The ephemeral-port handshake for scripts (and the CI smoke job):
+        # the actual bound port, written only once the socket is listening.
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{server.port}\n")
+    deadline = (
+        _time.time() + args.max_runtime if args.max_runtime is not None
+        else None
+    )
+    try:
+        while deadline is None or _time.time() < deadline:
+            _time.sleep(0.2)
+        print("max runtime reached; shutting down", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        # Unstarted runs stay PENDING on disk for the next --resume.
+        queue.shutdown(wait=True, timeout=args.drain_timeout)
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect the durable run store: ``runs ls|show|verify|gc``."""
+    from .service import RunStore, TERMINAL_STATES, verify_evidence
+
+    store = RunStore(args.runs_dir) if args.runs_dir else RunStore()
+    if args.action == "ls":
+        records = store.list()
+        print(render_runs_table([r.as_dict() for r in records]))
+        return 0
+    if args.action == "show":
+        try:
+            record = store.load(args.run_id)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+        doc = record.as_dict()
+        doc["spec"] = record.spec()
+        doc["artifacts"] = sorted(
+            p.name for p in record.path.iterdir()
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
+        print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+        return 0
+    if args.action == "verify":
+        if args.run_id:
+            try:
+                records = [store.load(args.run_id)]
+            except KeyError as exc:
+                raise SystemExit(str(exc))
+        else:
+            records = store.list(states=TERMINAL_STATES)
+        if not records:
+            print("no terminal runs to verify")
+            return 0
+        tampered = 0
+        for record in records:
+            report = verify_evidence(record.path)
+            print(f"{record.run_id}: {report.summary()}")
+            if not report.ok:
+                tampered += 1
+        if tampered:
+            print(f"\nFAIL: {tampered}/{len(records)} run(s) failed "
+                  "evidence verification")
+            return 1
+        print(f"\nOK: {len(records)} run(s) verified")
+        return 0
+    if args.action == "gc":
+        deleted = store.gc(keep=args.keep)
+        for run_id in deleted:
+            print(f"deleted {run_id}")
+        print(f"gc: removed {len(deleted)} run(s), kept the "
+              f"{args.keep} newest terminal run(s)")
+        return 0
+    raise SystemExit(f"unknown runs action {args.action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="archex",
@@ -677,6 +767,81 @@ def build_parser() -> argparse.ArgumentParser:
                       help="do not record this run in the history ledger")
     obs_args(p_bn)
     p_bn.set_defaults(func=cmd_bench)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the synthesis service: durable job API over HTTP",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1",
+                      help="bind address (default: loopback only)")
+    p_sv.add_argument("--port", type=int, default=8181,
+                      help="TCP port (0 = pick an ephemeral port; see "
+                      "--port-file)")
+    p_sv.add_argument("--port-file", default=None, metavar="FILE",
+                      help="write the actual bound port to FILE once "
+                      "listening (pairs with --port 0)")
+    p_sv.add_argument("--runs-dir", default=None, metavar="DIR",
+                      help="durable run store root "
+                      "(default: .archex/runs)")
+    p_sv.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="persistent reliability cache shared by all "
+                      "service runs")
+    p_sv.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="concurrent runs (worker threads)")
+    p_sv.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="engine worker processes per run (1 = serial)")
+    p_sv.add_argument("--job-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="default per-run wall-clock timeout (a spec's "
+                      "own timeout wins)")
+    p_sv.add_argument("--resume", action="store_true",
+                      help="requeue runs a previous service left PENDING "
+                      "or RUNNING (crash recovery)")
+    p_sv.add_argument("--max-runtime", type=float, default=None,
+                      metavar="SECONDS",
+                      help="exit after SECONDS (default: run until "
+                      "interrupted)")
+    p_sv.add_argument("--drain-timeout", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="how long shutdown waits for in-flight runs")
+    p_sv.add_argument("--log", default=None, metavar="FILE",
+                      help="append structured JSON logs to FILE")
+    p_sv.add_argument("--log-level", default="info",
+                      choices=["debug", "info", "warning", "error"],
+                      help="minimum level for --log records")
+    p_sv.set_defaults(func=cmd_serve)
+
+    p_rn = sub.add_parser(
+        "runs",
+        help="inspect the durable run store (ls, show, verify, gc)",
+    )
+    p_rn.add_argument("--runs-dir", default=None, metavar="DIR",
+                      help="durable run store root "
+                      "(default: .archex/runs)")
+    rn_sub = p_rn.add_subparsers(dest="action", required=True)
+    rn_ls = rn_sub.add_parser("ls", help="list runs, newest first")
+    rn_show = rn_sub.add_parser(
+        "show", help="print one run's manifest, spec, and artifacts"
+    )
+    rn_show.add_argument("run_id")
+    rn_verify = rn_sub.add_parser(
+        "verify",
+        help="verify evidence packs (all terminal runs, or one run id); "
+        "exits 1 on tampering",
+    )
+    rn_verify.add_argument("run_id", nargs="?", default=None)
+    rn_gc = rn_sub.add_parser(
+        "gc", help="delete terminal runs beyond the newest --keep"
+    )
+    rn_gc.add_argument("--keep", type=int, default=20, metavar="N",
+                       help="terminal runs to keep (newest first)")
+    for rn_p in (rn_ls, rn_show, rn_verify, rn_gc):
+        # Also accepted after the action (`runs ls --runs-dir X`), not
+        # just before it — the action-level value wins when both appear.
+        rn_p.add_argument("--runs-dir", default=None, metavar="DIR",
+                          help=argparse.SUPPRESS)
+        rn_p.set_defaults(func=cmd_runs)
+    p_rn.set_defaults(func=cmd_runs)
 
     p_pr = sub.add_parser(
         "profile",

@@ -1,6 +1,14 @@
 """Additional CPS domains demonstrating the §VI generalization: power grids
 and communication networks, built on the same template/synthesis machinery
-as the aircraft EPS case study."""
+as the aircraft EPS case study.
+
+:func:`domain_spec` is the single name -> :class:`SynthesisSpec` factory
+the CLI and the service job specs share, so ``repro synthesize --domain X``
+and a ``POST /api/jobs`` spec with ``"domain": "X"`` build byte-identical
+problems.
+"""
+
+from typing import List, Optional, Tuple
 
 from .comm_network import (
     COMM_TYPES,
@@ -17,11 +25,68 @@ from .power_grid import (
 
 __all__ = [
     "COMM_TYPES",
+    "DOMAINS",
     "POWER_GRID_TYPES",
     "build_comm_network_template",
     "build_power_grid_template",
     "comm_network_requirements",
     "comm_network_spec",
+    "domain_spec",
+    "eps_scaling_specs",
     "power_grid_requirements",
     "power_grid_spec",
 ]
+
+#: Domain names :func:`domain_spec` accepts.
+DOMAINS = ("eps", "power-grid", "comm-net")
+
+
+def domain_spec(domain: str, target: Optional[float] = None, size: int = 0):
+    """Build the :class:`repro.synthesis.SynthesisSpec` for a named domain.
+
+    ``size`` only applies to ``eps``: the generator count of the scaled
+    template, with ``0`` selecting the paper's own case-study template.
+    Raises :class:`ValueError` on an unknown domain name.
+    """
+    from ..eps import build_eps_template, eps_requirements, paper_template
+    from ..synthesis import SynthesisSpec
+
+    if domain == "eps":
+        template = paper_template() if size == 0 else build_eps_template(size)
+        requirements = eps_requirements(template)
+    elif domain == "power-grid":
+        template = build_power_grid_template()
+        requirements = power_grid_requirements(template)
+    elif domain == "comm-net":
+        template = build_comm_network_template()
+        requirements = comm_network_requirements(template)
+    else:
+        raise ValueError(f"unknown domain {domain!r} (use one of {DOMAINS})")
+    return SynthesisSpec(
+        template=template, requirements=requirements,
+        reliability_target=target,
+    )
+
+
+def eps_scaling_specs(
+    sizes: List[int], target: Optional[float] = None
+) -> List[Tuple[str, object]]:
+    """``(label, spec)`` pairs for a Table II style EPS scaling sweep.
+
+    ``sizes`` are node counts ``|V|``; each maps to ``|V| // 5``
+    generators like the paper's scaled templates.
+    """
+    from ..eps import build_eps_template, eps_requirements
+    from ..synthesis import SynthesisSpec
+
+    labeled = []
+    for size_nodes in sizes:
+        gens = size_nodes // 5
+        template = build_eps_template(num_generators=gens)
+        spec = SynthesisSpec(
+            template=template,
+            requirements=eps_requirements(template),
+            reliability_target=target,
+        )
+        labeled.append((f"{size_nodes} ({gens})", spec))
+    return labeled

@@ -43,7 +43,12 @@ from .jobs import (
     scaling_sweep,
     tradeoff_points,
 )
-from .telemetry import TelemetryWriter, read_events, summarize_telemetry
+from .telemetry import (
+    TelemetryWriter,
+    completed_jobs,
+    read_events,
+    summarize_telemetry,
+)
 
 __all__ = [
     "BatchResult",
@@ -54,6 +59,7 @@ __all__ = [
     "ReliabilityCache",
     "TelemetryWriter",
     "budget_bisection",
+    "completed_jobs",
     "contingency_sweep",
     "execute_job",
     "iter_batch",

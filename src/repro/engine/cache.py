@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -150,17 +151,32 @@ class ReliabilityCache:
     value)``.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(self, cache_dir: Optional[str] = None,
+                 busy_timeout_ms: int = 30_000) -> None:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self.stats = CacheStats()
         self._memory: Dict[str, float] = {}
         self._conn: Optional[sqlite3.Connection] = None
+        # One connection may be shared by several service worker threads
+        # (the global cache hook is process-wide); sqlite3 connections are
+        # not thread-safe on their own, so every statement runs under this
+        # lock, and ``check_same_thread=False`` permits the sharing.
+        self._db_lock = threading.RLock()
         if self.cache_dir is not None:
             directory = Path(self.cache_dir)
             directory.mkdir(parents=True, exist_ok=True)
             self.path = directory / CACHE_FILENAME
-            self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+            self._conn = sqlite3.connect(
+                str(self.path), timeout=self.busy_timeout_ms / 1000.0,
+                check_same_thread=False,
+            )
+            # WAL lets concurrent reader/writer processes coexist; the
+            # explicit busy timeout makes writers queue (up to the
+            # timeout) instead of failing fast with "database is locked"
+            # when several service workers share one cache file.
             self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(_SCHEMA)
             self._migrate()
@@ -194,9 +210,11 @@ class ReliabilityCache:
             return self._memory[digest]
         if self._conn is not None:
             try:
-                row = self._conn.execute(
-                    "SELECT value FROM reliability WHERE digest = ?", (digest,)
-                ).fetchone()
+                with self._db_lock:
+                    row = self._conn.execute(
+                        "SELECT value FROM reliability WHERE digest = ?",
+                        (digest,),
+                    ).fetchone()
             except sqlite3.Error:
                 # Closed or broken connection: degrade to the in-memory
                 # layer rather than crashing the analysis that asked.
@@ -222,13 +240,14 @@ class ReliabilityCache:
                 else None
             )
             try:
-                self._conn.execute(
-                    "INSERT OR IGNORE INTO reliability "
-                    "(digest, method, value, created_at, problem) "
-                    "VALUES (?, ?, ?, ?, ?)",
-                    (digest, method, float(value), time.time(), blob),
-                )
-                self._conn.commit()
+                with self._db_lock:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO reliability "
+                        "(digest, method, value, created_at, problem) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (digest, method, float(value), time.time(), blob),
+                    )
+                    self._conn.commit()
             except sqlite3.Error:
                 pass  # keep the in-memory entry; persistence degrades
 
@@ -268,9 +287,10 @@ class ReliabilityCache:
     def __len__(self) -> int:
         if self._conn is not None:
             try:
-                row = self._conn.execute(
-                    "SELECT COUNT(*) FROM reliability"
-                ).fetchone()
+                with self._db_lock:
+                    row = self._conn.execute(
+                        "SELECT COUNT(*) FROM reliability"
+                    ).fetchone()
                 return int(row[0])
             except sqlite3.Error:
                 pass
@@ -279,7 +299,8 @@ class ReliabilityCache:
     def close(self) -> None:
         if self._conn is not None:
             try:
-                self._conn.close()
+                with self._db_lock:
+                    self._conn.close()
             except sqlite3.Error:  # pragma: no cover - close is best-effort
                 pass
             self._conn = None

@@ -234,6 +234,9 @@ class BatchResult:
     wall_time: float = 0.0
     jobs_used: int = 1
     telemetry_path: Optional[str] = None
+    #: True when a ``should_stop`` hook aborted the batch early: the
+    #: results list then covers only the jobs that completed first.
+    stopped: bool = False
 
     @property
     def cache_hits(self) -> int:
@@ -468,6 +471,8 @@ def run_batch(
     telemetry: Optional[str] = None,
     retries: int = 1,
     timeout: Optional[float] = None,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> BatchResult:
     """Execute a whole batch and collect results in submission order.
 
@@ -485,6 +490,15 @@ def run_batch(
         Extra attempts granted to jobs failing with a transient error.
     timeout:
         Per-job wall-clock limit in seconds (pool mode only).
+    on_result:
+        Called with each :class:`JobResult` the moment it completes (in
+        completion order) — the service journals results through this so
+        a crash loses at most the in-flight job.
+    should_stop:
+        Polled before the first job and after each completion; returning
+        True aborts the remainder of the batch (pool futures are
+        cancelled) and marks the outcome ``stopped=True`` — cooperative
+        cancellation and deadline enforcement for the service queue.
     """
     writer = TelemetryWriter(telemetry, batch=batch.name)
     order = {job.job_id: i for i, job in enumerate(batch.jobs)}
@@ -505,23 +519,30 @@ def run_batch(
             obs.log("engine.batch_start", jobs=len(batch.jobs), workers=jobs)
             results: List[JobResult] = []
             done = failed = 0
-            for result in iter_batch(
-                batch, jobs=jobs, cache_dir=cache_dir, retries=retries,
-                timeout=timeout, writer=writer,
-            ):
-                if jobs > 1:
-                    _emit_job_end(writer, result)
-                results.append(result)
-                done += 1
-                failed += 0 if result.ok else 1
-                run.update(done=done, failed=failed)
-                obs.log(
-                    "engine.job_end",
-                    level="info" if result.ok else "warning",
-                    job=result.job_id, ok=result.ok,
-                    wall_time=round(result.wall_time, 6),
-                    error=result.error_type,
-                )
+            stopped = should_stop is not None and should_stop()
+            if not stopped:
+                for result in iter_batch(
+                    batch, jobs=jobs, cache_dir=cache_dir, retries=retries,
+                    timeout=timeout, writer=writer,
+                ):
+                    if jobs > 1:
+                        _emit_job_end(writer, result)
+                    results.append(result)
+                    done += 1
+                    failed += 0 if result.ok else 1
+                    run.update(done=done, failed=failed)
+                    obs.log(
+                        "engine.job_end",
+                        level="info" if result.ok else "warning",
+                        job=result.job_id, ok=result.ok,
+                        wall_time=round(result.wall_time, 6),
+                        error=result.error_type,
+                    )
+                    if on_result is not None:
+                        on_result(result)
+                    if should_stop is not None and should_stop():
+                        stopped = True
+                        break  # iter_batch's finally tears the pool down
             results.sort(key=lambda r: order.get(r.job_id, len(order)))
             wall = time.perf_counter() - start
             outcome = BatchResult(
@@ -530,6 +551,7 @@ def run_batch(
                 wall_time=wall,
                 jobs_used=jobs,
                 telemetry_path=str(writer.path) if writer.path else None,
+                stopped=stopped,
             )
             writer.emit(
                 "batch_end",
@@ -539,6 +561,7 @@ def run_batch(
                 failed=outcome.num_failed,
                 cache_hits=outcome.cache_hits,
                 cache_misses=outcome.cache_misses,
+                stopped=stopped,
             )
             batch_span.set_attr("failed", outcome.num_failed)
             batch_span.set_attr("cache_hits", outcome.cache_hits)
@@ -552,8 +575,9 @@ def run_batch(
         if outcome is None:
             run.finish(status="error")
         else:
+            status = "failed" if outcome.num_failed else "done"
             run.finish(
-                status="failed" if outcome.num_failed else "done",
+                status="stopped" if outcome.stopped else status,
                 wall_time=round(outcome.wall_time, 6),
             )
         batch_span.__exit__(None, None, None)

@@ -26,7 +26,12 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
-__all__ = ["TelemetryWriter", "read_events", "summarize_telemetry"]
+__all__ = [
+    "TelemetryWriter",
+    "completed_jobs",
+    "read_events",
+    "summarize_telemetry",
+]
 
 _BATCH_COUNTER = itertools.count(1)
 
@@ -91,6 +96,27 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
         except json.JSONDecodeError:
             continue
     return events
+
+
+def completed_jobs(
+    source: Union[str, Path, Iterable[Dict[str, Any]]],
+) -> Dict[str, bool]:
+    """``job_id -> ok`` for every ``job_end`` event in a telemetry stream.
+
+    The journal a crash-resumed batch consults: a job with a recorded
+    ``job_end`` finished (successfully or not) before the interruption,
+    so replaying the batch can skip it. A job retried across batches
+    keeps its *latest* outcome.
+    """
+    if isinstance(source, (str, Path)):
+        events: Iterable[Dict[str, Any]] = read_events(source)
+    else:
+        events = source
+    finished: Dict[str, bool] = {}
+    for event in events:
+        if event.get("event") == "job_end" and event.get("job") is not None:
+            finished[str(event["job"])] = bool(event.get("ok"))
+    return finished
 
 
 def summarize_telemetry(

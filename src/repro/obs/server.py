@@ -36,6 +36,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
+from . import obslog as _obslog
 from . import tracer as _tracer
 from .metrics import registry as _metrics_registry
 
@@ -328,7 +329,18 @@ class ObsServer:
     Also a context manager. While running, a metrics observer is
     registered so instrumented code keeps its counters ticking without a
     tracer.
+
+    ``port=0`` binds an ephemeral port; :attr:`port` (and :attr:`url`)
+    reflect the *actual* bound port the moment :meth:`start` returns, and
+    the startup obslog line (``obs.server_started``) carries it too — so
+    callers can always print a connectable URL. Subclasses override
+    :attr:`handler_class` to extend the route table
+    (:class:`repro.service.ServiceServer` adds the ``/api`` job routes).
     """
+
+    #: Request handler the server builds its bound subclass from;
+    #: subclasses swap in an extended handler to add routes.
+    handler_class = _ObsHandler
 
     def __init__(
         self,
@@ -361,7 +373,9 @@ class ObsServer:
     def start(self) -> "ObsServer":
         if self._httpd is not None:
             return self
-        handler = type("_BoundObsHandler", (_ObsHandler,), {"obs_server": self})
+        handler = type(
+            "_BoundObsHandler", (self.handler_class,), {"obs_server": self}
+        )
         self._httpd = ThreadingHTTPServer(
             (self.host, self._requested_port), handler
         )
@@ -373,6 +387,12 @@ class ObsServer:
         )
         self._thread.start()
         _tracer.add_observer()
+        # The bound (not the requested) port: with port=0 this is the
+        # ephemeral port the OS picked, so the line is always connectable.
+        _obslog.log(
+            "obs.server_started", host=self.host, port=self.port,
+            url=self.url, requested_port=self._requested_port,
+        )
         return self
 
     def stop(self) -> None:

@@ -20,9 +20,54 @@ __all__ = [
     "render_bench_comparison",
     "render_metrics",
     "render_profile",
+    "render_runs_table",
     "render_verification_table",
     "section",
 ]
+
+
+def render_runs_table(manifests: Iterable[dict]) -> str:
+    """Render run-store manifests (``repro runs ls``) as a table.
+
+    One row per run, the shape :meth:`repro.service.RunRecord.as_dict`
+    produces; ``progress`` collapses to ``done/total`` (with ``+N skip``
+    when a resume replayed journaled results).
+    """
+    rows = []
+    for m in manifests:
+        progress = m.get("progress") or {}
+        total = progress.get("total")
+        cell = f"{progress.get('done', 0)}/{total if total is not None else '?'}"
+        if progress.get("failed"):
+            cell += f" ({progress['failed']} failed)"
+        if progress.get("skipped"):
+            cell += f" +{progress['skipped']} skip"
+        started = m.get("started_at")
+        finished = m.get("finished_at")
+        wall = (
+            f"{finished - started:.1f}"
+            if isinstance(started, (int, float))
+            and isinstance(finished, (int, float))
+            else "-"
+        )
+        rows.append(
+            (
+                m.get("run_id", "?"),
+                m.get("kind", "?"),
+                m.get("state", "?"),
+                cell,
+                m.get("attempt", 0),
+                wall,
+                (m.get("spec_digest") or "?")[:12],
+            )
+        )
+    if not rows:
+        return "(no runs)"
+    return format_table(
+        ["run", "kind", "state", "progress", "attempt", "wall (s)",
+         "spec digest"],
+        rows,
+    )
 
 
 def render_batch_summary(summaries: Iterable[dict]) -> str:

@@ -1,0 +1,174 @@
+"""Evidence packs: a SHA-256 hash manifest sealing a run directory.
+
+When a run reaches a terminal state, the runner *packs* it: every file in
+the run directory is hashed and the digests written to
+``MANIFEST.sha256`` in the classic ``sha256sum`` format (two-space
+separator, POSIX relative paths, sorted)::
+
+    # archex evidence manifest v1
+    # run: sweep-20260809T120000-1a2b3c4d
+    3f5a...  manifest.json
+    77e1...  result.json
+    ...
+
+``verify_evidence`` recomputes every digest and reports files that were
+*modified*, *missing*, or *added* since packing — a tamper check that
+makes the run directory a verifiable artifact: config, seeds, solver
+stats, telemetry, and rendered reports, all under one content address
+(:attr:`EvidenceReport.pack_digest`, the hash of the manifest itself).
+
+The format is deliberately tool-compatible: ``cd <run-dir> &&
+grep -v '^#' MANIFEST.sha256 | sha256sum -c -`` performs the same check
+with coreutils alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "EvidenceReport",
+    "file_digest",
+    "pack_evidence",
+    "verify_evidence",
+    "read_manifest",
+]
+
+#: The hash manifest's own filename (never hashed into itself).
+MANIFEST_FILENAME = "MANIFEST.sha256"
+
+_HEADER = "# archex evidence manifest v1"
+_CHUNK = 1 << 20
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 hex digest of a file, streamed in 1 MiB chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _walk_artifacts(run_dir: Path) -> List[Path]:
+    files = [
+        p for p in sorted(run_dir.rglob("*"))
+        if p.is_file() and p.name != MANIFEST_FILENAME
+        and not p.name.endswith(".tmp")
+    ]
+    return files
+
+
+def pack_evidence(run_dir: Union[str, Path],
+                  run_id: Optional[str] = None) -> Path:
+    """Hash every artifact under ``run_dir`` into ``MANIFEST.sha256``.
+
+    Returns the manifest path. Re-packing overwrites the previous
+    manifest (the runner packs exactly once, at the terminal state).
+    """
+    run_dir = Path(run_dir)
+    lines = [_HEADER]
+    if run_id:
+        lines.append(f"# run: {run_id}")
+    for path in _walk_artifacts(run_dir):
+        rel = path.relative_to(run_dir).as_posix()
+        lines.append(f"{file_digest(path)}  {rel}")
+    manifest = run_dir / MANIFEST_FILENAME
+    manifest.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return manifest
+
+
+def read_manifest(run_dir: Union[str, Path]) -> Dict[str, str]:
+    """Parse ``MANIFEST.sha256`` into ``{relative-path: digest}``."""
+    manifest = Path(run_dir) / MANIFEST_FILENAME
+    entries: Dict[str, str] = {}
+    for line in manifest.read_text(encoding="utf-8").splitlines():
+        line = line.rstrip()
+        if not line or line.startswith("#"):
+            continue
+        digest, _, rel = line.partition("  ")
+        if len(digest) == 64 and rel:
+            entries[rel] = digest
+    return entries
+
+
+@dataclass
+class EvidenceReport:
+    """Outcome of verifying a packed run directory."""
+
+    run_dir: str
+    ok: bool
+    verified: List[str] = field(default_factory=list)
+    modified: List[Tuple[str, str, str]] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    #: SHA-256 of the manifest file itself — the pack's content address.
+    pack_digest: Optional[str] = None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"evidence OK: {len(self.verified)} artifact(s) verified "
+                f"(pack {self.pack_digest[:12] if self.pack_digest else '?'})"
+            )
+        parts = []
+        if self.modified:
+            parts.append(f"{len(self.modified)} modified "
+                         f"({', '.join(name for name, _, _ in self.modified)})")
+        if self.missing:
+            parts.append(f"{len(self.missing)} missing "
+                         f"({', '.join(self.missing)})")
+        if self.added:
+            parts.append(f"{len(self.added)} added "
+                         f"({', '.join(self.added)})")
+        return "evidence TAMPERED: " + "; ".join(parts)
+
+
+def verify_evidence(run_dir: Union[str, Path]) -> EvidenceReport:
+    """Recompute every digest and diff against the packed manifest.
+
+    ``ok`` is True only when every manifested file exists with its
+    recorded digest and no unmanifested file has appeared. A missing
+    manifest is itself a failed verification (everything counts as
+    missing evidence).
+    """
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        return EvidenceReport(run_dir=str(run_dir), ok=False,
+                              missing=[MANIFEST_FILENAME])
+    expected = read_manifest(run_dir)
+    on_disk = {
+        p.relative_to(run_dir).as_posix(): p for p in _walk_artifacts(run_dir)
+    }
+    verified: List[str] = []
+    modified: List[Tuple[str, str, str]] = []
+    missing: List[str] = []
+    for rel, digest in sorted(expected.items()):
+        path = on_disk.get(rel)
+        if path is None:
+            missing.append(rel)
+            continue
+        actual = file_digest(path)
+        if actual != digest:
+            modified.append((rel, digest, actual))
+        else:
+            verified.append(rel)
+    added = sorted(set(on_disk) - set(expected))
+    ok = not (modified or missing or added)
+    return EvidenceReport(
+        run_dir=str(run_dir),
+        ok=ok,
+        verified=verified,
+        modified=modified,
+        missing=missing,
+        added=added,
+        pack_digest=file_digest(manifest_path),
+    )

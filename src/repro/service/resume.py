@@ -1,0 +1,50 @@
+"""Crash resume: requeue runs a dead service left behind.
+
+``repro serve --resume`` calls :func:`resume_interrupted` at startup: the
+store is scanned for manifests stuck in ``RUNNING`` (the service died
+mid-run — no live process ever leaves that state behind) and for
+``PENDING`` runs that were queued but never started. RUNNING manifests
+are transitioned back to PENDING (the legal resume edge of the state
+machine) and everything is re-enqueued in original submission order.
+
+Replaying is cheap by construction: the runner skips every job whose
+canonical result survives in the run's ``results.jsonl`` journal
+(cross-checked against the telemetry journal's ``job_end`` events), and
+the jobs that do re-execute hit the persistent reliability cache for
+their expensive exact analyses. A resumed batch therefore recomputes
+only the single job the crash interrupted — plus whatever never started.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import obs
+from .queue import JobQueue
+from .store import PENDING, RUNNING, RunRecord, RunStore
+
+__all__ = ["find_interrupted", "resume_interrupted"]
+
+
+def find_interrupted(store: RunStore) -> List[RunRecord]:
+    """Runs a previous service never finished, oldest first.
+
+    ``RUNNING`` manifests are crash orphans (their process is gone);
+    ``PENDING`` ones were accepted but never started.
+    """
+    records = store.list(states={RUNNING, PENDING})
+    records.sort(key=lambda r: r.manifest.get("created_at", 0.0))
+    return records
+
+
+def resume_interrupted(store: RunStore, queue: JobQueue) -> List[RunRecord]:
+    """Requeue every interrupted run; returns the requeued records."""
+    resumed: List[RunRecord] = []
+    for record in find_interrupted(store):
+        if record.state == RUNNING:
+            store.transition(record, PENDING)
+        queue.enqueue_existing(record)
+        obs.log("service.run_resumed", run=record.run_id,
+                attempt=record.manifest.get("attempt"))
+        resumed.append(record)
+    return resumed

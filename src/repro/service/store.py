@@ -1,0 +1,334 @@
+"""Durable run store: one directory per run under ``.archex/runs/``.
+
+Every run the service (or the CLI on its behalf) executes persists as::
+
+    .archex/runs/<run-id>/
+        manifest.json     state machine + environment + progress
+        spec.json         the normalized job spec (content-addressed)
+        results.jsonl     per-job canonical results journal (crash log)
+        telemetry.jsonl   the engine's batch event stream
+        result.json       the deterministic result document
+        report.txt        rendered human-readable report
+        MANIFEST.sha256   hash manifest over everything above (evidence)
+
+The manifest is a small JSON state machine::
+
+    PENDING -> RUNNING -> DONE | FAILED | CANCELLED
+    PENDING -> CANCELLED                 (cancelled before starting)
+    RUNNING -> PENDING                   (requeued by ``serve --resume``)
+
+Transitions outside :data:`TRANSITIONS` raise :class:`StateError`; every
+manifest write is atomic (temp file + ``os.replace``) so a crash never
+leaves a half-written manifest. Alongside the spec, the manifest records
+everything needed to reproduce the run: RNG seeds, git commit, package
+versions, and the solver/batch statistics the runner fills in at the end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .specs import normalize_job_spec, spec_digest
+
+__all__ = [
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "StateError",
+    "RunRecord",
+    "RunStore",
+    "capture_environment",
+    "DEFAULT_RUNS_DIR",
+]
+
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: States a run never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: The legal state machine. ``RUNNING -> PENDING`` is the resume edge: a
+#: crashed service finds RUNNING manifests with no process behind them
+#: and requeues the work.
+TRANSITIONS: Dict[str, frozenset] = {
+    PENDING: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED, PENDING}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+#: Default store location, relative to the working directory.
+DEFAULT_RUNS_DIR = os.path.join(".archex", "runs")
+
+MANIFEST_NAME = "manifest.json"
+SPEC_NAME = "spec.json"
+JOURNAL_NAME = "results.jsonl"
+TELEMETRY_NAME = "telemetry.jsonl"
+RESULT_NAME = "result.json"
+REPORT_NAME = "report.txt"
+
+
+class StateError(RuntimeError):
+    """An illegal run-state transition was attempted."""
+
+
+def _tracked_packages() -> Dict[str, str]:
+    from importlib import metadata
+
+    versions: Dict[str, str] = {}
+    for pkg in ("numpy", "scipy", "networkx"):
+        try:
+            versions[pkg] = metadata.version(pkg)
+        except metadata.PackageNotFoundError:  # pragma: no cover - env detail
+            pass
+    return versions
+
+
+def _git_commit() -> Optional[Dict[str, Any]]:
+    root = Path(__file__).resolve().parents[3]
+    try:
+        commit = subprocess.run(
+            ["git", "-C", str(root), "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5.0, check=True,
+        ).stdout.strip()
+        dirty = bool(subprocess.run(
+            ["git", "-C", str(root), "status", "--porcelain"],
+            capture_output=True, text=True, timeout=5.0, check=True,
+        ).stdout.strip())
+        return {"commit": commit, "dirty": dirty}
+    except Exception:  # pragma: no cover - no git / not a checkout
+        return None
+
+
+def capture_environment() -> Dict[str, Any]:
+    """Reproducibility snapshot: interpreter, platform, git, packages."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "git": _git_commit(),
+        "packages": _tracked_packages(),
+    }
+
+
+def _write_json_atomic(path: Path, document: Dict[str, Any]) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+
+
+@dataclass
+class RunRecord:
+    """One run: its directory plus the parsed manifest."""
+
+    run_id: str
+    path: Path
+    manifest: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def state(self) -> str:
+        return self.manifest.get("state", "?")
+
+    @property
+    def kind(self) -> str:
+        return self.manifest.get("kind", "?")
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def artifact(self, name: str) -> Path:
+        return self.path / name
+
+    def spec(self) -> Dict[str, Any]:
+        return json.loads((self.path / SPEC_NAME).read_text(encoding="utf-8"))
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc = dict(self.manifest)
+        doc["run_id"] = self.run_id
+        return doc
+
+
+class RunStore:
+    """Filesystem-backed registry of durable runs."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_RUNS_DIR) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- creation ---------------------------------------------------------
+
+    def _new_run_id(self, kind: str) -> str:
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        return f"{kind}-{stamp}-{uuid.uuid4().hex[:8]}"
+
+    def create(self, spec: Dict[str, Any],
+               run_id: Optional[str] = None) -> RunRecord:
+        """Persist a new PENDING run for a (raw or normalized) job spec."""
+        normalized = normalize_job_spec(spec)
+        run_id = run_id or self._new_run_id(normalized["kind"])
+        path = self.root / run_id
+        if path.exists():
+            raise FileExistsError(f"run {run_id!r} already exists")
+        path.mkdir(parents=True)
+        _write_json_atomic(path / SPEC_NAME, normalized)
+        manifest = {
+            "manifest_version": 1,
+            "run_id": run_id,
+            "kind": normalized["kind"],
+            "state": PENDING,
+            "created_at": time.time(),
+            "started_at": None,
+            "finished_at": None,
+            "attempt": 0,
+            "spec_digest": spec_digest(normalized),
+            "seeds": {"spec": normalized.get("params", {}).get("seed")},
+            "environment": capture_environment(),
+            "progress": {"done": 0, "failed": 0, "skipped": 0, "total": None},
+            "error": None,
+            "artifacts": [SPEC_NAME, MANIFEST_NAME],
+        }
+        record = RunRecord(run_id=run_id, path=path, manifest=manifest)
+        self._flush(record)
+        return record
+
+    # -- reading ----------------------------------------------------------
+
+    def load(self, run_id: str) -> RunRecord:
+        path = self.root / run_id
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise KeyError(f"unknown run {run_id!r}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        return RunRecord(run_id=run_id, path=path, manifest=manifest)
+
+    def __contains__(self, run_id: str) -> bool:
+        return (self.root / run_id / MANIFEST_NAME).is_file()
+
+    def list(self, states: Optional[Iterable[str]] = None) -> List[RunRecord]:
+        """All runs, newest first, optionally filtered by state."""
+        wanted = frozenset(states) if states is not None else None
+        records = []
+        for entry in self.root.iterdir():
+            if not (entry / MANIFEST_NAME).is_file():
+                continue
+            record = self.load(entry.name)
+            if wanted is None or record.state in wanted:
+                records.append(record)
+        records.sort(key=lambda r: r.manifest.get("created_at", 0.0),
+                     reverse=True)
+        return records
+
+    # -- state machine ----------------------------------------------------
+
+    def transition(self, record: RunRecord, state: str,
+                   **fields: Any) -> RunRecord:
+        """Move ``record`` to ``state``, enforcing :data:`TRANSITIONS`."""
+        current = record.state
+        if state not in TRANSITIONS:
+            raise StateError(f"unknown state {state!r}")
+        if state not in TRANSITIONS.get(current, frozenset()):
+            raise StateError(
+                f"illegal transition {current} -> {state} for run "
+                f"{record.run_id!r}"
+            )
+        record.manifest["state"] = state
+        now = time.time()
+        if state == RUNNING:
+            record.manifest["started_at"] = now
+            record.manifest["attempt"] = record.manifest.get("attempt", 0) + 1
+        elif state in TERMINAL_STATES:
+            record.manifest["finished_at"] = now
+        elif state == PENDING:  # resume requeue
+            record.manifest["resumed_at"] = now
+        record.manifest.update(fields)
+        self._flush(record)
+        return record
+
+    def update(self, record: RunRecord, **fields: Any) -> RunRecord:
+        """Merge manifest fields without a state change (atomic write)."""
+        record.manifest.update(fields)
+        self._flush(record)
+        return record
+
+    def set_progress(self, record: RunRecord, *, done: int, failed: int,
+                     total: Optional[int] = None,
+                     skipped: Optional[int] = None) -> None:
+        progress = record.manifest.setdefault("progress", {})
+        progress["done"] = done
+        progress["failed"] = failed
+        if total is not None:
+            progress["total"] = total
+        if skipped is not None:
+            progress["skipped"] = skipped
+        self._flush(record)
+
+    def _flush(self, record: RunRecord) -> None:
+        _write_json_atomic(record.path / MANIFEST_NAME, record.manifest)
+
+    # -- results journal --------------------------------------------------
+
+    def append_journal(self, record: RunRecord, entry: Dict[str, Any]) -> None:
+        """Append one per-job result line (fsync-free, line-atomic enough:
+        a torn trailing line is skipped on read)."""
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with (record.path / JOURNAL_NAME).open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def read_journal(self, record: RunRecord) -> List[Dict[str, Any]]:
+        path = record.path / JOURNAL_NAME
+        if not path.is_file():
+            return []
+        entries: List[Dict[str, Any]] = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn final line from a crash mid-write
+        return entries
+
+    # -- housekeeping -----------------------------------------------------
+
+    def delete(self, run_id: str) -> None:
+        path = self.root / run_id
+        if not (path / MANIFEST_NAME).is_file():
+            raise KeyError(f"unknown run {run_id!r}")
+        shutil.rmtree(path)
+
+    def gc(self, keep: int = 20,
+           states: Iterable[str] = TERMINAL_STATES) -> List[str]:
+        """Delete terminal runs beyond the ``keep`` newest; return their ids.
+
+        Non-terminal runs are never collected — a PENDING or RUNNING
+        directory belongs to the queue.
+        """
+        victims = self.list(states=states)[keep:]
+        deleted = []
+        for record in victims:
+            self.delete(record.run_id)
+            deleted.append(record.run_id)
+        return deleted

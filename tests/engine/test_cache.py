@@ -254,3 +254,72 @@ class TestPayloadStorage:
             assert cache.get("d1") == 0.5
             cache.store(small_problem(), "bdd", 0.25)
             assert len(cache) == 2
+
+
+class TestConcurrentServiceWorkers:
+    """The WAL + busy-timeout configuration service workers rely on."""
+
+    def test_wal_mode_and_busy_timeout_pragmas(self, tmp_path):
+        with ReliabilityCache(str(tmp_path), busy_timeout_ms=12345) as cache:
+            (mode,) = cache._conn.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()
+            assert mode.lower() == "wal"
+            (timeout,) = cache._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert timeout == 12345
+
+    def test_default_busy_timeout(self, tmp_path):
+        with ReliabilityCache(str(tmp_path)) as cache:
+            (timeout,) = cache._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert timeout == 30_000
+
+    def test_one_cache_shared_across_threads(self, tmp_path):
+        """Worker threads share the process-wide cache instance; the
+        connection must accept cross-thread use without sqlite errors."""
+        import threading
+
+        cache = ReliabilityCache(str(tmp_path))
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(50):
+                    digest = f"t{tid}-{i}"
+                    cache.put(digest, "bdd", float(i))
+                    assert cache.get(digest) == float(i)
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=30)
+        assert not errors
+        assert len(cache) == 200
+        cache.close()
+        # Everything persisted: a fresh instance sees all 200 entries.
+        with ReliabilityCache(str(tmp_path)) as reopened:
+            assert len(reopened) == 200
+
+    def test_two_instances_same_file_interleave(self, tmp_path):
+        """Two connections on one WAL file (the multi-process shape)."""
+        a = ReliabilityCache(str(tmp_path))
+        b = ReliabilityCache(str(tmp_path))
+        try:
+            a.put("shared-1", "bdd", 0.25)
+            assert b.get("shared-1") == 0.25
+            b.put("shared-2", "sdp", 0.5)
+            assert a.get("shared-2") == 0.5
+        finally:
+            a.close()
+            b.close()

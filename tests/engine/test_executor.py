@@ -327,3 +327,62 @@ def _sleep(job):
 
     time.sleep(job.payload["seconds"])
     return "done"
+
+
+def _echo(job):
+    return job.payload["i"]
+
+
+class TestStreamingHooks:
+    """The on_result / should_stop hooks the service runner drives."""
+
+    def test_on_result_streams_in_completion_order(self):
+        register_runner("echo", _echo)
+        batch = BatchSpec("echo", [
+            Job(job_id=f"e{i}", kind="echo", payload={"i": i})
+            for i in range(4)
+        ])
+        seen = []
+        outcome = run_batch(batch, on_result=lambda r: seen.append(r.job_id))
+        assert seen == [f"e{i}" for i in range(4)]
+        assert not outcome.stopped
+
+    def test_should_stop_breaks_at_job_boundary(self):
+        register_runner("echo", _echo)
+        batch = BatchSpec("echo", [
+            Job(job_id=f"e{i}", kind="echo", payload={"i": i})
+            for i in range(10)
+        ])
+        done = []
+
+        outcome = run_batch(
+            batch,
+            on_result=lambda r: done.append(r.job_id),
+            should_stop=lambda: len(done) >= 3,
+        )
+        assert outcome.stopped
+        assert len(outcome.results) == 3
+
+    def test_should_stop_before_first_job(self):
+        register_runner("echo", _echo)
+        batch = BatchSpec("echo", [
+            Job(job_id="e0", kind="echo", payload={"i": 0}),
+        ])
+        outcome = run_batch(batch, should_stop=lambda: True)
+        assert outcome.stopped
+        assert outcome.results == []
+
+    def test_batch_end_telemetry_records_stopped(self, tmp_path):
+        from repro.engine import read_events
+
+        register_runner("echo", _echo)
+        batch = BatchSpec("echo", [
+            Job(job_id=f"e{i}", kind="echo", payload={"i": i})
+            for i in range(3)
+        ])
+        telemetry = tmp_path / "t.jsonl"
+        run_batch(batch, telemetry=str(telemetry), should_stop=lambda: True)
+        (end,) = [
+            e for e in read_events(telemetry) if e["event"] == "batch_end"
+        ]
+        assert end["stopped"] is True

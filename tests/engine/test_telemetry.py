@@ -143,3 +143,30 @@ class TestCrashedBatch:
         ]
         summaries = summarize_telemetry(events)
         assert [s["batch"] for s in summaries] == ["b-1"]
+
+
+class TestCompletedJobs:
+    def test_job_end_map_with_latest_outcome_winning(self, tmp_path):
+        from repro.engine import completed_jobs
+
+        path = tmp_path / "t.jsonl"
+        with TelemetryWriter(path, batch="b") as writer:
+            writer.emit("job_start", job="a")
+            writer.emit("job_end", job="a", ok=False)
+            writer.emit("job_end", job="b", ok=True)
+        # A retry in a later batch overrides the earlier failure.
+        with TelemetryWriter(path, batch="b") as writer:
+            writer.emit("job_end", job="a", ok=True)
+        finished = completed_jobs(path)
+        assert finished == {"a": True, "b": True}
+
+    def test_accepts_parsed_events_and_ignores_other_records(self):
+        from repro.engine import completed_jobs
+
+        events = [
+            {"event": "batch_start", "jobs": 2},
+            {"event": "job_end", "job": "x", "ok": True},
+            {"event": "job_end"},  # no job id: not attributable
+            {"event": "span_start", "job": "x"},
+        ]
+        assert completed_jobs(events) == {"x": True}

@@ -1,0 +1,111 @@
+"""RunRegistry: bounded finished-ring eviction and thread safety."""
+
+import threading
+
+from repro.obs.server import RunRegistry
+
+
+class TestFinishedRingEviction:
+    def test_ring_bounded_and_keeps_newest_in_order(self):
+        registry = RunRegistry(keep_finished=3)
+        handles = [registry.start("batch", seq=i) for i in range(5)]
+        for handle in handles:
+            handle.finish(status="done")
+        finished = registry.snapshot()["finished"]
+        assert len(finished) == 3
+        # Oldest two evicted; survivors keep finish order.
+        assert [r["seq"] for r in finished] == [2, 3, 4]
+
+    def test_active_runs_never_evicted(self):
+        registry = RunRegistry(keep_finished=1)
+        keepalive = [registry.start("batch", seq=i) for i in range(4)]
+        registry.start("batch", seq=99).finish()
+        registry.start("batch", seq=100).finish()
+        assert len(registry) == 4
+        assert [r["seq"] for r in registry.snapshot()["finished"]] == [100]
+        for handle in keepalive:
+            handle.finish()
+
+    def test_double_finish_is_idempotent(self):
+        registry = RunRegistry(keep_finished=4)
+        handle = registry.start("batch")
+        handle.finish(status="done")
+        handle.finish(status="failed")  # late duplicate must be ignored
+        (record,) = registry.snapshot()["finished"]
+        assert record["status"] == "done"
+
+    def test_eviction_across_interleaved_finishes(self):
+        registry = RunRegistry(keep_finished=2)
+        a = registry.start("batch", name="a")
+        b = registry.start("batch", name="b")
+        c = registry.start("batch", name="c")
+        b.finish()
+        a.finish()
+        c.finish()
+        names = [r["name"] for r in registry.snapshot()["finished"]]
+        assert names == ["a", "c"]  # finish order, not start order
+
+
+class TestConcurrency:
+    def test_concurrent_register_and_finish(self):
+        """Hammer one registry from many threads; every invariant holds."""
+        registry = RunRegistry(keep_finished=16)
+        runs_per_thread = 25
+        threads = 8
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def worker(tid):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(runs_per_thread):
+                    handle = registry.start("stress", tid=tid, i=i)
+                    handle.update(step=1)
+                    handle.finish(status="done", step=2)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=30)
+        assert not errors
+        assert len(registry) == 0  # everything finished
+        snapshot = registry.snapshot()
+        assert snapshot["active"] == []
+        assert len(snapshot["finished"]) == 16  # exactly the ring bound
+        for record in snapshot["finished"]:
+            assert record["status"] == "done"
+            assert record["step"] == 2
+
+    def test_concurrent_updates_on_shared_handle(self):
+        registry = RunRegistry()
+        handle = registry.start("shared")
+        stop = threading.Event()
+
+        def updater():
+            i = 0
+            while not stop.is_set():
+                handle.update(i=i)
+                i += 1
+
+        def snapshotter():
+            while not stop.is_set():
+                registry.snapshot()
+
+        pool = [threading.Thread(target=updater) for _ in range(3)]
+        pool += [threading.Thread(target=snapshotter) for _ in range(2)]
+        for t in pool:
+            t.start()
+        try:
+            for t in pool:
+                t.join(timeout=0.2)
+        finally:
+            stop.set()
+            for t in pool:
+                t.join(timeout=10)
+        handle.finish()
+        assert len(registry) == 0

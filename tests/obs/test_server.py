@@ -224,3 +224,56 @@ class TestObsServer:
         assert record["status"] == "optimal"
         assert record["iteration"] == result.num_iterations
         assert record["cost"] == result.cost
+
+
+class TestEphemeralPort:
+    def test_port_zero_surfaces_actual_bound_port(self):
+        with ObsServer(port=0) as server:
+            assert server.port != 0
+            assert f":{server.port}" in server.url
+            assert http_get(server.url + "/healthz") == "ok\n"
+
+    def test_startup_log_line_carries_bound_port(self, tmp_path):
+        """`--serve 0` used to log port 0; the startup record must show
+        the real ephemeral port (and remember what was requested)."""
+        log_path = tmp_path / "obs.jsonl"
+        obs.configure_obslog(path=log_path)
+        try:
+            with ObsServer(port=0) as server:
+                bound = server.port
+        finally:
+            obs.configure_obslog()
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines() if line
+        ]
+        (started,) = [
+            r for r in records if r["event"] == "obs.server_started"
+        ]
+        assert started["port"] == bound != 0
+        assert started["requested_port"] == 0
+        assert f":{bound}" in started["url"]
+
+    def test_explicit_port_logged_verbatim(self, tmp_path):
+        import socket
+
+        # Grab a free fixed port first so the explicit-port path is exact.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        log_path = tmp_path / "obs.jsonl"
+        obs.configure_obslog(path=log_path)
+        try:
+            with ObsServer(port=port) as server:
+                assert server.port == port
+        finally:
+            obs.configure_obslog()
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines() if line
+        ]
+        (started,) = [
+            r for r in records if r["event"] == "obs.server_started"
+        ]
+        assert started["port"] == started["requested_port"] == port

@@ -1,0 +1,115 @@
+"""Evidence packs: SHA-256 manifests, verification, tamper detection."""
+
+import hashlib
+import re
+import subprocess
+
+import pytest
+
+from repro.service import (
+    MANIFEST_FILENAME,
+    file_digest,
+    pack_evidence,
+    read_manifest,
+    verify_evidence,
+)
+
+DIGEST_LINE = re.compile(r"^[0-9a-f]{64}  \S")
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    d = tmp_path / "run"
+    d.mkdir()
+    (d / "manifest.json").write_text('{"state": "DONE"}\n')
+    (d / "result.json").write_text('{"results": []}\n')
+    (d / "telemetry.jsonl").write_text('{"event": "batch_start"}\n')
+    return d
+
+
+class TestPack:
+    def test_pack_writes_sorted_sha256sum_format(self, run_dir):
+        manifest = pack_evidence(run_dir, run_id="test-run")
+        lines = manifest.read_text().splitlines()
+        assert lines[0] == "# archex evidence manifest v1"
+        assert lines[1] == "# run: test-run"
+        digest_lines = [l for l in lines if not l.startswith("#")]
+        assert len(digest_lines) == 3
+        assert all(DIGEST_LINE.match(l) for l in digest_lines)
+        names = [l.split("  ", 1)[1] for l in digest_lines]
+        assert names == sorted(names)
+
+    def test_manifest_never_hashes_itself_or_tmp_files(self, run_dir):
+        (run_dir / "partial.json.tmp").write_text("torn")
+        pack_evidence(run_dir)
+        entries = read_manifest(run_dir)
+        assert MANIFEST_FILENAME not in entries
+        assert "partial.json.tmp" not in entries
+
+    def test_file_digest_matches_hashlib(self, run_dir):
+        path = run_dir / "result.json"
+        expected = hashlib.sha256(path.read_bytes()).hexdigest()
+        assert file_digest(path) == expected
+
+    def test_coreutils_compatible(self, run_dir):
+        """The documented `sha256sum -c` invocation must really pass."""
+        pack_evidence(run_dir)
+        proc = subprocess.run(
+            f"grep -v '^#' {MANIFEST_FILENAME} | sha256sum -c -",
+            shell=True, cwd=run_dir, capture_output=True, text=True,
+        )
+        if proc.returncode == 127:  # pragma: no cover - no coreutils
+            pytest.skip("sha256sum unavailable")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestVerify:
+    def test_clean_pack_verifies(self, run_dir):
+        pack_evidence(run_dir)
+        report = verify_evidence(run_dir)
+        assert report.ok
+        assert len(report.verified) == 3
+        assert report.pack_digest == file_digest(run_dir / MANIFEST_FILENAME)
+        assert "OK" in report.summary()
+
+    def test_modified_file_detected(self, run_dir):
+        pack_evidence(run_dir)
+        (run_dir / "result.json").write_text('{"results": [1]}\n')
+        report = verify_evidence(run_dir)
+        assert not report.ok
+        assert [name for name, _, _ in report.modified] == ["result.json"]
+        assert "TAMPERED" in report.summary()
+
+    def test_missing_file_detected(self, run_dir):
+        pack_evidence(run_dir)
+        (run_dir / "telemetry.jsonl").unlink()
+        report = verify_evidence(run_dir)
+        assert not report.ok
+        assert report.missing == ["telemetry.jsonl"]
+
+    def test_added_file_detected(self, run_dir):
+        pack_evidence(run_dir)
+        (run_dir / "smuggled.txt").write_text("extra")
+        report = verify_evidence(run_dir)
+        assert not report.ok
+        assert report.added == ["smuggled.txt"]
+
+    def test_missing_manifest_fails_verification(self, run_dir):
+        report = verify_evidence(run_dir)
+        assert not report.ok
+        assert report.missing == [MANIFEST_FILENAME]
+
+    def test_repack_after_change_verifies_again(self, run_dir):
+        pack_evidence(run_dir)
+        (run_dir / "result.json").write_text("new\n")
+        pack_evidence(run_dir)
+        assert verify_evidence(run_dir).ok
+
+    def test_subdirectory_artifacts_covered(self, run_dir):
+        sub = run_dir / "plots"
+        sub.mkdir()
+        (sub / "front.svg").write_text("<svg/>")
+        pack_evidence(run_dir)
+        assert "plots/front.svg" in read_manifest(run_dir)
+        (sub / "front.svg").write_text("<svg>tampered</svg>")
+        assert not verify_evidence(run_dir).ok

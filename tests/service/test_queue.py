@@ -1,0 +1,225 @@
+"""Job queue: workers, cancellation, timeouts, and drain semantics.
+
+These tests register a throwaway ``sleepy`` job kind (a spec builder plus
+an engine runner whose jobs just nap) so queue mechanics are exercised
+without paying for real synthesis.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import register_runner
+from repro.engine.executor import _RUNNERS
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobQueue,
+    RunStore,
+    register_batch_builder,
+    verify_evidence,
+)
+from repro.service.specs import _BATCH_BUILDERS, PARAM_SCHEMAS, SPEC_SCHEMA
+
+
+@pytest.fixture()
+def sleepy_kind(monkeypatch):
+    """Teach the whole stack a fast fake job kind for queue tests."""
+    from repro.engine import BatchSpec, Job
+
+    monkeypatch.setitem(
+        SPEC_SCHEMA["properties"]["kind"], "enum",
+        list(SPEC_SCHEMA["properties"]["kind"]["enum"]) + ["sleepy"],
+    )
+    monkeypatch.setitem(PARAM_SCHEMAS, "sleepy", {
+        "type": "object",
+        "additionalProperties": False,
+        "properties": {
+            "naps": {"type": "integer", "minimum": 1, "default": 2},
+            "nap_s": {"type": "number", "minimum": 0, "default": 0.0},
+        },
+    })
+
+    def build(params):
+        jobs = [
+            Job(job_id=f"nap-{i}", kind="sleepy-job",
+                payload={"nap_s": params["nap_s"], "i": i})
+            for i in range(params["naps"])
+        ]
+        return BatchSpec(name="sleepy-batch", jobs=jobs)
+
+    def run(job):
+        time.sleep(job.payload["nap_s"])
+        return {"napped": job.payload["i"]}
+
+    register_batch_builder("sleepy", build)
+    register_runner("sleepy-job", run)
+    yield
+    _BATCH_BUILDERS.pop("sleepy", None)
+    _RUNNERS.pop("sleepy-job", None)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(tmp_path / "runs")
+
+
+def wait_for_state(store, run_id, states, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = store.load(run_id)
+        if record.state in states:
+            return record
+        time.sleep(0.01)
+    raise AssertionError(
+        f"run {run_id} never reached {states} (is {record.state})"
+    )
+
+
+class TestExecution:
+    def test_submit_runs_to_done(self, store, sleepy_kind):
+        queue = JobQueue(store).start()
+        try:
+            record = queue.submit({"kind": "sleepy", "params": {"naps": 3}})
+            assert record.state == PENDING
+            assert queue.join(timeout=30.0)
+            record = store.load(record.run_id)
+            assert record.state == DONE
+            assert record.manifest["progress"] == {
+                "done": 3, "failed": 0, "skipped": 0, "total": 3,
+            }
+            assert verify_evidence(record.path).ok
+        finally:
+            queue.shutdown()
+
+    def test_fifo_order_single_worker(self, store, sleepy_kind):
+        queue = JobQueue(store, workers=1).start()
+        try:
+            first = queue.submit({"kind": "sleepy"})
+            second = queue.submit({"kind": "sleepy"})
+            assert queue.join(timeout=30.0)
+            a = store.load(first.run_id).manifest["finished_at"]
+            b = store.load(second.run_id).manifest["finished_at"]
+            assert a <= b
+        finally:
+            queue.shutdown()
+
+    def test_invalid_spec_rejected_before_storage(self, store):
+        queue = JobQueue(store)
+        from repro.service import SpecError
+
+        with pytest.raises(SpecError):
+            queue.submit({"kind": "nope"})
+        assert store.list() == []
+
+    def test_failed_job_seals_failed(self, store, sleepy_kind):
+        def explode(job):
+            raise RuntimeError("boom")
+
+        register_runner("sleepy-job", explode)
+        queue = JobQueue(store).start()
+        try:
+            record = queue.submit({"kind": "sleepy", "params": {"naps": 1}})
+            assert queue.join(timeout=30.0)
+            record = store.load(record.run_id)
+            assert record.state == FAILED
+            assert "1 job(s) failed" in record.manifest["error"]
+            assert verify_evidence(record.path).ok  # failures seal too
+        finally:
+            queue.shutdown()
+
+
+class TestCancellation:
+    def test_cancel_pending_before_any_worker_starts(self, store, sleepy_kind):
+        queue = JobQueue(store)  # never started: the run stays queued
+        record = queue.submit({"kind": "sleepy"})
+        cancelled = queue.cancel(record.run_id)
+        assert cancelled.state == CANCELLED
+        assert verify_evidence(cancelled.path).ok
+
+    def test_cancel_running_stops_at_job_boundary(self, store, sleepy_kind):
+        queue = JobQueue(store).start()
+        try:
+            record = queue.submit({
+                "kind": "sleepy",
+                "params": {"naps": 100, "nap_s": 0.05},
+            })
+            wait_for_state(store, record.run_id, {RUNNING})
+            queue.cancel(record.run_id)
+            final = wait_for_state(
+                store, record.run_id, {CANCELLED, FAILED, DONE}
+            )
+            assert final.state == CANCELLED
+            # Stopped early: nowhere near all 100 jobs ran.
+            assert final.manifest["progress"]["done"] < 100
+        finally:
+            queue.shutdown()
+
+    def test_cancel_terminal_raises(self, store, sleepy_kind):
+        queue = JobQueue(store).start()
+        try:
+            record = queue.submit({"kind": "sleepy", "params": {"naps": 1}})
+            assert queue.join(timeout=30.0)
+            with pytest.raises(ValueError):
+                queue.cancel(record.run_id)
+        finally:
+            queue.shutdown()
+
+
+class TestTimeouts:
+    def test_spec_timeout_fails_the_run(self, store, sleepy_kind):
+        queue = JobQueue(store).start()
+        try:
+            record = queue.submit({
+                "kind": "sleepy",
+                "timeout": 0.08,
+                "params": {"naps": 100, "nap_s": 0.05},
+            })
+            final = wait_for_state(
+                store, record.run_id, {DONE, FAILED, CANCELLED}
+            )
+            assert final.state == FAILED
+            assert "timed out" in final.manifest["error"]
+        finally:
+            queue.shutdown()
+
+    def test_queue_default_timeout_applies(self, store, sleepy_kind):
+        queue = JobQueue(store, default_timeout=0.08).start()
+        try:
+            record = queue.submit({
+                "kind": "sleepy",
+                "params": {"naps": 100, "nap_s": 0.05},
+            })
+            final = wait_for_state(
+                store, record.run_id, {DONE, FAILED, CANCELLED}
+            )
+            assert final.state == FAILED
+        finally:
+            queue.shutdown()
+
+
+class TestDrain:
+    def test_stopping_queue_leaves_queued_runs_pending(
+        self, store, sleepy_kind
+    ):
+        queue = JobQueue(store)
+        record = queue.submit({"kind": "sleepy"})
+        queue._stopping = True  # what shutdown() sets before draining
+        queue._execute(record.run_id)
+        assert store.load(record.run_id).state == PENDING
+
+    def test_enqueue_existing_rejects_non_pending(self, store, sleepy_kind):
+        queue = JobQueue(store)
+        record = queue.submit({"kind": "sleepy"})
+        store.transition(record, RUNNING)
+        with pytest.raises(ValueError):
+            queue.enqueue_existing(store.load(record.run_id))
+
+    def test_submit_after_shutdown_rejected(self, store, sleepy_kind):
+        queue = JobQueue(store).start()
+        queue.shutdown()
+        with pytest.raises(RuntimeError):
+            queue.submit({"kind": "sleepy"})

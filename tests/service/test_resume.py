@@ -1,0 +1,169 @@
+"""Crash resume: interrupted runs complete without recomputing journaled
+jobs, and the resumed result document is identical to an uninterrupted one."""
+
+import json
+
+import pytest
+
+from repro.engine import BatchSpec, run_batch
+from repro.engine.telemetry import read_events
+from repro.service import (
+    DONE,
+    PENDING,
+    RUNNING,
+    JobQueue,
+    RunStore,
+    build_batch,
+    canonical_results,
+    find_interrupted,
+    normalize_job_spec,
+    resume_interrupted,
+)
+from repro.service.runner import _journal_entry
+from repro.service.store import TELEMETRY_NAME
+
+SWEEP_SPEC = {
+    "kind": "sweep",
+    "params": {"domain": "eps", "size": 2, "levels": [2e-3, 2e-6],
+               "backend": "scipy", "algorithm": "mr"},
+}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(tmp_path / "runs")
+
+
+def crash_mid_run(store):
+    """Fabricate the exact disk state a service killed mid-batch leaves.
+
+    The first of two sweep jobs finished — journaled to ``results.jsonl``
+    AND ``job_end``-recorded in telemetry — then the process died, so the
+    manifest is stuck in RUNNING.
+    """
+    record = store.create(SWEEP_SPEC)
+    store.transition(record, RUNNING)
+    batch = build_batch(record.spec())
+    first_only = BatchSpec(name=batch.name, jobs=[batch.jobs[0]],
+                           meta=dict(batch.meta))
+    outcome = run_batch(
+        first_only, telemetry=str(record.path / TELEMETRY_NAME)
+    )
+    for result in outcome.results:
+        store.append_journal(record, _journal_entry(result))
+    return store.load(record.run_id), batch
+
+
+class TestFindInterrupted:
+    def test_running_and_pending_found_oldest_first(self, store):
+        running, _ = crash_mid_run(store)
+        pending = store.create(SWEEP_SPEC)
+        done = store.create(SWEEP_SPEC)
+        store.transition(done, RUNNING)
+        store.transition(done, DONE)
+        store.update(running, created_at=1.0)
+        store.update(pending, created_at=2.0)
+        found = find_interrupted(store)
+        assert [r.run_id for r in found] == [
+            running.run_id, pending.run_id
+        ]
+
+    def test_clean_store_has_nothing_to_resume(self, store):
+        assert find_interrupted(store) == []
+
+
+class TestResume:
+    def test_resume_completes_without_recomputing_journaled_jobs(
+        self, store
+    ):
+        record, batch = crash_mid_run(store)
+        assert record.state == RUNNING
+
+        queue = JobQueue(store).start()
+        try:
+            resumed = resume_interrupted(store, queue)
+            assert [r.run_id for r in resumed] == [record.run_id]
+            assert queue.join(timeout=120.0)
+        finally:
+            queue.shutdown()
+
+        final = store.load(record.run_id)
+        assert final.state == DONE
+        assert final.manifest["attempt"] == 2
+        assert final.manifest["progress"]["skipped"] == 1
+
+        result = json.loads(
+            final.artifact("result.json").read_text(encoding="utf-8")
+        )
+        assert result["stats"]["replayed"] == 1
+        assert result["stats"]["executed"] == 1
+
+        # The journaled job really was skipped: exactly one job_start per
+        # job across both attempts (telemetry appends across attempts).
+        events = read_events(final.artifact(TELEMETRY_NAME))
+        starts = [e["job"] for e in events if e["event"] == "job_start"]
+        assert sorted(starts) == sorted(j.job_id for j in batch.jobs)
+
+        # And the stitched document matches an uninterrupted direct run.
+        direct = run_batch(build_batch(normalize_job_spec(SWEEP_SPEC)))
+        expected = canonical_results(direct.results)
+        assert json.dumps(result["results"], sort_keys=True) == \
+            json.dumps(expected, sort_keys=True)
+
+    def test_journal_without_telemetry_confirmation_not_replayed(
+        self, store
+    ):
+        """Double-entry check: a journal line alone proves nothing."""
+        record = store.create(SWEEP_SPEC)
+        store.transition(record, RUNNING)
+        batch = build_batch(record.spec())
+        # A journal entry with NO matching telemetry job_end — the shape a
+        # crash between the two writes (or a torn telemetry line) leaves.
+        store.append_journal(record, {
+            "job_id": batch.jobs[0].job_id, "ok": True,
+            "meta": {}, "value": {"type": "synthesis_result",
+                                  "status": "forged"},
+        })
+
+        queue = JobQueue(store).start()
+        try:
+            resume_interrupted(store, queue)
+            assert queue.join(timeout=120.0)
+        finally:
+            queue.shutdown()
+
+        final = store.load(record.run_id)
+        assert final.state == DONE
+        result = json.loads(
+            final.artifact("result.json").read_text(encoding="utf-8")
+        )
+        assert result["stats"]["replayed"] == 0
+        assert result["stats"]["executed"] == len(batch.jobs)
+        assert not any(
+            e.get("value", {}).get("status") == "forged"
+            for e in result["results"]
+        )
+
+    def test_pending_run_resumes_too(self, store):
+        record = store.create(SWEEP_SPEC)
+        queue = JobQueue(store).start()
+        try:
+            resumed = resume_interrupted(store, queue)
+            assert [r.run_id for r in resumed] == [record.run_id]
+            assert queue.join(timeout=120.0)
+        finally:
+            queue.shutdown()
+        assert store.load(record.run_id).state == DONE
+
+    def test_resume_is_idempotent_on_clean_store(self, store):
+        queue = JobQueue(store)
+        assert resume_interrupted(store, queue) == []
+        assert store.list() == []
+
+
+class TestPendingStateAfterResumeMark:
+    def test_running_transitioned_to_pending_before_enqueue(self, store):
+        record, _ = crash_mid_run(store)
+        queue = JobQueue(store)  # unstarted: stays queued
+        resume_interrupted(store, queue)
+        assert store.load(record.run_id).state == PENDING

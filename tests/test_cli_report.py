@@ -187,3 +187,94 @@ class TestModuleEntryPoint:
         assert proc.returncode == 0
         assert "synthesize" in proc.stdout
         assert "tradeoff" in proc.stdout
+
+
+class TestRunsCli:
+    """`repro runs ls|show|verify|gc` against a real store."""
+
+    @pytest.fixture()
+    def seeded_store(self, tmp_path):
+        from repro.service import DONE, RunStore, pack_evidence
+
+        store = RunStore(tmp_path / "runs")
+        record = store.create(
+            {"kind": "sweep", "params": {"size": 2, "levels": [2e-3]}}
+        )
+        store.transition(record, "RUNNING")
+        store.transition(record, DONE)
+        (record.path / "result.json").write_text('{"results": []}\n')
+        pack_evidence(record.path, run_id=record.run_id)
+        return store, record
+
+    def test_runs_ls(self, seeded_store, capsys):
+        store, record = seeded_store
+        assert main(["runs", "ls", "--runs-dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert record.run_id in out
+        assert "DONE" in out
+
+    def test_runs_ls_empty(self, tmp_path, capsys):
+        assert main(["runs", "ls", "--runs-dir", str(tmp_path / "x")]) == 0
+        assert "(no runs)" in capsys.readouterr().out
+
+    def test_runs_show(self, seeded_store, capsys):
+        store, record = seeded_store
+        assert main(
+            ["runs", "show", record.run_id, "--runs-dir", str(store.root)]
+        ) == 0
+        doc = capsys.readouterr().out
+        assert '"spec"' in doc and record.run_id in doc
+
+    def test_runs_show_unknown_exits(self, seeded_store):
+        store, _ = seeded_store
+        with pytest.raises(SystemExit):
+            main(["runs", "show", "ghost", "--runs-dir", str(store.root)])
+
+    def test_runs_verify_clean_then_tampered(self, seeded_store, capsys):
+        store, record = seeded_store
+        assert main(
+            ["runs", "verify", "--runs-dir", str(store.root)]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+        (record.path / "result.json").write_text('{"results": [666]}\n')
+        assert main(
+            ["runs", "verify", "--runs-dir", str(store.root)]
+        ) == 1
+        assert "TAMPERED" in capsys.readouterr().out
+
+    def test_runs_gc(self, seeded_store, capsys):
+        store, record = seeded_store
+        assert main(
+            ["runs", "gc", "--keep", "0", "--runs-dir", str(store.root)]
+        ) == 0
+        assert record.run_id not in store
+
+    def test_render_runs_table_shapes(self):
+        from repro.report import render_runs_table
+
+        text = render_runs_table([{
+            "run_id": "sweep-x", "kind": "sweep", "state": "DONE",
+            "progress": {"done": 2, "failed": 1, "skipped": 1, "total": 4},
+            "attempt": 2, "started_at": 10.0, "finished_at": 12.5,
+            "spec_digest": "abcdef0123456789",
+        }])
+        assert "sweep-x" in text
+        assert "2/4 (1 failed) +1 skip" in text
+        assert "2.5" in text
+        assert "abcdef012345" in text
+
+
+class TestServeCli:
+    def test_serve_max_runtime_and_port_file(self, tmp_path, capsys):
+        port_file = tmp_path / "port"
+        code = main([
+            "serve", "--port", "0",
+            "--port-file", str(port_file),
+            "--runs-dir", str(tmp_path / "runs"),
+            "--max-runtime", "0.4",
+        ])
+        assert code == 0
+        port = int(port_file.read_text().strip())
+        assert port > 0
+        out = capsys.readouterr().out
+        assert f":{port}" in out  # the printed URL is connectable
