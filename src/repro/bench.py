@@ -20,6 +20,24 @@ see identical code and inputs:
     iterations versus dual-simplex pivots from the carried basis. This is
     the per-node saving branch-and-bound compounds.
 
+``cache_contention``
+    Aggregate write throughput into the reliability cache's persistent
+    tier: a single writer committing per put into one SQLite file (the
+    pre-sharding baseline) versus N concurrent writers pushing the same
+    total through the sharded backend's batched write-back. The speedup
+    is the scaling claim behind ``--cache-backend sharded``.
+
+``queue_throughput``
+    A batch of no-op jobs pushed through ``executor="queue"`` (the
+    file-backed work queue with local worker processes): jobs/second
+    including lease, heartbeat, and result fan-in overhead.
+
+``sharded_sweep``
+    The equivalence guarantee under load: a reliability sweep run twice —
+    serially against a SQLite cache and through the work queue with
+    concurrent workers against a sharded cache — recording both walls and
+    whether every value came back bit-identical.
+
 Run via ``repro bench`` or ``benchmarks/bench_suite.py``; validate a
 produced document with :func:`validate_bench_document` (CI does).
 
@@ -37,6 +55,8 @@ from __future__ import annotations
 import json
 import platform
 import statistics
+import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -76,12 +96,18 @@ PROFILES: Dict[str, Dict[str, list]] = {
         "ilp_mr_scipy": [(4, 1e-4)],
         "lp_scaling": [(40, 60)],
         "warm_lp": [2],
+        "cache_contention": [(4, 150)],
+        "queue_throughput": [(12, 2)],
+        "sharded_sweep": [(24, 2)],
     },
     "full": {
         "ilp_mr_bnb": [(2, 1e-3), (2, 5e-4)],
         "ilp_mr_scipy": [(4, 1e-4), (6, 1e-4)],
         "lp_scaling": [(40, 60), (80, 120), (120, 200)],
         "warm_lp": [2, 4],
+        "cache_contention": [(8, 400)],
+        "queue_throughput": [(48, 4)],
+        "sharded_sweep": [(200, 8)],
     },
 }
 
@@ -247,6 +273,156 @@ def _warm_lp_row(gens: int) -> dict:
     }
 
 
+def _hammer_backend(make_backend, threads: int, writes: int):
+    """Aggregate wall time for ``threads`` writers doing ``writes`` each."""
+    backend = make_backend()
+    barrier = threading.Barrier(threads + 1)
+
+    def work(t: int) -> None:
+        barrier.wait()
+        for i in range(writes):
+            n = t * writes + i
+            backend.put(f"{n:064x}", "bench", float(n))
+
+    pool = [
+        threading.Thread(target=work, args=(t,)) for t in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    barrier.wait()  # release every writer at once
+    start = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    stored = len(backend)
+    backend.close()
+    return elapsed, stored
+
+
+def _cache_contention_row(threads: int, writes_per_thread: int) -> dict:
+    """Aggregate write throughput: sharded multi-writer vs single writer.
+
+    The baseline is the pre-sharding architecture — one writer, one
+    SQLite file, one commit per ``put``. The measurement is ``threads``
+    concurrent writers pushing the same total entry count through the
+    sharded tier, whose per-shard write-back batching turns the dominant
+    per-put commit into an amortized group commit. The speedup therefore
+    holds even on a single core, where lock-spread alone could not.
+    """
+    from .engine.backends.sharded import ShardedBackend
+    from .engine.backends.sqlite import SQLiteBackend
+
+    total = threads * writes_per_thread
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as td:
+        root = Path(td)
+        base_seconds, base_stored = _hammer_backend(
+            lambda: SQLiteBackend(root / "single.sqlite"), 1, total,
+        )
+        sh_seconds, sh_stored = _hammer_backend(
+            lambda: ShardedBackend(root / "sharded", shards=64),
+            threads, writes_per_thread,
+        )
+    base_wps = total / base_seconds if base_seconds > 0 else float("inf")
+    sh_wps = total / sh_seconds if sh_seconds > 0 else float("inf")
+    return {
+        "kind": "cache_contention",
+        "instance": f"writers-{threads}x{writes_per_thread}",
+        "threads": threads,
+        "writes_per_thread": writes_per_thread,
+        "single_writer_seconds": base_seconds,
+        "sharded_seconds": sh_seconds,
+        "single_writer_per_second": base_wps,
+        "sharded_writes_per_second": sh_wps,
+        "speedup": sh_wps / base_wps if base_wps > 0 else float("inf"),
+        "all_writes_landed": base_stored == total and sh_stored == total,
+    }
+
+
+def _queue_throughput_row(n_jobs: int, workers: int) -> dict:
+    from .engine import BatchSpec, Job, run_batch
+
+    batch = BatchSpec(f"bench-queue-{n_jobs}", [
+        Job(job_id=f"q{i}", kind="noop", payload={"value": i})
+        for i in range(n_jobs)
+    ])
+    start = time.perf_counter()
+    outcome = run_batch(batch, jobs=workers, executor="queue")
+    wall = time.perf_counter() - start
+    return {
+        "kind": "queue_throughput",
+        "instance": f"noop-{n_jobs}x{workers}",
+        "num_jobs": n_jobs,
+        "workers": workers,
+        "wall_seconds": wall,
+        "jobs_per_second": n_jobs / wall if wall > 0 else float("inf"),
+        "failed": outcome.num_failed,
+    }
+
+
+def _sweep_problems(n: int):
+    """``n`` distinct closed-form reliability problems, all cheap."""
+    from .verify.corpus import parallel_case, series_case
+
+    cases = []
+    for i in range(n):
+        if i % 2 == 0:
+            cases.append(series_case(p=0.01 + 3e-4 * i, n=2 + (i // 2) % 4))
+        else:
+            cases.append(parallel_case(p=0.02 + 3e-4 * i, k=2 + (i // 2) % 3))
+    return cases
+
+
+def _sharded_sweep_row(n_jobs: int, workers: int) -> dict:
+    from .engine import BatchSpec, Job, run_batch
+
+    cases = _sweep_problems(n_jobs)
+
+    def make_batch() -> "BatchSpec":
+        return BatchSpec(f"bench-sweep-{n_jobs}", [
+            Job(job_id=f"s{i}", kind="reliability",
+                payload={"problem": case.problem, "method": "bdd"})
+            for i, case in enumerate(cases)
+        ])
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as td:
+        root = Path(td)
+        start = time.perf_counter()
+        serial = run_batch(make_batch(), jobs=1,
+                           cache_dir=str(root / "sql"),
+                           cache_backend="sqlite")
+        serial_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        # retries=3: with many worker processes time-slicing few cores, a
+        # transient OSError can recur within the default budget of 1 and
+        # turn a benchmark row into a spurious failure.
+        queued = run_batch(make_batch(), jobs=workers, executor="queue",
+                           cache_dir=str(root / "shard"),
+                           cache_backend="sharded", cache_shards=64,
+                           retries=3)
+        queue_wall = time.perf_counter() - start
+    serial_values = {r.job_id: r.value for r in serial.results if r.ok}
+    queued_values = {r.job_id: r.value for r in queued.results if r.ok}
+    identical = (
+        not serial.num_failed and not queued.num_failed
+        and set(serial_values) == set(queued_values)
+        and all(queued_values[k].hex() == v.hex()
+                for k, v in serial_values.items())
+    )
+    return {
+        "kind": "sharded_sweep",
+        "instance": f"bdd-{n_jobs}x{workers}",
+        "num_jobs": n_jobs,
+        "workers": workers,
+        "serial_seconds": serial_wall,
+        "queue_seconds": queue_wall,
+        "queue_jobs_per_second": (
+            n_jobs / queue_wall if queue_wall > 0 else float("inf")
+        ),
+        "values_identical": identical,
+        "failed": serial.num_failed + queued.num_failed,
+    }
+
+
 def run_bench(
     profile: str = "smoke",
     out: Optional[str] = "BENCH_ilp.json",
@@ -278,6 +454,15 @@ def run_bench(
         for gens in plan["warm_lp"]:
             log(f"[bench] warm_lp eps-g{gens} ...")
             rows.append(_warm_lp_row(gens))
+        for threads, writes in plan.get("cache_contention", []):
+            log(f"[bench] cache_contention writers-{threads}x{writes} ...")
+            rows.append(_cache_contention_row(threads, writes))
+        for n_jobs, workers in plan.get("queue_throughput", []):
+            log(f"[bench] queue_throughput noop-{n_jobs}x{workers} ...")
+            rows.append(_queue_throughput_row(n_jobs, workers))
+        for n_jobs, workers in plan.get("sharded_sweep", []):
+            log(f"[bench] sharded_sweep bdd-{n_jobs}x{workers} ...")
+            rows.append(_sharded_sweep_row(n_jobs, workers))
     finally:
         obs.set_tracer(previous_tracer)
 
@@ -305,6 +490,14 @@ def run_bench(
             "all_objectives_agree": all(
                 r.get("objectives_agree", True) for r in rows
             ),
+            "cache_write_speedup": next(
+                (r["speedup"] for r in rows
+                 if r["kind"] == "cache_contention"), None
+            ),
+            "sweep_values_identical": all(
+                r["values_identical"] for r in rows
+                if r["kind"] == "sharded_sweep"
+            ),
         },
     }
     if out:
@@ -327,6 +520,19 @@ _ROW_REQUIRED = {
     "warm_lp": {
         "instance", "cold_seconds", "cold_iterations", "warm_seconds",
         "warm_dual_pivots", "warm_started", "objectives_agree", "speedup",
+    },
+    "cache_contention": {
+        "instance", "threads", "writes_per_thread",
+        "single_writer_per_second", "sharded_writes_per_second", "speedup",
+        "all_writes_landed",
+    },
+    "queue_throughput": {
+        "instance", "num_jobs", "workers", "wall_seconds",
+        "jobs_per_second", "failed",
+    },
+    "sharded_sweep": {
+        "instance", "num_jobs", "workers", "serial_seconds",
+        "queue_seconds", "values_identical", "failed",
     },
 }
 
@@ -400,6 +606,25 @@ def _entry_metrics(doc: dict) -> Dict[str, float]:
             metrics[f"{base}/warm_seconds"] = row["warm_seconds"]
             metrics[f"{base}/cold_seconds"] = row["cold_seconds"]
             metrics[f"{base}/speedup"] = row["speedup"]
+        elif kind == "cache_contention":
+            base = f"cache_contention/{row['instance']}"
+            metrics[f"{base}/single_writer_per_second"] = (
+                row["single_writer_per_second"]
+            )
+            metrics[f"{base}/sharded_writes_per_second"] = (
+                row["sharded_writes_per_second"]
+            )
+            metrics[f"{base}/speedup"] = row["speedup"]
+        elif kind == "queue_throughput":
+            base = f"queue_throughput/{row['instance']}"
+            metrics[f"{base}/jobs_per_second"] = row["jobs_per_second"]
+        elif kind == "sharded_sweep":
+            base = f"sharded_sweep/{row['instance']}"
+            metrics[f"{base}/serial_seconds"] = row["serial_seconds"]
+            metrics[f"{base}/queue_seconds"] = row["queue_seconds"]
+            metrics[f"{base}/queue_jobs_per_second"] = (
+                row["queue_jobs_per_second"]
+            )
     return {k: float(v) for k, v in metrics.items() if v == v}  # drop NaN
 
 
@@ -455,7 +680,9 @@ def read_history(
 
 
 def _metric_direction(name: str) -> str:
-    return "higher" if name.endswith("speedup") else "lower"
+    return (
+        "higher" if name.endswith(("speedup", "per_second")) else "lower"
+    )
 
 
 def compare_history(

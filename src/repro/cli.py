@@ -52,6 +52,8 @@ from .domains import domain_spec, eps_scaling_specs
 from .ilp import configure_auto
 from .arch import save_json
 from .engine import (
+    BACKEND_NAMES,
+    EXECUTOR_MODES,
     requirement_sweep,
     run_batch,
     scaling_sweep,
@@ -153,6 +155,16 @@ def _telemetry_path(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Executor/cache-tier selection shared by every engine command."""
+    return {
+        "executor": getattr(args, "executor", None),
+        "queue_dir": getattr(args, "queue_dir", None),
+        "cache_backend": getattr(args, "cache_backend", "auto"),
+        "cache_shards": getattr(args, "cache_shards", None),
+    }
+
+
 def _print_batch_footer(outcome, telemetry: Optional[str]) -> None:
     print(f"\n{outcome.summary()}")
     if telemetry and os.path.exists(telemetry):
@@ -173,7 +185,8 @@ def _run_scaling_batch(args: argparse.Namespace):
     )
     telemetry = _telemetry_path(args)
     outcome = run_batch(
-        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry
+        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry,
+        **_engine_kwargs(args),
     )
     rows = []
     for res in outcome.results:
@@ -216,7 +229,8 @@ def _run_tradeoff_batch(args: argparse.Namespace):
     )
     telemetry = _telemetry_path(args)
     outcome = run_batch(
-        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry
+        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry,
+        **_engine_kwargs(args),
     )
     points = tradeoff_points(outcome.results)
     rows = [
@@ -295,7 +309,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
     telemetry = _telemetry_path(args)
     outcome = run_batch(
-        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry
+        batch, jobs=args.jobs, cache_dir=args.cache_dir, telemetry=telemetry,
+        **_engine_kwargs(args),
     )
 
     findings: List[dict] = []
@@ -520,6 +535,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_jobs=args.jobs,
         cache_dir=args.cache_dir,
         default_timeout=args.job_timeout,
+        cache_backend=args.cache_backend,
+        cache_shards=args.cache_shards,
     ).start()
     if args.resume:
         resumed = resume_interrupted(store, queue)
@@ -600,13 +617,42 @@ def cmd_runs(args: argparse.Namespace) -> int:
         print(f"\nOK: {len(records)} run(s) verified")
         return 0
     if args.action == "gc":
-        deleted = store.gc(keep=args.keep)
+        deleted = store.gc(keep=args.keep, max_age=args.older_than,
+                           lease_ttl=args.lease_ttl)
         for run_id in deleted:
             print(f"deleted {run_id}")
         print(f"gc: removed {len(deleted)} run(s), kept the "
-              f"{args.keep} newest terminal run(s)")
+              f"{args.keep} newest terminal run(s)"
+              + (" and every live-leased run" if args.older_than else ""))
         return 0
     raise SystemExit(f"unknown runs action {args.action!r}")
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Drain jobs from a shared work-queue directory until stopped.
+
+    Point any number of these (on any host sharing the filesystem) at
+    the ``--queue-dir`` a coordinator fills via ``--executor queue``.
+    Workers lease jobs atomically, heartbeat while executing, and exit
+    when the queue's stop file appears, after ``--max-jobs`` executions,
+    or after ``--idle-timeout`` seconds with nothing claimable.
+    """
+    from .engine import run_worker
+
+    print(f"worker: draining {args.queue_dir} "
+          f"(lease ttl {args.lease_ttl}s, cache {args.cache_dir or 'memory'})")
+    executed = run_worker(
+        args.queue_dir,
+        cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
+        cache_shards=args.cache_shards,
+        retries=args.retries,
+        lease_ttl=args.lease_ttl,
+        idle_timeout=args.idle_timeout,
+        max_jobs=args.max_jobs,
+    )
+    print(f"worker: executed {executed} job(s)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -666,12 +712,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="auto-backend cutover: route to HiGHS above N "
                        "constraints")
 
+    def cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-backend", default="auto",
+                       choices=list(BACKEND_NAMES),
+                       help="persistent cache tier: sqlite (one WAL file), "
+                       "sharded (per-shard files for concurrent writers), "
+                       "memory, or auto (sharded iff --cache-shards given)")
+        p.add_argument("--cache-shards", type=int, default=None, metavar="K",
+                       help="shard count for the sharded tier (16-256; "
+                       "implies --cache-backend sharded under auto)")
+
     def engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the sweep (1 = serial)")
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persistent reliability cache directory "
                        "(shared across runs and workers)")
+        cache_args(p)
+        p.add_argument("--executor", default=None,
+                       choices=list(EXECUTOR_MODES),
+                       help="execution mode (default: serial for --jobs 1, "
+                       "pool otherwise; queue = file-backed work queue)")
+        p.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="work-queue directory for --executor queue "
+                       "(shared with standalone `worker` processes; "
+                       "default: a throwaway queue)")
         p.add_argument("--telemetry", default=None, metavar="FILE",
                        help="append JSONL run telemetry to FILE "
                        "(default: <cache-dir>/telemetry.jsonl)")
@@ -786,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--cache-dir", default=None, metavar="DIR",
                       help="persistent reliability cache shared by all "
                       "service runs")
+    cache_args(p_sv)
     p_sv.add_argument("--workers", type=int, default=1, metavar="N",
                       help="concurrent runs (worker threads)")
     p_sv.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -835,6 +901,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rn_gc.add_argument("--keep", type=int, default=20, metavar="N",
                        help="terminal runs to keep (newest first)")
+    rn_gc.add_argument("--older-than", type=float, default=None,
+                       metavar="SECONDS",
+                       help="also collect stale PENDING/RUNNING runs older "
+                       "than SECONDS — unless a live lease (heartbeat) "
+                       "shows an executor still owns them")
+    rn_gc.add_argument("--lease-ttl", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="heartbeat age beyond which a non-terminal "
+                       "run's lease counts as dead (default 300)")
     for rn_p in (rn_ls, rn_show, rn_verify, rn_gc):
         # Also accepted after the action (`runs ls --runs-dir X`), not
         # just before it — the action-level value wins when both appear.
@@ -842,6 +917,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help=argparse.SUPPRESS)
         rn_p.set_defaults(func=cmd_runs)
     p_rn.set_defaults(func=cmd_runs)
+
+    p_wk = sub.add_parser(
+        "worker",
+        help="drain a shared work-queue directory (pairs with "
+        "--executor queue)",
+    )
+    p_wk.add_argument("--queue-dir", required=True, metavar="DIR",
+                      help="the work-queue directory to lease jobs from")
+    p_wk.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="persistent reliability cache directory")
+    cache_args(p_wk)
+    p_wk.add_argument("--retries", type=int, default=1, metavar="N",
+                      help="extra attempts for transiently failing jobs")
+    p_wk.add_argument("--lease-ttl", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="heartbeat age after which a peer's lease is "
+                      "re-queued (default 60)")
+    p_wk.add_argument("--idle-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="exit after SECONDS without claimable work "
+                      "(default: run until the stop file appears)")
+    p_wk.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after executing N jobs")
+    p_wk.set_defaults(func=cmd_worker)
 
     p_pr = sub.add_parser(
         "profile",

@@ -13,10 +13,17 @@ turns those piles into first-class batches:
   :func:`iter_batch`, a ``concurrent.futures`` process-pool executor
   with per-job retry and timeout that degrades to a serial loop at
   ``jobs=1``;
+* :mod:`repro.engine.queue_exec` — the ``executor="queue"`` mode: a
+  file-backed work queue with atomic-rename leases, heartbeats and
+  digest-level job dedup, drained by local or standalone
+  (``repro worker``) worker processes;
 * :mod:`repro.engine.cache` — a persistent content-addressed
   :class:`ReliabilityCache` plugged beneath
   :func:`repro.reliability.failure_probability`, so ILP-MR's RELANALYSIS
-  loop and sweep re-evaluations never re-analyze a graph twice;
+  loop and sweep re-evaluations never re-analyze a graph twice — stored
+  through pluggable backends (:mod:`repro.engine.backends`): a bounded
+  in-memory LRU front tier over a single-file SQLite store or a
+  filesystem-sharded tier built for concurrent writers;
 * :mod:`repro.engine.telemetry` — JSONL run telemetry per batch plus
   roll-up summaries rendered by :func:`repro.report.render_batch_summary`.
 
@@ -24,14 +31,17 @@ turns those piles into first-class batches:
 ``sweep`` commands and the benchmark harness all route through here.
 """
 
+from .backends import BACKEND_NAMES, CacheBackend
 from .cache import CacheStats, ReliabilityCache, problem_digest
 from .executor import (
+    EXECUTOR_MODES,
     BatchResult,
     execute_job,
     iter_batch,
     register_runner,
     run_batch,
 )
+from .queue_exec import FileWorkQueue, job_digest, run_worker
 from .jobs import (
     BatchSpec,
     Job,
@@ -51,9 +61,13 @@ from .telemetry import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "BatchResult",
     "BatchSpec",
+    "CacheBackend",
     "CacheStats",
+    "EXECUTOR_MODES",
+    "FileWorkQueue",
     "Job",
     "JobResult",
     "ReliabilityCache",
@@ -63,12 +77,14 @@ __all__ = [
     "contingency_sweep",
     "execute_job",
     "iter_batch",
+    "job_digest",
     "problem_digest",
     "read_events",
     "register_runner",
     "reliability_map",
     "requirement_sweep",
     "run_batch",
+    "run_worker",
     "scaling_sweep",
     "summarize_telemetry",
     "tradeoff_points",

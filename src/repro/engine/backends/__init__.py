@@ -1,0 +1,116 @@
+"""Pluggable storage backends for the reliability cache.
+
+:class:`repro.engine.ReliabilityCache` used to be a fixed pair of layers
+(an unbounded process dict over one single-writer SQLite file). This
+package splits the storage out behind a small protocol so the cache is a
+composable read-through/write-back *chain*:
+
+* :class:`MemoryBackend` — bounded in-process LRU, the always-present
+  front tier (and the degraded tier when a persistent backend breaks);
+* :class:`SQLiteBackend` — the original single-file SQLite store (WAL +
+  busy timeout), still the default persistent tier;
+* :class:`ShardedBackend` — a filesystem-sharded tier that splits
+  entries by content-hash prefix across 16–256 per-shard SQLite files,
+  each behind its own lock, so concurrent pool workers and service runs
+  stop serializing on one writer.
+
+Every backend speaks digest-level ``get``/``put`` (plus ``__len__``,
+``close`` and a ``closed`` flag); the problem-level ``lookup``/``store``
+API — and the hit/miss bookkeeping behind the obs gauges — stays on
+:class:`~repro.engine.cache.ReliabilityCache` itself, so installing a
+different backend can never change *what* is cached, only *where*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+from .memory import DEFAULT_MAX_ENTRIES, MemoryBackend
+from .sharded import DEFAULT_SHARDS, MAX_SHARDS, MIN_SHARDS, ShardedBackend
+from .sqlite import SQLiteBackend
+
+__all__ = [
+    "CacheBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "ShardedBackend",
+    "BACKEND_NAMES",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_SHARDS",
+    "MIN_SHARDS",
+    "MAX_SHARDS",
+    "make_backend",
+]
+
+#: Persistent backend names accepted by :func:`make_backend` (and the
+#: CLI ``--cache-backend`` flag). ``auto`` resolves to ``sqlite`` for
+#: backward compatibility unless a shard count is requested.
+BACKEND_NAMES = ("auto", "memory", "sqlite", "sharded")
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Digest-level storage contract shared by every cache tier.
+
+    Implementations must be safe to call from multiple threads of one
+    process, must treat their own storage failures as misses (``get``
+    returns ``None``, ``put`` degrades to a no-op) rather than raising,
+    and must keep ``put`` idempotent: the first write for a digest wins
+    and later writes of the same digest are ignored, so replaying a
+    computation can never flip a cached value.
+    """
+
+    def get(self, digest: str) -> Optional[float]:
+        """Cached value for ``digest``, or ``None`` on miss/breakage."""
+        ...
+
+    def put(
+        self,
+        digest: str,
+        method: str,
+        value: float,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store ``value`` (first write wins); best-effort on breakage."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def close(self) -> None:
+        ...
+
+    @property
+    def closed(self) -> bool:
+        ...
+
+
+def make_backend(
+    name: str,
+    cache_dir: Optional[str],
+    busy_timeout_ms: int = 30_000,
+    shards: Optional[int] = None,
+) -> Optional[CacheBackend]:
+    """Build the persistent tier ``name`` describes (``None`` for none).
+
+    ``auto`` picks ``sharded`` when a shard count was explicitly
+    requested and ``sqlite`` otherwise; ``memory`` (or a missing
+    ``cache_dir``) yields no persistent tier at all — the cache then
+    runs on its bounded in-memory front alone.
+    """
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown cache backend {name!r} (use one of {BACKEND_NAMES})"
+        )
+    if cache_dir is None or name == "memory":
+        return None
+    if name == "auto":
+        name = "sharded" if shards else "sqlite"
+    if name == "sqlite":
+        return SQLiteBackend.in_directory(
+            cache_dir, busy_timeout_ms=busy_timeout_ms
+        )
+    return ShardedBackend(
+        cache_dir, shards=shards or DEFAULT_SHARDS,
+        busy_timeout_ms=busy_timeout_ms,
+    )

@@ -1,0 +1,87 @@
+"""Bounded in-memory LRU tier.
+
+The cache's front tier used to be a bare dict that grew for the life of
+the process — a slow leak for long service runs whose sweeps touch
+millions of distinct subproblems. This backend bounds it: entries are
+kept in LRU order (reads refresh recency) and the oldest entry is
+evicted once ``max_entries`` is exceeded. Eviction only ever forgets a
+*cached copy* — the persistent tier behind it still holds the value, so
+a bounded front can cost a re-read, never a recompute of a persisted
+entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["DEFAULT_MAX_ENTRIES", "MemoryBackend"]
+
+#: Default LRU capacity. A digest key plus a float is ~150 bytes, so the
+#: default bounds the front tier around 10 MB per process.
+DEFAULT_MAX_ENTRIES = 65_536
+
+
+class MemoryBackend:
+    """In-process LRU map of ``digest -> value``.
+
+    ``max_entries=None`` disables the bound (the pre-bound behaviour,
+    useful for short-lived test caches). All operations take the
+    backend's lock: the service shares one cache across worker threads.
+    """
+
+    name = "memory"
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._entries: "OrderedDict[str, float]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, digest: str) -> Optional[float]:
+        with self._lock:
+            value = self._entries.get(digest)
+            if value is not None:
+                self._entries.move_to_end(digest)
+            return value
+
+    def put(
+        self,
+        digest: str,
+        method: str,
+        value: float,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return  # first write wins; refresh recency only
+            self._entries[digest] = float(value)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def close(self) -> None:  # the LRU has nothing to release
+        pass
+
+    @property
+    def closed(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBackend(entries={len(self)}, max={self.max_entries}, "
+            f"evictions={self.evictions})"
+        )

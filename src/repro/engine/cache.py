@@ -20,32 +20,39 @@ reconstructs the problem from the payload and recomputes the value with a
 different engine than the one that produced it
 (:func:`repro.verify.audit_cache`).
 
-Entries persist in a single SQLite file under ``cache_dir`` (WAL mode, so
-concurrent worker processes can read and write safely); a per-process
-in-memory layer keeps repeated lookups off the disk. ``cache_dir=None``
+Storage is a read-through/write-back *chain* of pluggable backends
+(:mod:`repro.engine.backends`): a bounded in-memory LRU front tier keeps
+repeated lookups off the disk, backed (when ``cache_dir`` is given) by
+either the classic single-file SQLite store (``backend="sqlite"``, the
+default) or a filesystem-sharded tier (``backend="sharded"``) that splits
+entries by content-hash prefix across per-shard SQLite files so
+concurrent workers stop serializing on one writer. ``cache_dir=None``
 gives a memory-only cache, useful for a single serial sweep or tests.
-A closed (or otherwise failing) SQLite connection never propagates out of
-the cache: every operation degrades to the in-memory layer, so a stale
-handle left installed beneath ``failure_probability`` cannot crash an
-analysis.
+A closed (or otherwise failing) persistent tier never propagates out of
+the cache: every operation degrades to the bounded in-memory layer, so a
+stale handle left installed beneath ``failure_probability`` cannot crash
+an analysis.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import sqlite3
-import threading
-import time
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Dict, Optional
 
 import networkx as nx
 
 from .. import obs
+from .backends import (
+    DEFAULT_MAX_ENTRIES,
+    MemoryBackend,
+    make_backend,
+)
+from .backends.sqlite import CACHE_FILENAME
 
 __all__ = [
+    "CACHE_FILENAME",
     "CacheStats",
     "ReliabilityCache",
     "problem_digest",
@@ -53,18 +60,6 @@ __all__ = [
     "payload_digest",
     "problem_from_payload",
 ]
-
-#: Name of the SQLite file created inside ``cache_dir``.
-CACHE_FILENAME = "relcache.sqlite"
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS reliability (
-    digest TEXT PRIMARY KEY,
-    method TEXT NOT NULL,
-    value REAL NOT NULL,
-    created_at REAL NOT NULL
-)
-"""
 
 
 def problem_payload(problem, method: str) -> Dict[str, Any]:
@@ -149,79 +144,86 @@ class ReliabilityCache:
     :func:`repro.reliability.set_reliability_cache`: ``lookup(problem,
     method)`` returning ``None`` on miss, and ``store(problem, method,
     value)``.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent tier; ``None`` keeps the cache
+        memory-only.
+    busy_timeout_ms:
+        SQLite busy timeout applied to every persistent connection.
+    backend:
+        Persistent tier to use under ``cache_dir``: ``"sqlite"`` (one
+        WAL file, the default via ``"auto"``), ``"sharded"`` (per-shard
+        SQLite files keyed by digest prefix — the concurrent-writer
+        tier), or ``"memory"`` to force a memory-only cache even with a
+        ``cache_dir``.
+    shards:
+        Shard count for the sharded tier (16–256). Setting it with
+        ``backend="auto"`` selects the sharded tier. A directory that
+        already holds a sharded cache keeps its original count.
+    max_memory_entries:
+        LRU bound of the in-memory front tier (``None`` = unbounded).
+        Eviction only forgets in-process copies; persisted entries are
+        re-read on the next lookup.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
-                 busy_timeout_ms: int = 30_000) -> None:
+                 busy_timeout_ms: int = 30_000,
+                 backend: str = "auto",
+                 shards: Optional[int] = None,
+                 max_memory_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 ) -> None:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.busy_timeout_ms = int(busy_timeout_ms)
         self.stats = CacheStats()
-        self._memory: Dict[str, float] = {}
-        self._conn: Optional[sqlite3.Connection] = None
-        # One connection may be shared by several service worker threads
-        # (the global cache hook is process-wide); sqlite3 connections are
-        # not thread-safe on their own, so every statement runs under this
-        # lock, and ``check_same_thread=False`` permits the sharing.
-        self._db_lock = threading.RLock()
-        if self.cache_dir is not None:
-            directory = Path(self.cache_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            self.path = directory / CACHE_FILENAME
-            self._conn = sqlite3.connect(
-                str(self.path), timeout=self.busy_timeout_ms / 1000.0,
-                check_same_thread=False,
-            )
-            # WAL lets concurrent reader/writer processes coexist; the
-            # explicit busy timeout makes writers queue (up to the
-            # timeout) instead of failing fast with "database is locked"
-            # when several service workers share one cache file.
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.execute(_SCHEMA)
-            self._migrate()
-            self._conn.commit()
-        else:
-            self.path = None
+        self._memory = MemoryBackend(max_entries=max_memory_entries)
+        self._persistent = make_backend(
+            backend, self.cache_dir, busy_timeout_ms=self.busy_timeout_ms,
+            shards=shards,
+        )
+        self.backend_name = (
+            self._persistent.name if self._persistent is not None else "memory"
+        )
+        self.path = (
+            self._persistent.path if self._persistent is not None else None
+        )
 
-    def _migrate(self) -> None:
-        """Bring a pre-existing cache file up to the current schema.
+    @property
+    def _conn(self):
+        """The single-file tier's raw SQLite connection (compat shim).
 
-        Older caches stored only ``digest -> value``; the ``problem``
-        column (the canonical payload audited by :mod:`repro.verify`) is
-        added in place. Entries written before the migration keep a NULL
-        payload and are simply not auditable.
+        Tests and diagnostics reach through this to poke the connection
+        (e.g. closing it behind the cache's back to exercise the
+        degraded path); the sharded tier has no single connection and
+        reports ``None``.
         """
-        columns = {
-            row[1] for row in self._conn.execute("PRAGMA table_info(reliability)")
-        }
-        if "problem" not in columns:
-            self._conn.execute("ALTER TABLE reliability ADD COLUMN problem TEXT")
+        return getattr(self._persistent, "_conn", None)
 
     @property
     def closed(self) -> bool:
-        """True when the SQLite layer is gone (never opened, or closed)."""
-        return self.cache_dir is not None and self._conn is None
+        """True when the persistent layer is gone (never opened/closed)."""
+        return self.cache_dir is not None and (
+            self._persistent is None or self._persistent.closed
+        )
+
+    @property
+    def memory_evictions(self) -> int:
+        """LRU evictions performed by the bounded front tier."""
+        return self._memory.evictions
 
     # -- digest-level API -------------------------------------------------
 
     def get(self, digest: str) -> Optional[float]:
-        if digest in self._memory:
-            return self._memory[digest]
-        if self._conn is not None:
-            try:
-                with self._db_lock:
-                    row = self._conn.execute(
-                        "SELECT value FROM reliability WHERE digest = ?",
-                        (digest,),
-                    ).fetchone()
-            except sqlite3.Error:
-                # Closed or broken connection: degrade to the in-memory
-                # layer rather than crashing the analysis that asked.
-                row = None
-            if row is not None:
-                value = float(row[0])
-                self._memory[digest] = value
+        value = self._memory.get(digest)
+        if value is not None:
+            return value
+        if self._persistent is not None:
+            value = self._persistent.get(digest)
+            if value is not None:
+                # Read-through: promote the persisted entry to the front
+                # tier so the next lookup skips the disk.
+                self._memory.put(digest, "", value)
                 return value
         return None
 
@@ -232,24 +234,9 @@ class ReliabilityCache:
         value: float,
         payload: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self._memory[digest] = value
-        if self._conn is not None:
-            blob = (
-                json.dumps(payload, sort_keys=True, separators=(",", ":"))
-                if payload is not None
-                else None
-            )
-            try:
-                with self._db_lock:
-                    self._conn.execute(
-                        "INSERT OR IGNORE INTO reliability "
-                        "(digest, method, value, created_at, problem) "
-                        "VALUES (?, ?, ?, ?, ?)",
-                        (digest, method, float(value), time.time(), blob),
-                    )
-                    self._conn.commit()
-            except sqlite3.Error:
-                pass  # keep the in-memory entry; persistence degrades
+        self._memory.put(digest, method, value)
+        if self._persistent is not None:
+            self._persistent.put(digest, method, value, payload=payload)
 
     # -- problem-level API (the failure_probability hook) -----------------
 
@@ -275,35 +262,41 @@ class ReliabilityCache:
 
         Gauges (not counters) because several cache instances can come
         and go within one traced run; the gauge always shows the live
-        instance's totals.
+        instance's totals. The sharded tier additionally publishes
+        per-shard gauges so a hot shard (skewed digest prefix, or a
+        contended writer) is visible from ``/metrics``.
         """
         obs.gauge("reliability.cache.hits").set(self.stats.hits)
         obs.gauge("reliability.cache.misses").set(self.stats.misses)
         obs.gauge("reliability.cache.stores").set(self.stats.stores)
         obs.gauge("reliability.cache.hit_rate").set(round(self.stats.hit_rate, 4))
+        obs.gauge("reliability.cache.memory_evictions").set(
+            self._memory.evictions
+        )
+        shard_stats = getattr(self._persistent, "shard_stats", None)
+        if shard_stats is not None:
+            for row in shard_stats():
+                if not (row["hits"] or row["misses"] or row["stores"]):
+                    continue  # keep /metrics free of never-touched shards
+                prefix = f"reliability.cache.shard.{row['shard']:03d}"
+                obs.gauge(f"{prefix}.hits").set(row["hits"])
+                obs.gauge(f"{prefix}.misses").set(row["misses"])
+                obs.gauge(f"{prefix}.stores").set(row["stores"])
 
     # -- housekeeping -----------------------------------------------------
 
     def __len__(self) -> int:
-        if self._conn is not None:
-            try:
-                with self._db_lock:
-                    row = self._conn.execute(
-                        "SELECT COUNT(*) FROM reliability"
-                    ).fetchone()
-                return int(row[0])
-            except sqlite3.Error:
-                pass
+        if self._persistent is not None and not self._persistent.closed:
+            count = len(self._persistent)
+            # A broken-but-not-closed tier answers 0; fall back to the
+            # memory tier so the degraded cache still reports something.
+            if count or not len(self._memory):
+                return count
         return len(self._memory)
 
     def close(self) -> None:
-        if self._conn is not None:
-            try:
-                with self._db_lock:
-                    self._conn.close()
-            except sqlite3.Error:  # pragma: no cover - close is best-effort
-                pass
-            self._conn = None
+        if self._persistent is not None:
+            self._persistent.close()
 
     def __enter__(self) -> "ReliabilityCache":
         return self
@@ -314,6 +307,7 @@ class ReliabilityCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = self.cache_dir or "memory"
         return (
-            f"ReliabilityCache({where!r}, entries={len(self)}, "
-            f"hits={self.stats.hits}, misses={self.stats.misses})"
+            f"ReliabilityCache({where!r}, backend={self.backend_name!r}, "
+            f"entries={len(self)}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses})"
         )

@@ -36,7 +36,14 @@ from .cache import ReliabilityCache
 from .jobs import BatchSpec, Job, JobResult
 from .telemetry import TelemetryWriter
 
-__all__ = ["BatchResult", "run_batch", "iter_batch", "execute_job", "register_runner"]
+__all__ = [
+    "BatchResult",
+    "EXECUTOR_MODES",
+    "run_batch",
+    "iter_batch",
+    "execute_job",
+    "register_runner",
+]
 
 #: Exception types worth retrying: environmental, not semantic.
 TRANSIENT_EXCEPTIONS = (OSError, TimeoutError, BrokenProcessPool)
@@ -73,6 +80,10 @@ def _run_reliability(job: Job) -> Any:
     from ..reliability.montecarlo import failure_probability_mc
 
     payload = job.payload
+    if "problem" in payload:
+        # A bare ReliabilityProblem (verify corpora, cache benchmarks)
+        # analyzed directly — no architecture expansion involved.
+        return failure_probability(payload["problem"], method=payload["method"])
     if payload["method"] == "mc":
         problem = problem_from_architecture(payload["architecture"], payload["sink"])
         return failure_probability_mc(
@@ -81,6 +92,18 @@ def _run_reliability(job: Job) -> Any:
     return failure_probability(
         payload["architecture"], sink=payload["sink"], method=payload["method"]
     )
+
+
+def _run_noop(job: Job) -> Any:
+    """Plumbing test kind: optionally nap, then echo the payload value.
+
+    Exists so executor/queue mechanics (leases, dedup, throughput
+    benchmarks) can be exercised without paying for real synthesis.
+    """
+    nap = job.payload.get("sleep_s", 0.0)
+    if nap:
+        time.sleep(nap)
+    return job.payload.get("value")
 
 
 def _run_budget(job: Job) -> Any:
@@ -98,6 +121,7 @@ _RUNNERS: Dict[str, Callable[[Job], Any]] = {
     "synthesize": _run_synthesize,
     "reliability": _run_reliability,
     "budget": _run_budget,
+    "noop": _run_noop,
 }
 
 #: Modules whose import registers a runner for the keyed job kind. Pool
@@ -131,7 +155,8 @@ def execute_job(job: Job) -> Any:
 # Worker-side wrapper
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
+def _worker_init(cache_dir: Optional[str], cache_backend: str = "auto",
+                 cache_shards: Optional[int] = None) -> None:
     """Pool initializer: shared cache handle + metrics observation.
 
     The observer makes the worker's :mod:`repro.obs` counters tick
@@ -139,9 +164,17 @@ def _worker_init(cache_dir: Optional[str]) -> None:
     through a pickled result anyway); ``_worker_run`` ships the per-job
     metrics delta home for the parent to merge.
     """
+    import atexit
+
     from ..reliability.exact import set_reliability_cache
 
-    set_reliability_cache(ReliabilityCache(cache_dir))
+    cache = ReliabilityCache(
+        cache_dir, backend=cache_backend, shards=cache_shards
+    )
+    set_reliability_cache(cache)
+    # A pool worker exits without unwinding the batch's context managers;
+    # close() on the way out lands the sharded tier's write-back buffers.
+    atexit.register(cache.close)
     obs.add_observer()
 
 
@@ -277,11 +310,16 @@ def _iter_serial(
     cache_dir: Optional[str],
     retries: int,
     writer: TelemetryWriter,
+    cache_backend: str = "auto",
+    cache_shards: Optional[int] = None,
 ) -> Iterator[JobResult]:
     # Reuse an already-installed cache (e.g. inside a pool worker running a
     # nested batch); otherwise install one scoped to this batch.
     own_cache = get_reliability_cache() is None
-    cache = ReliabilityCache(cache_dir) if own_cache else None
+    cache = (
+        ReliabilityCache(cache_dir, backend=cache_backend, shards=cache_shards)
+        if own_cache else None
+    )
     try:
         ctx = reliability_cache(cache) if own_cache else _null_context()
         with ctx:
@@ -344,24 +382,52 @@ def _iter_pool(
     retries: int,
     timeout: Optional[float],
     writer: TelemetryWriter,
+    cache_backend: str = "auto",
+    cache_shards: Optional[int] = None,
 ) -> Iterator[JobResult]:
     def make_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
-            max_workers=jobs, initializer=_worker_init, initargs=(cache_dir,)
+            max_workers=jobs, initializer=_worker_init,
+            initargs=(cache_dir, cache_backend, cache_shards),
         )
 
     pool = make_pool()
     restarts = 0
     pending: Dict[Any, tuple] = {}  # future -> (job, attempts, submitted_at)
+    # Every job_id is in exactly one of these at any time: ``inflight``
+    # (job_id -> its one live future) or ``finished`` (already yielded).
+    # Resubmission paths — timeout, transient retry, pool rebuild — can
+    # race each other when a rebuild happens while a per-job timeout is
+    # in flight; keying on job_id guarantees a job is never submitted
+    # twice concurrently nor yielded twice (which double-counted it in
+    # telemetry and metrics).
+    inflight: Dict[str, Any] = {}
+    finished: set = set()
+
+    def submit(job: Job, attempts: int) -> None:
+        if job.job_id in finished or job.job_id in inflight:
+            writer.emit("job_dedup", job=job.job_id, attempt=attempts)
+            return
+        fut = pool.submit(_worker_run, job)
+        pending[fut] = (job, attempts, time.monotonic())
+        inflight[job.job_id] = fut
+
+    def drop(fut) -> tuple:
+        job, attempts, submitted = pending.pop(fut)
+        if inflight.get(job.job_id) is fut:
+            del inflight[job.job_id]
+        return job, attempts, submitted
+
+    def finish(result: JobResult) -> Optional[JobResult]:
+        if result.job_id in finished:
+            return None  # a duplicate execution already reported this job
+        finished.add(result.job_id)
+        return result
+
     try:
         for job in batch.jobs:
             writer.emit("job_start", job=job.job_id, kind=job.kind, mode="pool")
-            fut = pool.submit(_worker_run, job)
-            pending[fut] = (job, 1, time.monotonic())
-
-        def resubmit(job: Job, attempts: int) -> None:
-            fut = pool.submit(_worker_run, job)
-            pending[fut] = (job, attempts, time.monotonic())
+            submit(job, 1)
 
         while pending:
             poll = 0.25 if timeout is not None else None
@@ -373,25 +439,31 @@ def _iter_pool(
                 done = set()
 
             for fut in done:
-                job, attempts, _submitted = pending.pop(fut)
+                if fut not in pending:
+                    continue
+                job, attempts, _submitted = drop(fut)
                 exc = fut.exception()
                 if exc is None:
-                    result = _ok_result(job, fut.result(), attempts)
-                    _absorb_worker_metrics(writer, result)
-                    yield result
+                    result = finish(_ok_result(job, fut.result(), attempts))
+                    if result is not None:
+                        _absorb_worker_metrics(writer, result)
+                        yield result
                     continue
                 if isinstance(exc, BrokenProcessPool):
                     # Handled wholesale below by rebuilding the pool.
                     pending[fut] = (job, attempts, _submitted)
+                    inflight[job.job_id] = fut
                     continue
                 if isinstance(exc, TRANSIENT_EXCEPTIONS) and attempts <= retries:
                     writer.emit(
                         "job_retry", job=job.job_id, attempt=attempts,
                         error=type(exc).__name__,
                     )
-                    resubmit(job, attempts + 1)
+                    submit(job, attempts + 1)
                 else:
-                    yield _failed_result(job, exc, attempts, 0.0)
+                    result = finish(_failed_result(job, exc, attempts, 0.0))
+                    if result is not None:
+                        yield result
 
             broken = [f for f in pending if f.done() and isinstance(
                 f.exception(), BrokenProcessPool)]
@@ -400,17 +472,27 @@ def _iter_pool(
                 pool.shutdown(wait=False, cancel_futures=True)
                 if restarts > MAX_POOL_RESTARTS:
                     for fut in list(pending):
-                        job, attempts, _ = pending.pop(fut)
-                        yield _failed_result(
+                        job, attempts, _ = drop(fut)
+                        result = finish(_failed_result(
                             job, BrokenProcessPool("pool restarts exhausted"),
                             attempts, 0.0,
-                        )
+                        ))
+                        if result is not None:
+                            yield result
                     return
                 writer.emit("pool_restart", count=restarts)
                 pool = make_pool()
                 for fut in list(pending):
-                    job, attempts, _ = pending.pop(fut)
-                    resubmit(job, attempts + 1)
+                    job, attempts, _ = drop(fut)
+                    if fut.done() and fut.exception() is None:
+                        # The pool broke *around* a completed job: report
+                        # its finished result instead of running it again.
+                        result = finish(_ok_result(job, fut.result(), attempts))
+                        if result is not None:
+                            _absorb_worker_metrics(writer, result)
+                            yield result
+                        continue
+                    submit(job, attempts + 1)
                 continue
 
             if timeout is not None:
@@ -420,21 +502,27 @@ def _iter_pool(
                     if now - submitted <= timeout:
                         continue
                     fut.cancel()
-                    del pending[fut]
+                    drop(fut)
                     if attempts <= retries:
                         writer.emit(
                             "job_retry", job=job.job_id, attempt=attempts,
                             error="TimeoutError",
                         )
-                        resubmit(job, attempts + 1)
+                        submit(job, attempts + 1)
                     else:
                         writer.emit("job_timeout", job=job.job_id, timeout=timeout)
-                        yield _failed_result(
+                        result = finish(_failed_result(
                             job, TimeoutError(f"job exceeded {timeout}s"),
                             attempts, timeout,
-                        )
+                        ))
+                        if result is not None:
+                            yield result
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Executor modes accepted by :func:`iter_batch` / :func:`run_batch`.
+EXECUTOR_MODES = ("serial", "pool", "queue")
 
 
 def iter_batch(
@@ -444,22 +532,49 @@ def iter_batch(
     retries: int = 1,
     timeout: Optional[float] = None,
     writer: Optional[TelemetryWriter] = None,
+    executor: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+    cache_backend: str = "auto",
+    cache_shards: Optional[int] = None,
 ) -> Iterator[JobResult]:
     """Execute ``batch`` and yield :class:`JobResult` as each completes.
 
-    Pool mode yields in completion order; serial mode in submission order.
+    ``executor=None`` picks ``"serial"`` for ``jobs<=1`` and ``"pool"``
+    otherwise (the historical behaviour); ``"queue"`` routes the batch
+    through the file-backed work queue (:mod:`repro.engine.queue_exec`),
+    spawning ``jobs`` local worker processes against ``queue_dir``.
+    Pool and queue modes yield in completion order; serial mode in
+    submission order.
     """
+    mode = executor if executor is not None else ("serial" if jobs <= 1 else "pool")
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(
+            f"unknown executor {mode!r}; expected one of {EXECUTOR_MODES}"
+        )
     writer = writer if writer is not None else TelemetryWriter(None)
     # Observe metrics for the batch's duration: serial jobs tick the
     # parent registry directly; pool workers register their own observer
     # in the initializer and ship deltas home.
     obs.add_observer()
     try:
-        if jobs <= 1:
-            yield from _iter_serial(batch, cache_dir, retries, writer)
+        if mode == "serial":
+            yield from _iter_serial(batch, cache_dir, retries, writer,
+                                    cache_backend=cache_backend,
+                                    cache_shards=cache_shards)
+        elif mode == "pool":
+            yield from _iter_pool(batch, max(jobs, 1), cache_dir, retries,
+                                  timeout, writer,
+                                  cache_backend=cache_backend,
+                                  cache_shards=cache_shards)
         else:
-            yield from _iter_pool(batch, jobs, cache_dir, retries, timeout,
-                                  writer)
+            from .queue_exec import iter_queue
+
+            yield from iter_queue(batch, jobs=max(jobs, 1),
+                                  queue_dir=queue_dir, cache_dir=cache_dir,
+                                  retries=retries, lease_ttl=timeout,
+                                  writer=writer,
+                                  cache_backend=cache_backend,
+                                  cache_shards=cache_shards)
     finally:
         obs.remove_observer()
 
@@ -473,6 +588,10 @@ def run_batch(
     timeout: Optional[float] = None,
     on_result: Optional[Callable[[JobResult], None]] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    executor: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+    cache_backend: str = "auto",
+    cache_shards: Optional[int] = None,
 ) -> BatchResult:
     """Execute a whole batch and collect results in submission order.
 
@@ -489,7 +608,18 @@ def run_batch(
     retries:
         Extra attempts granted to jobs failing with a transient error.
     timeout:
-        Per-job wall-clock limit in seconds (pool mode only).
+        Per-job wall-clock limit in seconds (pool mode); in queue mode
+        it becomes the lease TTL after which an unheartbeated job is
+        re-queued.
+    executor:
+        ``"serial"``, ``"pool"``, or ``"queue"``; ``None`` keeps the
+        historical jobs-based choice (serial for ``jobs<=1``, else pool).
+    queue_dir:
+        Queue-mode only: directory holding the shared work queue; a
+        temporary queue is created (and discarded) when omitted.
+    cache_backend / cache_shards:
+        Persistent cache tier selection, forwarded to
+        :class:`repro.engine.ReliabilityCache` in every worker.
     on_result:
         Called with each :class:`JobResult` the moment it completes (in
         completion order) — the service journals results through this so
@@ -521,11 +651,16 @@ def run_batch(
             done = failed = 0
             stopped = should_stop is not None and should_stop()
             if not stopped:
+                mode = executor if executor is not None else (
+                    "serial" if jobs <= 1 else "pool"
+                )
                 for result in iter_batch(
                     batch, jobs=jobs, cache_dir=cache_dir, retries=retries,
-                    timeout=timeout, writer=writer,
+                    timeout=timeout, writer=writer, executor=executor,
+                    queue_dir=queue_dir, cache_backend=cache_backend,
+                    cache_shards=cache_shards,
                 ):
-                    if jobs > 1:
+                    if mode != "serial":
                         _emit_job_end(writer, result)
                     results.append(result)
                     done += 1

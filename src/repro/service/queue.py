@@ -39,12 +39,16 @@ class JobQueue:
         batch_jobs: int = 1,
         cache_dir: Optional[str] = None,
         default_timeout: Optional[float] = None,
+        cache_backend: str = "auto",
+        cache_shards: Optional[int] = None,
     ) -> None:
         self.store = store
         self.workers = max(1, int(workers))
         self.batch_jobs = max(1, int(batch_jobs))
         self.cache_dir = cache_dir
         self.default_timeout = default_timeout
+        self.cache_backend = cache_backend
+        self.cache_shards = cache_shards
         self._queue: "_queue.Queue[Optional[str]]" = _queue.Queue()
         self._lock = threading.Lock()
         self._cancel_events: Dict[str, threading.Event] = {}
@@ -73,12 +77,20 @@ class JobQueue:
             self._threads.append(thread)
         return self
 
-    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+    def shutdown(self, wait: bool = True, timeout: float = 30.0,
+                 drain: Optional[bool] = None) -> None:
         """Stop accepting work and (optionally) wait for workers to exit.
 
-        Queued-but-unstarted runs stay PENDING in the store — a restart
-        with ``--resume`` picks them back up.
+        ``drain`` is an explicit alias for ``wait``: ``drain=True`` blocks
+        until in-flight runs reach a worker boundary. Queued-but-unstarted
+        runs stay PENDING in the store — a restart with ``--resume`` picks
+        them back up. The stop flag and the workers' PENDING->RUNNING
+        claim share one lock (see :meth:`_execute`), so after the flag is
+        set here no further run can slip into RUNNING: every run is
+        either claimed by a worker that will seal it, or still PENDING.
         """
+        if drain is not None:
+            wait = drain
         with self._lock:
             self._stopping = True
         for _ in self._threads:
@@ -175,16 +187,23 @@ class JobQueue:
                 self._queue.task_done()
 
     def _execute(self, run_id: str) -> None:
+        # The whole claim — stop-flag check, PENDING check, and the
+        # PENDING -> RUNNING transition — happens under one lock. Checking
+        # the flag and transitioning separately left a race with a
+        # draining shutdown: the worker could pass the check, shutdown
+        # could decide everything was PENDING-or-finished and return, and
+        # only then would the run flip to RUNNING — stranded, owned by a
+        # daemon thread about to die with the process.
         with self._lock:
             if self._stopping:
                 return  # drained on shutdown: the run stays PENDING on disk
-        try:
-            record = self.store.load(run_id)
-        except KeyError:
-            return  # deleted while queued
-        if record.state != PENDING:
-            return  # cancelled (or externally resolved) while queued
-        with self._lock:
+            try:
+                record = self.store.load(run_id)
+            except KeyError:
+                return  # deleted while queued
+            if record.state != PENDING:
+                return  # cancelled (or externally resolved) while queued
+            record = self.store.transition(record, RUNNING)
             cancel = self._cancel_events.setdefault(run_id, threading.Event())
             self._active[run_id] = threading.current_thread().name
         try:
@@ -195,6 +214,8 @@ class JobQueue:
                 jobs=self.batch_jobs,
                 cache_dir=self.cache_dir,
                 timeout=self.default_timeout,
+                cache_backend=self.cache_backend,
+                cache_shards=self.cache_shards,
             )
         except Exception:  # noqa: BLE001 - the loop must survive anything
             # execute_run seals failures itself; this guards the guard.

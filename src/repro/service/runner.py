@@ -54,6 +54,11 @@ from .store import (
     RunStore,
 )
 
+#: How often the executing run refreshes its liveness marker. Comfortably
+#: inside :data:`repro.service.store.DEFAULT_LEASE_TTL` so a healthy run
+#: can never look abandoned to ``repro runs gc``.
+HEARTBEAT_INTERVAL = 5.0
+
 __all__ = [
     "execute_run",
     "canonical_value",
@@ -196,6 +201,7 @@ def _write_report(record: RunRecord, lines: List[str]) -> None:
 def _seal(store: RunStore, record: RunRecord, state: str,
           error: Optional[str] = None) -> RunRecord:
     """Record the terminal state, then freeze the directory as evidence."""
+    store.clear_heartbeat(record)  # the lease ends with the run
     artifacts = sorted(
         p.name for p in record.path.iterdir()
         if p.is_file() and not p.name.endswith(".tmp")
@@ -241,6 +247,8 @@ def execute_run(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     timeout: Optional[float] = None,
+    cache_backend: str = "auto",
+    cache_shards: Optional[int] = None,
 ) -> RunRecord:
     """Execute one stored run to a terminal state and seal its evidence.
 
@@ -255,15 +263,34 @@ def execute_run(
     timeout:
         Wall-clock budget for the whole run; overrides the spec's own
         ``timeout`` when the spec gives none.
+    cache_backend / cache_shards:
+        Persistent cache tier selection, forwarded to the engine.
     """
     spec = record.spec()
-    store.transition(record, RUNNING)
+    if record.state != RUNNING:
+        # The queue claims PENDING -> RUNNING atomically under its own
+        # lock before handing the record over; direct callers (CLI,
+        # tests) still arrive with a PENDING record and claim here.
+        store.transition(record, RUNNING)
     run_timeout = spec.get("timeout") or timeout
     deadline = (time.monotonic() + run_timeout) if run_timeout else None
     handle = obs.run_registry().start(
         "service", run=record.run_id, job_kind=record.kind,
         attempt=record.manifest.get("attempt"),
     )
+    # Lease heartbeat: proves to `repro runs gc` (possibly in another
+    # process) that this run is being actively executed, even while a
+    # long job keeps the manifest untouched.
+    store.heartbeat(record)
+    beat_stop = threading.Event()
+
+    def _beat() -> None:
+        while not beat_stop.wait(HEARTBEAT_INTERVAL):
+            store.heartbeat(record)
+
+    beat = threading.Thread(target=_beat, daemon=True,
+                            name=f"repro-heartbeat-{record.run_id}")
+    beat.start()
     status = FAILED
     error: Optional[str] = None
     try:
@@ -303,6 +330,8 @@ def execute_run(
             telemetry=str(record.path / TELEMETRY_NAME),
             on_result=on_result,
             should_stop=should_stop,
+            cache_backend=cache_backend,
+            cache_shards=cache_shards,
         )
 
         # Merge replayed + fresh results back into submission order.
@@ -349,6 +378,8 @@ def execute_run(
         error = f"{type(exc).__name__}: {exc}\n" + traceback.format_exc(limit=5)
         return record
     finally:
+        beat_stop.set()
+        beat.join(timeout=1.0)
         handle.finish(status=status.lower())
         _seal(store, record, status, error=error)
 

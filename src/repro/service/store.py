@@ -84,6 +84,12 @@ JOURNAL_NAME = "results.jsonl"
 TELEMETRY_NAME = "telemetry.jsonl"
 RESULT_NAME = "result.json"
 REPORT_NAME = "report.txt"
+HEARTBEAT_NAME = "heartbeat"
+
+#: How long a run's lease (heartbeat) counts as live without a refresh.
+#: The runner heartbeats every few seconds; five minutes of silence means
+#: the executing process is gone, not slow.
+DEFAULT_LEASE_TTL = 300.0
 
 
 class StateError(RuntimeError):
@@ -311,6 +317,48 @@ class RunStore:
                 continue  # torn final line from a crash mid-write
         return entries
 
+    # -- leases -----------------------------------------------------------
+
+    def heartbeat(self, record: RunRecord) -> None:
+        """Refresh the run's liveness marker (touched by the executor)."""
+        path = record.path / HEARTBEAT_NAME
+        try:
+            os.utime(path)
+        except OSError:
+            try:
+                path.touch()
+            except OSError:  # pragma: no cover - directory vanished
+                pass
+
+    def clear_heartbeat(self, record: RunRecord) -> None:
+        try:
+            (record.path / HEARTBEAT_NAME).unlink()
+        except OSError:
+            pass
+
+    def lease_age(self, record: RunRecord) -> Optional[float]:
+        """Seconds since the run last proved an executor was alive.
+
+        Liveness is the freshest of the heartbeat file and the manifest
+        (every progress update rewrites the manifest), so runs executed
+        by pre-heartbeat code still count as live while they progress.
+        ``None`` means no evidence at all (directory unreadable).
+        """
+        newest: Optional[float] = None
+        for name in (HEARTBEAT_NAME, MANIFEST_NAME):
+            try:
+                mtime = (record.path / name).stat().st_mtime
+            except OSError:
+                continue
+            newest = mtime if newest is None else max(newest, mtime)
+        return None if newest is None else max(0.0, time.time() - newest)
+
+    def has_live_lease(self, record: RunRecord,
+                       lease_ttl: float = DEFAULT_LEASE_TTL) -> bool:
+        """True when some process recently heartbeat this run."""
+        age = self.lease_age(record)
+        return age is not None and age <= lease_ttl
+
     # -- housekeeping -----------------------------------------------------
 
     def delete(self, run_id: str) -> None:
@@ -320,13 +368,29 @@ class RunStore:
         shutil.rmtree(path)
 
     def gc(self, keep: int = 20,
-           states: Iterable[str] = TERMINAL_STATES) -> List[str]:
+           states: Iterable[str] = TERMINAL_STATES,
+           max_age: Optional[float] = None,
+           lease_ttl: float = DEFAULT_LEASE_TTL) -> List[str]:
         """Delete terminal runs beyond the ``keep`` newest; return their ids.
 
-        Non-terminal runs are never collected — a PENDING or RUNNING
-        directory belongs to the queue.
+        Non-terminal runs are normally never collected — a PENDING or
+        RUNNING directory belongs to the queue. With ``max_age`` set,
+        *stale* non-terminal runs older than that many seconds are also
+        collected, but only when nothing holds a live lease on them
+        (heartbeat or manifest touched within ``lease_ttl`` seconds):
+        a run a worker is actively executing is never deleted out from
+        under it, no matter how old the run is.
         """
         victims = self.list(states=states)[keep:]
+        if max_age is not None:
+            now = time.time()
+            for record in self.list(states={PENDING, RUNNING}):
+                created = record.manifest.get("created_at", now)
+                if now - created <= max_age:
+                    continue
+                if self.has_live_lease(record, lease_ttl=lease_ttl):
+                    continue  # an executor is still working this run
+                victims.append(record)
         deleted = []
         for record in victims:
             self.delete(record.run_id)

@@ -386,3 +386,121 @@ class TestStreamingHooks:
             e for e in read_events(telemetry) if e["event"] == "batch_end"
         ]
         assert end["stopped"] is True
+
+
+class _FakeFuture:
+    """Stand-in for a pool future whose completion the test scripts."""
+
+    def __init__(self):
+        self._value = None
+        self._exc = None
+        self._done = False
+        self.was_cancelled = False
+
+    def set_result(self, value):
+        self._value, self._done = value, True
+
+    def set_exception(self, exc):
+        self._exc, self._done = exc, True
+
+    def done(self):
+        return self._done
+
+    def exception(self):
+        return self._exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def cancel(self):
+        if self._done:
+            return False
+        self.was_cancelled = True
+        self._done = True
+        return True
+
+
+def _wrapped_ok(value):
+    """A _worker_run-shaped payload for a scripted success."""
+    return {
+        "value": value,
+        "wall_time": 0.0,
+        "worker_pid": 4242,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "metrics": None,
+    }
+
+
+class TestPoolRebuildDedup:
+    """Regression: rebuilding a broken pool while other futures are in
+    flight must not execute an already-completed job a second time (the
+    old rebuild path resubmitted *every* pending future, double-counting
+    the finished ones in results, telemetry, and metrics)."""
+
+    def test_rebuild_does_not_resubmit_completed_job(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.engine import executor as executor_mod
+
+        pools = []
+
+        class FakePool:
+            def __init__(self, max_workers=None, initializer=None,
+                         initargs=()):
+                self.futures = {}     # job_id -> latest future
+                self.submitted = []   # job_ids, in submission order
+                pools.append(self)
+
+            def submit(self, fn, job):
+                fut = _FakeFuture()
+                self.submitted.append(job.job_id)
+                self.futures[job.job_id] = fut
+                if len(pools) > 1:
+                    # Any job the rebuilt pool receives "executes"
+                    # instantly — so a buggy resubmission of B would
+                    # surface as a second submission, not a hang.
+                    fut.set_result(_wrapped_ok(f"{job.job_id}-redone"))
+                return fut
+
+            def shutdown(self, wait=False, cancel_futures=False):
+                pass
+
+        calls = {"n": 0}
+
+        def fake_wait(fs, timeout=None, return_when=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # B finishes fine; A's worker dies. wait() reports only
+                # A — B's completed future is still "in flight" when the
+                # executor decides to rebuild the pool.
+                pools[0].futures["B"].set_result(_wrapped_ok("B-done"))
+                fut_a = pools[0].futures["A"]
+                fut_a.set_exception(BrokenProcessPool("worker died"))
+                return {fut_a}, {f for f in fs if f is not fut_a}
+            done = {f for f in fs if f.done()}
+            return done, set(fs) - done
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(executor_mod, "wait", fake_wait)
+
+        batch = BatchSpec("rebuild", [
+            Job(job_id="A", kind="noop", payload={}),
+            Job(job_id="B", kind="noop", payload={}),
+        ])
+        results = list(iter_batch(batch, jobs=2, retries=1))
+
+        assert sorted(r.job_id for r in results) == ["A", "B"]
+        by_id = {r.job_id: r for r in results}
+        # B's first (and only) execution is the one reported.
+        assert by_id["B"].value == "B-done"
+        assert by_id["B"].attempts == 1
+        # A was resubmitted to the rebuilt pool.
+        assert by_id["A"].value == "A-redone"
+        assert by_id["A"].attempts == 2
+        submissions = [j for p in pools for j in p.submitted]
+        assert submissions.count("B") == 1, "completed job was re-executed"
+        assert submissions.count("A") == 2
+        assert len(pools) == 2

@@ -223,3 +223,94 @@ class TestDrain:
         queue.shutdown()
         with pytest.raises(RuntimeError):
             queue.submit({"kind": "sleepy"})
+
+
+class _ClaimProbeStore(RunStore):
+    """Records worker-thread claim calls made without the queue lock.
+
+    The PENDING -> RUNNING claim must happen entirely under
+    ``JobQueue._lock`` — otherwise a draining shutdown can observe
+    "everything PENDING-or-finished" in between the worker's stop-flag
+    check and its transition, and return while the run silently flips to
+    RUNNING with no worker left alive to seal it.
+    """
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.queue = None
+        self.violations = []
+
+    def _probe(self, op):
+        import threading
+
+        if not threading.current_thread().name.startswith(
+            "repro-service-worker"
+        ):
+            return
+        lock = self.queue._lock
+        if lock.acquire(blocking=False):  # free => caller didn't hold it
+            lock.release()
+            self.violations.append(op)
+
+    def load(self, run_id):
+        self._probe("load")
+        return super().load(run_id)
+
+    def transition(self, record, state, **kwargs):
+        if state == RUNNING:
+            self._probe("transition")
+        return super().transition(record, state, **kwargs)
+
+
+class TestDrainRace:
+    def test_claim_happens_under_the_queue_lock(self, tmp_path, sleepy_kind):
+        store = _ClaimProbeStore(tmp_path / "runs")
+        queue = JobQueue(store)
+        store.queue = queue
+        queue.start()
+        try:
+            record = queue.submit({"kind": "sleepy"})
+            assert queue.join(timeout=30.0)
+        finally:
+            queue.shutdown()
+        assert store.load(record.run_id).state == DONE
+        assert store.violations == []
+
+    def test_drained_shutdown_never_strands_a_running_run(
+        self, store, sleepy_kind
+    ):
+        queue = JobQueue(store, workers=1).start()
+        busy = queue.submit({
+            "kind": "sleepy", "params": {"naps": 3, "nap_s": 0.2},
+        })
+        wait_for_state(store, busy.run_id, {RUNNING})
+        queued = queue.submit({"kind": "sleepy"})
+        # drain=True must override wait=False and block until the worker
+        # reaches a boundary; the queued run stays PENDING for --resume.
+        queue.shutdown(wait=False, drain=True)
+        assert store.load(busy.run_id).state == DONE
+        assert store.load(queued.run_id).state == PENDING
+
+
+class TestHeartbeatLifecycle:
+    def test_executor_heartbeats_while_running_and_clears_on_seal(
+        self, store, sleepy_kind
+    ):
+        from repro.service.store import HEARTBEAT_NAME
+
+        queue = JobQueue(store, workers=1).start()
+        try:
+            record = queue.submit({
+                "kind": "sleepy", "params": {"naps": 3, "nap_s": 0.2},
+            })
+            wait_for_state(store, record.run_id, {RUNNING})
+            hb = store.load(record.run_id).path / HEARTBEAT_NAME
+            deadline = time.monotonic() + 5.0
+            while not hb.exists() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert hb.exists(), "no heartbeat while RUNNING"
+            assert store.has_live_lease(store.load(record.run_id))
+            wait_for_state(store, record.run_id, {DONE})
+        finally:
+            queue.shutdown()
+        assert not hb.exists(), "heartbeat survived the seal"

@@ -193,3 +193,71 @@ class TestEnvironmentCapture:
         (store.root / "stray-file").write_text("x")
         (store.root / "stray-dir").mkdir()
         assert store.list() == []
+
+
+def _backdate(record, seconds):
+    """Rewrite created_at and push file mtimes ``seconds`` into the past."""
+    import os
+    import time
+
+    old = time.time() - seconds
+    manifest_path = record.path / MANIFEST_NAME
+    data = json.loads(manifest_path.read_text())
+    data["created_at"] = old
+    manifest_path.write_text(json.dumps(data))
+    os.utime(manifest_path, (old, old))
+
+
+class TestLeases:
+    def test_heartbeat_round_trip(self, store):
+        from repro.service.store import HEARTBEAT_NAME
+
+        record = make_run(store)
+        assert not (record.path / HEARTBEAT_NAME).exists()
+        store.heartbeat(record)
+        assert (record.path / HEARTBEAT_NAME).exists()
+        assert store.has_live_lease(record)
+        age = store.lease_age(record)
+        assert age is not None and age < 60.0
+        store.clear_heartbeat(record)
+        assert not (record.path / HEARTBEAT_NAME).exists()
+
+    def test_gc_skips_stale_run_with_live_heartbeat(self, store):
+        # Regression: `repro runs gc --older-than` used to judge staleness
+        # by created_at alone, deleting runs a worker was still executing.
+        record = make_run(store)
+        _backdate(record, 3600.0)
+        store.heartbeat(record)  # an executor is alive right now
+        deleted = store.gc(keep=0, max_age=60.0, lease_ttl=300.0)
+        assert deleted == []
+        assert store.load(record.run_id).state == PENDING
+
+    def test_gc_collects_stale_run_without_lease(self, store):
+        import os
+
+        from repro.service.store import HEARTBEAT_NAME
+
+        record = make_run(store)
+        _backdate(record, 3600.0)
+        store.heartbeat(record)
+        hb = record.path / HEARTBEAT_NAME
+        os.utime(hb, (hb.stat().st_mtime - 3600.0,) * 2)  # worker died
+        deleted = store.gc(keep=0, max_age=60.0, lease_ttl=300.0)
+        assert deleted == [record.run_id]
+        assert record.run_id not in store
+
+    def test_gc_without_max_age_ignores_non_terminal_age(self, store):
+        record = make_run(store)
+        _backdate(record, 3600.0)
+        assert store.gc(keep=0) == []
+        assert store.load(record.run_id).state == PENDING
+
+    def test_manifest_progress_counts_as_liveness(self, store):
+        # Pre-heartbeat executors still rewrite the manifest on progress;
+        # that alone must keep gc away.
+        record = make_run(store)
+        _backdate(record, 3600.0)
+        record = store.load(record.run_id)  # pick up the backdated manifest
+        store.set_progress(record, done=1, failed=0, total=2)
+        assert store.has_live_lease(record)
+        assert store.gc(keep=0, max_age=60.0) == []

@@ -309,3 +309,50 @@ class TestBenchSentinelCLI:
         )
         assert rc == 0
         assert len(read_history(hist)) == 2  # --no-append respected
+
+
+class TestConcurrencyRows:
+    def test_cache_contention_row_shape_and_speedup(self):
+        from repro.bench import _ROW_REQUIRED, _cache_contention_row
+
+        row = _cache_contention_row(2, 40)
+        assert _ROW_REQUIRED["cache_contention"] <= set(row)
+        assert row["all_writes_landed"] is True
+        assert row["speedup"] > 0
+        assert row["sharded_writes_per_second"] > 0
+
+    def test_new_kinds_flatten_into_history_metrics(self):
+        from repro.bench import _entry_metrics
+
+        doc = {"rows": [
+            {"kind": "cache_contention", "instance": "writers-2x10",
+             "single_writer_per_second": 100.0,
+             "sharded_writes_per_second": 300.0, "speedup": 3.0},
+            {"kind": "queue_throughput", "instance": "noop-4x2",
+             "jobs_per_second": 42.0},
+            {"kind": "sharded_sweep", "instance": "bdd-8x2",
+             "serial_seconds": 1.0, "queue_seconds": 0.5,
+             "queue_jobs_per_second": 16.0},
+        ]}
+        metrics = _entry_metrics(doc)
+        assert metrics["cache_contention/writers-2x10/speedup"] == 3.0
+        assert metrics["queue_throughput/noop-4x2/jobs_per_second"] == 42.0
+        assert metrics["sharded_sweep/bdd-8x2/queue_seconds"] == 0.5
+
+    def test_per_second_metrics_are_higher_is_better(self):
+        from repro.bench import _metric_direction
+
+        assert _metric_direction("a/jobs_per_second") == "higher"
+        assert _metric_direction("a/speedup") == "higher"
+        assert _metric_direction("a/queue_seconds") == "lower"
+
+    def test_validation_accepts_new_row_kinds(self):
+        from repro.bench import _cache_contention_row
+
+        doc = {
+            "schema": BENCH_SCHEMA, "profile": "tiny",
+            "environment": {}, "rows": [_cache_contention_row(2, 20)],
+            "summary": {"ilp_mr_min_speedup": None,
+                        "all_costs_identical": True},
+        }
+        assert validate_bench_document(doc) == []
