@@ -19,6 +19,10 @@ Mirrors the paper's ARCHEX prototype workflow from a terminal:
     seeded fuzzing, metamorphic properties, Monte-Carlo cross-check, and
     a persistent-cache audit (see :mod:`repro.verify`). Exits nonzero on
     any confirmed disagreement.
+``archex tree --telemetry sweep.jsonl``
+    Render the B&B search tree (per-solve node/prune/incumbent roll-up)
+    that a traced run streamed into its telemetry journal; ``--run ID``
+    reads a stored service run instead.
 ``archex profile --trace-out trace.json synthesize --algorithm mr``
     Run any other subcommand under :mod:`repro.obs` tracing, print the
     profile tree (and metrics), and optionally write a Chrome trace JSON
@@ -391,7 +395,11 @@ def _write_trace(tracer: obs.Tracer, path: str) -> None:
         with TelemetryWriter(path, batch="trace") as writer:
             obs.export_spans_jsonl(writer, tracer.spans)
     else:
-        obs.write_chrome_trace(path, tracer.spans, metrics=obs.snapshot())
+        # Records absorbed from pool/queue workers make the export a
+        # stitched multi-process trace; without any it is the classic
+        # single-process document.
+        obs.write_chrome_trace(path, tracer.spans, metrics=obs.snapshot(),
+                               records=tracer.records)
     print(f"trace written: {path}")
 
 
@@ -592,6 +600,19 @@ def cmd_runs(args: argparse.Namespace) -> int:
             if p.is_file() and not p.name.endswith(".tmp")
         )
         print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+        worker_metrics = record.path / "worker_metrics.json"
+        if worker_metrics.is_file():
+            from .report import render_worker_metrics
+
+            try:
+                metrics_doc = json.loads(
+                    worker_metrics.read_text(encoding="utf-8")
+                )
+            except ValueError:
+                metrics_doc = {}
+            if metrics_doc.get("workers"):
+                print(section("worker metrics"))
+                print(render_worker_metrics(metrics_doc))
         return 0
     if args.action == "verify":
         if args.run_id:
@@ -626,6 +647,35 @@ def cmd_runs(args: argparse.Namespace) -> int:
               + (" and every live-leased run" if args.older_than else ""))
         return 0
     raise SystemExit(f"unknown runs action {args.action!r}")
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    """Render the B&B search tree streamed into a telemetry journal.
+
+    Reads ``bnb_event`` records either from a raw telemetry file
+    (``--telemetry``) or from a stored run's journal (``--run``), and
+    prints the per-solve roll-up plus the incumbent trail.
+    """
+    from .engine.telemetry import read_events
+    from .report import render_search_tree
+
+    if args.telemetry:
+        path = args.telemetry
+    else:
+        from .service import RunStore
+        from .service.store import TELEMETRY_NAME
+
+        store = RunStore(args.runs_dir) if args.runs_dir else RunStore()
+        try:
+            record = store.load(args.run)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+        path = str(record.path / TELEMETRY_NAME)
+    if not os.path.exists(path):
+        raise SystemExit(f"no telemetry journal at {path}")
+    events = [e for e in read_events(path) if e.get("event") == "bnb_event"]
+    print(render_search_tree(events))
+    return 0
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
@@ -940,7 +990,26 @@ def build_parser() -> argparse.ArgumentParser:
                       "(default: run until the stop file appears)")
     p_wk.add_argument("--max-jobs", type=int, default=None, metavar="N",
                       help="exit after executing N jobs")
+    # Workers take the full observability flag set: with --log every
+    # record carries the run id, job digest, and lease attempt the
+    # worker's log context binds per lease.
+    obs_args(p_wk)
     p_wk.set_defaults(func=cmd_worker)
+
+    p_tree = sub.add_parser(
+        "tree",
+        help="render the B&B search tree from run telemetry",
+    )
+    tree_src = p_tree.add_mutually_exclusive_group(required=True)
+    tree_src.add_argument("--telemetry", default=None, metavar="FILE",
+                          help="telemetry journal carrying bnb_event "
+                          "records (e.g. a sweep's --telemetry file)")
+    tree_src.add_argument("--run", default=None, metavar="RUN_ID",
+                          help="render a stored run's journal instead")
+    p_tree.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="durable run store root for --run "
+                        "(default: .archex/runs)")
+    p_tree.set_defaults(func=cmd_tree)
 
     p_pr = sub.add_parser(
         "profile",

@@ -178,27 +178,44 @@ def _worker_init(cache_dir: Optional[str], cache_backend: str = "auto",
     obs.add_observer()
 
 
-def _worker_run(job: Job) -> Dict[str, Any]:
+def _worker_run(
+    job: Job, trace: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     """Execute ``job`` and wrap timing + cache/metrics deltas around it.
 
-    The ``engine.job`` span only materializes when a tracer is active in
-    this process — i.e. in serial mode, or if a pool worker installs its
-    own tracer. Metrics, by contrast, tick in every mode (the batch and
-    the pool initializer both register observers) and the per-job delta
-    travels back with the result so ``jobs>1`` sweeps report true totals.
+    The ``engine.job`` span materializes when a tracer is active in this
+    process (serial mode, queue workers running under the queue's trace
+    context) — or when the coordinator threads a serialized
+    :class:`repro.obs.TraceContext` through the pool envelope as
+    ``trace``: the worker then runs the job under a throwaway local
+    tracer adopting that context and ships the finished span records
+    back in the envelope (``"spans"``), parented to the coordinator's
+    batch span. Metrics tick in every mode (the batch and the pool
+    initializer both register observers) and the per-job delta travels
+    back with the result so ``jobs>1`` sweeps report true totals.
     """
     cache = get_reliability_cache()
     before = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
     metrics_before = obs.snapshot()
     start = time.perf_counter()
-    with obs.span("engine.job", job=job.job_id, kind=job.kind):
-        value = execute_job(job)
+    span_records: Optional[List[Dict[str, Any]]] = None
+    if trace is not None and obs.get_tracer() is None:
+        ctx = obs.TraceContext.from_dict(trace)
+        obs.reset_span_stack()  # a forked worker may carry phantom spans
+        with obs.trace_context(ctx):
+            with obs.tracing() as tracer:
+                with obs.span("engine.job", job=job.job_id, kind=job.kind):
+                    value = execute_job(job)
+        span_records = [obs.span_record(s) for s in tracer.spans]
+    else:
+        with obs.span("engine.job", job=job.job_id, kind=job.kind):
+            value = execute_job(job)
     wall = time.perf_counter() - start
     if obs.enabled():
         obs.counter("engine.jobs.completed").inc()
         obs.histogram("engine.job.seconds").observe(wall)
     after = (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
-    return {
+    wrapped = {
         "value": value,
         "wall_time": wall,
         "worker_pid": os.getpid(),
@@ -206,6 +223,9 @@ def _worker_run(job: Job) -> Dict[str, Any]:
         "cache_misses": after[1] - before[1],
         "metrics": obs.snapshot_delta(metrics_before, obs.snapshot()),
     }
+    if span_records:
+        wrapped["spans"] = span_records
+    return wrapped
 
 
 def _ok_result(job: Job, wrapped: Dict[str, Any], attempts: int) -> JobResult:
@@ -238,6 +258,20 @@ def _absorb_worker_metrics(writer: TelemetryWriter, result: JobResult) -> None:
         metrics=result.metrics,
     )
     obs.merge_snapshot(result.metrics)
+
+
+def _absorb_worker_spans(
+    writer: TelemetryWriter, wrapped: Dict[str, Any]
+) -> None:
+    """Fold span records a pool worker shipped in its envelope.
+
+    Each record is journaled as a ``worker_span`` event and merged into
+    the active tracer, so stitched Chrome traces and ``--trace`` exports
+    carry the worker lanes without any shared filesystem.
+    """
+    for record in wrapped.get("spans") or ():
+        writer.emit("worker_span", **record)
+        obs.absorb_record(record)
 
 
 def _failed_result(
@@ -313,6 +347,8 @@ def _iter_serial(
     cache_backend: str = "auto",
     cache_shards: Optional[int] = None,
 ) -> Iterator[JobResult]:
+    from ..ilp.search_events import capture_search_events
+
     # Reuse an already-installed cache (e.g. inside a pool worker running a
     # nested batch); otherwise install one scoped to this batch.
     own_cache = get_reliability_cache() is None
@@ -320,9 +356,18 @@ def _iter_serial(
         ReliabilityCache(cache_dir, backend=cache_backend, shards=cache_shards)
         if own_cache else None
     )
+    # With durable telemetry, stream the B&B search tree of every solve
+    # into the journal — that is what ``repro tree`` and the service's
+    # /events tail render. A no-op writer keeps the solver silent.
+    search_ctx = (
+        capture_search_events(
+            lambda ev: writer.emit("bnb_event", **ev)
+        )
+        if writer.path else _null_context()
+    )
     try:
         ctx = reliability_cache(cache) if own_cache else _null_context()
-        with ctx:
+        with ctx, search_ctx:
             for job in batch.jobs:
                 writer.emit("job_start", job=job.job_id, kind=job.kind, mode="serial")
                 attempts = 0
@@ -393,6 +438,16 @@ def _iter_pool(
 
     pool = make_pool()
     restarts = 0
+    # Thread the trace context through the job envelopes whenever the
+    # batch itself is being traced (or a service run's context is
+    # active): workers then ship their span records home for stitching.
+    # With no tracer and no context, workers skip span collection.
+    ctx = obs.current_trace_context()
+    cur = obs.current_span()
+    if cur is not None:
+        ctx = (ctx.reparent(cur) if ctx is not None
+               else obs.TraceContext.from_span(cur, batch=batch.name))
+    trace_doc = ctx.to_dict() if ctx is not None else None
     pending: Dict[Any, tuple] = {}  # future -> (job, attempts, submitted_at)
     # Every job_id is in exactly one of these at any time: ``inflight``
     # (job_id -> its one live future) or ``finished`` (already yielded).
@@ -408,7 +463,7 @@ def _iter_pool(
         if job.job_id in finished or job.job_id in inflight:
             writer.emit("job_dedup", job=job.job_id, attempt=attempts)
             return
-        fut = pool.submit(_worker_run, job)
+        fut = pool.submit(_worker_run, job, trace_doc)
         pending[fut] = (job, attempts, time.monotonic())
         inflight[job.job_id] = fut
 
@@ -444,9 +499,11 @@ def _iter_pool(
                 job, attempts, _submitted = drop(fut)
                 exc = fut.exception()
                 if exc is None:
-                    result = finish(_ok_result(job, fut.result(), attempts))
+                    wrapped = fut.result()
+                    result = finish(_ok_result(job, wrapped, attempts))
                     if result is not None:
                         _absorb_worker_metrics(writer, result)
+                        _absorb_worker_spans(writer, wrapped)
                         yield result
                     continue
                 if isinstance(exc, BrokenProcessPool):
@@ -487,9 +544,11 @@ def _iter_pool(
                     if fut.done() and fut.exception() is None:
                         # The pool broke *around* a completed job: report
                         # its finished result instead of running it again.
-                        result = finish(_ok_result(job, fut.result(), attempts))
+                        wrapped = fut.result()
+                        result = finish(_ok_result(job, wrapped, attempts))
                         if result is not None:
                             _absorb_worker_metrics(writer, result)
+                            _absorb_worker_spans(writer, wrapped)
                             yield result
                         continue
                     submit(job, attempts + 1)

@@ -16,6 +16,14 @@ Layout under ``queue_dir``::
     leased/<digest>.json    the same token while a worker owns the job;
                             the file's mtime is the worker's heartbeat
     results/<digest>.pkl    the finished record (ok payload or failure)
+    trace.json              the coordinator's :class:`repro.obs.TraceContext`
+                            (trace id + parent span uid); workers adopt it
+                            so their spans join the coordinator's trace
+    spools/worker-<pid>.jsonl   per-worker telemetry spool: span records,
+                            metric deltas, correlated logs, and B&B search
+                            events, heartbeat-flushed and folded back into
+                            the run by the coordinator's
+                            :class:`repro.obs.SpoolCollector`
 
 Jobs are content-addressed by :func:`job_digest` (SHA-256 of the pickled
 ``(kind, payload)``), so identical subproblems submitted by different
@@ -77,6 +85,7 @@ _PENDING_DIR = "pending"
 _LEASED_DIR = "leased"
 _RESULTS_DIR = "results"
 _STOP_FILE = "stop"
+_TRACE_FILE = "trace.json"
 
 
 def job_digest(job: Job) -> str:
@@ -119,9 +128,45 @@ class FileWorkQueue:
         self.pending_dir = self.path / _PENDING_DIR
         self.leased_dir = self.path / _LEASED_DIR
         self.results_dir = self.path / _RESULTS_DIR
+        self.spool_dir = self.path / obs.SPOOL_DIR_NAME
         for directory in (self.jobs_dir, self.pending_dir, self.leased_dir,
-                          self.results_dir):
+                          self.results_dir, self.spool_dir):
             directory.mkdir(parents=True, exist_ok=True)
+
+    # -- trace context ----------------------------------------------------
+
+    def write_trace_context(self, ctx: "obs.TraceContext") -> "obs.TraceContext":
+        """Persist the coordinator's trace context for workers to adopt.
+
+        A queue that already carries a trace (a resumed or re-attached
+        coordinator) keeps its original trace id — the whole point of a
+        persistent id is that kill-and-resume lands in *one* trace — but
+        the parent span uid and correlation fields are refreshed to the
+        live coordinator. Returns the effective context.
+        """
+        existing = self.load_trace_context()
+        if existing is not None and existing.trace_id != ctx.trace_id:
+            ctx = obs.TraceContext(
+                existing.trace_id, ctx.parent_uid, dict(ctx.fields)
+            )
+        _atomic_write(
+            self.path / _TRACE_FILE,
+            json.dumps(ctx.to_dict(), sort_keys=True).encode("utf-8"),
+        )
+        return ctx
+
+    def load_trace_context(self) -> Optional["obs.TraceContext"]:
+        try:
+            doc = json.loads(
+                (self.path / _TRACE_FILE).read_text(encoding="utf-8")
+            )
+            return obs.TraceContext.from_dict(doc)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def spool_path(self, pid: Optional[int] = None) -> Path:
+        """This process's telemetry spool file under the queue."""
+        return self.spool_dir / f"worker-{os.getpid() if pid is None else pid}.jsonl"
 
     # -- enqueue ----------------------------------------------------------
 
@@ -320,6 +365,26 @@ class FileWorkQueue:
                 out[label] = 0
         return out
 
+    def health(self, collector: Optional["obs.SpoolCollector"] = None
+               ) -> Dict[str, int]:
+        """The ``/healthz`` contribution: depth, leases, spool backlog.
+
+        ``spool_backlog`` is bytes workers have flushed that nobody has
+        folded yet — with a live collector, relative to its offsets;
+        standalone, the total spooled bytes. A fleet that stalls shows
+        up as ``active_leases`` flatlining while ``queue_depth`` stays
+        high and the backlog stops moving.
+        """
+        counts = self.counts()
+        return {
+            "queue_depth": counts["pending"],
+            "active_leases": counts["leased"],
+            "results": counts["results"],
+            "spool_backlog": obs.spool_backlog(
+                self.spool_dir, collector=collector
+            ),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FileWorkQueue({str(self.path)!r}, {self.counts()})"
 
@@ -329,13 +394,18 @@ class FileWorkQueue:
 
 
 def _heartbeat_loop(queue: FileWorkQueue, lease: Lease, interval: float,
-                    stop: threading.Event) -> None:
+                    stop: threading.Event,
+                    spool: Optional["obs.TelemetrySpool"] = None) -> None:
     while not stop.wait(interval):
         queue.heartbeat(lease)
+        if spool is not None:
+            spool.flush()
 
 
 def _execute_lease(queue: FileWorkQueue, lease: Lease, retries: int,
-                   heartbeat_interval: float) -> None:
+                   heartbeat_interval: float,
+                   spool: Optional["obs.TelemetrySpool"] = None,
+                   trace_ctx: Optional["obs.TraceContext"] = None) -> None:
     from .executor import TRANSIENT_EXCEPTIONS, _worker_run
 
     job = queue.load_job(lease.digest)
@@ -346,14 +416,35 @@ def _execute_lease(queue: FileWorkQueue, lease: Lease, retries: int,
         return
     stop = threading.Event()
     beat = threading.Thread(
-        target=_heartbeat_loop, args=(queue, lease, heartbeat_interval, stop),
+        target=_heartbeat_loop,
+        args=(queue, lease, heartbeat_interval, stop, spool),
         daemon=True,
     )
     beat.start()
+    tracer: Optional[obs.Tracer] = None
+
+    def ship() -> None:
+        # Telemetry ships *before* the result is published: the
+        # coordinator stops collecting once every result is in, so the
+        # ordering guarantees no result ever outruns its spans/metrics.
+        if spool is None:
+            return
+        if tracer is not None:
+            for s in tracer.spans:
+                spool.emit_span(s)
+        spool.ship_metrics()
+        spool.flush()
+
     try:
         try:
-            wrapped = _worker_run(job)
+            if trace_ctx is not None:
+                with obs.trace_context(trace_ctx):
+                    with obs.tracing() as tracer:
+                        wrapped = _worker_run(job)
+            else:
+                wrapped = _worker_run(job)
         except TRANSIENT_EXCEPTIONS as exc:
+            ship()
             if lease.attempts <= retries:
                 if obs.enabled():
                     obs.counter("engine.queue.retries").inc()
@@ -366,6 +457,7 @@ def _execute_lease(queue: FileWorkQueue, lease: Lease, retries: int,
                     "error_type": type(exc).__name__,
                 })
         except Exception as exc:
+            ship()
             queue.write_result(lease.digest, {
                 "ok": False,
                 "attempts": lease.attempts,
@@ -373,6 +465,7 @@ def _execute_lease(queue: FileWorkQueue, lease: Lease, retries: int,
                 "error_type": type(exc).__name__,
             })
         else:
+            ship()
             queue.write_result(lease.digest, {
                 "ok": True,
                 "attempts": lease.attempts,
@@ -405,7 +498,14 @@ def run_worker(
 
     Idle workers also sweep expired leases, so a fleet of standalone
     workers recovers crashed peers' jobs without any coordinator.
+
+    Every worker spools its telemetry — lifetime metric deltas, span
+    records for jobs run under the queue's trace context, and B&B
+    search events — to ``spools/worker-<pid>.jsonl`` for the
+    coordinator's collector, and its obslog records carry the run id,
+    job digest, and lease attempt as correlation fields.
     """
+    from ..ilp.search_events import capture_search_events
     from ..reliability.exact import set_reliability_cache
     from .cache import ReliabilityCache
 
@@ -414,30 +514,60 @@ def run_worker(
     cache = ReliabilityCache(cache_dir, backend=cache_backend,
                              shards=cache_shards)
     previous = set_reliability_cache(cache)
+    obs.set_tracer(None)  # a forked worker must not share the parent's
+    obs.reset_span_stack()  # tracer or its open batch span
     obs.add_observer()
     heartbeat_interval = min(max(lease_ttl / 4.0, 0.02), 2.0)
     executed = 0
     idle_since = time.monotonic()
+    spool = obs.TelemetrySpool(queue.spool_path())
+    base_ctx = queue.load_trace_context()
+    worker_fields: Dict[str, Any] = {"worker_pid": os.getpid()}
+    if base_ctx is not None:
+        worker_fields.update(base_ctx.fields)
+
+    def spool_search_event(event: Dict[str, Any]) -> None:
+        spool.emit("bnb_event", worker_pid=os.getpid(), **event)
+
     try:
-        while True:
-            if stop_path.exists():
-                break
-            if max_jobs is not None and executed >= max_jobs:
-                break
-            lease = queue.claim()
-            if lease is None:
-                queue.requeue_expired(lease_ttl, max_attempts=retries + 1)
-                if (idle_timeout is not None
-                        and time.monotonic() - idle_since > idle_timeout):
+        with obs.log_context(**worker_fields), \
+                capture_search_events(spool_search_event):
+            obs.log("worker.started", queue=str(queue.path))
+            while True:
+                if stop_path.exists():
                     break
-                time.sleep(poll_interval)
-                continue
-            idle_since = time.monotonic()
-            executed += 1
-            if obs.enabled():
-                obs.counter("engine.queue.leases.claimed").inc()
-            _execute_lease(queue, lease, retries, heartbeat_interval)
+                if max_jobs is not None and executed >= max_jobs:
+                    break
+                lease = queue.claim()
+                if lease is None:
+                    queue.requeue_expired(lease_ttl, max_attempts=retries + 1)
+                    if (idle_timeout is not None
+                            and time.monotonic() - idle_since > idle_timeout):
+                        break
+                    time.sleep(poll_interval)
+                    continue
+                idle_since = time.monotonic()
+                executed += 1
+                if obs.enabled():
+                    obs.counter("engine.queue.leases.claimed").inc()
+                if base_ctx is None:
+                    # The coordinator may have attached (and written the
+                    # trace context) after we started polling.
+                    base_ctx = queue.load_trace_context()
+                lease_ctx = (
+                    base_ctx.with_fields(job_digest=lease.digest[:12],
+                                         lease_attempt=lease.attempts)
+                    if base_ctx is not None else None
+                )
+                with obs.log_context(job_digest=lease.digest[:12],
+                                     lease_attempt=lease.attempts):
+                    obs.log("worker.lease_claimed")
+                    _execute_lease(queue, lease, retries, heartbeat_interval,
+                                   spool=spool, trace_ctx=lease_ctx)
+                    obs.log("worker.lease_done", executed=executed)
+            obs.log("worker.stopped", executed=executed)
     finally:
+        spool.close()
         obs.remove_observer()
         set_reliability_cache(previous)
         cache.close()
@@ -450,18 +580,21 @@ def run_worker(
 
 def _record_result(job: Job, record: Dict[str, Any], primary: bool,
                    writer: TelemetryWriter) -> JobResult:
-    from .executor import _absorb_worker_metrics, _ok_result
+    from .executor import _ok_result
 
     if record.get("ok"):
         result = _ok_result(job, record["wrapped"], int(record["attempts"]))
-        if primary:
-            _absorb_worker_metrics(writer, result)
-        else:
+        if not primary:
             # The fan-out copies of a deduplicated execution must not
             # double-count the one worker's metrics and cache traffic.
             result.metrics = None
             result.cache_hits = 0
             result.cache_misses = 0
+        # Unlike the pool path, the result envelope is *not* merged into
+        # the registry here: queue workers ship their whole lifetime —
+        # including claims, heartbeats, and retries that happen outside
+        # any job — through their spool, and the collector is the single
+        # metrics channel (merging both would double-count).
         return result
     return JobResult(
         job_id=job.job_id,
@@ -493,6 +626,15 @@ def iter_queue(
     which case external ``repro worker`` processes pointed at the same
     directory are expected to do the draining. Identical jobs collapse
     onto one execution and fan back out to every requesting ``job_id``.
+
+    The coordinator writes its :class:`repro.obs.TraceContext` into the
+    queue (minting one — parented under the live batch span when a
+    tracer is active — unless the queue already carries a trace id, in
+    which case a resumed run keeps it), folds every worker spool into
+    the telemetry journal, the global metrics registry, and the active
+    tracer via a :class:`repro.obs.SpoolCollector`, and contributes a
+    ``queue`` health source (depth / leases / spool backlog) to
+    ``/healthz`` for the duration of the drain.
     """
     writer = writer if writer is not None else TelemetryWriter(None)
     ttl = lease_ttl if lease_ttl is not None else DEFAULT_LEASE_TTL
@@ -507,6 +649,19 @@ def iter_queue(
         stop_path.unlink()  # a stale stop marker would strand the workers
     except OSError:
         pass
+
+    ctx = obs.current_trace_context()
+    cur = obs.current_span()
+    if cur is not None:
+        # Parent worker spans under the live batch span; keep the run's
+        # trace id (and correlation fields) when a context is active.
+        ctx = (ctx.reparent(cur) if ctx is not None
+               else obs.TraceContext.from_span(cur, batch=batch.name))
+    elif ctx is None:
+        ctx = obs.TraceContext.mint(batch=batch.name)
+    ctx = queue.write_trace_context(ctx)
+    collector = obs.SpoolCollector(queue.spool_dir, writer=writer)
+    obs.add_health_source("queue", lambda: queue.health(collector=collector))
 
     by_digest: Dict[str, List[Job]] = {}
     for job in batch.jobs:
@@ -549,6 +704,10 @@ def iter_queue(
                 record = queue.load_result(digest)
                 if record is None:
                     continue
+                # Workers flush their spool before publishing a result,
+                # so folding first guarantees the metrics and spans of
+                # this job are home before its JobResult is yielded.
+                collector.poll()
                 unresolved.discard(digest)
                 progressed = True
                 if obs.enabled():
@@ -558,6 +717,7 @@ def iter_queue(
                                          writer=writer)
             if not unresolved:
                 break
+            collector.poll()
             requeued, expired_failed = queue.requeue_expired(
                 ttl, max_attempts=retries + 1
             )
@@ -595,6 +755,7 @@ def iter_queue(
             if not progressed:
                 time.sleep(poll_interval)
     finally:
+        obs.remove_health_source("queue")
         try:
             stop_path.touch()
         except OSError:
@@ -605,5 +766,8 @@ def iter_queue(
             if worker.is_alive():  # pragma: no cover - last resort
                 worker.terminate()
                 worker.join(timeout=1.0)
+        # Final sweep: the workers' exit deltas (and, with external
+        # workers, anything flushed since the last poll).
+        collector.drain()
         if own_queue:
             shutil.rmtree(qdir, ignore_errors=True)

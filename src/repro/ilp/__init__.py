@@ -28,6 +28,12 @@ from .logic import (
 from .incremental import WarmStartContext, extend_basis
 from .model import MatrixForm, Model
 from .presolve import PresolveResult, apply_presolve, presolve
+from .search_events import (
+    SearchEventEmitter,
+    capture_search_events,
+    search_sink,
+    set_search_sink,
+)
 from .simplex import LPBasis, LPResult, LPStatus, bland_cutover, solve_lp
 from .solver import AutoTuning, SolveResult, Status, configure_auto, solve
 
@@ -66,4 +72,8 @@ __all__ = [
     "AutoTuning",
     "configure_auto",
     "bland_cutover",
+    "SearchEventEmitter",
+    "capture_search_events",
+    "search_sink",
+    "set_search_sink",
 ]

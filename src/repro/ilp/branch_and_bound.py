@@ -34,6 +34,7 @@ import numpy as np
 
 from .. import obs
 from .model import MatrixForm
+from .search_events import SearchEventEmitter
 from .simplex import LPBasis, LPResult, LPStatus, solve_lp
 
 __all__ = ["BnBOptions", "BnBStats", "solve_milp", "MilpOutcome", "exit_gap"]
@@ -223,6 +224,8 @@ def _solve_milp_search(
     opts = options or BnBOptions()
     start = time.perf_counter()
     stats = BnBStats()
+    emitter = SearchEventEmitter.for_active_sink()
+    pruned_nodes = 0
     n = form.num_vars
     int_mask = form.integrality
     counter = itertools.count()
@@ -277,6 +280,10 @@ def _solve_milp_search(
         if node.bound >= incumbent_obj - opts.gap:
             if seed_active:
                 stats.seed_pruned_nodes += 1
+            pruned_nodes += 1
+            if emitter is not None:
+                emitter.emit("prune", reason="bound", depth=node.depth,
+                             bound=node.bound, incumbent=incumbent_obj)
             continue  # pruned by bound
 
         # Depth-first plunge from this node.
@@ -287,17 +294,36 @@ def _solve_milp_search(
             stats.nodes += 1
             res = lp_solve(plunge.lb, plunge.ub, plunge.basis)
             stats.lp_iterations += res.iterations
+            if emitter is not None:
+                emitter.emit(
+                    "open", node=stats.nodes, depth=plunge.depth,
+                    bound=res.objective if res.is_optimal else None,
+                )
             if stats.nodes == 1:
                 root_status = res.status
                 root_basis = res.basis
             if res.status is LPStatus.UNBOUNDED:
                 if stats.nodes == 1:
+                    if emitter is not None:
+                        emitter.close(nodes=stats.nodes, pruned=pruned_nodes,
+                                      incumbents=stats.incumbent_updates,
+                                      status="unbounded")
                     return MilpOutcome("unbounded", -math.inf, None, stats)
                 plunge = None
                 continue
             if not res.is_optimal or res.objective >= incumbent_obj - opts.gap:
                 if seed_active and res.is_optimal:
                     stats.seed_pruned_nodes += 1
+                pruned_nodes += 1
+                if emitter is not None:
+                    emitter.emit(
+                        "prune",
+                        reason="relaxation" if res.is_optimal
+                        else "infeasible",
+                        node=stats.nodes, depth=plunge.depth,
+                        bound=res.objective if res.is_optimal else None,
+                        incumbent=incumbent_obj,
+                    )
                 plunge = None
                 continue
 
@@ -309,6 +335,11 @@ def _solve_milp_search(
                     incumbent_x = _snap(res.x, int_mask)
                     stats.incumbent_updates += 1
                     seed_active = False
+                    if emitter is not None:
+                        emitter.emit(
+                            "incumbent", node=stats.nodes,
+                            depth=plunge.depth, objective=incumbent_obj,
+                        )
                 plunge = None
                 continue
 
@@ -324,6 +355,11 @@ def _solve_milp_search(
             up = _Node(bound=res.objective, tie=next(counter), depth=plunge.depth + 1,
                        lb=plunge.lb.copy(), ub=plunge.ub.copy(), basis=res.basis)
             up.lb[var] = math.ceil(value)
+            if emitter is not None:
+                emitter.emit(
+                    "branch", node=stats.nodes, depth=plunge.depth,
+                    var=int(var), frac=round(frac, 6), bound=res.objective,
+                )
             _record_pseudocost(pseudo, var, frac, res.objective, down, up, lp_solve, stats)
 
             # Continue the plunge in the more promising child, queue the other.
@@ -345,6 +381,14 @@ def _solve_milp_search(
                 break
 
     stats.wall_time = time.perf_counter() - start
+    if emitter is not None:
+        emitter.close(
+            nodes=stats.nodes, pruned=pruned_nodes,
+            incumbents=stats.incumbent_updates,
+            best_bound=stats.best_bound,
+            objective=incumbent_obj if incumbent_x is not None else None,
+            wall_time=round(stats.wall_time, 9),
+        )
     if incumbent_x is None:
         if hit_limit:
             return MilpOutcome("limit", math.inf, None, stats, root_basis=root_basis)

@@ -49,10 +49,19 @@ from .aggregate import (
     merge_telemetry,
     snapshot_delta,
 )
+from .context import (
+    TraceContext,
+    current_trace_context,
+    set_trace_context,
+    span_uid,
+    trace_context,
+)
 from .export import (
     chrome_trace,
     chrome_trace_events,
     export_spans_jsonl,
+    stitch_chrome_trace,
+    stitched_trace_events,
     write_chrome_trace,
 )
 from .metrics import (
@@ -84,25 +93,37 @@ from .server import (
     ObsServer,
     RunHandle,
     RunRegistry,
+    add_health_source,
     escape_label_value,
+    health_snapshot,
     prometheus_name,
+    remove_health_source,
     render_prometheus,
     reset_run_registry,
     run_registry,
+)
+from .spool import (
+    SPOOL_DIR_NAME,
+    SpoolCollector,
+    TelemetrySpool,
+    spool_backlog,
 )
 from .tracer import (
     NOOP_SPAN,
     Span,
     Tracer,
+    absorb_record,
     add_observer,
     current_span,
     enabled,
     get_tracer,
     observed,
     remove_observer,
+    reset_span_stack,
     set_attr,
     set_tracer,
     span,
+    span_record,
     tracing,
 )
 
@@ -118,9 +139,15 @@ __all__ = [
     "ProfileNode",
     "RunHandle",
     "RunRegistry",
+    "SPOOL_DIR_NAME",
     "SamplingProfiler",
     "Span",
+    "SpoolCollector",
+    "TelemetrySpool",
+    "TraceContext",
     "Tracer",
+    "absorb_record",
+    "add_health_source",
     "add_observer",
     "build_profile",
     "chrome_trace",
@@ -129,6 +156,7 @@ __all__ = [
     "counter",
     "current_log_context",
     "current_span",
+    "current_trace_context",
     "enabled",
     "escape_label_value",
     "export_spans_jsonl",
@@ -136,6 +164,7 @@ __all__ = [
     "gauge",
     "get_obslog",
     "get_tracer",
+    "health_snapshot",
     "histogram",
     "iter_metrics_snapshots",
     "log",
@@ -147,16 +176,25 @@ __all__ = [
     "prometheus_name",
     "read_log",
     "registry",
+    "remove_health_source",
     "remove_observer",
     "render_prometheus",
+    "reset_span_stack",
     "reset_metrics",
     "reset_run_registry",
     "run_registry",
     "set_attr",
+    "set_trace_context",
     "set_tracer",
     "snapshot",
     "snapshot_delta",
     "span",
+    "span_record",
+    "span_uid",
+    "spool_backlog",
+    "stitch_chrome_trace",
+    "stitched_trace_events",
+    "trace_context",
     "tracing",
     "write_chrome_trace",
 ]

@@ -12,7 +12,11 @@ long-running sweep watchable while it runs:
     kind. ``curl localhost:PORT/metrics`` or point a Prometheus scrape
     job at it.
 ``/healthz``
-    ``200 ok`` while the server thread is alive (liveness probe).
+    A JSON liveness document while the server thread is alive. Beyond
+    ``{"status": "ok"}``, subsystems register *health sources*
+    (:func:`add_health_source`) that contribute named sub-documents —
+    the queue coordinator reports queue depth, active lease count, and
+    spool backlog, so a stalled worker fleet is visible from a probe.
 ``/runs``
     A JSON snapshot of the :class:`RunRegistry`: every in-flight ILP-MR /
     ILP-AR synthesis (current iteration, cost, reliability) and batch
@@ -49,7 +53,53 @@ __all__ = [
     "render_prometheus",
     "escape_label_value",
     "prometheus_name",
+    "add_health_source",
+    "remove_health_source",
+    "health_snapshot",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Health sources: subsystems contributing to /healthz
+
+#: Registered ``name -> callable`` health sources; each returns a JSON-
+#: serializable dict merged into the /healthz document under its name.
+_HEALTH_SOURCES: Dict[str, Any] = {}
+_HEALTH_LOCK = threading.Lock()
+
+
+def add_health_source(name: str, source) -> None:
+    """Register ``source()`` to contribute ``/healthz`` data as ``name``.
+
+    The queue coordinator registers one reporting queue depth / leases /
+    spool backlog for the lifetime of the drain; re-registering a name
+    replaces the previous source.
+    """
+    with _HEALTH_LOCK:
+        _HEALTH_SOURCES[name] = source
+
+
+def remove_health_source(name: str) -> None:
+    with _HEALTH_LOCK:
+        _HEALTH_SOURCES.pop(name, None)
+
+
+def health_snapshot() -> Dict[str, Any]:
+    """The ``/healthz`` document: liveness plus every source's report.
+
+    A failing source degrades to an ``{"error": ...}`` sub-document
+    rather than failing the probe — health reporting must never make a
+    healthy server look dead.
+    """
+    with _HEALTH_LOCK:
+        sources = dict(_HEALTH_SOURCES)
+    doc: Dict[str, Any] = {"status": "ok"}
+    for name, source in sorted(sources.items()):
+        try:
+            doc[name] = source()
+        except Exception as exc:  # pragma: no cover - defensive
+            doc[name] = {"error": f"{type(exc).__name__}: {exc}"}
+    return doc
 
 
 # ---------------------------------------------------------------------------
@@ -283,7 +333,10 @@ class _ObsHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
-            self._send(200, "text/plain; charset=utf-8", "ok\n")
+            body = json.dumps(
+                health_snapshot(), sort_keys=True, default=str
+            ) + "\n"
+            self._send(200, "application/json", body)
         elif path == "/metrics":
             body = render_prometheus(
                 metrics=self.obs_server.metrics.snapshot(),

@@ -1,0 +1,253 @@
+"""Per-worker telemetry spools and the coordinator-side collector.
+
+Queue workers run in their own processes (often started by an operator,
+not the coordinator), so nothing ships their spans, metric deltas, or
+log records home by itself. Each worker appends those events to one
+JSONL *spool file* next to its leases —
+``<queue-dir>/spools/worker-<pid>.jsonl`` — buffered in memory and
+flushed on every heartbeat and before each result is published, so the
+coordinator never sees a result whose telemetry is still in flight.
+
+The coordinator side is :class:`SpoolCollector`: it tail-reads every
+spool incrementally (tracking per-file byte offsets, consuming only
+complete lines), folds metric deltas into the process-global registry
+and a per-worker accumulator, forwards span records to the active
+tracer for stitching, and re-emits everything into the run's telemetry
+journal. ``iter_queue`` polls it during the drain loop; the final
+:meth:`SpoolCollector.drain` sweep runs after the workers stop.
+
+Spool event kinds:
+
+* ``worker_span`` — one :func:`repro.obs.tracer.span_record`;
+* ``metrics_snapshot`` — a registry *delta* since the worker's previous
+  ship (counters/histograms subtract, gauges carry last writes), the
+  same event shape pool workers emit, so
+  :func:`repro.obs.merge_telemetry` handles both transports;
+* ``worker_log`` — a structured obslog record with correlation fields;
+* ``bnb_event`` — a B&B search-tree event (:mod:`repro.ilp`).
+
+Duplicate-execution caveat: if a lease expires and the job runs again
+elsewhere, both executions spool their metrics — counters then reflect
+work *performed* (two runs), not jobs *completed*, which is exactly
+what a utilization view wants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .aggregate import Snapshot, merge_snapshot, snapshot_delta
+from .metrics import MetricsRegistry, snapshot
+from .tracer import Span, absorb_record, span_record
+
+__all__ = [
+    "SPOOL_DIR_NAME",
+    "TelemetrySpool",
+    "SpoolCollector",
+    "spool_backlog",
+]
+
+#: Subdirectory of a queue dir holding the per-worker spool files.
+SPOOL_DIR_NAME = "spools"
+
+
+class TelemetrySpool:
+    """Buffered JSONL writer for one worker's telemetry events.
+
+    Events accumulate in memory and hit disk on :meth:`flush` — called
+    by the lease heartbeat and before every result publish. Writes are
+    whole-line appends through a single file handle, so the collector
+    on the other side only ever sees complete records (it discards a
+    trailing partial line until the next poll).
+
+    Like :class:`repro.engine.TelemetryWriter`, a spool degrades to a
+    no-op if its directory cannot be written — telemetry must never
+    take down the worker.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._buffer: List[str] = []
+        self._fh = None
+        self._disabled = False
+        #: Registry snapshot covered by previous ships; the first delta
+        #: is taken against construction time, so registry state
+        #: inherited from a forked parent is never double-counted.
+        self._shipped: Snapshot = snapshot()
+
+    def emit(self, event: str, **fields: Any) -> None:
+        record = {"ts": time.time(), "event": event, **fields}
+        self._buffer.append(json.dumps(record, default=str))
+
+    def emit_span(self, span: Span) -> None:
+        self.emit("worker_span", **span_record(span))
+
+    def emit_log(self, record: Dict[str, Any]) -> None:
+        self.emit("worker_log", record=record)
+
+    def ship_metrics(self) -> bool:
+        """Spool the registry delta since the last ship; True if any."""
+        now = snapshot()
+        delta = snapshot_delta(self._shipped, now)
+        self._shipped = now
+        if not delta:
+            return False
+        self.emit("metrics_snapshot", worker_pid=os.getpid(), metrics=delta)
+        return True
+
+    def flush(self) -> None:
+        if not self._buffer or self._disabled:
+            return
+        lines, self._buffer = self._buffer, []
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write("".join(line + "\n" for line in lines))
+            self._fh.flush()
+        except OSError:
+            self._disabled = True
+            self._fh = None
+
+    def close(self) -> None:
+        """Ship a final metrics delta, flush, and release the handle."""
+        self.ship_metrics()
+        self.flush()
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+
+class SpoolCollector:
+    """Folds worker spools into the coordinator's view of the run.
+
+    For every complete line newly appended to any spool under
+    ``spool_dir``:
+
+    * ``metrics_snapshot`` deltas merge into the process-global registry
+      and into a per-worker-pid accumulator
+      (:meth:`worker_snapshots` — the evidence-pack artifact);
+    * ``worker_span`` records go to the active tracer (stitching) and
+      :attr:`span_records`;
+    * everything is re-emitted verbatim into ``writer`` (the batch or
+      run telemetry journal), so the journal is the one durable stream.
+    """
+
+    def __init__(self, spool_dir: Union[str, Path], writer=None) -> None:
+        self.spool_dir = Path(spool_dir)
+        self._writer = writer
+        self._offsets: Dict[Path, int] = {}
+        self.span_records: List[Dict[str, Any]] = []
+        self.events = 0
+        self._worker_registries: Dict[int, MetricsRegistry] = {}
+
+    def poll(self) -> int:
+        """Consume newly flushed spool lines; returns events folded."""
+        if not self.spool_dir.is_dir():
+            return 0
+        folded = 0
+        for path in sorted(self.spool_dir.glob("worker-*.jsonl")):
+            folded += self._consume(path)
+        self.events += folded
+        return folded
+
+    def drain(self) -> int:
+        """Final sweep once the workers have stopped."""
+        return self.poll()
+
+    def backlog(self) -> int:
+        """Bytes flushed by workers but not yet folded (spool backlog)."""
+        total = 0
+        if not self.spool_dir.is_dir():
+            return 0
+        for path in self.spool_dir.glob("worker-*.jsonl"):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            total += max(0, size - self._offsets.get(path, 0))
+        return total
+
+    def worker_snapshots(self) -> Dict[int, Snapshot]:
+        """Accumulated per-worker metric snapshots, keyed by pid."""
+        return {
+            pid: reg.snapshot()
+            for pid, reg in sorted(self._worker_registries.items())
+        }
+
+    def _consume(self, path: Path) -> int:
+        offset = self._offsets.get(path, 0)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+        except OSError:
+            return 0
+        if not chunk:
+            return 0
+        # Only complete lines: a worker may be mid-flush.
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return 0
+        self._offsets[path] = offset + cut + 1
+        folded = 0
+        for line in chunk[: cut + 1].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            self._fold(event)
+            folded += 1
+        return folded
+
+    def _fold(self, event: Dict[str, Any]) -> None:
+        kind = event.get("event")
+        if kind == "metrics_snapshot":
+            metrics = event.get("metrics") or {}
+            merge_snapshot(metrics)
+            pid = int(event.get("worker_pid") or 0)
+            reg = self._worker_registries.setdefault(pid, MetricsRegistry())
+            merge_snapshot(metrics, registry=reg)
+        elif kind == "worker_span":
+            record = {
+                k: v for k, v in event.items() if k not in ("event",)
+            }
+            self.span_records.append(record)
+            absorb_record(record)
+        if self._writer is not None:
+            payload = {k: v for k, v in event.items() if k != "event"}
+            self._writer.emit(event.get("event", "spool_event"), **payload)
+
+
+def spool_backlog(
+    spool_dir: Union[str, Path],
+    collector: Optional[SpoolCollector] = None,
+) -> int:
+    """Unconsumed spool bytes under ``spool_dir``.
+
+    With a live ``collector`` this is its :meth:`~SpoolCollector.backlog`
+    (bytes flushed but not folded); without one — a standalone
+    ``ObsServer`` watching a queue dir — it is the total spooled bytes.
+    """
+    if collector is not None:
+        return collector.backlog()
+    spool_dir = Path(spool_dir)
+    if not spool_dir.is_dir():
+        return 0
+    total = 0
+    for path in spool_dir.glob("worker-*.jsonl"):
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+    return total

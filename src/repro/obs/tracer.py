@@ -31,11 +31,14 @@ uses, so one file can carry both event families.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Optional
+
+from .context import current_trace_context, span_uid
 
 __all__ = [
     "Span",
@@ -51,6 +54,9 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "span_record",
+    "absorb_record",
+    "reset_span_stack",
 ]
 
 
@@ -66,6 +72,8 @@ class Span:
         "ts_epoch",
         "tid",
         "attrs",
+        "trace_id",
+        "remote_parent",
         "_tracer",
         "_token",
     )
@@ -85,6 +93,12 @@ class Span:
         self.ts_epoch = time.time()
         self.tid = threading.get_ident()
         self.attrs = attrs
+        #: Trace id adopted from the parent span or the active
+        #: :class:`repro.obs.TraceContext`; ``None`` outside any trace.
+        self.trace_id: Optional[str] = None
+        #: For root spans opened under a remote context: the uid of the
+        #: coordinator-side span this one parents to.
+        self.remote_parent: Optional[str] = None
         self._tracer: Optional["Tracer"] = None
         self._token = None
 
@@ -155,6 +169,11 @@ class Tracer:
 
     def __init__(self, writer=None) -> None:
         self.spans: List[Span] = []
+        #: Span *records* absorbed from other processes (pool envelopes,
+        #: queue spools) — already-serialized dicts in the
+        #: :func:`span_record` format, merged in by collectors so one
+        #: tracer holds the whole distributed trace for stitching.
+        self.records: List[Dict[str, Any]] = []
         self._ids = itertools.count(1)
         self._writer = writer
         self._lock = threading.Lock()
@@ -167,17 +186,34 @@ class Tracer:
             parent_id=parent.span_id if parent is not None else None,
             attrs=attrs,
         )
+        if parent is not None:
+            s.trace_id = parent.trace_id
+        else:
+            ctx = current_trace_context()
+            if ctx is not None:
+                s.trace_id = ctx.trace_id
+                s.remote_parent = ctx.parent_uid
         s._tracer = self
         s._token = _STACK.set(_STACK.get() + (s,))
         if self._writer is not None:
+            extra: Dict[str, Any] = {}
+            if s.trace_id is not None:
+                extra["trace"] = s.trace_id
+                extra["uid"] = span_uid(s)
             self._writer.emit(
                 "span_start",
                 ts=s.ts_epoch,
                 span=s.span_id,
                 parent=s.parent_id,
                 name=name,
+                **extra,
             )
         return s
+
+    def add_record(self, record: Dict[str, Any]) -> None:
+        """Absorb one remote :func:`span_record` for stitching."""
+        with self._lock:
+            self.records.append(record)
 
     def current(self) -> Optional[Span]:
         stack = _STACK.get()
@@ -198,6 +234,12 @@ class Tracer:
         with self._lock:
             self.spans.append(s)
         if self._writer is not None:
+            extra: Dict[str, Any] = {}
+            if s.trace_id is not None:
+                extra["trace"] = s.trace_id
+                extra["uid"] = span_uid(s)
+                if s.remote_parent is not None:
+                    extra["remote_parent"] = s.remote_parent
             self._writer.emit(
                 "span_end",
                 ts=s.ts_epoch + s.duration,
@@ -206,6 +248,7 @@ class Tracer:
                 name=s.name,
                 duration=round(s.duration, 9),
                 attrs={k: _jsonable(v) for k, v in s.attrs.items()},
+                **extra,
             )
 
     def __len__(self) -> int:
@@ -252,6 +295,18 @@ def remove_observer() -> None:
     global _OBSERVERS
     if _OBSERVERS > 0:
         _OBSERVERS -= 1
+
+
+def reset_span_stack() -> None:
+    """Drop any inherited open-span stack.
+
+    Post-fork hygiene for worker processes: a worker forked while the
+    coordinator's batch span was open inherits that span on the
+    context-local stack, and every span it opens would silently parent
+    to a phantom local copy instead of adopting the cross-process
+    :class:`repro.obs.TraceContext`. Workers call this once at startup.
+    """
+    _STACK.set(())
 
 
 @contextmanager
@@ -322,3 +377,39 @@ def set_attr(key: str, value: Any) -> None:
     s = t.current()
     if s is not None:
         s.attrs[key] = value
+
+
+def span_record(s: Span, pid: Optional[int] = None) -> Dict[str, Any]:
+    """Serialize a finished span into the cross-process wire format.
+
+    The record is what queue workers spool home and pool workers ship in
+    their result envelope: epoch timestamps (``ts`` + ``dur`` seconds, so
+    spans from different processes align on the wall clock), the span's
+    cross-process ``uid``, and the ``parent`` uid — the local parent when
+    the span was nested, else the remote coordinator span adopted from
+    the active :class:`repro.obs.TraceContext`.
+    """
+    if pid is None:
+        pid = os.getpid()
+    if s.parent_id is not None:
+        parent: Optional[str] = f"{pid}.{s.parent_id}"
+    else:
+        parent = s.remote_parent
+    return {
+        "name": s.name,
+        "uid": span_uid(s, pid=pid),
+        "parent": parent,
+        "trace": s.trace_id,
+        "pid": pid,
+        "tid": s.tid,
+        "ts": s.ts_epoch,
+        "dur": round(s.duration, 9),
+        "attrs": {k: _jsonable(v) for k, v in s.attrs.items()},
+    }
+
+
+def absorb_record(record: Dict[str, Any]) -> None:
+    """Merge one remote span record into the active tracer (if any)."""
+    t = _ACTIVE
+    if t is not None:
+        t.add_record(record)

@@ -21,7 +21,9 @@ __all__ = [
     "render_metrics",
     "render_profile",
     "render_runs_table",
+    "render_search_tree",
     "render_verification_table",
+    "render_worker_metrics",
     "section",
 ]
 
@@ -207,6 +209,119 @@ def render_bench_comparison(verdicts: Iterable[dict]) -> str:
         )
     return format_table(
         ["metric", "current", "median", "mad", "ratio", "runs", "verdict"],
+        rows,
+    )
+
+
+def render_search_tree(events: Iterable[dict]) -> str:
+    """Render B&B search-tree events (``repro tree``) per solve.
+
+    Accepts the ``bnb_event`` records of a telemetry stream (or raw
+    :class:`repro.ilp.SearchEventEmitter` events) and rolls them up by
+    ``solve`` id: nodes opened/branched, prunes split by reason, the
+    incumbent trail, and the closing summary's true totals — ``sampled``
+    counts node-level events the emitter's rate limiter suppressed, so
+    the rendered counts are of *streamed* events while ``nodes`` is the
+    solver's own total. Incumbent improvements are listed under the
+    table: they are rare and are the story of the search.
+    """
+    solves: dict = {}
+    for e in events:
+        solve = e.get("solve", "?")
+        agg = solves.setdefault(solve, {
+            "open": 0, "branch": 0, "prunes": {}, "depth": 0,
+            "incumbents": [], "summary": {},
+        })
+        kind = e.get("kind")
+        depth = e.get("depth")
+        if isinstance(depth, (int, float)):
+            agg["depth"] = max(agg["depth"], int(depth))
+        if kind in ("open", "branch"):
+            agg[kind] += 1
+        elif kind == "prune":
+            reason = e.get("reason", "?")
+            agg["prunes"][reason] = agg["prunes"].get(reason, 0) + 1
+        elif kind == "incumbent":
+            agg["incumbents"].append(e)
+        elif kind == "summary":
+            agg["summary"] = e
+    if not solves:
+        return "(no search events)"
+    rows = []
+    for solve in sorted(solves, key=str):
+        agg = solves[solve]
+        summary = agg["summary"]
+        prunes = agg["prunes"]
+        prune_cell = ", ".join(
+            f"{reason}={count}" for reason, count in sorted(prunes.items())
+        ) or "-"
+        objective = summary.get("objective")
+        rows.append((
+            solve,
+            summary.get("nodes", agg["open"]),
+            agg["open"],
+            agg["branch"],
+            prune_cell,
+            len(agg["incumbents"]),
+            agg["depth"],
+            f"{objective:.6g}" if isinstance(objective, (int, float)) else "-",
+            f"{summary['wall_time']:.3f}"
+            if isinstance(summary.get("wall_time"), (int, float)) else "-",
+            summary.get("suppressed", 0),
+        ))
+    out = [format_table(
+        ["solve", "nodes", "opened", "branched", "pruned", "incumbents",
+         "max depth", "objective", "wall (s)", "sampled"],
+        rows,
+    )]
+    trail = [
+        (solve, e.get("node", "?"), e.get("depth", "?"),
+         f"{e['objective']:.6g}"
+         if isinstance(e.get("objective"), (int, float)) else "-")
+        for solve in sorted(solves, key=str)
+        for e in solves[solve]["incumbents"]
+    ]
+    if trail:
+        out.append("")
+        out.append(section("incumbent trail"))
+        out.append(format_table(["solve", "node", "depth", "objective"], trail))
+    return "\n".join(out)
+
+
+def render_worker_metrics(document: dict) -> str:
+    """Render a run's ``worker_metrics.json`` as a per-worker table.
+
+    One row per worker pid (``coordinator`` for in-process execution):
+    jobs completed, cumulative job seconds, B&B nodes, and reliability
+    cache traffic — the columns that answer "which worker was slow and
+    why" from the evidence pack alone.
+    """
+    workers = document.get("workers") or {}
+    if not workers:
+        return "(no worker metrics)"
+
+    def _value(snap: dict, name: str):
+        data = snap.get(name) or {}
+        if data.get("kind") == "histogram":
+            return data.get("sum")
+        return data.get("value")
+
+    rows = []
+    for pid in sorted(workers, key=str):
+        snap = workers[pid] or {}
+        seconds = _value(snap, "engine.job.seconds")
+        rows.append((
+            pid,
+            _value(snap, "engine.jobs.completed") or 0,
+            f"{seconds:.3f}" if isinstance(seconds, (int, float)) else "-",
+            _value(snap, "ilp.bnb.nodes") or 0,
+            _value(snap, "reliability.cache.hits") or 0,
+            _value(snap, "reliability.cache.misses") or 0,
+            len(snap),
+        ))
+    return format_table(
+        ["worker", "jobs", "job secs", "bnb nodes", "cache hits",
+         "misses", "instruments"],
         rows,
     )
 

@@ -19,6 +19,11 @@ unchanged — with a JSON job API over the run store and queue:
     Cancel: immediate for PENDING runs, cooperative for RUNNING ones.
 ``GET /api/runs``
     The whole store, newest first, plus live queue depth.
+``GET /api/runs/<id>/events``
+    SSE-style tail of the run's telemetry journal: replays what is
+    journaled, then follows a live run (``?timeout=`` seconds, clamped)
+    until it goes terminal — job life-cycle, span, worker, and B&B
+    search-tree events as ``event:``/``data:`` frames.
 
 Everything is stdlib-only and bound to ``127.0.0.1`` by default — the
 service plane is a local (or reverse-proxied) API, not an internet-facing
@@ -29,21 +34,33 @@ from __future__ import annotations
 
 import json
 import re
+import time
+import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
 from ..obs.server import ObsServer, _ObsHandler
 from .queue import JobQueue
 from .specs import SpecError
-from .store import TERMINAL_STATES, RESULT_NAME, RunRecord
+from .store import TELEMETRY_NAME, TERMINAL_STATES, RESULT_NAME, RunRecord
 
-__all__ = ["ServiceServer", "MAX_BODY_BYTES"]
+__all__ = ["ServiceServer", "MAX_BODY_BYTES", "MAX_TAIL_SECONDS"]
 
 #: Largest request body ``POST /api/jobs`` accepts.
 MAX_BODY_BYTES = 1 << 20
 
+#: Longest a ``/events`` tail may follow a live run (``?timeout=`` clamp).
+MAX_TAIL_SECONDS = 300.0
+
+#: How often the tail re-polls the telemetry journal of a live run.
+_TAIL_POLL_SECONDS = 0.2
+
 _JOB_PATH = re.compile(
     r"^/api/jobs/(?P<run_id>[A-Za-z0-9._\-]+)"
     r"(?:/(?P<sub>result|artifacts/(?P<artifact>[A-Za-z0-9._\-]+)))?$"
+)
+
+_EVENTS_PATH = re.compile(
+    r"^/api/runs/(?P<run_id>[A-Za-z0-9._\-]+)/events$"
 )
 
 _CONTENT_TYPES = {
@@ -139,6 +156,12 @@ class _ServiceHandler(_ObsHandler):
                           "active": sorted(self._service.active())},
             })
             return
+        events = _EVENTS_PATH.match(path)
+        if events is not None:
+            record = self._load_run(events.group("run_id"))
+            if record is not None:
+                self._stream_events(record, self._tail_timeout())
+            return
         match = _JOB_PATH.match(path)
         if match is None:
             super().do_GET()
@@ -180,6 +203,89 @@ class _ServiceHandler(_ObsHandler):
         content_type = _CONTENT_TYPES.get(path.suffix,
                                           "application/octet-stream")
         self._send_bytes(200, content_type, path.read_bytes())
+
+    def _tail_timeout(self) -> float:
+        """The ``?timeout=`` follow budget, clamped to the server limit."""
+        query = urllib.parse.urlparse(self.path).query
+        raw = urllib.parse.parse_qs(query).get("timeout", ["30"])[-1]
+        try:
+            timeout = float(raw)
+        except ValueError:
+            timeout = 30.0
+        return max(0.0, min(timeout, MAX_TAIL_SECONDS))
+
+    def _stream_events(self, record: RunRecord, timeout: float) -> None:
+        """SSE-style tail of a run's telemetry journal.
+
+        Replays every journaled event as an ``event:``/``data:`` frame,
+        then — while the run is live and the ``timeout`` budget lasts —
+        keeps polling the journal for fresh appends, so ``curl -N`` (or
+        the tests) can watch queue workers, span boundaries, and B&B
+        search events arrive in real time. A final ``end`` frame carries
+        the run's state at disconnect. No ``Content-Length``: the
+        stream's length is unknowable up front.
+        """
+        telemetry = record.artifact(TELEMETRY_NAME)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        deadline = time.monotonic() + timeout
+        offset = 0
+        try:
+            while True:
+                offset = self._emit_frames(telemetry, offset)
+                try:
+                    record = self._service.store.load(record.run_id)
+                except KeyError:  # deleted mid-tail
+                    break
+                if record.terminal or time.monotonic() >= deadline:
+                    break
+                time.sleep(_TAIL_POLL_SECONDS)
+            self.wfile.write(
+                b"event: end\ndata: "
+                + json.dumps({"run_id": record.run_id,
+                              "state": record.state}).encode("utf-8")
+                + b"\n\n"
+            )
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _emit_frames(self, telemetry, offset: int) -> int:
+        """Write frames for journal lines past ``offset``; new offset.
+
+        Only complete lines are consumed — the runner may be mid-append —
+        so a partial trailing line is retried on the next poll.
+        """
+        if not telemetry.is_file():
+            return offset
+        try:
+            with open(telemetry, "rb") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+        except OSError:
+            return offset
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return offset
+        for line in chunk[: cut + 1].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            name = str(doc.get("event") or "event")
+            self.wfile.write(
+                f"event: {name}\n".encode("utf-8")
+                + b"data: "
+                + json.dumps(doc, sort_keys=True, default=str).encode("utf-8")
+                + b"\n\n"
+            )
+        self.wfile.flush()
+        return offset + cut + 1
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
@@ -256,4 +362,5 @@ class ServiceServer(ObsServer):
         self.service = service
 
     def endpoints(self) -> Tuple[str, ...]:
-        return ("/api/jobs", "/api/runs", "/metrics", "/runs", "/healthz")
+        return ("/api/jobs", "/api/runs", "/api/runs/<id>/events",
+                "/metrics", "/runs", "/healthz")

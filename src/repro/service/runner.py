@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional
 
 from .. import obs
 from ..engine import BatchSpec, run_batch
-from ..engine.telemetry import completed_jobs, summarize_telemetry
+from ..engine.telemetry import completed_jobs, read_events, summarize_telemetry
 from ..report import render_batch_summary
 from .evidence import pack_evidence
 from .specs import build_batch
@@ -49,6 +49,8 @@ from .store import (
     RUNNING,
     SPEC_NAME,
     TELEMETRY_NAME,
+    TRACE_NAME,
+    WORKER_METRICS_NAME,
     MANIFEST_NAME,
     RunRecord,
     RunStore,
@@ -198,6 +200,91 @@ def _write_report(record: RunRecord, lines: List[str]) -> None:
     )
 
 
+# The tracer slot is process-global, so concurrent execute_run threads
+# must share one tracer and only the last of them may clear it — and
+# only if the runner (not an outer caller such as a test's
+# ``obs.tracing()``) installed it in the first place.
+_TRACER_LOCK = threading.Lock()
+_TRACER_USERS = 0
+_TRACER_OWNED = False
+
+
+def _acquire_tracer() -> None:
+    global _TRACER_USERS, _TRACER_OWNED
+    with _TRACER_LOCK:
+        if obs.get_tracer() is None:
+            obs.set_tracer(obs.Tracer())
+            _TRACER_OWNED = True
+        _TRACER_USERS += 1
+
+
+def _release_tracer() -> None:
+    global _TRACER_USERS, _TRACER_OWNED
+    with _TRACER_LOCK:
+        _TRACER_USERS -= 1
+        if _TRACER_USERS <= 0 and _TRACER_OWNED:
+            obs.set_tracer(None)
+            _TRACER_OWNED = False
+
+
+def _write_observability(record: RunRecord,
+                         trace_ctx: "obs.TraceContext") -> None:
+    """Write the run's stitched trace and per-worker metrics artifacts.
+
+    Both are observability sidecars next to the deterministic
+    ``result.json``: ``trace.json`` is a Chrome trace-event document
+    stitching the coordinator's spans with every worker's spooled span
+    records (filtered to this run's trace id, so concurrent runs sharing
+    a tracer stay separate), and ``worker_metrics.json`` reconstructs
+    each worker's metric totals from the telemetry journal's
+    ``metrics_snapshot`` deltas — the "which worker was slow and why"
+    answer. Written before the seal so ``pack_evidence`` manifests them.
+    """
+    import json
+
+    tracer = obs.get_tracer()
+    spans = [
+        s for s in (tracer.spans if tracer is not None else [])
+        if s.trace_id == trace_ctx.trace_id and s.finished
+    ]
+    records = [
+        r for r in (tracer.records if tracer is not None else [])
+        if r.get("trace") == trace_ctx.trace_id
+    ]
+    if spans or records:
+        doc = obs.stitch_chrome_trace(records, spans=spans)
+        (record.path / TRACE_NAME).write_text(
+            json.dumps(doc, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+    telemetry = record.path / TELEMETRY_NAME
+    workers: Dict[str, obs.MetricsRegistry] = {}
+    if telemetry.is_file():
+        for event in read_events(telemetry):
+            if event.get("event") != "metrics_snapshot":
+                continue
+            metrics = event.get("metrics")
+            if not isinstance(metrics, dict):
+                continue
+            pid = str(event.get("worker_pid") or "coordinator")
+            reg = workers.setdefault(pid, obs.MetricsRegistry())
+            obs.merge_snapshot(metrics, registry=reg)
+    (record.path / WORKER_METRICS_NAME).write_text(
+        json.dumps(
+            {
+                "run_id": record.run_id,
+                "trace_id": trace_ctx.trace_id,
+                "workers": {
+                    pid: reg.snapshot()
+                    for pid, reg in sorted(workers.items())
+                },
+            },
+            indent=2, sort_keys=True, default=str,
+        ) + "\n",
+        encoding="utf-8",
+    )
+
+
 def _seal(store: RunStore, record: RunRecord, state: str,
           error: Optional[str] = None) -> RunRecord:
     """Record the terminal state, then freeze the directory as evidence."""
@@ -278,6 +365,17 @@ def execute_run(
         "service", run=record.run_id, job_kind=record.kind,
         attempt=record.manifest.get("attempt"),
     )
+    # Trace identity is *derived* from the run id, so a resumed run
+    # (same id, new process) continues the same distributed trace. The
+    # runner installs a tracer only when none is active — concurrent
+    # runs inside one service process share it (refcounted, since the
+    # tracer slot is process-global) and are separated by trace id when
+    # artifacts are written.
+    trace_ctx = obs.TraceContext.derive(
+        record.run_id, run=record.run_id, kind=record.kind,
+    )
+    _acquire_tracer()
+    prev_ctx = obs.set_trace_context(trace_ctx)
     # Lease heartbeat: proves to `repro runs gc` (possibly in another
     # process) that this run is being actively executed, even while a
     # long job keeps the manifest untouched.
@@ -378,6 +476,13 @@ def execute_run(
         error = f"{type(exc).__name__}: {exc}\n" + traceback.format_exc(limit=5)
         return record
     finally:
+        obs.set_trace_context(prev_ctx)
+        if record.kind != "bench":
+            try:
+                _write_observability(record, trace_ctx)
+            except Exception:  # noqa: BLE001 - sidecars must never block sealing
+                pass
+        _release_tracer()
         beat_stop.set()
         beat.join(timeout=1.0)
         handle.finish(status=status.lower())
@@ -386,4 +491,4 @@ def execute_run(
 
 # Re-exported store filenames, so API/CLI callers need one import only.
 ARTIFACT_NAMES = (SPEC_NAME, MANIFEST_NAME, JOURNAL_NAME, TELEMETRY_NAME,
-                  RESULT_NAME, REPORT_NAME)
+                  RESULT_NAME, REPORT_NAME, TRACE_NAME, WORKER_METRICS_NAME)

@@ -85,6 +85,8 @@ TELEMETRY_NAME = "telemetry.jsonl"
 RESULT_NAME = "result.json"
 REPORT_NAME = "report.txt"
 HEARTBEAT_NAME = "heartbeat"
+TRACE_NAME = "trace.json"
+WORKER_METRICS_NAME = "worker_metrics.json"
 
 #: How long a run's lease (heartbeat) counts as live without a refresh.
 #: The runner heartbeats every few seconds; five minutes of silence means

@@ -454,7 +454,7 @@ class TestPoolRebuildDedup:
                 self.submitted = []   # job_ids, in submission order
                 pools.append(self)
 
-            def submit(self, fn, job):
+            def submit(self, fn, job, trace=None):
                 fut = _FakeFuture()
                 self.submitted.append(job.job_id)
                 self.futures[job.job_id] = fut

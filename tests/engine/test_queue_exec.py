@@ -256,3 +256,148 @@ class TestIterQueue:
         batch = BatchSpec("bad", [_noop_job(0)])
         with pytest.raises(ValueError, match="unknown executor"):
             list(iter_batch(batch, executor="threads"))
+
+
+class TestQueueObservability:
+    """Distributed trace propagation and telemetry spools (queue mode)."""
+
+    def run_with_metrics(self, **kwargs):
+        from repro import obs
+        from repro.engine import reliability_map
+        from tests.engine.test_executor import multi_sink_arch
+
+        obs.reset_metrics()
+        outcome = run_batch(reliability_map(multi_sink_arch(), method="bdd"),
+                            **kwargs)
+        assert outcome.num_failed == 0
+        snap = obs.snapshot()
+        obs.reset_metrics()
+        return outcome, {
+            name: data["value"]
+            for name, data in snap.items()
+            if data["kind"] == "counter"
+        }
+
+    def test_queue_counters_match_serial(self):
+        """The --executor queue metrics-loss fix: after a 2-worker queue
+        drain the coordinator registry reports the same per-engine totals
+        as a serial run, plus the queue's own transport counters."""
+        _, serial = self.run_with_metrics(jobs=1)
+        _, queued = self.run_with_metrics(jobs=2, executor="queue")
+        assert serial["engine.jobs.completed"] == 4
+        transport = {k: v for k, v in queued.items()
+                     if k.startswith("engine.queue.")}
+        engine = {k: v for k, v in queued.items()
+                  if not k.startswith("engine.queue.")}
+        assert engine == serial
+        # Worker-lifetime deltas (claims happen outside any job window)
+        # must survive the trip home through the spool.
+        assert transport["engine.queue.leases.claimed"] >= 4
+        assert transport["engine.queue.jobs.enqueued"] == 4
+        assert transport["engine.queue.results"] == 4
+
+    def test_two_worker_batch_yields_one_connected_trace(self, tmp_path):
+        """Every worker span must parent back (transitively) to the
+        coordinator's batch span under a single trace id — no orphans."""
+        from repro import obs
+
+        batch = BatchSpec("trace", [_noop_job(i) for i in range(6)])
+        with obs.tracing() as tracer:
+            outcome = run_batch(batch, jobs=2, executor="queue",
+                                queue_dir=tmp_path)
+        assert outcome.num_failed == 0
+
+        records = tracer.records
+        assert records, "worker span records must be absorbed for stitching"
+        trace_ids = {r["trace"] for r in records}
+        assert len(trace_ids) == 1
+        # The coordinator's own uids (pid.span_id) are the stitch points.
+        local_uids = {f"{os.getpid()}.{s.span_id}" for s in tracer.spans}
+        remote_uids = {r["uid"] for r in records}
+        for record in records:
+            assert record["parent"] is not None, f"orphan span {record}"
+            assert record["parent"] in local_uids | remote_uids
+        worker_pids = {r["pid"] for r in records}
+        assert os.getpid() not in worker_pids
+        assert len([r for r in records if r["name"] == "engine.job"]) == 6
+
+        # The stitched export spans coordinator + workers in one document.
+        doc = obs.stitch_chrome_trace(records, spans=tracer.spans)
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e.get("name") == "process_name"}
+        assert "coordinator" in names
+        assert any(n.startswith("worker-") for n in names)
+        assert doc["otherData"]["trace_id"] == trace_ids.pop()
+
+    def test_reattached_coordinator_keeps_the_trace_id(self, tmp_path):
+        """Kill-and-resume: a queue that already carries a trace keeps its
+        id; only the parent uid and correlation fields are refreshed."""
+        from repro import obs
+
+        queue = FileWorkQueue(tmp_path)
+        first = queue.write_trace_context(
+            obs.TraceContext.mint(batch="attempt-1")
+        )
+        second = queue.write_trace_context(obs.TraceContext(
+            obs.TraceContext.mint().trace_id, "9.9", {"batch": "attempt-2"}
+        ))
+        assert second.trace_id == first.trace_id
+        assert second.parent_uid == "9.9"
+        assert second.fields == {"batch": "attempt-2"}
+        stored = queue.load_trace_context()
+        assert stored.trace_id == first.trace_id
+
+        # End to end: two coordinator passes over one queue dir, one trace.
+        batch1 = BatchSpec("first", [_noop_job(0)])
+        batch2 = BatchSpec("second", [_noop_job(1)])
+        run_batch(batch1, jobs=1, executor="queue", queue_dir=tmp_path)
+        after_first = queue.load_trace_context()
+        assert after_first.trace_id == first.trace_id
+        run_batch(batch2, jobs=1, executor="queue", queue_dir=tmp_path)
+        assert queue.load_trace_context().trace_id == first.trace_id
+
+    def test_worker_logs_carry_correlation_fields(self, tmp_path):
+        """Every worker log record names the worker pid; per-lease records
+        add the run's correlation fields, job digest, and attempt."""
+        from repro import obs
+
+        queue = FileWorkQueue(tmp_path / "q")
+        queue.write_trace_context(obs.TraceContext.mint(run="run-77"))
+        digest, _ = queue.enqueue(_noop_job(0))
+        log_path = tmp_path / "worker.jsonl"
+        obs.configure_obslog(path=log_path)
+        try:
+            run_worker(queue.path, max_jobs=1, idle_timeout=1.0,
+                       poll_interval=0.01)
+        finally:
+            obs.configure_obslog()
+        records = obs.read_log(log_path)
+        events = {r["event"] for r in records}
+        assert {"worker.started", "worker.lease_claimed",
+                "worker.lease_done", "worker.stopped"} <= events
+        assert all(r["worker_pid"] == os.getpid() for r in records)
+        assert all(r["run"] == "run-77" for r in records)
+        claimed = [r for r in records if r["event"] == "worker.lease_claimed"]
+        assert claimed[0]["job_digest"] == digest[:12]
+        assert claimed[0]["lease_attempt"] == 1
+
+    def test_queue_health_reports_depth_leases_and_backlog(self, tmp_path):
+        from repro import obs
+
+        queue = FileWorkQueue(tmp_path)
+        for i in range(3):
+            queue.enqueue(_noop_job(i))
+        health = queue.health()
+        assert health["queue_depth"] == 3
+        assert health["active_leases"] == 0
+        assert health["spool_backlog"] == 0
+        lease = queue.claim()
+        assert queue.health()["active_leases"] == 1
+        spool = obs.TelemetrySpool(queue.spool_path())
+        spool.emit("worker_log", record={})
+        spool.flush()
+        assert queue.health()["spool_backlog"] > 0
+        collector = obs.SpoolCollector(queue.spool_dir)
+        collector.poll()
+        assert queue.health(collector=collector)["spool_backlog"] == 0
+        queue.release(lease)

@@ -1,0 +1,112 @@
+"""B&B search-tree event stream: kinds, rate limiting, real solves."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    Model,
+    SearchEventEmitter,
+    capture_search_events,
+    lin_sum,
+    search_sink,
+    solve,
+)
+from repro.ilp.search_events import set_search_sink
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_sink():
+    assert search_sink() is None
+    yield
+    set_search_sink(None)
+
+
+def knapsack_model(n=8, seed=3):
+    """A small knapsack whose LP relaxation is fractional: must branch."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(3, 30, size=n)
+    weights = rng.integers(2, 20, size=n)
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(n)]
+    m.add_constr(lin_sum(int(w) * x for w, x in zip(weights, xs))
+                 <= int(weights.sum()) // 2)
+    # solve() minimizes: negate the values.
+    m.minimize(lin_sum(-int(v) * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestEmitter:
+    def test_no_sink_means_no_emitter(self):
+        assert SearchEventEmitter.for_active_sink() is None
+
+    def test_events_carry_solve_and_seq(self):
+        events = []
+        emitter = SearchEventEmitter(events.append)
+        emitter.emit("open", node=1, depth=0, bound=-1.0)
+        emitter.emit("incumbent", node=1, depth=0, objective=-1.0)
+        emitter.close(nodes=1)
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["open", "incumbent", "summary"]
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert len({e["solve"] for e in events}) == 1
+        assert events[-1]["suppressed"] == 0
+
+    def test_node_events_are_sampled_past_keep(self):
+        events = []
+        emitter = SearchEventEmitter(events.append, keep=4, sample=3)
+        for i in range(20):
+            emitter.emit("open", node=i)
+        emitter.close()
+        opens = [e for e in events if e["kind"] == "open"]
+        # 4 verbatim, then every 3rd of the remaining 16.
+        assert len(opens) == 4 + 16 // 3
+        assert events[-1]["suppressed"] == 20 - len(opens)
+
+    def test_incumbents_always_pass(self):
+        events = []
+        emitter = SearchEventEmitter(events.append, keep=1, sample=1000)
+        for i in range(50):
+            emitter.emit("open", node=i)
+        emitter.emit("incumbent", node=50, objective=1.0)
+        assert any(e["kind"] == "incumbent" for e in events)
+
+    def test_raising_sink_is_dropped_not_fatal(self):
+        calls = {"n": 0}
+
+        def bad_sink(event):
+            calls["n"] += 1
+            raise RuntimeError("sink exploded")
+
+        emitter = SearchEventEmitter(bad_sink)
+        emitter.emit("open", node=1)
+        emitter.emit("open", node=2)  # sink already dropped
+        emitter.close()
+        assert calls["n"] == 1
+
+    def test_solve_ids_are_unique(self):
+        a = SearchEventEmitter(lambda e: None)
+        b = SearchEventEmitter(lambda e: None)
+        assert a.solve != b.solve
+
+
+class TestRealSolve:
+    def test_bnb_solve_streams_its_tree(self):
+        events = []
+        with capture_search_events(events.append):
+            result = solve(knapsack_model(), backend="bnb")
+        assert result.is_optimal
+        kinds = {e["kind"] for e in events}
+        assert "open" in kinds and "summary" in kinds
+        assert "incumbent" in kinds  # an optimal knapsack found something
+        summary = [e for e in events if e["kind"] == "summary"][-1]
+        assert summary["nodes"] >= 1
+        assert summary["objective"] == pytest.approx(result.objective)
+        opens = [e for e in events if e["kind"] == "open"]
+        assert all("depth" in e and "node" in e for e in opens)
+
+    def test_without_sink_nothing_is_emitted_and_solve_matches(self):
+        events = []
+        with capture_search_events(events.append):
+            traced = solve(knapsack_model(), backend="bnb")
+        untraced = solve(knapsack_model(), backend="bnb")
+        assert untraced.objective == pytest.approx(traced.objective)

@@ -1,0 +1,129 @@
+"""TraceContext: minting, derivation, wire round-trip, span adoption."""
+
+import os
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    obs.set_trace_context(None)
+    yield
+    obs.set_trace_context(None)
+
+
+class TestTraceContext:
+    def test_mint_is_unique_16_hex(self):
+        ids = {obs.TraceContext.mint().trace_id for _ in range(8)}
+        assert len(ids) == 8
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # hex or raise
+
+    def test_derive_is_a_pure_function_of_the_seed(self):
+        a = obs.TraceContext.derive("run-0042")
+        b = obs.TraceContext.derive("run-0042")
+        c = obs.TraceContext.derive("run-0043")
+        assert a.trace_id == b.trace_id
+        assert a.trace_id != c.trace_id
+        assert len(a.trace_id) == 16
+
+    def test_dict_round_trip(self):
+        ctx = obs.TraceContext(
+            "ab" * 8, parent_uid="123.7", fields={"run": "r1"}
+        )
+        assert obs.TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_with_fields_merges_without_mutating(self):
+        ctx = obs.TraceContext.mint(run="r1")
+        child = ctx.with_fields(job_digest="abc")
+        assert ctx.fields == {"run": "r1"}
+        assert child.fields == {"run": "r1", "job_digest": "abc"}
+        assert child.trace_id == ctx.trace_id
+
+    def test_reparent_keeps_trace_id(self):
+        with obs.tracing() as tracer:
+            with tracer.span("root") as root:
+                ctx = obs.TraceContext.mint().reparent(root)
+                assert ctx.parent_uid == f"{os.getpid()}.{root.span_id}"
+
+    def test_scoped_activation_restores_previous(self):
+        outer = obs.TraceContext.mint()
+        obs.set_trace_context(outer)
+        with obs.trace_context(obs.TraceContext.mint()):
+            assert obs.current_trace_context() is not outer
+        assert obs.current_trace_context() is outer
+
+
+class TestSpanAdoption:
+    def test_root_span_adopts_active_context(self):
+        ctx = obs.TraceContext("f" * 16, parent_uid="999.3")
+        with obs.trace_context(ctx):
+            with obs.tracing() as tracer:
+                with tracer.span("engine.job"):
+                    pass
+        (s,) = tracer.spans
+        assert s.trace_id == ctx.trace_id
+        assert s.remote_parent == "999.3"
+
+    def test_child_spans_inherit_parent_not_context(self):
+        ctx = obs.TraceContext("f" * 16, parent_uid="999.3")
+        with obs.trace_context(ctx):
+            with obs.tracing() as tracer:
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        pass
+        inner, outer = tracer.spans  # finish order
+        assert inner.name == "inner"
+        assert inner.trace_id == ctx.trace_id
+        assert inner.remote_parent is None  # local parent wins
+        assert inner.parent_id == outer.span_id
+
+    def test_no_context_means_no_trace_id(self):
+        with obs.tracing() as tracer:
+            with tracer.span("plain"):
+                pass
+        assert tracer.spans[0].trace_id is None
+
+    def test_from_span_parents_under_live_span(self):
+        ctx0 = obs.TraceContext("a" * 16)
+        with obs.trace_context(ctx0):
+            with obs.tracing() as tracer:
+                with tracer.span("batch") as batch:
+                    derived = obs.TraceContext.from_span(batch, batch="b1")
+        assert derived.trace_id == ctx0.trace_id
+        assert derived.parent_uid == f"{os.getpid()}.{batch.span_id}"
+        assert derived.fields == {"batch": "b1"}
+
+
+class TestSpanRecord:
+    def test_wire_format_for_remote_root(self):
+        ctx = obs.TraceContext("c" * 16, parent_uid="42.1")
+        with obs.trace_context(ctx):
+            with obs.tracing() as tracer:
+                with tracer.span("engine.job", job="j1"):
+                    pass
+        record = obs.span_record(tracer.spans[0], pid=777)
+        assert record["uid"] == f"777.{tracer.spans[0].span_id}"
+        assert record["parent"] == "42.1"  # remote parent for roots
+        assert record["trace"] == ctx.trace_id
+        assert record["pid"] == 777
+        assert record["attrs"] == {"job": "j1"}
+        assert record["dur"] >= 0.0
+
+    def test_nested_span_parents_locally(self):
+        with obs.tracing() as tracer:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        inner = tracer.spans[0]
+        record = obs.span_record(inner, pid=777)
+        assert record["parent"] == f"777.{inner.parent_id}"
+
+    def test_absorb_record_lands_on_active_tracer(self):
+        with obs.tracing() as tracer:
+            obs.absorb_record({"uid": "1.1", "trace": "t"})
+        assert tracer.records == [{"uid": "1.1", "trace": "t"}]
+        obs.absorb_record({"uid": "2.2"})  # no tracer: silently dropped

@@ -173,7 +173,8 @@ class TestRunRegistry:
 class TestObsServer:
     def test_healthz_metrics_and_404(self):
         with ObsServer(port=0) as server:
-            assert http_get(server.url + "/healthz") == "ok\n"
+            health = json.loads(http_get(server.url + "/healthz"))
+            assert health["status"] == "ok"
             obs.counter("unit.calls").inc(2)
             text = http_get(server.url + "/metrics")
             assert "repro_unit_calls_total 2" in text
@@ -231,7 +232,8 @@ class TestEphemeralPort:
         with ObsServer(port=0) as server:
             assert server.port != 0
             assert f":{server.port}" in server.url
-            assert http_get(server.url + "/healthz") == "ok\n"
+            health = json.loads(http_get(server.url + "/healthz"))
+            assert health["status"] == "ok"
 
     def test_startup_log_line_carries_bound_port(self, tmp_path):
         """`--serve 0` used to log port 0; the startup record must show
