@@ -537,6 +537,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import JobQueue, RunStore, ServiceServer, resume_interrupted
 
     store = RunStore(args.runs_dir) if args.runs_dir else RunStore()
+    if args.warehouse:
+        obs.configure_auto_ingest(args.warehouse)
     queue = JobQueue(
         store,
         workers=args.workers,
@@ -553,10 +555,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   + ", ".join(r.run_id for r in resumed))
         else:
             print("no interrupted runs to resume")
-    server = ServiceServer(queue, host=args.host, port=args.port).start()
+    alerts = _build_alert_engine(args)
+    server = ServiceServer(queue, host=args.host, port=args.port,
+                           alerts=alerts).start()
     print(f"service: {server.url} "
           f"(POST /api/jobs; {args.workers} worker(s); "
-          f"runs under {store.root})")
+          f"runs under {store.root}"
+          + (f"; {len(alerts.rules)} alert rule(s)" if alerts else "")
+          + (f"; warehouse {args.warehouse}" if args.warehouse else "")
+          + ")")
     if args.port_file:
         # The ephemeral-port handshake for scripts (and the CI smoke job):
         # the actual bound port, written only once the socket is listening.
@@ -586,7 +593,12 @@ def cmd_runs(args: argparse.Namespace) -> int:
     store = RunStore(args.runs_dir) if args.runs_dir else RunStore()
     if args.action == "ls":
         records = store.list()
-        print(render_runs_table([r.as_dict() for r in records]))
+        manifests = [r.as_dict() for r in records]
+        if getattr(args, "json", False):
+            print(json.dumps(manifests, indent=2, sort_keys=True,
+                             default=str))
+        else:
+            print(render_runs_table(manifests))
         return 0
     if args.action == "show":
         try:
@@ -705,6 +717,92 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Telemetry warehouse operations: ``obs ingest|query|vacuum``."""
+    from .obs.warehouse import TelemetryWarehouse
+
+    with TelemetryWarehouse(args.warehouse) as wh:
+        if args.obs_action == "ingest":
+            total: dict = {}
+            for path in args.files:
+                if not os.path.exists(path):
+                    raise SystemExit(f"no such file: {path}")
+                counts = wh.ingest_file(path, kind=args.kind)
+                for table, n in counts.items():
+                    total[table] = total.get(table, 0) + n
+                print(f"{path}: " + (", ".join(
+                    f"{table}+{n}" for table, n in sorted(counts.items())
+                ) or "nothing new"))
+            print("warehouse totals: " + ", ".join(
+                f"{table}={n}" for table, n in sorted(wh.counts().items())
+            ))
+            return 0
+        if args.obs_action == "query":
+            if args.sql:
+                rows = wh.query(args.sql)
+                if args.json:
+                    print(json.dumps(rows, indent=2, sort_keys=True,
+                                     default=str))
+                elif rows:
+                    headers = list(rows[0].keys())
+                    print(format_table(
+                        headers,
+                        [[row.get(h) for h in headers] for row in rows],
+                    ))
+                else:
+                    print("(no rows)")
+                return 0
+            # No SQL: the overview — per-table counts and recent batches.
+            doc = {"counts": wh.counts(batch=args.batch),
+                   "batches": wh.batches(limit=10)}
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+            else:
+                print(format_table(
+                    ["table", "rows"],
+                    sorted(doc["counts"].items()),
+                ))
+                if doc["batches"]:
+                    print()
+                    print(section("recent batches"))
+                    print(format_table(
+                        ["batch", "name", "jobs", "ok", "failed", "wall (s)"],
+                        [(b["batch"], b.get("name") or "?",
+                          b.get("jobs") if b.get("jobs") is not None else "?",
+                          b.get("ok") if b.get("ok") is not None else "?",
+                          b.get("failed") if b.get("failed") is not None
+                          else "?",
+                          f"{b['wall_time']:.2f}"
+                          if b.get("wall_time") is not None else "-")
+                         for b in doc["batches"]],
+                    ))
+            return 0
+        if args.obs_action == "vacuum":
+            deleted = wh.vacuum(max_age=args.max_age,
+                                keep_batches=args.keep_batches)
+            if deleted:
+                print("vacuum: deleted " + ", ".join(
+                    f"{table}={n}" for table, n in sorted(deleted.items())
+                ))
+            else:
+                print("vacuum: nothing to delete (database compacted)")
+            return 0
+    raise SystemExit(f"unknown obs action {args.obs_action!r}")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard over a coordinator's HTTP endpoints."""
+    from .obs.dashboard import run_dashboard
+
+    url = args.url or f"http://127.0.0.1:{args.port}"
+    return run_dashboard(
+        url,
+        interval=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="archex",
@@ -725,6 +823,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--log-level", default="info",
                        choices=["debug", "info", "warning", "error"],
                        help="minimum level for --log records")
+        p.add_argument("--log-max-bytes", type=int, default=0,
+                       metavar="BYTES",
+                       help="rotate the --log file when it would exceed "
+                       "BYTES (0 = never rotate)")
+        p.add_argument("--log-backups", type=int, default=3, metavar="N",
+                       help="rotated --log files to keep (default 3)")
+        p.add_argument("--alerts", default=None, metavar="FILE",
+                       help="alert rules (TOML) evaluated while --serve "
+                       "runs; firing alerts appear at /api/alerts and "
+                       "degrade /healthz (default: .archex/alerts.toml "
+                       "when present)")
         p.add_argument("--sample-profile", default=None, metavar="FILE",
                        help="run under the wall-clock sampling profiler and "
                        "write collapsed stacks (flamegraph.pl / speedscope "
@@ -790,6 +899,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--telemetry", default=None, metavar="FILE",
                        help="append JSONL run telemetry to FILE "
                        "(default: <cache-dir>/telemetry.jsonl)")
+        p.add_argument("--warehouse", default=None, metavar="DB",
+                       help="auto-ingest each batch's telemetry journal "
+                       "into this SQLite warehouse when the batch ends "
+                       "(query it with `obs query`)")
 
     p_syn = sub.add_parser("synthesize", help="synthesize an optimal architecture")
     common(p_syn)
@@ -925,6 +1038,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument("--log-level", default="info",
                       choices=["debug", "info", "warning", "error"],
                       help="minimum level for --log records")
+    p_sv.add_argument("--log-max-bytes", type=int, default=0,
+                      metavar="BYTES",
+                      help="rotate the --log file when it would exceed "
+                      "BYTES (0 = never rotate)")
+    p_sv.add_argument("--log-backups", type=int, default=3, metavar="N",
+                      help="rotated --log files to keep (default 3)")
+    p_sv.add_argument("--alerts", default=None, metavar="FILE",
+                      help="alert rules (TOML) the service evaluates; "
+                      "firing alerts appear at /api/alerts and degrade "
+                      "/healthz (default: .archex/alerts.toml when present)")
+    p_sv.add_argument("--warehouse", default=None, metavar="DB",
+                      help="auto-ingest every finished run's telemetry "
+                      "journal into this SQLite warehouse")
     p_sv.set_defaults(func=cmd_serve)
 
     p_rn = sub.add_parser(
@@ -936,6 +1062,9 @@ def build_parser() -> argparse.ArgumentParser:
                       "(default: .archex/runs)")
     rn_sub = p_rn.add_subparsers(dest="action", required=True)
     rn_ls = rn_sub.add_parser("ls", help="list runs, newest first")
+    rn_ls.add_argument("--json", action="store_true",
+                       help="emit the manifests as a JSON array (stable "
+                       "newest-first order) instead of the ASCII table")
     rn_show = rn_sub.add_parser(
         "show", help="print one run's manifest, spec, and artifacts"
     )
@@ -1011,6 +1140,65 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: .archex/runs)")
     p_tree.set_defaults(func=cmd_tree)
 
+    p_ob = sub.add_parser(
+        "obs",
+        help="telemetry warehouse: ingest journals, query SQL, vacuum",
+    )
+    p_ob.add_argument("--warehouse", default=".archex/warehouse.db",
+                      metavar="DB", help="SQLite warehouse path")
+    ob_sub = p_ob.add_subparsers(dest="obs_action", required=True)
+    ob_in = ob_sub.add_parser(
+        "ingest", help="ingest telemetry/obslog JSONL files (incremental)"
+    )
+    ob_in.add_argument("files", nargs="+", metavar="FILE",
+                       help="JSONL streams (batch telemetry, obslog, "
+                       "worker spools)")
+    ob_in.add_argument("--kind", default="auto",
+                       choices=["auto", "telemetry", "log"],
+                       help="force the stream kind (default: sniff each "
+                       "record)")
+    ob_qr = ob_sub.add_parser(
+        "query", help="run read-only SQL (no SQL = warehouse overview)"
+    )
+    ob_qr.add_argument("sql", nargs="?", default=None,
+                       help="SELECT statement over batches/jobs/spans/"
+                       "metric_deltas/bnb_events/logs")
+    ob_qr.add_argument("--batch", default=None, metavar="ID",
+                       help="scope the overview counts to one batch id")
+    ob_qr.add_argument("--json", action="store_true",
+                       help="emit rows as JSON instead of a table")
+    ob_vc = ob_sub.add_parser(
+        "vacuum", help="apply retention and compact the database"
+    )
+    ob_vc.add_argument("--max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="drop batches (and logs) older than SECONDS")
+    ob_vc.add_argument("--keep-batches", type=int, default=None, metavar="N",
+                       help="keep only the N most recent batches")
+    for ob_p in (ob_in, ob_qr, ob_vc):
+        ob_p.add_argument("--warehouse", default=".archex/warehouse.db",
+                          metavar="DB", help=argparse.SUPPRESS)
+        ob_p.set_defaults(func=cmd_obs)
+    p_ob.set_defaults(func=cmd_obs)
+
+    p_tp = sub.add_parser(
+        "top",
+        help="live fleet dashboard (curses) over a coordinator's HTTP API",
+    )
+    p_tp.add_argument("--url", default=None, metavar="URL",
+                      help="coordinator base URL (e.g. http://host:8181); "
+                      "wins over --port")
+    p_tp.add_argument("--port", type=int, default=8181,
+                      help="local coordinator port when --url is not given")
+    p_tp.add_argument("--interval", type=float, default=2.0,
+                      metavar="SECONDS", help="refresh period")
+    p_tp.add_argument("--once", action="store_true",
+                      help="print one plain-text frame and exit (no tty "
+                      "needed; exit 1 when the coordinator is unreachable)")
+    p_tp.add_argument("--iterations", type=int, default=None,
+                      metavar="N", help=argparse.SUPPRESS)
+    p_tp.set_defaults(func=cmd_top)
+
     p_pr = sub.add_parser(
         "profile",
         help="run any subcommand under tracing; print the profile tree",
@@ -1046,6 +1234,22 @@ def _run_sampled(args: argparse.Namespace, inner: Callable[[argparse.Namespace],
     return code
 
 
+def _build_alert_engine(args: argparse.Namespace):
+    """An AlertEngine from ``--alerts`` (or the default rules file)."""
+    from .obs.alerts import DEFAULT_RULES_PATH, AlertEngine, load_alert_rules
+
+    explicit = getattr(args, "alerts", None)
+    if explicit:
+        rules = load_alert_rules(explicit)
+        if not rules:
+            print(f"warning: no alert rules in {explicit}", file=sys.stderr)
+    elif DEFAULT_RULES_PATH.exists():
+        rules = load_alert_rules(DEFAULT_RULES_PATH)
+    else:
+        return None
+    return AlertEngine(rules) if rules else None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1058,14 +1262,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if getattr(args, "log", None):
         obs.configure_obslog(
-            path=args.log, level=getattr(args, "log_level", "info")
+            path=args.log, level=getattr(args, "log_level", "info"),
+            max_bytes=getattr(args, "log_max_bytes", 0),
+            backups=getattr(args, "log_backups", 3),
         )
+    if getattr(args, "warehouse", None) and args.func is not cmd_obs:
+        obs.configure_auto_ingest(args.warehouse)
     server = None
     if getattr(args, "serve", None) is not None:
-        server = obs.ObsServer(port=args.serve)
+        server = obs.ObsServer(port=args.serve,
+                               alerts=_build_alert_engine(args))
         server.start()
         print(f"observability server: {server.url} "
-              "(/metrics /runs /healthz)", file=sys.stderr)
+              "(/metrics /runs /healthz /api/alerts)", file=sys.stderr)
     try:
         if getattr(args, "sample_profile", None):
             return _run_sampled(args, _dispatch)
@@ -1073,6 +1282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if server is not None:
             server.stop()
+        if getattr(args, "warehouse", None):
+            obs.configure_auto_ingest(None)
         if getattr(args, "log", None):
             obs.configure_obslog()  # detach the sink; flush is per-record
 

@@ -776,3 +776,7 @@ def run_batch(
             )
         batch_span.__exit__(None, None, None)
         writer.close()
+        if writer.path is not None:
+            from ..obs import warehouse as _warehouse
+
+            _warehouse.maybe_auto_ingest(writer.path)

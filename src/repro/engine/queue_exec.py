@@ -366,17 +366,19 @@ class FileWorkQueue:
         return out
 
     def health(self, collector: Optional["obs.SpoolCollector"] = None
-               ) -> Dict[str, int]:
+               ) -> Dict[str, Any]:
         """The ``/healthz`` contribution: depth, leases, spool backlog.
 
         ``spool_backlog`` is bytes workers have flushed that nobody has
         folded yet — with a live collector, relative to its offsets;
         standalone, the total spooled bytes. A fleet that stalls shows
         up as ``active_leases`` flatlining while ``queue_depth`` stays
-        high and the backlog stops moving.
+        high and the backlog stops moving. ``oldest_lease_age`` is the
+        seconds since the staleest lease's last heartbeat — the signal
+        the ``stuck_lease`` alert rule thresholds against its ttl.
         """
         counts = self.counts()
-        return {
+        doc: Dict[str, Any] = {
             "queue_depth": counts["pending"],
             "active_leases": counts["leased"],
             "results": counts["results"],
@@ -384,6 +386,31 @@ class FileWorkQueue:
                 self.spool_dir, collector=collector
             ),
         }
+        oldest: Optional[float] = None
+        now = time.time()
+        try:
+            names = os.listdir(self.leased_dir)
+        except OSError:
+            names = []
+        for name in names:
+            if name.startswith(".") or ".tmp" in name:
+                continue
+            try:
+                age = now - (self.leased_dir / name).stat().st_mtime
+            except OSError:
+                continue
+            if oldest is None or age > oldest:
+                oldest = age
+        if oldest is not None:
+            doc["oldest_lease_age"] = round(oldest, 3)
+        if collector is not None:
+            workers = {}
+            for pid, snap in collector.worker_snapshots().items():
+                jobs = (snap.get("engine.jobs.completed") or {}).get("value")
+                workers[str(pid)] = {"jobs": jobs or 0}
+            if workers:
+                doc["workers"] = workers
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FileWorkQueue({str(self.path)!r}, {self.counts()})"

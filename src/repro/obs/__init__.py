@@ -49,6 +49,12 @@ from .aggregate import (
     merge_telemetry,
     snapshot_delta,
 )
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    load_alert_rules,
+    parse_alert_rules,
+)
 from .context import (
     TraceContext,
     current_trace_context,
@@ -64,6 +70,13 @@ from .export import (
     stitched_trace_events,
     write_chrome_trace,
 )
+from .dashboard import (
+    DashboardClient,
+    build_dashboard_model,
+    parse_prometheus,
+    render_dashboard,
+    run_dashboard,
+)
 from .metrics import (
     DEFAULT_BUCKET_BOUNDS,
     Counter,
@@ -73,6 +86,8 @@ from .metrics import (
     counter,
     gauge,
     histogram,
+    quantile_from_buckets,
+    quantile_from_snapshot,
     registry,
     reset_metrics,
     snapshot,
@@ -108,6 +123,13 @@ from .spool import (
     TelemetrySpool,
     spool_backlog,
 )
+from .warehouse import (
+    DEFAULT_WAREHOUSE_PATH,
+    TelemetryWarehouse,
+    auto_ingest_path,
+    configure_auto_ingest,
+    maybe_auto_ingest,
+)
 from .tracer import (
     NOOP_SPAN,
     Span,
@@ -128,8 +150,12 @@ from .tracer import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_WAREHOUSE_PATH",
+    "DashboardClient",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -144,14 +170,18 @@ __all__ = [
     "Span",
     "SpoolCollector",
     "TelemetrySpool",
+    "TelemetryWarehouse",
     "TraceContext",
     "Tracer",
     "absorb_record",
     "add_health_source",
     "add_observer",
+    "auto_ingest_path",
+    "build_dashboard_model",
     "build_profile",
     "chrome_trace",
     "chrome_trace_events",
+    "configure_auto_ingest",
     "configure_obslog",
     "counter",
     "current_log_context",
@@ -167,15 +197,23 @@ __all__ = [
     "health_snapshot",
     "histogram",
     "iter_metrics_snapshots",
+    "load_alert_rules",
     "log",
     "log_context",
+    "maybe_auto_ingest",
     "merge_snapshot",
     "merge_telemetry",
     "observed",
     "obslog_enabled",
+    "parse_alert_rules",
+    "parse_prometheus",
     "prometheus_name",
+    "quantile_from_buckets",
+    "quantile_from_snapshot",
     "read_log",
     "registry",
+    "render_dashboard",
+    "run_dashboard",
     "remove_health_source",
     "remove_observer",
     "render_prometheus",

@@ -1,0 +1,400 @@
+"""``repro top`` — a live fleet dashboard over the observability HTTP API.
+
+Purely a *client* of the endpoints the ObsServer/ServiceServer already
+expose (``/healthz``, ``/runs``, ``/api/alerts``, ``/metrics``), so it
+works identically against the in-process ``--serve`` thread and a remote
+coordinator across the network. Three layers, separable for testing:
+
+* :func:`parse_prometheus` / :class:`DashboardClient` — fetch and decode
+  the endpoints (stdlib ``urllib``; every endpoint failure degrades to a
+  missing panel, never a crash);
+* :func:`build_dashboard_model` — pure data: one poll's documents plus
+  the previous model become the rendered state (rates come from the
+  delta between polls, the B&B incumbent trail accumulates);
+* :func:`render_dashboard` — the model as plain text lines, used both by
+  the curses screen and ``repro top --once`` (CI-friendly, no tty).
+
+The curses loop itself (:func:`run_dashboard`) is deliberately thin:
+poll, render, paint, sleep; ``q`` quits.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import quantile_from_buckets
+
+__all__ = [
+    "DashboardClient",
+    "build_dashboard_model",
+    "parse_prometheus",
+    "render_dashboard",
+    "run_dashboard",
+]
+
+#: How many incumbent objective values the B&B trail remembers.
+_TRAIL_LEN = 12
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Decode text exposition into ``{"types": ..., "samples": ...}``.
+
+    ``samples`` maps metric name to a list of ``(labels, value)`` pairs
+    (labels a plain dict); ``types`` maps name to the ``# TYPE`` hint.
+    Histogram series keep their ``_bucket``/``_sum``/``_count`` suffixed
+    names — :func:`histogram_quantile` re-assembles them.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        labels = {
+            k: v.replace(r"\"", '"').replace(r"\n", "\n").replace(r"\\", "\\")
+            for k, v in _LABEL_RE.findall(m.group("labels") or "")
+        }
+        samples.setdefault(m.group("name"), []).append((labels, value))
+    return {"types": types, "samples": samples}
+
+
+def _scalar(parsed: Dict[str, Any], name: str) -> Optional[float]:
+    """First sample value of an unlabeled metric (counter/gauge)."""
+    for labels, value in parsed.get("samples", {}).get(name, ()):
+        if not labels:
+            return value
+    return None
+
+
+def histogram_quantile(
+    parsed: Dict[str, Any], name: str, q: float
+) -> Optional[float]:
+    """Quantile of an exposition histogram (``name`` without suffixes)."""
+    buckets = parsed.get("samples", {}).get(f"{name}_bucket")
+    if not buckets:
+        return None
+    series: List[Tuple[float, float]] = []
+    for labels, value in buckets:
+        le = labels.get("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        series.append((bound, value))
+    series.sort(key=lambda item: item[0])
+    bounds = [b for b, _ in series if b != float("inf")]
+    counts: List[int] = []
+    previous = 0.0
+    for _, cumulative in series:
+        counts.append(max(0, int(round(cumulative - previous))))
+        previous = cumulative
+    return quantile_from_buckets(bounds, counts, q)
+
+
+class DashboardClient:
+    """Polls one coordinator's endpoints into dashboard models."""
+
+    def __init__(self, url: str, timeout: float = 2.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self._previous: Optional[Dict[str, Any]] = None
+        self._trail: List[float] = []
+
+    def _get(self, path: str) -> Optional[str]:
+        try:
+            with urllib.request.urlopen(
+                f"{self.url}{path}", timeout=self.timeout
+            ) as resp:
+                return resp.read().decode("utf-8", "replace")
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+
+    def _get_json(self, path: str) -> Optional[Dict[str, Any]]:
+        body = self._get(path)
+        if body is None:
+            return None
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def poll(self) -> Dict[str, Any]:
+        """One round-trip over all four endpoints -> a dashboard model."""
+        health = self._get_json("/healthz")
+        runs = self._get_json("/runs")
+        alerts = self._get_json("/api/alerts")
+        metrics_text = self._get("/metrics")
+        metrics = (
+            parse_prometheus(metrics_text) if metrics_text is not None
+            else None
+        )
+        model = build_dashboard_model(
+            url=self.url, health=health, runs=runs, alerts=alerts,
+            metrics=metrics, previous=self._previous, trail=self._trail,
+        )
+        self._previous = model
+        self._trail = model["bnb"]["trail"]
+        return model
+
+
+def build_dashboard_model(
+    url: str,
+    health: Optional[Dict[str, Any]],
+    runs: Optional[Dict[str, Any]],
+    alerts: Optional[Dict[str, Any]],
+    metrics: Optional[Dict[str, Any]],
+    previous: Optional[Dict[str, Any]] = None,
+    trail: Optional[List[float]] = None,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Fold one poll's endpoint documents into the renderable model."""
+    if now is None:
+        now = time.time()
+    model: Dict[str, Any] = {
+        "url": url,
+        "ts": now,
+        "reachable": health is not None or metrics is not None,
+        "status": (health or {}).get("status", "unreachable"),
+        "alerts": list((alerts or {}).get("firing", ())),
+        "rules": len((alerts or {}).get("rules", ())),
+        "active_runs": list((runs or {}).get("active", ())),
+        "finished_runs": list((runs or {}).get("finished", ()))[-5:],
+        "queue": {},
+        "workers": {},
+        "throughput": {},
+        "bnb": {"trail": list(trail or ())},
+    }
+    if isinstance(health, dict):
+        queue = health.get("queue")
+        if isinstance(queue, dict):
+            model["queue"] = {
+                k: v for k, v in queue.items() if k != "workers"
+            }
+            if isinstance(queue.get("workers"), dict):
+                model["workers"] = queue["workers"]
+    if metrics is not None:
+        jobs_total = _scalar(metrics, "repro_engine_jobs_completed_total")
+        tp: Dict[str, Any] = {"jobs_total": jobs_total}
+        if (
+            previous is not None
+            and jobs_total is not None
+            and previous.get("throughput", {}).get("jobs_total") is not None
+        ):
+            dt = now - previous["ts"]
+            if dt > 0:
+                tp["jobs_per_s"] = max(
+                    0.0,
+                    (jobs_total - previous["throughput"]["jobs_total"]) / dt,
+                )
+        hits = _scalar(metrics, "repro_reliability_cache_hits")
+        misses = _scalar(metrics, "repro_reliability_cache_misses")
+        if hits is not None or misses is not None:
+            lookups = (hits or 0.0) + (misses or 0.0)
+            tp["cache_hit_rate"] = (hits or 0.0) / lookups if lookups else None
+        for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            tp[f"job_seconds_{key}"] = histogram_quantile(
+                metrics, "repro_engine_job_seconds", q
+            )
+        model["throughput"] = tp
+        bnb = model["bnb"]
+        bnb["nodes"] = _scalar(metrics, "repro_ilp_bnb_nodes_total")
+        bnb["solves"] = _scalar(metrics, "repro_ilp_bnb_solves_total")
+        incumbent = _scalar(metrics, "repro_ilp_bnb_incumbent_objective")
+        bnb["incumbent"] = incumbent
+        if incumbent is not None and (
+            not bnb["trail"] or bnb["trail"][-1] != incumbent
+        ):
+            bnb["trail"] = (bnb["trail"] + [incumbent])[-_TRAIL_LEN:]
+    return model
+
+
+# ----------------------------------------------------------------------
+# rendering
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_dashboard(model: Dict[str, Any], width: int = 100) -> List[str]:
+    """The model as plain text lines (what curses paints, what CI greps)."""
+    lines: List[str] = []
+    status = model.get("status", "?")
+    stamp = time.strftime("%H:%M:%S", time.localtime(model.get("ts", 0)))
+    lines.append(
+        f"repro top — {model.get('url', '?')}  [{status}]  {stamp}"
+    )
+    lines.append("=" * min(width, 78))
+
+    alerts = model.get("alerts") or []
+    if alerts:
+        lines.append(f"ALERTS FIRING ({len(alerts)}):")
+        for a in alerts:
+            lines.append(
+                f"  [{a.get('severity', '?'):8s}] {a.get('rule', '?')}: "
+                f"{a.get('message', '')}"[:width]
+            )
+    else:
+        lines.append(f"alerts: none firing ({model.get('rules', 0)} rules)")
+    lines.append("")
+
+    active = model.get("active_runs") or []
+    lines.append(f"active runs ({len(active)}):")
+    for run in active[:8]:
+        progress = ""
+        if run.get("total") is not None:
+            progress = f"  {run.get('done', 0)}/{run['total']}"
+            if run.get("failed"):
+                progress += f" ({run['failed']} failed)"
+        lines.append(
+            f"  {run.get('run_id', '?'):28s} {run.get('kind', '?'):10s}"
+            f" {run.get('elapsed', 0):8.1f}s{progress}"[:width]
+        )
+    if not active:
+        lines.append("  (idle)")
+    lines.append("")
+
+    queue = model.get("queue") or {}
+    if queue:
+        lines.append(
+            "queue: depth={} leases={} results={} backlog={}B{}".format(
+                _fmt(queue.get("queue_depth")),
+                _fmt(queue.get("active_leases")),
+                _fmt(queue.get("results")),
+                _fmt(queue.get("spool_backlog")),
+                (
+                    f" oldest_lease={queue['oldest_lease_age']:.0f}s"
+                    if isinstance(
+                        queue.get("oldest_lease_age"), (int, float)
+                    ) else ""
+                ),
+            )
+        )
+        workers = model.get("workers") or {}
+        if workers:
+            cells = [
+                f"{pid}:{(info or {}).get('jobs', 0)}"
+                for pid, info in sorted(workers.items())
+            ]
+            lines.append("  worker jobs: " + " ".join(cells)[:width])
+
+    tp = model.get("throughput") or {}
+    if tp:
+        rate = tp.get("jobs_per_s")
+        hit = tp.get("cache_hit_rate")
+        lines.append(
+            "throughput: jobs={}{}{}  job_s p50={} p95={} p99={}".format(
+                _fmt(tp.get("jobs_total")),
+                f" ({rate:.2f}/s)" if isinstance(rate, float) else "",
+                f"  cache_hit={hit:.0%}" if isinstance(hit, float) else "",
+                _fmt(tp.get("job_seconds_p50")),
+                _fmt(tp.get("job_seconds_p95")),
+                _fmt(tp.get("job_seconds_p99")),
+            )
+        )
+
+    bnb = model.get("bnb") or {}
+    if bnb.get("nodes") is not None or bnb.get("trail"):
+        trail = bnb.get("trail") or []
+        trail_cell = (
+            " -> ".join(f"{v:.6g}" for v in trail[-6:]) if trail else "-"
+        )
+        lines.append(
+            f"b&b: solves={_fmt(bnb.get('solves'))}"
+            f" nodes={_fmt(bnb.get('nodes'))}  incumbent trail: {trail_cell}"
+        )
+
+    if not model.get("reachable"):
+        lines.append("")
+        lines.append(f"(coordinator unreachable at {model.get('url')})")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# the curses loop
+
+
+def run_dashboard(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    once: bool = False,
+) -> int:
+    """Drive the dashboard against ``url``.
+
+    ``once`` prints a single plain-text frame (no curses, no tty needed —
+    the CI smoke mode); otherwise a curses screen refreshes every
+    ``interval`` seconds until ``q`` (or ``iterations`` frames, for
+    tests). Returns a shell exit code: 0, or 1 when the final frame
+    could not reach the coordinator at all.
+    """
+    client = DashboardClient(url)
+    if once:
+        model = client.poll()
+        for line in render_dashboard(model):
+            print(line)
+        return 0 if model.get("reachable") else 1
+
+    import curses
+
+    final: Dict[str, Any] = {}
+
+    def _loop(stdscr) -> None:
+        nonlocal final
+        curses.curs_set(0)
+        stdscr.nodelay(True)
+        frames = 0
+        while iterations is None or frames < iterations:
+            model = client.poll()
+            final = model
+            frames += 1
+            height, width = stdscr.getmaxyx()
+            stdscr.erase()
+            for i, line in enumerate(render_dashboard(model, width - 1)):
+                if i >= height - 1:
+                    break
+                stdscr.addnstr(i, 0, line, width - 1)
+            stdscr.addnstr(
+                height - 1, 0,
+                f"q to quit — refresh {interval:.0f}s", width - 1,
+            )
+            stdscr.refresh()
+            deadline = time.time() + interval
+            while time.time() < deadline:
+                try:
+                    key = stdscr.getch()
+                except curses.error:  # pragma: no cover - tty quirk
+                    key = -1
+                if key in (ord("q"), ord("Q")):
+                    return
+                time.sleep(0.05)
+
+    curses.wrapper(_loop)
+    return 0 if final.get("reachable") else 1

@@ -41,6 +41,8 @@ __all__ = [
     "histogram",
     "snapshot",
     "reset_metrics",
+    "quantile_from_buckets",
+    "quantile_from_snapshot",
 ]
 
 #: Default histogram bucket upper bounds (``le``, inclusive). A sparse
@@ -128,6 +130,21 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation within the containing bucket (Prometheus
+        ``histogram_quantile`` semantics), clamped to the observed
+        min/max so tails never extrapolate past real data. ``None``
+        when the histogram is empty.
+        """
+        with self._lock:
+            return quantile_from_buckets(
+                self.bounds, self.bucket_counts, q,
+                lo=self.min if self.count else None,
+                hi=self.max if self.count else None,
+            )
+
     def merge(self, data: Dict[str, Any]) -> None:
         """Fold another histogram's ``as_dict`` snapshot into this one.
 
@@ -165,6 +182,67 @@ class Histogram:
                 "bounds": list(self.bounds),
                 "bucket_counts": list(self.bucket_counts),
             }
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> Optional[float]:
+    """Quantile estimate from *non-cumulative* bucket counts.
+
+    ``counts`` has one slot per bound plus the trailing overflow
+    (``+Inf``) slot — the in-memory :class:`Histogram` layout and the
+    shape ``as_dict`` snapshots carry. Finds the bucket containing the
+    ``q``-th observation and interpolates linearly across its width;
+    ``lo``/``hi`` (observed min/max, when known) clamp the first and
+    overflow buckets, which otherwise have no finite edge.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        prev_cumulative = cumulative
+        cumulative += c
+        if cumulative < rank:
+            continue
+        lower = bounds[i - 1] if i > 0 else (lo if lo is not None else 0.0)
+        if i < len(bounds):
+            upper = bounds[i]
+        else:
+            upper = hi if hi is not None else bounds[-1] if bounds else lower
+        if upper < lower:
+            upper = lower
+        fraction = (rank - prev_cumulative) / c if c else 0.0
+        value = lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        if lo is not None and value < lo:
+            value = lo
+        if hi is not None and value > hi:
+            value = hi
+        return value
+    # Rounding pushed rank past the last non-empty bucket: return the top.
+    if hi is not None:
+        return hi
+    return bounds[-1] if bounds else None
+
+
+def quantile_from_snapshot(data: Dict[str, Any], q: float) -> Optional[float]:
+    """Quantile estimate from a histogram's ``as_dict`` snapshot."""
+    counts = data.get("bucket_counts")
+    bounds = data.get("bounds")
+    if not counts or bounds is None:
+        return None
+    return quantile_from_buckets(
+        bounds, counts, q, lo=data.get("min"), hi=data.get("max")
+    )
 
 
 class MetricsRegistry:

@@ -56,11 +56,16 @@ _FIELDS: ContextVar[Tuple[Tuple[str, Any], ...]] = ContextVar(
 
 
 class ObsLog:
-    """A JSONL log sink with level filtering.
+    """A JSONL log sink with level filtering and size-based rotation.
 
     ``path`` appends to a file (parent directories are created);
     ``stream`` writes to an open text stream instead. Exactly one of the
     two is used; ``path`` wins when both are given.
+
+    A path sink with ``max_bytes > 0`` rotates before a record would push
+    the file past the cap: ``app.jsonl`` shifts to ``app.jsonl.1``,
+    ``.1`` to ``.2``, ... keeping ``backups`` old files. Rotation happens
+    on record boundaries, so every rotated file stays valid JSONL.
     """
 
     def __init__(
@@ -68,25 +73,52 @@ class ObsLog:
         path: Optional[Union[str, Path]] = None,
         stream: Optional[TextIO] = None,
         level: str = "info",
+        max_bytes: int = 0,
+        backups: int = 3,
     ) -> None:
         if level not in _LEVELS:
             raise ValueError(
                 f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
             )
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups!r}")
         self.level = level
         self.path = Path(path) if path is not None else None
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._size = 0
         self._stream: Optional[TextIO] = None
         self._owns_stream = False
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = self.path.open("a", encoding="utf-8")
             self._owns_stream = True
+            try:
+                self._size = self.path.stat().st_size
+            except OSError:
+                self._size = 0
         elif stream is not None:
             self._stream = stream
 
     @property
     def enabled(self) -> bool:
         return self._stream is not None
+
+    def _rotate(self) -> None:
+        """Shift ``path -> path.1 -> path.2 ...`` and reopen fresh."""
+        assert self.path is not None and self._stream is not None
+        self._stream.close()
+        for i in range(self.backups, 0, -1):
+            src = (
+                self.path
+                if i == 1
+                else self.path.with_name(f"{self.path.name}.{i - 1}")
+            )
+            dst = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                src.replace(dst)
+        self._stream = self.path.open("a", encoding="utf-8")
+        self._size = 0
 
     def emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
         if self._stream is None:
@@ -102,10 +134,18 @@ class ObsLog:
             record.setdefault("span_name", span.name)
         record.update(fields)
         try:
-            self._stream.write(
-                json.dumps(record, sort_keys=True, default=str) + "\n"
-            )
+            line = json.dumps(record, sort_keys=True, default=str) + "\n"
+            payload = len(line.encode("utf-8"))
+            if (
+                self._owns_stream
+                and self.max_bytes > 0
+                and self._size > 0
+                and self._size + payload > self.max_bytes
+            ):
+                self._rotate()
+            self._stream.write(line)
             self._stream.flush()
+            self._size += payload
         except (ValueError, OSError):
             # Closed or broken sink — degrade to no-op for the rest of
             # the run rather than poisoning the caller.
@@ -131,18 +171,23 @@ def configure_obslog(
     path: Optional[Union[str, Path]] = None,
     stream: Optional[TextIO] = None,
     level: str = "info",
+    max_bytes: int = 0,
+    backups: int = 3,
 ) -> Optional[ObsLog]:
     """Install a log sink (or uninstall with no arguments).
 
-    Returns the newly installed :class:`ObsLog`, or ``None`` after an
-    uninstall. The previous sink, if any, is closed.
+    ``max_bytes``/``backups`` enable size-based rotation for path sinks
+    (``max_bytes=0``, the default, keeps the historical append-forever
+    behavior). Returns the newly installed :class:`ObsLog`, or ``None``
+    after an uninstall. The previous sink, if any, is closed.
     """
     global _SINK
     previous, _SINK = _SINK, None
     if previous is not None:
         previous.close()
     if path is not None or stream is not None:
-        _SINK = ObsLog(path=path, stream=stream, level=level)
+        _SINK = ObsLog(path=path, stream=stream, level=level,
+                       max_bytes=max_bytes, backups=backups)
     return _SINK
 
 

@@ -89,7 +89,10 @@ def health_snapshot() -> Dict[str, Any]:
 
     A failing source degrades to an ``{"error": ...}`` sub-document
     rather than failing the probe — health reporting must never make a
-    healthy server look dead.
+    healthy server look dead. A source reporting ``degraded: true``
+    (e.g. the alert engine while rules fire) flips the top-level
+    ``status`` to ``"degraded"`` so load balancers and probes see it
+    without parsing sub-documents.
     """
     with _HEALTH_LOCK:
         sources = dict(_HEALTH_SOURCES)
@@ -99,6 +102,11 @@ def health_snapshot() -> Dict[str, Any]:
             doc[name] = source()
         except Exception as exc:  # pragma: no cover - defensive
             doc[name] = {"error": f"{type(exc).__name__}: {exc}"}
+    if any(
+        isinstance(sub, dict) and sub.get("degraded")
+        for sub in doc.values()
+    ):
+        doc["status"] = "degraded"
     return doc
 
 
@@ -110,7 +118,7 @@ class RunHandle:
     """One registered run; loops call :meth:`update` as they progress."""
 
     __slots__ = ("_registry", "run_id", "kind", "started_at", "finished_at",
-                 "status", "attrs")
+                 "updated_at", "status", "attrs")
 
     def __init__(self, registry: "RunRegistry", run_id: str, kind: str,
                  attrs: Dict[str, Any]) -> None:
@@ -118,14 +126,20 @@ class RunHandle:
         self.run_id = run_id
         self.kind = kind
         self.started_at = time.time()
+        self.updated_at = self.started_at
         self.finished_at: Optional[float] = None
         self.status = "running"
         self.attrs = attrs
 
     def update(self, **attrs: Any) -> "RunHandle":
-        """Merge progress attributes (iteration, cost, done/total, ...)."""
+        """Merge progress attributes (iteration, cost, done/total, ...).
+
+        Also stamps :attr:`updated_at` — the heartbeat the
+        ``heartbeat_silence`` alert rule watches for hung loops.
+        """
         with self._registry._lock:
             self.attrs.update(attrs)
+            self.updated_at = time.time()
         return self
 
     def finish(self, status: str = "done", **attrs: Any) -> None:
@@ -138,6 +152,7 @@ class RunHandle:
             "kind": self.kind,
             "status": self.status,
             "started_at": self.started_at,
+            "updated_at": self.updated_at,
             "elapsed": round(
                 (self.finished_at or time.time()) - self.started_at, 6
             ),
@@ -176,6 +191,7 @@ class RunRegistry:
                 return
             handle.status = status
             handle.finished_at = time.time()
+            handle.updated_at = handle.finished_at
             handle.attrs.update(attrs)
             self._active.pop(handle.run_id, None)
             self._finished.append(handle)
@@ -350,10 +366,23 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 self.obs_server.runs.snapshot(), sort_keys=True, default=str
             ) + "\n"
             self._send(200, "application/json", body)
+        elif path == "/api/alerts":
+            alerts = self.obs_server.alerts
+            if alerts is None:
+                doc: Dict[str, Any] = {
+                    "evaluated_at": None, "rules": [], "firing": [],
+                }
+            else:
+                # Evaluate on demand so a probe right after a breach sees
+                # it without waiting out the background interval.
+                alerts.evaluate()
+                doc = alerts.snapshot()
+            body = json.dumps(doc, sort_keys=True, default=str) + "\n"
+            self._send(200, "application/json", body)
         elif path == "/":
             self._send(
                 200, "text/plain; charset=utf-8",
-                "repro.obs endpoints: /metrics /runs /healthz\n",
+                "repro.obs endpoints: /metrics /runs /healthz /api/alerts\n",
             )
         else:
             self._send(404, "text/plain; charset=utf-8", "not found\n")
@@ -401,13 +430,22 @@ class ObsServer:
         port: int = 0,
         metrics=None,
         runs: Optional[RunRegistry] = None,
+        alerts=None,
+        alert_interval: float = 5.0,
     ) -> None:
         self.host = host
         self._requested_port = port
         self.metrics = metrics if metrics is not None else _metrics_registry()
         self.runs = runs if runs is not None else _RUN_REGISTRY
+        #: Optional :class:`repro.obs.AlertEngine`; while the server runs
+        #: it is re-evaluated every ``alert_interval`` seconds and serves
+        #: ``GET /api/alerts``.
+        self.alerts = alerts
+        self.alert_interval = alert_interval
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._alert_thread: Optional[threading.Thread] = None
+        self._alert_stop = threading.Event()
 
     @property
     def running(self) -> bool:
@@ -439,6 +477,15 @@ class ObsServer:
             daemon=True,
         )
         self._thread.start()
+        if self.alerts is not None:
+            add_health_source("alerts", self.alerts.health)
+            self._alert_stop.clear()
+            self._alert_thread = threading.Thread(
+                target=self._alert_loop,
+                name=f"repro-obs-alerts-{self.port}",
+                daemon=True,
+            )
+            self._alert_thread.start()
         _tracer.add_observer()
         # The bound (not the requested) port: with port=0 this is the
         # ephemeral port the OS picked, so the line is always connectable.
@@ -448,11 +495,25 @@ class ObsServer:
         )
         return self
 
+    def _alert_loop(self) -> None:
+        while not self._alert_stop.wait(self.alert_interval):
+            try:
+                self.alerts.evaluate()
+            except Exception as exc:  # pragma: no cover - defensive
+                _obslog.log(
+                    "alert.loop_error", level="warning", error=repr(exc)
+                )
+
     def stop(self) -> None:
         httpd, self._httpd = self._httpd, None
         thread, self._thread = self._thread, None
+        alert_thread, self._alert_thread = self._alert_thread, None
         if httpd is None:
             return
+        if alert_thread is not None:
+            self._alert_stop.set()
+            alert_thread.join(timeout=5.0)
+            remove_health_source("alerts")
         httpd.shutdown()
         httpd.server_close()
         if thread is not None:

@@ -197,9 +197,23 @@ def cross_check(
 ) -> Dict[str, float]:
     """Run several exact engines and assert they agree within ``tol``.
 
+    Engines that declare themselves inapplicable to the problem (via the
+    registry's ``why_inapplicable`` probes — e.g. the inclusion-exclusion
+    oracle's path-set cap) are skipped rather than crashing the check;
+    the remaining applicable engines are still compared pairwise.
+
     Returns the per-engine values; raises AssertionError on disagreement.
     """
-    values = {m: _ENGINES[m](problem) for m in methods}
+    from .registry import inapplicable_reason
+
+    values = {}
+    for m in methods:
+        try:
+            skip = inapplicable_reason(m, problem)
+        except KeyError:
+            skip = None
+        if skip is None:
+            values[m] = _ENGINES[m](problem)
     items = sorted(values.items())
     for (name_a, val_a), (name_b, val_b) in zip(items, items[1:]):
         if abs(val_a - val_b) > tol * max(1.0, abs(val_a)):

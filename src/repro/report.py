@@ -330,11 +330,15 @@ def render_metrics(snapshot: dict) -> str:
     """Render a :func:`repro.obs.snapshot` metrics dump as a table.
 
     Counters and gauges print their value; histograms print
-    ``count / mean / min / max``.
+    ``count / mean / min / max`` plus estimated p50/p95/p99 columns
+    (bucket interpolation — :meth:`repro.obs.Histogram.quantile`).
     """
+    from .obs.metrics import quantile_from_snapshot
+
     rows = []
     for name, data in sorted(snapshot.items()):
         kind = data.get("kind", "?")
+        quantiles = ["-", "-", "-"]
         if kind == "histogram":
             value = (
                 f"n={data['count']} mean={data['mean']:.4g}"
@@ -344,7 +348,16 @@ def render_metrics(snapshot: dict) -> str:
                     else ""
                 )
             )
+            quantiles = [
+                f"{q:.4g}" if q is not None else "-"
+                for q in (
+                    quantile_from_snapshot(data, 0.50),
+                    quantile_from_snapshot(data, 0.95),
+                    quantile_from_snapshot(data, 0.99),
+                )
+            ]
         else:
             value = f"{data.get('value')}"
-        rows.append((name, kind, value))
-    return format_table(["metric", "kind", "value"], rows)
+        rows.append((name, kind, value, *quantiles))
+    return format_table(["metric", "kind", "value", "p50", "p95", "p99"],
+                        rows)

@@ -234,7 +234,14 @@ class RunStore:
         return (self.root / run_id / MANIFEST_NAME).is_file()
 
     def list(self, states: Optional[Iterable[str]] = None) -> List[RunRecord]:
-        """All runs, newest first, optionally filtered by state."""
+        """All runs, newest first, optionally filtered by state.
+
+        The sort is by start time (falling back to creation time for
+        runs that never started) and is *stable*: ties break on run id,
+        so two calls straddling an unrelated write return the same
+        order — the contract ``repro runs ls --json`` consumers and the
+        dashboard rely on.
+        """
         wanted = frozenset(states) if states is not None else None
         records = []
         for entry in self.root.iterdir():
@@ -243,8 +250,17 @@ class RunStore:
             record = self.load(entry.name)
             if wanted is None or record.state in wanted:
                 records.append(record)
-        records.sort(key=lambda r: r.manifest.get("created_at", 0.0),
-                     reverse=True)
+
+        def _key(r: RunRecord):
+            manifest = r.manifest
+            started = manifest.get("started_at")
+            if not isinstance(started, (int, float)):
+                started = manifest.get("created_at", 0.0)
+            if not isinstance(started, (int, float)):
+                started = 0.0
+            return (-started, r.run_id)
+
+        records.sort(key=_key)
         return records
 
     # -- state machine ----------------------------------------------------

@@ -1,0 +1,203 @@
+"""Tests for the `repro top` dashboard plumbing (`repro.obs.dashboard`)."""
+
+import pytest
+
+from repro import obs
+from repro.obs.dashboard import (
+    DashboardClient,
+    build_dashboard_model,
+    histogram_quantile,
+    parse_prometheus,
+    render_dashboard,
+)
+
+SCRAPE = """\
+# HELP repro_engine_jobs_completed_total Jobs finished.
+# TYPE repro_engine_jobs_completed_total counter
+repro_engine_jobs_completed_total 42
+# TYPE repro_reliability_cache_hits gauge
+repro_reliability_cache_hits 30
+repro_reliability_cache_misses 10
+# TYPE repro_engine_job_seconds histogram
+repro_engine_job_seconds_bucket{le="0.1"} 10
+repro_engine_job_seconds_bucket{le="1"} 30
+repro_engine_job_seconds_bucket{le="10"} 40
+repro_engine_job_seconds_bucket{le="+Inf"} 40
+repro_engine_job_seconds_sum 55.5
+repro_engine_job_seconds_count 40
+repro_ilp_bnb_incumbent_objective 41.5
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset_metrics()
+    obs.configure_obslog()
+    yield
+    obs.reset_metrics()
+    obs.configure_obslog()
+
+
+class TestParsePrometheus:
+    def test_samples_and_types(self):
+        parsed = parse_prometheus(SCRAPE)
+        assert parsed["types"]["repro_engine_jobs_completed_total"] == \
+            "counter"
+        samples = parsed["samples"]
+        assert samples["repro_engine_jobs_completed_total"] == [({}, 42.0)]
+        assert samples["repro_reliability_cache_hits"] == [({}, 30.0)]
+        buckets = samples["repro_engine_job_seconds_bucket"]
+        assert ({"le": "0.1"}, 10.0) in buckets
+        assert ({"le": "+Inf"}, 40.0) in buckets
+
+    def test_roundtrip_from_live_registry(self):
+        # whatever render_prometheus writes, the dashboard must parse
+        obs.counter("engine.jobs.completed").inc(3)
+        obs.histogram("engine.job.seconds").observe(0.5)
+        parsed = parse_prometheus(obs.render_prometheus())
+        assert parsed["samples"]["repro_engine_jobs_completed_total"] == \
+            [({}, 3.0)]
+        assert parsed["samples"]["repro_engine_job_seconds_count"] == \
+            [({}, 1.0)]
+
+
+class TestHistogramQuantile:
+    def test_median_from_cumulative_buckets(self):
+        parsed = parse_prometheus(SCRAPE)
+        p50 = histogram_quantile(parsed, "repro_engine_job_seconds", 0.5)
+        # rank 20 of 40 falls in the (0.1, 1] bucket
+        assert 0.1 < p50 <= 1.0
+        p99 = histogram_quantile(parsed, "repro_engine_job_seconds", 0.99)
+        assert p99 > p50
+
+    def test_missing_series_is_none(self):
+        parsed = parse_prometheus(SCRAPE)
+        assert histogram_quantile(parsed, "no_such_series", 0.5) is None
+
+    def test_agrees_with_live_histogram(self):
+        h = obs.histogram("engine.job.seconds")
+        for v in (0.05, 0.2, 0.7, 3.0, 8.0):
+            h.observe(v)
+        parsed = parse_prometheus(obs.render_prometheus())
+        for q in (0.5, 0.95):
+            est = histogram_quantile(parsed, "repro_engine_job_seconds", q)
+            # scrape loses min/max, so clamping may differ at the tails —
+            # mid-distribution the two paths must land in the same bucket
+            assert est == pytest.approx(h.quantile(q), rel=0.5)
+
+
+class TestModel:
+    def test_unreachable_model(self):
+        model = build_dashboard_model(
+            url="http://x", health=None, runs=None, alerts=None,
+            metrics=None, now=10.0)
+        assert model["reachable"] is False
+        assert model["status"] == "unreachable"
+
+    def test_model_folds_endpoints(self):
+        health = {"status": "degraded",
+                  "queue": {"pending": 3, "leased": 1,
+                            "workers": {"42": {"jobs": 7}}}}
+        runs = {"active": [{"run_id": "r-1", "state": "running",
+                            "progress": {"done": 2, "total": 4}}],
+                "finished": []}
+        alerts = {"firing": [{"rule": "hot", "severity": "critical",
+                              "message": "x"}],
+                  "rules": [{"name": "hot"}, {"name": "cold"}]}
+        model = build_dashboard_model(
+            url="http://x", health=health, runs=runs, alerts=alerts,
+            metrics=parse_prometheus(SCRAPE), now=100.0)
+        assert model["status"] == "degraded"
+        assert model["queue"] == {"pending": 3, "leased": 1}
+        assert model["workers"] == {"42": {"jobs": 7}}
+        assert model["rules"] == 2
+        assert [a["rule"] for a in model["alerts"]] == ["hot"]
+        tp = model["throughput"]
+        assert tp["jobs_total"] == 42.0
+        assert tp["cache_hit_rate"] == pytest.approx(0.75)
+        assert tp["job_seconds_p50"] is not None
+        assert model["bnb"]["incumbent"] == 41.5
+        assert model["bnb"]["trail"] == [41.5]
+
+    def test_jobs_per_s_delta_against_previous(self):
+        first = build_dashboard_model(
+            url="http://x", health=None, runs=None, alerts=None,
+            metrics=parse_prometheus(SCRAPE), now=100.0)
+        bumped = SCRAPE.replace(
+            "repro_engine_jobs_completed_total 42",
+            "repro_engine_jobs_completed_total 52")
+        second = build_dashboard_model(
+            url="http://x", health=None, runs=None, alerts=None,
+            metrics=parse_prometheus(bumped), previous=first, now=105.0)
+        assert second["throughput"]["jobs_per_s"] == pytest.approx(2.0)
+
+    def test_incumbent_trail_dedups_and_caps(self):
+        trail = None
+        for step, incumbent in enumerate(
+                [50.0, 50.0, 45.0, 45.0, 41.5] + [40.0 - i for i in range(15)]):
+            scrape = SCRAPE.replace(
+                "repro_ilp_bnb_incumbent_objective 41.5",
+                f"repro_ilp_bnb_incumbent_objective {incumbent}")
+            model = build_dashboard_model(
+                url="http://x", health=None, runs=None, alerts=None,
+                metrics=parse_prometheus(scrape), trail=trail,
+                now=float(step))
+            trail = model["bnb"]["trail"]
+        assert len(trail) == 12  # capped
+        assert trail[-1] == 26.0
+        # consecutive duplicates collapsed
+        assert all(a != b for a, b in zip(trail, trail[1:]))
+
+
+class TestRender:
+    def test_render_plain_text_panels(self):
+        health = {"status": "degraded", "queue": {"pending": 3}}
+        alerts = {"firing": [{"rule": "hot", "severity": "critical",
+                              "message": "queue on fire", "value": 9.0}],
+                  "rules": [{"name": "hot"}]}
+        runs = {"active": [{"run_id": "r-1", "state": "running",
+                            "progress": {"done": 2, "total": 4}}],
+                "finished": []}
+        model = build_dashboard_model(
+            url="http://x", health=health, runs=runs, alerts=alerts,
+            metrics=parse_prometheus(SCRAPE), now=100.0)
+        lines = render_dashboard(model, width=100)
+        text = "\n".join(lines)
+        assert "degraded" in text
+        assert "hot" in text and "queue on fire" in text
+        assert "r-1" in text
+        assert all(len(line) <= 100 for line in lines)
+
+    def test_render_unreachable(self):
+        model = build_dashboard_model(
+            url="http://x", health=None, runs=None, alerts=None,
+            metrics=None, now=1.0)
+        text = "\n".join(render_dashboard(model))
+        assert "unreachable" in text
+
+
+class TestClient:
+    def test_poll_against_live_server(self):
+        from repro.obs.alerts import AlertEngine, AlertRule
+        from repro.obs.server import ObsServer
+
+        rule = AlertRule(name="synthetic", type="threshold", params={
+            "metric": "engine.jobs.completed", "op": ">", "value": 0})
+        server = ObsServer(host="127.0.0.1", port=0,
+                           alerts=AlertEngine([rule], health=dict),
+                           alert_interval=3600)
+        server.start()
+        try:
+            obs.counter("engine.jobs.completed").inc(2)
+            client = DashboardClient(f"http://127.0.0.1:{server.port}")
+            model = client.poll()
+            assert model["reachable"] is True
+            assert model["throughput"]["jobs_total"] == 2.0
+            assert [a["rule"] for a in model["alerts"]] == ["synthetic"]
+        finally:
+            server.stop()
+
+    def test_poll_unreachable_endpoint(self):
+        client = DashboardClient("http://127.0.0.1:1", timeout=0.2)
+        model = client.poll()
+        assert model["reachable"] is False

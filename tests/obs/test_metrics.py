@@ -68,3 +68,58 @@ class TestRegistry:
         r.counter("x").inc()
         assert "x" not in obs.snapshot()
         assert len(r) == 1
+
+
+class TestQuantiles:
+    def test_quantile_interpolates_within_bucket(self):
+        # One bucket (0.1, 0.25] holding all 4 observations: the q-th
+        # estimate interpolates linearly across the bucket's width.
+        h = obs.histogram("q.seconds")
+        for v in (0.15, 0.18, 0.2, 0.22):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 0.1 < p50 < 0.25
+        # rank 2 of 4 -> halfway through the bucket
+        assert p50 == pytest.approx(0.1 + (0.25 - 0.1) * 0.5)
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = obs.histogram("q.clamp")
+        h.observe(0.3)
+        assert h.quantile(0.0) == pytest.approx(0.3)
+        assert h.quantile(1.0) == pytest.approx(0.3)
+        assert h.quantile(0.99) <= 0.3
+
+    def test_quantile_orders_monotonically(self):
+        h = obs.histogram("q.mono")
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0, 20.0, 40.0, 100.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)
+        assert qs[-1] <= 100.0
+
+    def test_empty_histogram_has_no_quantile(self):
+        assert obs.histogram("q.empty").quantile(0.5) is None
+
+    def test_invalid_q_rejected(self):
+        h = obs.histogram("q.bad")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_from_snapshot_matches_live(self):
+        h = obs.histogram("q.snap")
+        for v in (0.05, 0.2, 0.7, 3.0):
+            h.observe(v)
+        snap = obs.snapshot()["q.snap"]
+        for q in (0.5, 0.95):
+            assert obs.quantile_from_snapshot(snap, q) == pytest.approx(
+                h.quantile(q)
+            )
+
+    def test_quantile_from_snapshot_without_buckets(self):
+        assert obs.quantile_from_snapshot({"count": 3}, 0.5) is None
+
+    def test_overflow_bucket_uses_observed_max(self):
+        h = obs.histogram("q.overflow")
+        h.observe(1000.0)  # beyond the largest default bound (300)
+        assert h.quantile(0.5) == pytest.approx(1000.0)

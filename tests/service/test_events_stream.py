@@ -1,0 +1,201 @@
+"""Edge cases for the SSE run-event tail (``GET /api/runs/<id>/events``).
+
+The happy path (replay + live follow of a finishing run) is covered in
+test_observability.py; these tests pin down the awkward corners: a
+client that hangs up mid-follow, a run cancelled under an open tail, and
+a replay over a journal that does not exist yet.
+"""
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+
+import pytest
+
+from repro.service import JobQueue, RunStore, ServiceServer
+from repro.service.store import TELEMETRY_NAME
+
+SWEEP_SPEC = {
+    "kind": "sweep",
+    "params": {"domain": "eps", "size": 2, "levels": [2e-3, 2e-6],
+               "backend": "scipy", "algorithm": "mr"},
+}
+
+
+@pytest.fixture()
+def idle_service(tmp_path):
+    """A service whose queue never starts: runs stay PENDING forever."""
+    store = RunStore(tmp_path / "runs")
+    queue = JobQueue(store)
+    server = ServiceServer(queue, port=0).start()
+    yield server.url, store
+    server.stop()
+
+
+def submit(base, spec=SWEEP_SPEC):
+    parsed = urllib.parse.urlparse(base)
+    conn = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                      timeout=10)
+    try:
+        conn.request("POST", "/api/jobs", body=json.dumps(spec),
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        doc = json.loads(resp.read())
+        assert resp.status == 202, doc
+        return doc["run_id"]
+    finally:
+        conn.close()
+
+
+def open_stream(base, run_id, timeout=30, sock_timeout=20.0):
+    """A live (conn, response) pair tailing the run's events."""
+    parsed = urllib.parse.urlparse(base)
+    conn = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                      timeout=sock_timeout)
+    conn.request("GET", f"/api/runs/{run_id}/events?timeout={timeout}")
+    resp = conn.getresponse()
+    assert resp.status == 200
+    assert resp.headers["Content-Type"] == "text/event-stream"
+    return conn, resp
+
+
+def parse_frames(raw: bytes):
+    """SSE bytes -> [(event-name, parsed-data-dict)]."""
+    frames = []
+    for block in raw.decode("utf-8").split("\n\n"):
+        if not block.strip():
+            continue
+        name, data = "event", None
+        for line in block.splitlines():
+            if line.startswith("event: "):
+                name = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+        frames.append((name, data))
+    return frames
+
+
+def read_until_end(resp, deadline=20.0):
+    """Drain the stream until the final ``end`` frame (or deadline)."""
+    raw = b""
+    until = time.monotonic() + deadline
+    while time.monotonic() < until:
+        chunk = resp.read(1)
+        if not chunk:
+            break
+        raw += chunk
+        if raw.endswith(b"\n\n") and b"event: end\n" in raw:
+            frames = parse_frames(raw)
+            if frames and frames[-1][0] == "end":
+                return frames
+    return parse_frames(raw)
+
+
+class TestEmptyJournalReplay:
+    def test_pending_run_without_journal_yields_only_end(self, idle_service):
+        base, store = idle_service
+        run_id = submit(base)
+        # the queue never starts, so no telemetry journal exists yet
+        assert not store.load(run_id).artifact(TELEMETRY_NAME).exists()
+        conn, resp = open_stream(base, run_id, timeout=0)
+        try:
+            frames = read_until_end(resp)
+        finally:
+            conn.close()
+        assert [name for name, _ in frames] == ["end"]
+        assert frames[0][1]["run_id"] == run_id
+        assert frames[0][1]["state"] == "PENDING"
+
+    def test_replay_skips_partial_trailing_line(self, idle_service):
+        base, store = idle_service
+        run_id = submit(base)
+        journal = store.load(run_id).artifact(TELEMETRY_NAME)
+        with journal.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"ts": 1.0, "batch": run_id,
+                                 "event": "batch_start"}) + "\n")
+            fh.write('{"ts": 2.0, "batch": "half-wri')  # no newline
+        conn, resp = open_stream(base, run_id, timeout=0)
+        try:
+            frames = read_until_end(resp)
+        finally:
+            conn.close()
+        assert [name for name, _ in frames] == ["batch_start", "end"]
+
+
+class TestCancelledWhileTailing:
+    def test_tail_sees_cancellation_as_final_end_frame(self, idle_service):
+        base, store = idle_service
+        run_id = submit(base)
+        journal = store.load(run_id).artifact(TELEMETRY_NAME)
+        journal.write_text(
+            json.dumps({"ts": 1.0, "batch": run_id,
+                        "event": "batch_start"}) + "\n",
+            encoding="utf-8")
+
+        conn, resp = open_stream(base, run_id, timeout=30)
+        result = {}
+
+        def drain():
+            result["frames"] = read_until_end(resp)
+
+        reader = threading.Thread(target=drain, daemon=True)
+        reader.start()
+        time.sleep(0.3)  # let the tail replay and enter its follow loop
+
+        parsed = urllib.parse.urlparse(base)
+        cancel = http.client.HTTPConnection(parsed.hostname, parsed.port,
+                                            timeout=10)
+        try:
+            cancel.request("DELETE", f"/api/jobs/{run_id}")
+            assert cancel.getresponse().status == 200
+        finally:
+            cancel.close()
+
+        reader.join(timeout=15)
+        conn.close()
+        assert not reader.is_alive(), "tail never terminated after cancel"
+        frames = result["frames"]
+        assert frames[0][0] == "batch_start"
+        name, data = frames[-1]
+        assert name == "end"
+        assert data["state"] == "CANCELLED"
+
+
+class TestClientDisconnect:
+    def test_server_survives_client_hangup_mid_follow(self, idle_service):
+        base, store = idle_service
+        run_id = submit(base)
+        journal = store.load(run_id).artifact(TELEMETRY_NAME)
+        journal.write_text(
+            json.dumps({"ts": 1.0, "batch": run_id,
+                        "event": "batch_start"}) + "\n",
+            encoding="utf-8")
+
+        conn, resp = open_stream(base, run_id, timeout=30)
+        resp.read(1)  # stream is live
+        conn.close()  # hang up mid-follow, no farewell
+
+        # force writes into the dead socket: the handler hits
+        # BrokenPipeError on the flush and must swallow it
+        with journal.open("a", encoding="utf-8") as fh:
+            for i in range(3):
+                fh.write(json.dumps({"ts": 2.0 + i, "batch": run_id,
+                                     "event": "job_start",
+                                     "job": f"j-{i}"}) + "\n")
+
+        # the server must still answer fresh requests afterwards
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            conn2, resp2 = open_stream(base, run_id, timeout=0)
+            try:
+                frames = read_until_end(resp2)
+            finally:
+                conn2.close()
+            if frames and frames[-1][0] == "end":
+                break
+        names = [name for name, _ in frames]
+        assert names[0] == "batch_start"
+        assert names.count("job_start") == 3
+        assert names[-1] == "end"

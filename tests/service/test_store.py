@@ -121,6 +121,24 @@ class TestListingAndJournal:
             first.run_id
         ]
 
+    def test_list_sorts_by_start_time_over_creation(self, store):
+        # a run created earlier but *started* later sorts first: ls is
+        # ordered by when work began, not when the spec was submitted
+        early = make_run(store)
+        late = make_run(store)
+        store.update(early, created_at=100.0, started_at=500.0)
+        store.update(late, created_at=200.0, started_at=300.0)
+        ids = [r.run_id for r in store.list()]
+        assert ids == [early.run_id, late.run_id]
+
+    def test_list_order_stable_on_ties(self, store):
+        runs = [make_run(store) for _ in range(3)]
+        for r in runs:
+            store.update(r, created_at=100.0)
+        ids = [r.run_id for r in store.list()]
+        # equal timestamps fall back to run_id so the order is stable
+        assert ids == sorted(ids)
+
     def test_contains(self, store):
         record = make_run(store)
         assert record.run_id in store

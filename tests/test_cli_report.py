@@ -213,6 +213,17 @@ class TestRunsCli:
         assert record.run_id in out
         assert "DONE" in out
 
+    def test_runs_ls_json(self, seeded_store, capsys):
+        import json
+
+        store, record = seeded_store
+        assert main(
+            ["runs", "ls", "--json", "--runs-dir", str(store.root)]
+        ) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["run_id"] for d in docs] == [record.run_id]
+        assert docs[0]["state"] == "DONE"
+
     def test_runs_ls_empty(self, tmp_path, capsys):
         assert main(["runs", "ls", "--runs-dir", str(tmp_path / "x")]) == 0
         assert "(no runs)" in capsys.readouterr().out
